@@ -1,0 +1,96 @@
+// Wall-clock microbenchmarks of the threaded substrate (google-benchmark):
+// real elapsed time of the collectives with ranks as OS threads.  These are
+// NOT the paper's figures (the substrate is a simulator, not an SP-1) —
+// they sanity-check that the C1/C2 ordering predicted by the model shows up
+// in real time on a real machine: radix-tuned Bruck beats both extremes for
+// mid-sized blocks, and Bruck allgather beats ring and folklore.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "coll/concat_bruck.hpp"
+#include "coll/concat_folklore.hpp"
+#include "coll/concat_ring.hpp"
+#include "coll/index_bruck.hpp"
+#include "mps/runtime.hpp"
+
+namespace {
+
+void run_index(std::int64_t n, std::int64_t b, std::int64_t radix) {
+  bruck::mps::FabricOptions options;
+  options.n = n;
+  options.k = 1;
+  options.record_trace = false;
+  bruck::mps::run_spmd(options, [&](bruck::mps::Communicator& comm) {
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b), std::byte{1});
+    std::vector<std::byte> recv(send.size());
+    bruck::coll::index_bruck(comm, send, recv, b,
+                             bruck::coll::IndexBruckOptions{radix, 0});
+  });
+}
+
+void BM_IndexBruck(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t b = state.range(1);
+  const std::int64_t radix = state.range(2);
+  for (auto _ : state) {
+    run_index(n, b, radix);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+  state.counters["rounds"] = static_cast<double>(
+      bruck::model::index_bruck_cost(n, radix, 1, b).c1);
+}
+
+void BM_AllgatherAlgorithms(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t b = state.range(1);
+  const auto algorithm =
+      static_cast<bruck::coll::ConcatAlgorithm>(state.range(2));
+  bruck::coll::AllgatherOptions options;
+  options.algorithm = algorithm;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 1;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(b), std::byte{1});
+      std::vector<std::byte> recv(static_cast<std::size_t>(n * b));
+      bruck::coll::allgather(comm, send, recv, b, options);
+    });
+  }
+  state.SetLabel(bruck::coll::to_string(algorithm));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+}
+
+}  // namespace
+
+// Index: the radix trade-off in wall-clock at n = 8 and n = 16 ranks.
+BENCHMARK(BM_IndexBruck)
+    ->Args({8, 64, 2})
+    ->Args({8, 64, 8})
+    ->Args({8, 65536, 2})
+    ->Args({8, 65536, 8})
+    ->Args({16, 4096, 2})
+    ->Args({16, 4096, 4})
+    ->Args({16, 4096, 16})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+// Allgather: algorithm comparison at n = 16 ranks.
+BENCHMARK(BM_AllgatherAlgorithms)
+    ->Args({16, 4096, static_cast<std::int64_t>(bruck::coll::ConcatAlgorithm::kBruck)})
+    ->Args({16, 4096, static_cast<std::int64_t>(bruck::coll::ConcatAlgorithm::kFolklore)})
+    ->Args({16, 4096, static_cast<std::int64_t>(bruck::coll::ConcatAlgorithm::kRing)})
+    ->Args({16, 64, static_cast<std::int64_t>(bruck::coll::ConcatAlgorithm::kBruck)})
+    ->Args({16, 64, static_cast<std::int64_t>(bruck::coll::ConcatAlgorithm::kRing)})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+BENCHMARK_MAIN();

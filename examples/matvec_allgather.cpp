@@ -1,0 +1,175 @@
+// Iterated distributed matrix–vector products via the concatenation
+// operation — the Section 1.1 application "the concatenation operation can
+// be used in matrix multiplication and in basic linear algebra operations".
+//
+// The N×N matrix is row-block distributed; the length-N vector is block
+// distributed the same way.  Each iteration of the power-method loop
+//   x ← A·x / ‖A·x‖
+// needs the *whole* current vector at every rank: exactly one concatenation
+// (allgather).  The example runs a few iterations with the paper's
+// algorithm and the two baselines, checks they produce bit-identical
+// iterates, verifies convergence to the dominant eigenpair on a matrix with
+// a known spectrum, and reports the per-iteration communication measures.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "mps/runtime.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Vector = std::vector<double>;
+using Matrix = std::vector<double>;  // row-major N×N
+
+/// Symmetric matrix with dominant eigenvalue 4 (eigenvector e1 basis):
+/// diag(4, 2, 1, 1, …) conjugated by a fixed Householder reflection so the
+/// matrix is dense and the dominant eigenvector is nontrivial.
+struct Spectrum {
+  Matrix a;
+  Vector dominant;  // unit eigenvector for eigenvalue 4
+};
+
+Spectrum make_spectrum(std::int64_t n_dim) {
+  // Householder vector v (normalized), H = I − 2vvᵀ, A = H·D·Hᵀ.
+  Vector v(static_cast<std::size_t>(n_dim));
+  double norm2 = 0.0;
+  for (std::int64_t i = 0; i < n_dim; ++i) {
+    v[static_cast<std::size_t>(i)] = 1.0 + static_cast<double>(i % 5);
+    norm2 += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& x : v) x *= inv;
+
+  auto h = [&](std::int64_t i, std::int64_t j) {
+    return (i == j ? 1.0 : 0.0) -
+           2.0 * v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+  };
+  auto d = [&](std::int64_t i) { return i == 0 ? 4.0 : (i == 1 ? 2.0 : 1.0); };
+
+  Spectrum s;
+  s.a.resize(static_cast<std::size_t>(n_dim * n_dim));
+  for (std::int64_t i = 0; i < n_dim; ++i) {
+    for (std::int64_t j = 0; j < n_dim; ++j) {
+      double acc = 0.0;
+      for (std::int64_t t = 0; t < n_dim; ++t) {
+        acc += h(i, t) * d(t) * h(j, t);
+      }
+      s.a[static_cast<std::size_t>(i * n_dim + j)] = acc;
+    }
+  }
+  s.dominant.resize(static_cast<std::size_t>(n_dim));
+  for (std::int64_t i = 0; i < n_dim; ++i) {
+    s.dominant[static_cast<std::size_t>(i)] = h(i, 0);  // H·e0
+  }
+  return s;
+}
+
+struct PowerResult {
+  Vector x;
+  double eigenvalue = 0.0;
+  bruck::model::CostMetrics per_iteration;
+};
+
+PowerResult power_method(const Matrix& a, std::int64_t n_dim,
+                         std::int64_t n_ranks, int iterations,
+                         bruck::coll::ConcatAlgorithm algorithm) {
+  const std::int64_t rows = n_dim / n_ranks;
+  const std::int64_t block_bytes =
+      rows * static_cast<std::int64_t>(sizeof(double));
+  Vector x(static_cast<std::size_t>(n_dim), 1.0 / std::sqrt(n_dim));
+  double lambda = 0.0;
+  bruck::model::CostMetrics per_iter;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    Vector next(static_cast<std::size_t>(n_dim));
+    bruck::coll::AllgatherOptions options;
+    options.algorithm = algorithm;
+    bruck::mps::RunResult rr = bruck::mps::run_spmd(
+        n_ranks, 1, [&](bruck::mps::Communicator& comm) {
+          const std::int64_t rank = comm.rank();
+          // Local slice of y = A·x.
+          Vector local(static_cast<std::size_t>(rows));
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const double* row = a.data() + (rank * rows + r) * n_dim;
+            double acc = 0.0;
+            for (std::int64_t c = 0; c < n_dim; ++c) acc += row[c] * x[static_cast<std::size_t>(c)];
+            local[static_cast<std::size_t>(r)] = acc;
+          }
+          // Allgather the new vector so the next iteration can start.
+          std::vector<std::byte> recv(static_cast<std::size_t>(n_dim) *
+                                      sizeof(double));
+          bruck::coll::allgather(
+              comm,
+              std::span<const std::byte>(
+                  reinterpret_cast<const std::byte*>(local.data()),
+                  static_cast<std::size_t>(block_bytes)),
+              recv, block_bytes, options);
+          if (rank == 0) {
+            std::memcpy(next.data(), recv.data(), recv.size());
+          }
+        });
+    per_iter = rr.trace->metrics();
+    double norm = 0.0;
+    for (double vi : next) norm += vi * vi;
+    norm = std::sqrt(norm);
+    lambda = norm;  // ‖A·x‖ for unit x converges to |λ₁|
+    for (double& vi : next) vi /= norm;
+    x = std::move(next);
+  }
+  return PowerResult{std::move(x), lambda, per_iter};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t n_ranks = argc > 1 ? std::atoll(argv[1]) : 8;
+  const std::int64_t n_dim = argc > 2 ? std::atoll(argv[2]) : 64;
+  const int iterations = 40;
+  BRUCK_REQUIRE_MSG(n_dim % n_ranks == 0, "N must divide over ranks");
+
+  std::cout << "power method on a dense " << n_dim << "x" << n_dim
+            << " matrix over " << n_ranks
+            << " simulated processors, one allgather per iteration\n\n";
+
+  const Spectrum s = make_spectrum(n_dim);
+  bruck::TextTable t({"algorithm", "C1/iter", "C2/iter (bytes)",
+                      "total bytes/iter", "lambda", "|lambda - 4|"});
+
+  Vector reference;
+  for (const auto algorithm :
+       {bruck::coll::ConcatAlgorithm::kBruck,
+        bruck::coll::ConcatAlgorithm::kFolklore,
+        bruck::coll::ConcatAlgorithm::kRing}) {
+    const PowerResult result =
+        power_method(s.a, n_dim, n_ranks, iterations, algorithm);
+    if (reference.empty()) {
+      reference = result.x;
+    } else {
+      BRUCK_REQUIRE_MSG(result.x == reference,
+                        "different allgather algorithms must produce "
+                        "bit-identical iterates");
+    }
+    BRUCK_REQUIRE_MSG(std::abs(result.eigenvalue - 4.0) < 1e-6,
+                      "power method failed to find the dominant eigenvalue");
+    // The iterate must align with the known dominant eigenvector.
+    double dot = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      dot += result.x[i] * s.dominant[i];
+    }
+    BRUCK_REQUIRE_MSG(std::abs(std::abs(dot) - 1.0) < 1e-6,
+                      "iterate did not converge to the dominant eigenvector");
+    t.add(bruck::coll::to_string(algorithm), result.per_iteration.c1,
+          result.per_iteration.c2, result.per_iteration.total_bytes,
+          result.eigenvalue, std::abs(result.eigenvalue - 4.0));
+  }
+  t.print(std::cout);
+  std::cout << "\nall three allgather algorithms produced bit-identical "
+               "iterates;\nBruck needs ceil(log2 n) rounds/iter vs n-1 for "
+               "the ring at the same volume\n";
+  return 0;
+}

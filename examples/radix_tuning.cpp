@@ -1,0 +1,59 @@
+// Machine-aware radix tuning (Section 3.3/3.5): given a machine's (β, τ),
+// print the modeled index-operation time across radices and the tuner's
+// choice, for several machine profiles and message sizes.
+//
+//   $ ./radix_tuning [n] [k]
+//
+// This is the "one library, every group size" workflow the paper motivates:
+// the application calls alltoall(); the library consults the model and picks
+// r — no per-machine algorithm forks.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "coll/api.hpp"
+#include "model/linear_model.hpp"
+#include "model/tuner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 64;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 1;
+
+  std::cout << "index-operation radix tuning for n = " << n << ", k = " << k
+            << "\n\n";
+
+  for (const bruck::model::LinearModel& machine :
+       {bruck::model::ibm_sp1(), bruck::model::startup_dominated(),
+        bruck::model::bandwidth_dominated()}) {
+    std::cout << "machine \"" << machine.name << "\": beta = "
+              << machine.beta_us << " us, tau = " << machine.tau_us_per_byte
+              << " us/byte\n";
+    bruck::TextTable t({"block bytes", "chosen radix", "C1", "C2 (bytes)",
+                        "modeled us", "us at r=2", "us at r=n"});
+    for (const std::int64_t b : {1, 8, 32, 128, 512, 2048, 8192}) {
+      const bruck::model::RadixChoice choice =
+          bruck::model::pick_index_radix(n, k, b, machine);
+      const double at2 =
+          machine.predict_us(bruck::model::index_bruck_cost(n, 2, k, b));
+      const double atn =
+          machine.predict_us(bruck::model::index_bruck_cost(n, n, k, b));
+      t.add(b, choice.radix, choice.metrics.c1, choice.metrics.c2,
+            choice.predicted_us, at2, atn);
+    }
+    t.print(std::cout);
+    const std::int64_t crossover =
+        bruck::model::crossover_block_bytes(n, k, 2, n, machine);
+    if (crossover > 0) {
+      std::cout << "r=2 / r=n break-even at ~" << crossover
+                << "-byte blocks\n";
+    } else {
+      std::cout << "r=2 and r=n never cross on this machine\n";
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "the library's alltoall() applies exactly this selection via "
+               "plan_alltoall()\n";
+  return 0;
+}

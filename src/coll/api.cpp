@@ -1,0 +1,142 @@
+#include "coll/api.hpp"
+
+#include "coll/bcast.hpp"
+#include "coll/concat_bruck.hpp"
+#include "coll/concat_folklore.hpp"
+#include "coll/concat_ring.hpp"
+#include "coll/gather_scatter.hpp"
+#include "coll/index_bruck.hpp"
+#include "coll/index_direct.hpp"
+#include "coll/index_pairwise.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+std::string to_string(IndexAlgorithm a) {
+  switch (a) {
+    case IndexAlgorithm::kBruck: return "bruck";
+    case IndexAlgorithm::kDirect: return "direct";
+    case IndexAlgorithm::kPairwise: return "pairwise";
+    case IndexAlgorithm::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::string to_string(ConcatAlgorithm a) {
+  switch (a) {
+    case ConcatAlgorithm::kBruck: return "bruck";
+    case ConcatAlgorithm::kFolklore: return "folklore";
+    case ConcatAlgorithm::kRing: return "ring";
+    case ConcatAlgorithm::kAuto: return "auto";
+  }
+  return "?";
+}
+
+AlltoallPlan plan_alltoall(std::int64_t n, int k, std::int64_t block_bytes,
+                           const AlltoallOptions& options) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  AlltoallPlan plan;
+  switch (options.algorithm) {
+    case IndexAlgorithm::kDirect:
+      plan.algorithm = IndexAlgorithm::kDirect;
+      plan.radix = std::max<std::int64_t>(2, n);
+      plan.predicted = model::index_direct_cost(n, k, block_bytes);
+      break;
+    case IndexAlgorithm::kPairwise:
+      plan.algorithm = IndexAlgorithm::kPairwise;
+      plan.radix = std::max<std::int64_t>(2, n);
+      plan.predicted = model::index_pairwise_cost(n, k, block_bytes);
+      break;
+    case IndexAlgorithm::kBruck:
+    case IndexAlgorithm::kAuto: {
+      plan.algorithm = IndexAlgorithm::kBruck;
+      if (options.radix != 0) {
+        plan.radix = options.radix;
+        plan.predicted =
+            model::index_bruck_cost(n, plan.radix, k, block_bytes);
+      } else {
+        const model::RadixChoice choice = model::pick_index_radix(
+            n, k, block_bytes, options.machine, options.radix_set);
+        plan.radix = choice.radix;
+        plan.predicted = choice.metrics;
+      }
+      break;
+    }
+  }
+  plan.predicted_us = options.machine.predict_us(plan.predicted);
+  return plan;
+}
+
+int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
+             std::span<std::byte> recv, std::int64_t block_bytes,
+             const AlltoallOptions& options) {
+  const AlltoallPlan plan =
+      plan_alltoall(comm.size(), comm.ports(), block_bytes, options);
+  switch (plan.algorithm) {
+    case IndexAlgorithm::kDirect:
+      return index_direct(comm, send, recv, block_bytes,
+                          IndexDirectOptions{options.start_round});
+    case IndexAlgorithm::kPairwise:
+      return index_pairwise(comm, send, recv, block_bytes,
+                            IndexPairwiseOptions{options.start_round});
+    case IndexAlgorithm::kBruck:
+    case IndexAlgorithm::kAuto:
+      return index_bruck(comm, send, recv, block_bytes,
+                         IndexBruckOptions{plan.radix, options.start_round});
+  }
+  BRUCK_ENSURE_MSG(false, "unreachable");
+  return options.start_round;
+}
+
+int allgather(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, std::int64_t block_bytes,
+              const AllgatherOptions& options) {
+  switch (options.algorithm) {
+    case ConcatAlgorithm::kFolklore:
+      return concat_folklore(comm, send, recv, block_bytes,
+                             ConcatFolkloreOptions{options.start_round});
+    case ConcatAlgorithm::kRing:
+      return concat_ring(comm, send, recv, block_bytes,
+                         ConcatRingOptions{options.start_round});
+    case ConcatAlgorithm::kBruck:
+    case ConcatAlgorithm::kAuto:
+      return concat_bruck(
+          comm, send, recv, block_bytes,
+          ConcatBruckOptions{options.last_round, options.start_round});
+  }
+  BRUCK_ENSURE_MSG(false, "unreachable");
+  return options.start_round;
+}
+
+int broadcast(mps::Communicator& comm, std::int64_t root,
+              std::span<std::byte> data, const BcastApiOptions& options) {
+  switch (options.algorithm) {
+    case BcastAlgorithm::kBinomial:
+      return bcast_binomial(comm, root, data,
+                            BcastOptions{options.start_round});
+    case BcastAlgorithm::kCirculant:
+    case BcastAlgorithm::kAuto:
+      return bcast_circulant(comm, root, data,
+                             BcastOptions{options.start_round});
+  }
+  BRUCK_ENSURE_MSG(false, "unreachable");
+  return options.start_round;
+}
+
+int gather(mps::Communicator& comm, std::int64_t root,
+           std::span<const std::byte> send, std::span<std::byte> recv,
+           std::int64_t block_bytes, const RootedOptions& options) {
+  return gather_binomial(comm, root, send, recv, block_bytes,
+                         GatherScatterOptions{options.start_round});
+}
+
+int scatter(mps::Communicator& comm, std::int64_t root,
+            std::span<const std::byte> send, std::span<std::byte> recv,
+            std::int64_t block_bytes, const RootedOptions& options) {
+  return scatter_binomial(comm, root, send, recv, block_bytes,
+                          GatherScatterOptions{options.start_round});
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,109 @@
+// The CCL-style entry points: one call per collective with algorithm and
+// radix selection, including model-driven auto-tuning (the paper's central
+// practical point — Section 3.3/3.5: pick r from β, τ, b, n, k).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "model/costs.hpp"
+#include "model/linear_model.hpp"
+#include "model/tuner.hpp"
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+enum class IndexAlgorithm {
+  kBruck,     ///< Section 3 algorithm with the options' radix
+  kDirect,    ///< direct exchange (C2-optimal end)
+  kPairwise,  ///< XOR pairwise exchange (power-of-two n only)
+  kAuto,      ///< Bruck with the model-tuned radix
+};
+
+enum class ConcatAlgorithm {
+  kBruck,     ///< Section 4 circulant algorithm
+  kFolklore,  ///< binomial gather + broadcast baseline
+  kRing,      ///< ring allgather baseline
+  kAuto,      ///< Bruck (optimal in both measures for most n)
+};
+
+[[nodiscard]] std::string to_string(IndexAlgorithm a);
+[[nodiscard]] std::string to_string(ConcatAlgorithm a);
+
+struct AlltoallOptions {
+  IndexAlgorithm algorithm = IndexAlgorithm::kAuto;
+  /// Radix for kBruck; 0 means "tune under `machine`".
+  std::int64_t radix = 0;
+  /// Machine profile used by radix tuning.
+  model::LinearModel machine = model::ibm_sp1();
+  /// Candidate set for tuning (the paper's SP-1 library tunes over
+  /// powers of two; kAll finds the true model optimum).
+  model::RadixSet radix_set = model::RadixSet::kAll;
+  int start_round = 0;
+};
+
+struct AllgatherOptions {
+  ConcatAlgorithm algorithm = ConcatAlgorithm::kAuto;
+  model::ConcatLastRound last_round = model::ConcatLastRound::kAuto;
+  int start_round = 0;
+};
+
+/// The decision kAuto (or radix = 0) would make, without running anything.
+struct AlltoallPlan {
+  IndexAlgorithm algorithm = IndexAlgorithm::kBruck;
+  std::int64_t radix = 2;
+  model::CostMetrics predicted;
+  double predicted_us = 0.0;
+};
+
+[[nodiscard]] AlltoallPlan plan_alltoall(std::int64_t n, int k,
+                                         std::int64_t block_bytes,
+                                         const AlltoallOptions& options = {});
+
+/// Index operation (MPI_Alltoall).  `send`: n blocks of block_bytes, block j
+/// destined for rank j.  `recv`: n blocks, block i from rank i.
+/// Returns the next free round index.
+int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
+             std::span<std::byte> recv, std::int64_t block_bytes,
+             const AlltoallOptions& options = {});
+
+/// Concatenation operation (MPI_Allgather).  `send`: this rank's block.
+/// `recv`: n blocks in rank order.  Returns the next free round index.
+int allgather(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, std::int64_t block_bytes,
+              const AllgatherOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// The one-to-all / all-to-one primitives of the paper's introduction.
+
+enum class BcastAlgorithm {
+  kCirculant,  ///< k-port Section 4.1 tree; C1 = ⌈log_{k+1} n⌉ (optimal)
+  kBinomial,   ///< classic one-port binomial tree
+  kAuto,       ///< circulant (it degrades to binomial at k = 1 round-wise)
+};
+
+struct BcastApiOptions {
+  BcastAlgorithm algorithm = BcastAlgorithm::kAuto;
+  int start_round = 0;
+};
+
+/// One-to-all broadcast of `data` from `root` (in-place on non-roots).
+int broadcast(mps::Communicator& comm, std::int64_t root,
+              std::span<std::byte> data, const BcastApiOptions& options = {});
+
+struct RootedOptions {
+  int start_round = 0;
+};
+
+/// All-to-one gather: root's `recv` gets the n blocks in rank order.
+int gather(mps::Communicator& comm, std::int64_t root,
+           std::span<const std::byte> send, std::span<std::byte> recv,
+           std::int64_t block_bytes, const RootedOptions& options = {});
+
+/// One-to-all scatter: each rank's `recv` gets its block of root's `send`.
+int scatter(mps::Communicator& comm, std::int64_t root,
+            std::span<const std::byte> send, std::span<std::byte> recv,
+            std::int64_t block_bytes, const RootedOptions& options = {});
+
+}  // namespace bruck::coll

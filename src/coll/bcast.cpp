@@ -1,0 +1,101 @@
+#include "coll/bcast.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+namespace {
+
+/// Round in which relative node v joins the circulant tree: the position of
+/// v's most significant nonzero digit in base k+1 for v < n1, or the final
+/// round d−1 for the partial-layer nodes v ≥ n1.
+int circulant_join_round(std::int64_t v, int k, std::int64_t n1, int d) {
+  if (v == 0) return -1;  // root has the data from the start
+  if (v >= n1) return d - 1;
+  return floor_log(v, k + 1);
+}
+
+}  // namespace
+
+int bcast_circulant(mps::Communicator& comm, std::int64_t root,
+                    std::span<std::byte> data, const BcastOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  int round = options.start_round;
+  if (n == 1 || data.empty()) return round;
+
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+  const std::int64_t v = pos_mod(comm.rank() - root, n);
+  const int joined = circulant_join_round(v, k, n1, d);
+
+  for (int i = 0; i < d; ++i, ++round) {
+    std::vector<mps::SendSpec> sends;
+    std::vector<mps::RecvSpec> recvs;
+    if (joined == i) {
+      // Receive from my parent.
+      std::int64_t parent_v;
+      if (v >= n1) {
+        parent_v = pos_mod(v - n1, n1);  // final layer: parent = c mod n1
+      } else {
+        parent_v = v % ipow(k + 1, i);  // strip my leading digit
+      }
+      recvs.push_back(
+          mps::RecvSpec{pos_mod(root + parent_v, n), data});
+    } else if (joined < i) {
+      if (i < d - 1) {
+        // Growth round: nodes v < (k+1)^i add children v + j·(k+1)^i, all
+        // of which lie below (k+1)^{i+1} ≤ n1.
+        const std::int64_t base = ipow(k + 1, i);
+        if (v < base) {
+          for (int j = 1; j <= k; ++j) {
+            sends.push_back(
+                mps::SendSpec{pos_mod(root + v + j * base, n), data});
+          }
+        }
+      } else {
+        // Final round: the remaining n2 nodes n1 + c hang off parent
+        // c mod n1 — at most ⌈n2/n1⌉ ≤ k children per parent.
+        if (v < n1) {
+          for (std::int64_t c = v; c < n2; c += n1) {
+            sends.push_back(
+                mps::SendSpec{pos_mod(root + n1 + c, n), data});
+          }
+        }
+      }
+    }
+    if (!sends.empty() || !recvs.empty()) {
+      comm.exchange(round, sends, recvs);
+    }
+  }
+  return round;
+}
+
+int bcast_binomial(mps::Communicator& comm, std::int64_t root,
+                   std::span<std::byte> data, const BcastOptions& options) {
+  const std::int64_t n = comm.size();
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  int round = options.start_round;
+  if (n == 1 || data.empty()) return round;
+
+  const int d = ceil_log(n, 2);
+  const std::int64_t v = pos_mod(comm.rank() - root, n);
+  for (int j = 0; j < d; ++j, ++round) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    if (pos_mod(v, 2 * stride) == 0 && v + stride < n) {
+      const mps::SendSpec s{pos_mod(root + v + stride, n), data};
+      comm.exchange(round, {&s, 1}, {});
+    } else if (pos_mod(v, 2 * stride) == stride) {
+      const mps::RecvSpec r{pos_mod(root + v - stride, n), data};
+      comm.exchange(round, {}, {&r, 1});
+    }
+  }
+  return round;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,40 @@
+// One-to-all broadcast — the first collective the paper's introduction
+// lists, and the primitive whose spanning-tree growth argument drives the
+// Proposition 2.1 lower bound (data can reach at most (k+1)^d processors in
+// d rounds).
+//
+// Two algorithms:
+//  * bcast_circulant — the k-port tree of Section 4.1: growth rounds add
+//    children at offsets j·(k+1)^i; a final partial round covers the
+//    remaining n2 = n − (k+1)^{d−1} nodes (child n1+c hangs off parent
+//    c mod n1, at most ⌈n2/n1⌉ ≤ k per parent).  C1 = ⌈log_{k+1} n⌉ —
+//    meeting Proposition 2.1's bound with equality for every n and k.
+//  * bcast_binomial — the classic one-port binomial tree (the broadcast
+//    phase of the folklore concatenation), for comparison.
+//
+// Both forward the whole payload on every edge: C2 = b·C1 under the
+// Σ-max-message measure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct BcastOptions {
+  int start_round = 0;
+};
+
+/// k-port circulant-tree broadcast of `data` from `root`.  On the root,
+/// `data` is the payload; on every other rank it is the landing buffer
+/// (same size everywhere).  Returns the next free round index.
+int bcast_circulant(mps::Communicator& comm, std::int64_t root,
+                    std::span<std::byte> data, const BcastOptions& options = {});
+
+/// One-port binomial-tree broadcast; same contract.
+int bcast_binomial(mps::Communicator& comm, std::int64_t root,
+                   std::span<std::byte> data, const BcastOptions& options = {});
+
+}  // namespace bruck::coll

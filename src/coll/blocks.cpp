@@ -1,0 +1,96 @@
+#include "coll/blocks.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+BlockSpan::BlockSpan(std::span<std::byte> bytes, std::int64_t count,
+                     std::int64_t block_bytes)
+    : bytes_(bytes), count_(count), block_bytes_(block_bytes) {
+  BRUCK_REQUIRE(count >= 0);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(bytes.size()) == count * block_bytes,
+      "buffer size must be exactly count * block_bytes");
+}
+
+std::span<std::byte> BlockSpan::block(std::int64_t i) const {
+  BRUCK_REQUIRE(i >= 0 && i < count_);
+  return bytes_.subspan(static_cast<std::size_t>(i * block_bytes_),
+                        static_cast<std::size_t>(block_bytes_));
+}
+
+std::span<std::byte> BlockSpan::blocks(std::int64_t first,
+                                       std::int64_t n) const {
+  BRUCK_REQUIRE(first >= 0 && n >= 0 && first + n <= count_);
+  return bytes_.subspan(static_cast<std::size_t>(first * block_bytes_),
+                        static_cast<std::size_t>(n * block_bytes_));
+}
+
+ConstBlockSpan::ConstBlockSpan(std::span<const std::byte> bytes,
+                               std::int64_t count, std::int64_t block_bytes)
+    : bytes_(bytes), count_(count), block_bytes_(block_bytes) {
+  BRUCK_REQUIRE(count >= 0);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(bytes.size()) == count * block_bytes,
+      "buffer size must be exactly count * block_bytes");
+}
+
+std::span<const std::byte> ConstBlockSpan::block(std::int64_t i) const {
+  BRUCK_REQUIRE(i >= 0 && i < count_);
+  return bytes_.subspan(static_cast<std::size_t>(i * block_bytes_),
+                        static_cast<std::size_t>(block_bytes_));
+}
+
+namespace {
+
+void copy_block(std::span<const std::byte> from, std::span<std::byte> to) {
+  BRUCK_REQUIRE(from.size() == to.size());
+  if (!from.empty()) std::memcpy(to.data(), from.data(), from.size());
+}
+
+}  // namespace
+
+void rotate_blocks_up(ConstBlockSpan src, BlockSpan dst, std::int64_t steps) {
+  const std::int64_t n = src.count();
+  BRUCK_REQUIRE(dst.count() == n);
+  BRUCK_REQUIRE(dst.block_bytes() == src.block_bytes());
+  if (n == 0 || src.block_bytes() == 0) return;
+  // Appendix A lines 3–4 realize this rotation as exactly two bulk copies;
+  // do the same (it is the whole local cost of Phase 1).
+  const std::int64_t s = pos_mod(steps, n);
+  const std::int64_t b = src.block_bytes();
+  std::memcpy(dst.bytes().data(), src.bytes().data() + s * b,
+              static_cast<std::size_t>((n - s) * b));
+  if (s > 0) {
+    std::memcpy(dst.bytes().data() + (n - s) * b, src.bytes().data(),
+                static_cast<std::size_t>(s * b));
+  }
+}
+
+void unrotate_by_rank(ConstBlockSpan src, BlockSpan dst, std::int64_t rank) {
+  const std::int64_t n = src.count();
+  BRUCK_REQUIRE(dst.count() == n);
+  BRUCK_REQUIRE(dst.block_bytes() == src.block_bytes());
+  BRUCK_REQUIRE(rank >= 0 && rank < n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    copy_block(src.block(pos_mod(rank - i, n)), dst.block(i));
+  }
+}
+
+void rotate_window_to_origin(ConstBlockSpan src, BlockSpan dst,
+                             std::int64_t rank) {
+  const std::int64_t n = src.count();
+  BRUCK_REQUIRE(dst.count() == n);
+  BRUCK_REQUIRE(dst.block_bytes() == src.block_bytes());
+  BRUCK_REQUIRE(rank >= 0 && rank < n);
+  for (std::int64_t t = 0; t < n; ++t) {
+    copy_block(src.block(t), dst.block(pos_mod(rank + t, n)));
+  }
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,65 @@
+// Block-granular views over byte buffers, and the local data rearrangements
+// of the index algorithm (Phases 1 and 3 of Section 3.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bruck::coll {
+
+/// A span of `count` equally sized blocks living contiguously in memory.
+/// Width-zero blocks are legal (the collectives accept b = 0 and degenerate
+/// to pure bookkeeping).
+class BlockSpan {
+ public:
+  BlockSpan(std::span<std::byte> bytes, std::int64_t count,
+            std::int64_t block_bytes);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] std::span<std::byte> block(std::int64_t i) const;
+  [[nodiscard]] std::span<std::byte> blocks(std::int64_t first,
+                                            std::int64_t n) const;
+  [[nodiscard]] std::span<std::byte> bytes() const { return bytes_; }
+
+ private:
+  std::span<std::byte> bytes_;
+  std::int64_t count_;
+  std::int64_t block_bytes_;
+};
+
+/// Read-only counterpart of BlockSpan.
+class ConstBlockSpan {
+ public:
+  ConstBlockSpan(std::span<const std::byte> bytes, std::int64_t count,
+                 std::int64_t block_bytes);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] std::span<const std::byte> block(std::int64_t i) const;
+  [[nodiscard]] std::span<const std::byte> bytes() const { return bytes_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::int64_t count_;
+  std::int64_t block_bytes_;
+};
+
+/// Phase 1 of the index algorithm: dst block x := src block (x + steps) mod n
+/// — a cyclic rotation of the n blocks `steps` positions upwards.
+/// src and dst must not alias.
+void rotate_blocks_up(ConstBlockSpan src, BlockSpan dst, std::int64_t steps);
+
+/// Phase 3 of the index algorithm (Appendix A lines 21–23):
+/// dst block i := src block (rank − i) mod n.  This simultaneously undoes the
+/// Phase-1 rotation and re-indexes blocks by source rank.  No aliasing.
+void unrotate_by_rank(ConstBlockSpan src, BlockSpan dst, std::int64_t rank);
+
+/// Final step of the concatenation (Appendix B lines 17–18): the window
+/// buffer starts with B[rank]; dst block (rank + t) mod n := src block t.
+/// No aliasing.
+void rotate_window_to_origin(ConstBlockSpan src, BlockSpan dst,
+                             std::int64_t rank);
+
+}  // namespace bruck::coll

@@ -1,0 +1,177 @@
+#include "coll/concat_bruck.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "coll/blocks.hpp"
+#include "topo/partition.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+namespace {
+
+/// Ship one partition (one communication round) of the last phase: every
+/// area rides its own port with offset n1 + L_m.  `window` is the rank's
+/// n-block window buffer (slot t = B[rank + t]); slots [0, n1) are filled,
+/// the areas fill slots [n1, n1 + n2).
+void exchange_partition(mps::Communicator& comm, int round,
+                        std::span<std::byte> window, std::int64_t block_bytes,
+                        std::int64_t n1, const topo::TablePartition& part) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  const std::size_t areas = part.areas.size();
+  std::vector<std::vector<std::byte>> out(areas);
+  std::vector<std::vector<std::byte>> in(areas);
+  std::vector<mps::SendSpec> sends;
+  std::vector<mps::RecvSpec> recvs;
+  for (std::size_t m = 0; m < areas; ++m) {
+    const topo::Area& area = part.areas[m];
+    const std::int64_t offset = n1 + area.left_col();
+    // Gather the area's bytes from this rank's window in cell order.
+    out[m].reserve(static_cast<std::size_t>(area.size()));
+    for (const topo::AreaCell& cell : area.cells) {
+      const std::int64_t slot = cell.col - area.left_col();
+      BRUCK_ENSURE_MSG(slot >= 0 && slot < n1,
+                       "area references a block outside the sender's window "
+                       "(span constraint violated)");
+      const std::byte* base = window.data() + slot * b;
+      out[m].insert(out[m].end(), base + cell.row_begin, base + cell.row_end);
+    }
+    in[m].resize(out[m].size());
+    sends.push_back(mps::SendSpec{pos_mod(rank - offset, n), out[m]});
+    recvs.push_back(mps::RecvSpec{pos_mod(rank + offset, n), in[m]});
+  }
+  comm.exchange(round, sends, recvs);
+  // Scatter: the message from rank + offset carries, per cell, the bytes of
+  // B[rank + n1 + c]; they land in window slot n1 + c.
+  for (std::size_t m = 0; m < areas; ++m) {
+    const topo::Area& area = part.areas[m];
+    std::size_t pos = 0;
+    for (const topo::AreaCell& cell : area.cells) {
+      std::byte* base = window.data() + (n1 + cell.col) * b;
+      const std::size_t len = static_cast<std::size_t>(cell.size());
+      std::memcpy(base + cell.row_begin, in[m].data() + pos, len);
+      pos += len;
+    }
+    BRUCK_ENSURE(pos == in[m].size());
+  }
+}
+
+}  // namespace
+
+int concat_bruck(mps::Communicator& comm, std::span<const std::byte> send,
+                 std::span<std::byte> recv, std::int64_t block_bytes,
+                 const ConcatBruckOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const int k = comm.ports();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  int round = options.start_round;
+  if (n == 1) {
+    if (b > 0) std::memcpy(recv.data(), send.data(), send.size());
+    return round;
+  }
+  if (b == 0) return round;  // nothing to move; pattern is vacuous
+
+  model::ConcatLastRound strategy = options.strategy;
+  if (strategy == model::ConcatLastRound::kAuto) {
+    strategy = model::concat_byte_split_feasible(n, k, b)
+                   ? model::ConcatLastRound::kByteSplit
+                   : model::ConcatLastRound::kColumnGranular;
+  }
+
+  // Window buffer: slot t holds B[rank + t mod n] once filled.
+  std::vector<std::byte> window(static_cast<std::size_t>(n * b));
+  std::memcpy(window.data(), send.data(), static_cast<std::size_t>(b));
+
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+
+  // Full rounds: window of cur blocks goes to the k nodes at −j·cur.
+  std::int64_t cur = 1;
+  for (int i = 0; i + 1 < d; ++i) {
+    std::vector<mps::SendSpec> sends;
+    std::vector<mps::RecvSpec> recvs;
+    const std::span<const std::byte> out(window.data(),
+                                         static_cast<std::size_t>(cur * b));
+    for (int j = 1; j <= k; ++j) {
+      sends.push_back(mps::SendSpec{pos_mod(rank - j * cur, n), out});
+      recvs.push_back(mps::RecvSpec{
+          pos_mod(rank + j * cur, n),
+          std::span<std::byte>(window.data() + j * cur * b,
+                               static_cast<std::size_t>(cur * b))});
+    }
+    comm.exchange(round++, sends, recvs);
+    cur *= (k + 1);
+  }
+  BRUCK_ENSURE(cur == n1);
+
+  if (n2 > 0) {
+    switch (strategy) {
+      case model::ConcatLastRound::kByteSplit: {
+        const topo::TablePartition part =
+            topo::byte_split_partition(n1, n2, b, k);
+        BRUCK_REQUIRE_MSG(
+            part.feasible(),
+            "byte-split partition infeasible for this (n, k, b); use "
+            "kColumnGranular, kTwoRound or kAuto");
+        exchange_partition(comm, round++, window, b, n1, part);
+        break;
+      }
+      case model::ConcatLastRound::kColumnGranular: {
+        const topo::TablePartition part =
+            topo::column_granular_partition(n1, n2, b, k);
+        // The Remark's relaxed guarantee: spans within n1, sizes within
+        // α + (b−1).
+        BRUCK_ENSURE(part.max_span() <= n1);
+        BRUCK_ENSURE(part.max_size() <= part.alpha() + b - 1);
+        exchange_partition(comm, round++, window, b, n1, part);
+        break;
+      }
+      case model::ConcatLastRound::kTwoRound: {
+        if (n2 <= k) {
+          // One whole column per port: a single round suffices.
+          const topo::TablePartition part =
+              topo::column_granular_partition(n1, n2, b, k);
+          BRUCK_ENSURE(part.max_span() <= n1);
+          BRUCK_ENSURE(part.max_size() <= b);
+          exchange_partition(comm, round++, window, b, n1, part);
+        } else {
+          // Round A: byte-split over columns [0, n2−k) — always feasible
+          // because its α ≤ b(n1−1) keeps every span within n1.
+          const topo::TablePartition part_a =
+              topo::byte_split_partition(n1, n2 - k, b, k);
+          BRUCK_ENSURE_MSG(part_a.feasible(),
+                           "two-round round A must always be feasible");
+          exchange_partition(comm, round++, window, b, n1, part_a);
+          // Round B: the remaining k whole columns, one per port.  Build a
+          // single-column area per remaining column, shifted to the tail.
+          topo::TablePartition part_b{n1, n2, b, k, {}};
+          for (std::int64_t c = n2 - k; c < n2; ++c) {
+            topo::Area area;
+            area.cells.push_back(topo::AreaCell{c, 0, b});
+            part_b.areas.push_back(std::move(area));
+          }
+          exchange_partition(comm, round++, window, b, n1, part_b);
+        }
+        break;
+      }
+      case model::ConcatLastRound::kAuto:
+        BRUCK_ENSURE_MSG(false, "kAuto resolved above");
+    }
+  }
+
+  rotate_window_to_origin(ConstBlockSpan(window, n, b), BlockSpan(recv, n, b),
+                          rank);
+  return round;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,47 @@
+// The concatenation operation (all-to-all broadcast / MPI_Allgather) —
+// Section 4 of the paper.
+//
+// The algorithm runs on the circulant graph G(n, S) with
+// S_i = {(k+1)^i·j : 1 ≤ j ≤ k}.  Writing d = ⌈log_{k+1} n⌉,
+// n1 = (k+1)^{d−1} and n2 = n − n1:
+//
+//   Rounds 0 … d−2 ("full rounds", Section 4.1): each node sends its whole
+//   current window of cur = (k+1)^i consecutive blocks to the k nodes at
+//   offsets −j·cur, and receives the k windows that extend its own, growing
+//   the window by a factor of k+1 per round.  Following Appendix B, the
+//   implementation uses negative offsets (node u sends to u − s), so after
+//   round i node u holds B[u], B[u+1], …, B[u + (k+1)^{i+1} − 1] (mod n).
+//
+//   Last round (Section 4.2): the remaining n2 blocks are scheduled by a
+//   table partition (topo/partition.hpp).  Area A_m with leftmost column
+//   L_m ships on its own port with offset s_m = n1 + L_m: node u sends to
+//   u − s_m, for every cell (column c, byte rows [r0, r1)), the bytes
+//   [r0, r1) of its window block c − L_m; the receiver scatters them into
+//   window slot n1 + c.  The strategy enum picks between the paper's
+//   byte-split partition (optimal C1 and C2 where feasible) and the two
+//   fallbacks of the paper's Remark.
+//
+// Measures match model::concat_bruck_cost exactly; tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/costs.hpp"
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct ConcatBruckOptions {
+  model::ConcatLastRound strategy = model::ConcatLastRound::kAuto;
+  int start_round = 0;
+};
+
+/// Run the concatenation.  `send` is this rank's single block (block_bytes
+/// bytes); `recv` receives the n blocks in rank order.  Buffers must not
+/// alias.  Returns the next free round index.
+int concat_bruck(mps::Communicator& comm, std::span<const std::byte> send,
+                 std::span<std::byte> recv, std::int64_t block_bytes,
+                 const ConcatBruckOptions& options = {});
+
+}  // namespace bruck::coll

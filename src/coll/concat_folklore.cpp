@@ -1,0 +1,78 @@
+#include "coll/concat_folklore.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "topo/binomial.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+int concat_folklore(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, std::int64_t block_bytes,
+                    const ConcatFolkloreOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  int round = options.start_round;
+  if (n == 1) {
+    if (b > 0) std::memcpy(recv.data(), send.data(), send.size());
+    return round;
+  }
+  const int d = ceil_log(n, 2);
+  if (b == 0) return round;
+
+  // Gather phase.  Rank r accumulates the contiguous segment [r, r + seg)
+  // in `staging` (position t ↔ block r + t, no wraparound: the tree is over
+  // linear indices).
+  std::vector<std::byte> staging(static_cast<std::size_t>(n * b));
+  std::memcpy(staging.data(), send.data(), static_cast<std::size_t>(b));
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    if (pos_mod(rank, 2 * stride) == stride) {
+      // Sender: forward everything accumulated so far, then go idle until
+      // the broadcast phase reaches us.
+      const std::int64_t seg = topo::binomial_gather_segment(n, rank, i);
+      const mps::SendSpec s{
+          rank - stride,
+          std::span<const std::byte>(staging.data(),
+                                     static_cast<std::size_t>(seg * b))};
+      comm.exchange(options.start_round + i, {&s, 1}, {});
+    } else if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+      const std::int64_t seg =
+          topo::binomial_gather_segment(n, rank + stride, i);
+      const mps::RecvSpec r{
+          rank + stride,
+          std::span<std::byte>(staging.data() + stride * b,
+                               static_cast<std::size_t>(seg * b))};
+      comm.exchange(options.start_round + i, {}, {&r, 1});
+    }
+  }
+  round = options.start_round + d;
+
+  // Broadcast phase: rank 0 has the full result; push it down the reversed
+  // tree.  Every rank ends with the concatenation in `recv`.
+  if (rank == 0) {
+    std::memcpy(recv.data(), staging.data(), recv.size());
+  }
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+      const mps::SendSpec s{rank + stride,
+                            std::span<const std::byte>(recv.data(), recv.size())};
+      comm.exchange(round + j, {&s, 1}, {});
+    } else if (pos_mod(rank, 2 * stride) == stride) {
+      const mps::RecvSpec r{rank - stride,
+                            std::span<std::byte>(recv.data(), recv.size())};
+      comm.exchange(round + j, {}, {&r, 1});
+    }
+  }
+  return round + d;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,24 @@
+// The folklore concatenation baseline of the Section 4 introduction: gather
+// the n blocks to rank 0 along a binomial tree, then broadcast the
+// concatenated result back down the same tree.  Suboptimal in both measures
+// (C1 = 2⌈log2 n⌉ rounds; the broadcast phase moves the full b·n result on
+// every round-max, see EXPERIMENTS.md).  One port is used regardless of k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct ConcatFolkloreOptions {
+  int start_round = 0;
+};
+
+/// Same buffer contract as concat_bruck.  Returns the next free round index.
+int concat_folklore(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, std::int64_t block_bytes,
+                    const ConcatFolkloreOptions& options = {});
+
+}  // namespace bruck::coll

@@ -1,0 +1,44 @@
+#include "coll/concat_ring.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+int concat_ring(mps::Communicator& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, std::int64_t block_bytes,
+                const ConcatRingOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  int round = options.start_round;
+  if (b > 0) {
+    std::memcpy(recv.data() + rank * b, send.data(),
+                static_cast<std::size_t>(b));
+  }
+  if (n == 1 || b == 0) return round;
+
+  const std::int64_t succ = pos_mod(rank + 1, n);
+  const std::int64_t pred = pos_mod(rank - 1, n);
+  for (std::int64_t t = 0; t < n - 1; ++t) {
+    const std::int64_t out_block = pos_mod(rank - t, n);
+    const std::int64_t in_block = pos_mod(rank - t - 1, n);
+    comm.send_and_recv(round++,
+                       std::span<const std::byte>(
+                           recv.data() + out_block * b,
+                           static_cast<std::size_t>(b)),
+                       succ,
+                       std::span<std::byte>(recv.data() + in_block * b,
+                                            static_cast<std::size_t>(b)),
+                       pred);
+  }
+  return round;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,24 @@
+// Ring-allgather concatenation baseline: in round t every rank forwards the
+// block it received in round t−1 to its successor.  C2-optimal at k = 1
+// (b(n−1) bytes per port) with the worst possible C1 = n−1 — the opposite
+// end of the spectrum from the folklore baseline, bracketing the paper's
+// algorithm from both sides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct ConcatRingOptions {
+  int start_round = 0;
+};
+
+/// Same buffer contract as concat_bruck.  Returns the next free round index.
+int concat_ring(mps::Communicator& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, std::int64_t block_bytes,
+                const ConcatRingOptions& options = {});
+
+}  // namespace bruck::coll

@@ -1,0 +1,120 @@
+#include "coll/gather_scatter.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "coll/blocks.hpp"
+#include "topo/binomial.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+int gather_binomial(mps::Communicator& comm, std::int64_t root,
+                    std::span<const std::byte> send, std::span<std::byte> recv,
+                    std::int64_t block_bytes,
+                    const GatherScatterOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  int round = options.start_round;
+  if (n == 1) {
+    if (b > 0) std::memcpy(recv.data(), send.data(), send.size());
+    return round;
+  }
+  if (b == 0) return round;
+
+  // Work in relative ranks v = (rank − root) mod n; the staging buffer
+  // accumulates the contiguous relative segment [v, v + have).
+  const std::int64_t v = pos_mod(comm.rank() - root, n);
+  const int d = ceil_log(n, 2);
+  std::vector<std::byte> staging(static_cast<std::size_t>(n * b));
+  std::memcpy(staging.data(), send.data(), static_cast<std::size_t>(b));
+  for (int i = 0; i < d; ++i, ++round) {
+    const std::int64_t stride = ipow(2, i);
+    if (pos_mod(v, 2 * stride) == stride) {
+      const std::int64_t seg = topo::binomial_gather_segment(n, v, i);
+      const mps::SendSpec s{
+          pos_mod(root + v - stride, n),
+          std::span<const std::byte>(staging.data(),
+                                     static_cast<std::size_t>(seg * b))};
+      comm.exchange(round, {&s, 1}, {});
+    } else if (pos_mod(v, 2 * stride) == 0 && v + stride < n) {
+      const std::int64_t seg =
+          topo::binomial_gather_segment(n, v + stride, i);
+      const mps::RecvSpec r{
+          pos_mod(root + v + stride, n),
+          std::span<std::byte>(staging.data() + stride * b,
+                               static_cast<std::size_t>(seg * b))};
+      comm.exchange(round, {}, {&r, 1});
+    }
+  }
+  if (v == 0) {
+    // The root's staging is blocks [root, root+n) mod n; rotate into rank
+    // order.
+    rotate_window_to_origin(ConstBlockSpan(staging, n, b),
+                            BlockSpan(recv, n, b), root);
+  }
+  return round;
+}
+
+int scatter_binomial(mps::Communicator& comm, std::int64_t root,
+                     std::span<const std::byte> send, std::span<std::byte> recv,
+                     std::int64_t block_bytes,
+                     const GatherScatterOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n * b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == b);
+
+  int round = options.start_round;
+  if (n == 1) {
+    if (b > 0) std::memcpy(recv.data(), send.data(), static_cast<std::size_t>(b));
+    return round;
+  }
+  if (b == 0) return round;
+
+  const std::int64_t v = pos_mod(comm.rank() - root, n);
+  const int d = ceil_log(n, 2);
+  // Staging holds the relative segment this rank is responsible for
+  // distributing: [v, v + len) where len shrinks as rounds proceed.
+  std::vector<std::byte> staging(static_cast<std::size_t>(n * b));
+  if (v == 0) {
+    // Root reorders rank-order blocks into relative order: staging slot t
+    // is the block of rank (root + t) mod n.
+    rotate_blocks_up(ConstBlockSpan(send, n, b), BlockSpan(staging, n, b),
+                     root);
+  }
+  // Reverse the gather: in round j (stride halving), a holder of segment
+  // [v, v + len) ships its upper half [v + stride, v + len) to v + stride.
+  for (int j = 0; j < d; ++j, ++round) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    const std::int64_t len =
+        std::min<std::int64_t>(2 * stride, n - v);  // my current segment
+    if (pos_mod(v, 2 * stride) == 0 && v + stride < n) {
+      const std::int64_t upper = len - stride;
+      const mps::SendSpec s{
+          pos_mod(root + v + stride, n),
+          std::span<const std::byte>(staging.data() + stride * b,
+                                     static_cast<std::size_t>(upper * b))};
+      comm.exchange(round, {&s, 1}, {});
+    } else if (pos_mod(v, 2 * stride) == stride) {
+      const std::int64_t mine = std::min<std::int64_t>(stride, n - v);
+      const mps::RecvSpec r{
+          pos_mod(root + v - stride, n),
+          std::span<std::byte>(staging.data(),
+                               static_cast<std::size_t>(mine * b))};
+      comm.exchange(round, {}, {&r, 1});
+    }
+  }
+  std::memcpy(recv.data(), staging.data(), static_cast<std::size_t>(b));
+  return round;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,36 @@
+// Gather and scatter — the remaining one-to-all/all-to-one primitives the
+// paper's introduction enumerates.  Both run over the truncated binomial
+// tree rooted at `root` (translated by relative rank), one port, in
+// ⌈log2 n⌉ rounds with b(n−1)-ish volume on the root's port — the same
+// machinery the folklore concatenation baseline is assembled from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct GatherScatterOptions {
+  int start_round = 0;
+};
+
+/// Gather: every rank contributes `send` (block_bytes bytes); afterwards,
+/// `recv` on the ROOT holds the n blocks in rank order (recv is ignored on
+/// other ranks but must still be n·block_bytes long — uniform SPMD buffers
+/// keep the call sites simple).  Returns the next free round index.
+int gather_binomial(mps::Communicator& comm, std::int64_t root,
+                    std::span<const std::byte> send, std::span<std::byte> recv,
+                    std::int64_t block_bytes,
+                    const GatherScatterOptions& options = {});
+
+/// Scatter: the ROOT's `send` holds n blocks in rank order; afterwards
+/// every rank's `recv` holds its own block.  `send` is ignored on non-root
+/// ranks.  Returns the next free round index.
+int scatter_binomial(mps::Communicator& comm, std::int64_t root,
+                     std::span<const std::byte> send, std::span<std::byte> recv,
+                     std::int64_t block_bytes,
+                     const GatherScatterOptions& options = {});
+
+}  // namespace bruck::coll

@@ -1,0 +1,48 @@
+// The index operation (all-to-all personalized communication /
+// MPI_Alltoall) — the class of algorithms of Section 3 of the paper.
+//
+// Among n processors, processor i starts with n blocks B[i,0..n) of b bytes
+// and ends with blocks B[0..n, i].  The algorithm is parameterized by a
+// radix r ∈ [2, n]:
+//
+//   Phase 1 (local):  rotate the n blocks i positions upwards, so the block
+//                     destined for rank (i + s) mod n sits in slot s.
+//   Phase 2 (comm):   w = ⌈log_r n⌉ subphases, one per radix-r digit of the
+//                     remaining rotation distance.  In subphase x, step z
+//                     sends every block whose digit x equals z a distance of
+//                     z·r^x: all such blocks are packed into one message to
+//                     rank (i + z·r^x) mod n.  With k ports, up to k steps
+//                     of a subphase run in one round (Section 3.4).
+//   Phase 3 (local):  re-index slot s (which traveled distance s from rank
+//                     (i − s) mod n) into output block (i − s) mod n.
+//
+// Measures: C1 = Σ_x ⌈(h_x−1)/k⌉ ≤ ⌈(r−1)/k⌉·⌈log_r n⌉ rounds and
+// C2 ≤ (b/k')·… — exactly the values computed by model::index_bruck_cost,
+// which tests assert against the executed trace of this implementation.
+//
+// r = 2 gives the C1-optimal special case (⌈log2 n⌉ rounds at k = 1);
+// r = n gives the C2-optimal special case (b(n−1) bytes, n−1 rounds).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct IndexBruckOptions {
+  /// Radix r ∈ [2, max(2, n)].
+  std::int64_t radix = 2;
+  /// First global round index to use (for composing collectives).
+  int start_round = 0;
+};
+
+/// Run the index operation.  `send` holds n blocks of block_bytes (block j
+/// destined for rank j); `recv` receives n blocks (block i originating at
+/// rank i).  Buffers must not alias.  Returns the next free round index.
+int index_bruck(mps::Communicator& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, std::int64_t block_bytes,
+                const IndexBruckOptions& options = {});
+
+}  // namespace bruck::coll

@@ -1,0 +1,26 @@
+// Direct-exchange index baseline: every block travels straight from source
+// to destination, one peer per step, k peers per round.  This is the
+// C2-optimal extreme of the trade-off (Theorem 2.6's regime): it transfers
+// exactly b(n−1) bytes per rank — no forwarding — at the price of
+// C1 = ⌈(n−1)/k⌉ rounds.  Equivalent in measures to index_bruck with r = n,
+// but implemented independently (no rotation phases, no packing) so it can
+// serve as a true baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct IndexDirectOptions {
+  int start_round = 0;
+};
+
+/// Same buffer contract as index_bruck.  Returns the next free round index.
+int index_direct(mps::Communicator& comm, std::span<const std::byte> send,
+                 std::span<std::byte> recv, std::int64_t block_bytes,
+                 const IndexDirectOptions& options = {});
+
+}  // namespace bruck::coll

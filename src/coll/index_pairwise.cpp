@@ -1,0 +1,51 @@
+#include "coll/index_pairwise.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+int index_pairwise(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, std::int64_t block_bytes,
+                   const IndexPairwiseOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const int k = comm.ports();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n * b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  if (b > 0) {
+    std::memcpy(recv.data() + rank * b, send.data() + rank * b,
+                static_cast<std::size_t>(b));
+  }
+  int round = options.start_round;
+  if (n == 1) return round;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    std::vector<mps::SendSpec> sends;
+    std::vector<mps::RecvSpec> recvs;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const std::int64_t peer = rank ^ j;
+      if (b == 0) continue;
+      sends.push_back(mps::SendSpec{
+          peer, send.subspan(static_cast<std::size_t>(peer * b),
+                             static_cast<std::size_t>(b))});
+      recvs.push_back(mps::RecvSpec{
+          peer, recv.subspan(static_cast<std::size_t>(peer * b),
+                             static_cast<std::size_t>(b))});
+    }
+    if (!sends.empty()) comm.exchange(round, sends, recvs);
+    ++round;
+  }
+  return round;
+}
+
+}  // namespace bruck::coll

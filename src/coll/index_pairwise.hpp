@@ -1,0 +1,25 @@
+// XOR pairwise-exchange index baseline (the classic hypercube-flavoured
+// complete exchange, cf. Bokhari 1991 and Johnsson–Ho 1989 cited by the
+// paper): in step j, rank i exchanges one block with rank i XOR j.  Requires
+// n to be a power of two.  Identical measures to direct exchange — it is the
+// other standard C2-optimal pattern MPI libraries use — but with a pairwise
+// (symmetric partner) structure instead of ring offsets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct IndexPairwiseOptions {
+  int start_round = 0;
+};
+
+/// Same buffer contract as index_bruck; n must be a power of two.
+int index_pairwise(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, std::int64_t block_bytes,
+                   const IndexPairwiseOptions& options = {});
+
+}  // namespace bruck::coll

@@ -1,0 +1,32 @@
+#include "coll/reduction.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "coll/index_bruck.hpp"
+#include "util/assert.hpp"
+
+namespace bruck::coll {
+
+int concat_via_index(mps::Communicator& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv, std::int64_t block_bytes,
+                     const ConcatViaIndexOptions& options) {
+  const std::int64_t n = comm.size();
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == block_bytes);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * block_bytes);
+
+  // B[i, j] := B[i] for all j: replicate the local block n times.
+  std::vector<std::byte> replicated(static_cast<std::size_t>(n * block_bytes));
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (block_bytes > 0) {
+      std::memcpy(replicated.data() + j * block_bytes, send.data(),
+                  static_cast<std::size_t>(block_bytes));
+    }
+  }
+  // After the index, receive block i = B[i, rank] = B[i]: the concatenation.
+  return index_bruck(comm, replicated, recv, block_bytes,
+                     IndexBruckOptions{options.radix, options.start_round});
+}
+
+}  // namespace bruck::coll

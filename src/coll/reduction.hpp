@@ -1,0 +1,32 @@
+// The Proposition 2.3 reduction, executable: "Any concatenation operation
+// on an array B[i] can be reduced to an index operation on B[i, j] by
+// letting B[i, j] = B[i] for all i and j."
+//
+// This is how the paper transfers the concatenation lower bounds to the
+// index operation.  Running the reduction forward gives a (deliberately
+// inefficient) concatenation algorithm whose round count equals the index
+// algorithm's — useful as a living proof of the reduction and as a stress
+// case: it moves n× the volume the direct concatenation needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct ConcatViaIndexOptions {
+  /// Radix handed to the underlying index algorithm.
+  std::int64_t radix = 2;
+  int start_round = 0;
+};
+
+/// Concatenation implemented by the Proposition 2.3 reduction: replicate
+/// this rank's block n times, run the index operation, and the receive
+/// buffer is the concatenation.  Same buffer contract as concat_bruck.
+int concat_via_index(mps::Communicator& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv, std::int64_t block_bytes,
+                     const ConcatViaIndexOptions& options = {});
+
+}  // namespace bruck::coll

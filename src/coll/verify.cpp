@@ -1,0 +1,69 @@
+#include "coll/verify.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bruck::coll {
+
+void fill_index_send(std::span<std::byte> buf, std::int64_t n,
+                     std::int64_t rank, std::int64_t block_bytes,
+                     std::uint64_t seed) {
+  BRUCK_REQUIRE(static_cast<std::int64_t>(buf.size()) == n * block_bytes);
+  for (std::int64_t j = 0; j < n; ++j) {
+    fill_payload(buf.subspan(static_cast<std::size_t>(j * block_bytes),
+                             static_cast<std::size_t>(block_bytes)),
+                 seed, rank, j);
+  }
+}
+
+std::string check_index_recv(std::span<const std::byte> buf, std::int64_t n,
+                             std::int64_t rank, std::int64_t block_bytes,
+                             std::uint64_t seed) {
+  BRUCK_REQUIRE(static_cast<std::int64_t>(buf.size()) == n * block_bytes);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t off = 0; off < block_bytes; ++off) {
+      const std::byte expected =
+          payload_byte(seed, i, rank, static_cast<std::size_t>(off));
+      const std::byte got = buf[static_cast<std::size_t>(i * block_bytes + off)];
+      if (got != expected) {
+        std::ostringstream os;
+        os << "rank " << rank << ": recv block " << i << " byte " << off
+           << " = 0x" << std::hex << static_cast<int>(got) << ", expected 0x"
+           << static_cast<int>(expected) << " (block B[" << std::dec << i
+           << ", " << rank << "])";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+void fill_concat_send(std::span<std::byte> buf, std::int64_t rank,
+                      std::int64_t block_bytes, std::uint64_t seed) {
+  BRUCK_REQUIRE(static_cast<std::int64_t>(buf.size()) == block_bytes);
+  fill_payload(buf, seed, rank, 0);
+}
+
+std::string check_concat_recv(std::span<const std::byte> buf, std::int64_t n,
+                              std::int64_t block_bytes, std::uint64_t seed) {
+  BRUCK_REQUIRE(static_cast<std::int64_t>(buf.size()) == n * block_bytes);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t off = 0; off < block_bytes; ++off) {
+      const std::byte expected =
+          payload_byte(seed, i, 0, static_cast<std::size_t>(off));
+      const std::byte got = buf[static_cast<std::size_t>(i * block_bytes + off)];
+      if (got != expected) {
+        std::ostringstream os;
+        os << "concat recv block " << i << " byte " << off << " = 0x"
+           << std::hex << static_cast<int>(got) << ", expected 0x"
+           << static_cast<int>(expected);
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,38 @@
+// Deterministic payload generation and content verification for the
+// collectives.  Every byte of every block is a pure function of
+// (seed, source rank, block id, offset), so any rank — and any test — can
+// check any delivered block without global state, and a misrouted or
+// corrupted block is detected at its first byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace bruck::coll {
+
+/// Fill rank `rank`'s index send buffer: n blocks of block_bytes, block j
+/// keyed by (seed, src = rank, block = j).
+void fill_index_send(std::span<std::byte> buf, std::int64_t n,
+                     std::int64_t rank, std::int64_t block_bytes,
+                     std::uint64_t seed);
+
+/// Verify rank `rank`'s index receive buffer: block i must be the block that
+/// rank i addressed to `rank`.  Empty string on success, else a description
+/// of the first mismatch.
+[[nodiscard]] std::string check_index_recv(std::span<const std::byte> buf,
+                                           std::int64_t n, std::int64_t rank,
+                                           std::int64_t block_bytes,
+                                           std::uint64_t seed);
+
+/// Fill rank `rank`'s concatenation send block, keyed (seed, rank, 0).
+void fill_concat_send(std::span<std::byte> buf, std::int64_t rank,
+                      std::int64_t block_bytes, std::uint64_t seed);
+
+/// Verify a concatenation receive buffer: block i must be rank i's block.
+[[nodiscard]] std::string check_concat_recv(std::span<const std::byte> buf,
+                                            std::int64_t n,
+                                            std::int64_t block_bytes,
+                                            std::uint64_t seed);
+
+}  // namespace bruck::coll

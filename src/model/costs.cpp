@@ -1,0 +1,349 @@
+#include "model/costs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/radix.hpp"
+
+namespace bruck::model {
+
+namespace {
+
+void check_common(std::int64_t n, int k, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+}
+
+}  // namespace
+
+CostMetrics index_bruck_cost(std::int64_t n, std::int64_t r, int k,
+                             std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  BRUCK_REQUIRE_MSG(r >= 2 && r <= std::max<std::int64_t>(2, n),
+                    "radix must be in [2, max(2, n)]");
+  CostMetrics m;
+  if (n == 1) return m;
+  const int w = radix_digit_count(n, r);
+  for (int x = 0; x < w; ++x) {
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    // Steps z = 1 .. h−1 of this subphase, grouped k at a time into rounds
+    // (Section 3.4: independent steps run concurrently on k ports).
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      std::int64_t round_max = 0;
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::int64_t msg =
+            block_bytes * radix_digit_census(n, r, x, z);
+        round_max = std::max(round_max, msg);
+        m.total_bytes += n * msg;  // every rank sends one such message
+        m.max_rank_sent += msg;
+        m.max_rank_recv += msg;
+      }
+      m.c1 += 1;
+      m.c2 += round_max;
+    }
+  }
+  return m;
+}
+
+CostMetrics index_direct_cost(std::int64_t n, int k, std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  CostMetrics m;
+  if (n == 1) return m;
+  m.c1 = ceil_div(n - 1, k);
+  m.c2 = m.c1 * block_bytes;
+  m.total_bytes = n * (n - 1) * block_bytes;
+  m.max_rank_sent = (n - 1) * block_bytes;
+  m.max_rank_recv = (n - 1) * block_bytes;
+  return m;
+}
+
+CostMetrics index_pairwise_cost(std::int64_t n, int k,
+                                std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
+  // Identical measures to direct exchange: n−1 peer messages of one block
+  // each, k per round; only the pairing pattern (XOR vs. ring offset)
+  // differs.
+  return index_direct_cost(n, k, block_bytes);
+}
+
+namespace {
+
+/// Shape of the concatenation algorithm's schedule for (n, k):
+/// d rounds total of which the first d−1 grow the window by ×(k+1),
+/// reaching n1 = (k+1)^{d−1} blocks, leaving n2 = n − n1 for the last round.
+struct ConcatShape {
+  int d = 0;
+  std::int64_t n1 = 1;
+  std::int64_t n2 = 0;
+};
+
+ConcatShape concat_shape(std::int64_t n, int k) {
+  ConcatShape s;
+  s.d = ceil_log(n, k + 1);
+  s.n1 = s.d == 0 ? 1 : ipow(k + 1, s.d - 1);
+  s.n2 = n - s.n1;
+  return s;
+}
+
+/// Greedy byte-split partition bounds: area m covers cell range
+/// [m·α, min((m+1)·α, T)) of the column-major b × n2 table, α = ⌈T/k⌉
+/// (mirrors topo::byte_split_partition — the duplication is deliberate;
+/// tests assert the two stay in agreement).  Returns the maximum
+/// column-span over areas (0 if no cells).
+std::int64_t greedy_partition_max_span(std::int64_t n2, int k,
+                                       std::int64_t b) {
+  const std::int64_t total = b * n2;
+  if (total == 0) return 0;
+  const std::int64_t alpha = ceil_div(total, k);
+  std::int64_t max_span = 0;
+  for (int area = 0; area < k; ++area) {
+    const std::int64_t begin = std::min<std::int64_t>(area * alpha, total);
+    const std::int64_t end =
+        std::min<std::int64_t>((area + 1) * alpha, total);
+    if (begin >= end) continue;
+    const std::int64_t first_col = begin / b;
+    const std::int64_t last_col = (end - 1) / b;
+    max_span = std::max(max_span, last_col - first_col + 1);
+  }
+  return max_span;
+}
+
+}  // namespace
+
+bool concat_byte_split_feasible(std::int64_t n, int k,
+                                std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  if (n == 1 || block_bytes == 0) return true;
+  const ConcatShape s = concat_shape(n, k);
+  if (s.n2 == 0) return true;
+  // The per-area size bound ≤ ⌈b·n2/k⌉ holds by construction of the greedy
+  // cuts; only the column-span bound can fail.
+  return greedy_partition_max_span(s.n2, k, block_bytes) <= s.n1;
+}
+
+bool concat_paper_nonoptimal_range(std::int64_t n, int k,
+                                   std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  if (block_bytes < 3 || k < 3) return false;
+  if (n <= 1) return false;
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t top = ipow(k + 1, d);
+  return top - k < n && n < top;
+}
+
+CostMetrics concat_bruck_cost(std::int64_t n, int k, std::int64_t block_bytes,
+                              ConcatLastRound strategy) {
+  check_common(n, k, block_bytes);
+  CostMetrics m;
+  if (n == 1) return m;
+  if (strategy == ConcatLastRound::kAuto) {
+    strategy = concat_byte_split_feasible(n, k, block_bytes)
+                   ? ConcatLastRound::kByteSplit
+                   : ConcatLastRound::kColumnGranular;
+  }
+  const ConcatShape s = concat_shape(n, k);
+  const std::int64_t b = block_bytes;
+  // Full rounds i = 0..d−2: each rank sends its whole current window
+  // ((k+1)^i blocks) on each of its k ports.
+  for (int i = 0; i < s.d - 1; ++i) {
+    const std::int64_t msg = b * ipow(k + 1, i);
+    m.c1 += 1;
+    m.c2 += msg;
+    m.total_bytes += n * k * msg;
+    m.max_rank_sent += k * msg;
+    m.max_rank_recv += k * msg;
+  }
+  if (s.n2 == 0) return m;  // n = (k+1)^{d-1} exactly; no partial round
+  const std::int64_t last_total = b * s.n2;  // bytes each rank still sends
+  switch (strategy) {
+    case ConcatLastRound::kByteSplit: {
+      BRUCK_REQUIRE_MSG(concat_byte_split_feasible(n, k, b),
+                        "byte-split partition infeasible for this (n, k, b); "
+                        "use kColumnGranular, kTwoRound or kAuto");
+      m.c1 += 1;
+      m.c2 += ceil_div(last_total, k);
+      m.total_bytes += n * last_total;
+      m.max_rank_sent += last_total;
+      m.max_rank_recv += last_total;
+      break;
+    }
+    case ConcatLastRound::kColumnGranular: {
+      m.c1 += 1;
+      m.c2 += b * ceil_div(s.n2, k);
+      m.total_bytes += n * last_total;
+      m.max_rank_sent += last_total;
+      m.max_rank_recv += last_total;
+      break;
+    }
+    case ConcatLastRound::kTwoRound: {
+      if (s.n2 <= k) {
+        // A single round of one whole column per port is already optimal in
+        // both measures; no second round is needed.
+        m.c1 += 1;
+        m.c2 += b;
+        m.total_bytes += n * last_total;
+        m.max_rank_sent += last_total;
+        m.max_rank_recv += last_total;
+      } else {
+        // Round A: byte-split over the first n2−k columns (always span-
+        // feasible, see partition.cpp); round B: one whole column per port.
+        const std::int64_t round_a = ceil_div(b * (s.n2 - k), k);
+        m.c1 += 2;
+        m.c2 += round_a + b;
+        m.total_bytes += n * last_total;
+        m.max_rank_sent += last_total;
+        m.max_rank_recv += last_total;
+      }
+      break;
+    }
+    case ConcatLastRound::kAuto:
+      BRUCK_ENSURE_MSG(false, "kAuto resolved above");
+  }
+  return m;
+}
+
+CostMetrics concat_folklore_cost(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  CostMetrics m;
+  if (n == 1) return m;
+  const int d = ceil_log(n, 2);
+  // Simulate the pattern rank by rank so the per-rank aggregates match the
+  // executed trace exactly.
+  std::vector<std::int64_t> have(static_cast<std::size_t>(n), 1);
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n), 0);
+  // Gather along a binomial tree rooted at rank 0: rank r owns the
+  // contiguous segment [r, r + have_r); in round i ranks with
+  // r mod 2^{i+1} == 2^i forward their whole segment to r − 2^i.
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    std::int64_t round_max = 0;
+    for (std::int64_t r = stride; r < n; r += 2 * stride) {
+      const std::int64_t msg = have[static_cast<std::size_t>(r)] * block_bytes;
+      round_max = std::max(round_max, msg);
+      m.total_bytes += msg;
+      sent[static_cast<std::size_t>(r)] += msg;
+      recv[static_cast<std::size_t>(r - stride)] += msg;
+      have[static_cast<std::size_t>(r - stride)] +=
+          have[static_cast<std::size_t>(r)];
+      have[static_cast<std::size_t>(r)] = 0;
+    }
+    m.c1 += 1;
+    m.c2 += round_max;
+  }
+  BRUCK_ENSURE(have[0] == n);
+  // Broadcast of the full b·n result back down the tree (reverse order).
+  const std::int64_t full = n * block_bytes;
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    for (std::int64_t r = 0; r + stride < n; r += 2 * stride) {
+      m.total_bytes += full;
+      sent[static_cast<std::size_t>(r)] += full;
+      recv[static_cast<std::size_t>(r + stride)] += full;
+    }
+    m.c1 += 1;
+    m.c2 += full;
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    m.max_rank_sent = std::max(m.max_rank_sent, sent[static_cast<std::size_t>(r)]);
+    m.max_rank_recv = std::max(m.max_rank_recv, recv[static_cast<std::size_t>(r)]);
+  }
+  return m;
+}
+
+CostMetrics concat_ring_cost(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  CostMetrics m;
+  if (n == 1) return m;
+  m.c1 = n - 1;
+  m.c2 = (n - 1) * block_bytes;
+  m.total_bytes = n * (n - 1) * block_bytes;
+  m.max_rank_sent = (n - 1) * block_bytes;
+  m.max_rank_recv = (n - 1) * block_bytes;
+  return m;
+}
+
+CostMetrics bcast_circulant_cost(std::int64_t n, int k,
+                                 std::int64_t payload_bytes) {
+  check_common(n, k, payload_bytes);
+  CostMetrics m;
+  if (n == 1 || payload_bytes == 0) return m;
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+  m.c1 = d;
+  m.c2 = d * payload_bytes;
+  m.total_bytes = (n - 1) * payload_bytes;  // every non-root receives once
+  m.max_rank_recv = payload_bytes;
+  // The root sends k children in every growth round plus ⌈n2/n1⌉ in the
+  // final round (n2 = 0 only when d = 0); the root is always the busiest.
+  const std::int64_t final_children = n2 == 0 ? 0 : ceil_div(n2, n1);
+  m.max_rank_sent = (k * (d - 1) + final_children) * payload_bytes;
+  return m;
+}
+
+CostMetrics bcast_binomial_cost(std::int64_t n, std::int64_t payload_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(payload_bytes >= 0);
+  CostMetrics m;
+  if (n == 1 || payload_bytes == 0) return m;
+  const int d = ceil_log(n, 2);
+  m.c1 = d;
+  m.c2 = d * payload_bytes;
+  m.total_bytes = (n - 1) * payload_bytes;
+  m.max_rank_recv = payload_bytes;
+  m.max_rank_sent = d * payload_bytes;  // the root sends in every round
+  return m;
+}
+
+CostMetrics gather_binomial_cost(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  CostMetrics m;
+  if (n == 1 || block_bytes == 0) return m;
+  const int d = ceil_log(n, 2);
+  std::int64_t root_recv = 0;
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    // Largest segment forwarded in round i comes from the lowest sender
+    // v = 2^i, whose subtree is min(2^i, n − 2^i) blocks.
+    const std::int64_t largest =
+        std::min<std::int64_t>(stride, n - stride);
+    m.c1 += 1;
+    m.c2 += largest * block_bytes;
+    // Exact totals from the sender set.
+    for (std::int64_t v = stride; v < n; v += 2 * stride) {
+      const std::int64_t seg = std::min<std::int64_t>(stride, n - v);
+      m.total_bytes += seg * block_bytes;
+      if (v - stride == 0) root_recv += seg * block_bytes;
+    }
+  }
+  m.max_rank_recv = root_recv;
+  // The busiest sender is v = 2^{d−1} (or the largest forwarding node);
+  // every rank sends exactly once, so max sent = the largest message.
+  std::int64_t max_sent = 0;
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    max_sent = std::max(max_sent,
+                        std::min<std::int64_t>(stride, n - stride));
+  }
+  m.max_rank_sent = max_sent * block_bytes;
+  return m;
+}
+
+CostMetrics scatter_binomial_cost(std::int64_t n, std::int64_t block_bytes) {
+  // The exact mirror image of the gather: same rounds, same sizes, with
+  // send/receive roles swapped.
+  CostMetrics m = gather_binomial_cost(n, block_bytes);
+  std::swap(m.max_rank_sent, m.max_rank_recv);
+  return m;
+}
+
+}  // namespace bruck::model

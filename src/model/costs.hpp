@@ -1,0 +1,94 @@
+// Closed-form (loop-exact) C1/C2 cost computation for every algorithm in the
+// library.  These are derived directly from the paper's analysis and are the
+// third independent derivation of each communication pattern (next to the
+// executed trace in mps/ and the built schedule in sched/); the test suite
+// asserts all three agree for every parameter combination it sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "model/metrics.hpp"
+
+namespace bruck::model {
+
+/// How the concatenation algorithm schedules its final (partial) round when
+/// n is not an exact power of k+1 (Section 4.2 of the paper).
+enum class ConcatLastRound {
+  /// Proposition 4.2: partition a b × n2 byte table into k areas with
+  /// column-span ≤ n1 and ≤ ⌈b·n2/k⌉ entries each.  Optimal C1 *and* C2,
+  /// feasible for all (n, b, k) except the paper's range
+  /// b ≥ 3, k ≥ 3, (k+1)^d − k < n < (k+1)^d.
+  kByteSplit,
+  /// Whole-column areas (no byte splitting): always feasible, optimal C1,
+  /// C2 at most (b−1) above the lower bound (the paper's Remark, option 2).
+  kColumnGranular,
+  /// Split the final round into two: always feasible, optimal C2,
+  /// C1 one above the lower bound (the paper's Remark, option 1).
+  kTwoRound,
+  /// kByteSplit when feasible, else kColumnGranular (keeps C1 optimal).
+  kAuto,
+};
+
+/// Index operation, Section 3 algorithm: radix r ∈ [2, max(2,n)], k ≥ 1
+/// ports, blocks of block_bytes bytes.
+[[nodiscard]] CostMetrics index_bruck_cost(std::int64_t n, std::int64_t r,
+                                           int k, std::int64_t block_bytes);
+
+/// Index operation, direct exchange (the C2-optimal end of the trade-off,
+/// equivalent in measures to radix r = n): ⌈(n−1)/k⌉ rounds of b-byte
+/// messages.
+[[nodiscard]] CostMetrics index_direct_cost(std::int64_t n, int k,
+                                            std::int64_t block_bytes);
+
+/// Index operation, XOR pairwise exchange (classic hypercube-flavoured
+/// baseline; n must be a power of two).  Same measures as direct exchange.
+[[nodiscard]] CostMetrics index_pairwise_cost(std::int64_t n, int k,
+                                              std::int64_t block_bytes);
+
+/// Concatenation, Section 4 circulant algorithm.
+[[nodiscard]] CostMetrics concat_bruck_cost(std::int64_t n, int k,
+                                            std::int64_t block_bytes,
+                                            ConcatLastRound strategy);
+
+/// True iff the greedy byte-split partition of the final round satisfies
+/// both Proposition 4.2 constraints (column-span ≤ n1 per area, ≤ α entries
+/// per area) for this (n, k, b).
+[[nodiscard]] bool concat_byte_split_feasible(std::int64_t n, int k,
+                                              std::int64_t block_bytes);
+
+/// True iff (n, b, k) lies in the paper's stated non-optimal range:
+/// b ≥ 3, k ≥ 3 and (k+1)^d − k < n < (k+1)^d for some integer d.
+[[nodiscard]] bool concat_paper_nonoptimal_range(std::int64_t n, int k,
+                                                 std::int64_t block_bytes);
+
+/// Concatenation, folklore gather+broadcast over binomial trees (Section 4
+/// intro baseline; one-port).  C2 is measured honestly under the paper's
+/// Σ-max-message definition (see EXPERIMENTS.md for the reconciliation with
+/// the paper's 2b(n−1) figure).
+[[nodiscard]] CostMetrics concat_folklore_cost(std::int64_t n,
+                                               std::int64_t block_bytes);
+
+/// Concatenation, ring allgather (one-port): C1 = n−1 rounds, C2 = b(n−1).
+[[nodiscard]] CostMetrics concat_ring_cost(std::int64_t n,
+                                           std::int64_t block_bytes);
+
+/// Broadcast over the k-port circulant tree: C1 = ⌈log_{k+1} n⌉ (meets
+/// Proposition 2.1 with equality), C2 = b·C1 (the whole payload rides every
+/// level).
+[[nodiscard]] CostMetrics bcast_circulant_cost(std::int64_t n, int k,
+                                               std::int64_t payload_bytes);
+
+/// Broadcast over the one-port binomial tree: C1 = ⌈log2 n⌉, C2 = b·C1.
+[[nodiscard]] CostMetrics bcast_binomial_cost(std::int64_t n,
+                                              std::int64_t payload_bytes);
+
+/// Gather to a root over the binomial tree (one port):
+/// C1 = ⌈log2 n⌉, C2 = b·Σ_i min(2^i, n − 2^i).
+[[nodiscard]] CostMetrics gather_binomial_cost(std::int64_t n,
+                                               std::int64_t block_bytes);
+
+/// Scatter from a root (reverse of gather): identical measures.
+[[nodiscard]] CostMetrics scatter_binomial_cost(std::int64_t n,
+                                                std::int64_t block_bytes);
+
+}  // namespace bruck::model

@@ -1,0 +1,97 @@
+#include "model/extended_model.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bruck::model {
+
+double ExtendedModel::predict_us(const CostMetrics& m) const {
+  return g1 * static_cast<double>(m.c1) * base.beta_us +
+         g2 * static_cast<double>(m.c2) * base.tau_us_per_byte + g3;
+}
+
+namespace {
+
+/// Solve the 3×3 linear system A·x = b by Gaussian elimination with partial
+/// pivoting.  Throws if A is (numerically) singular.
+std::array<double, 3> solve3(std::array<std::array<double, 3>, 3> a,
+                             std::array<double, 3> b) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)])) {
+        pivot = row;
+      }
+    }
+    std::swap(a[static_cast<std::size_t>(col)], a[static_cast<std::size_t>(pivot)]);
+    std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(pivot)]);
+    const double diag = a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    BRUCK_REQUIRE_MSG(std::abs(diag) > 1e-12,
+                      "singular design matrix: observations do not span "
+                      "(C1, C2, 1); vary the workload");
+    for (int row = col + 1; row < 3; ++row) {
+      const double f =
+          a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] / diag;
+      for (int j = col; j < 3; ++j) {
+        a[static_cast<std::size_t>(row)][static_cast<std::size_t>(j)] -=
+            f * a[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)];
+      }
+      b[static_cast<std::size_t>(row)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::array<double, 3> x{};
+  for (int row = 2; row >= 0; --row) {
+    double acc = b[static_cast<std::size_t>(row)];
+    for (int j = row + 1; j < 3; ++j) {
+      acc -= a[static_cast<std::size_t>(row)][static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(row)] =
+        acc / a[static_cast<std::size_t>(row)][static_cast<std::size_t>(row)];
+  }
+  return x;
+}
+
+}  // namespace
+
+ExtendedModel fit_extended_model(const LinearModel& base,
+                                 std::span<const Observation> obs) {
+  BRUCK_REQUIRE_MSG(obs.size() >= 3, "need at least 3 observations");
+  // Design columns: u = C1·ts, v = C2·tc, constant 1.  Normal equations
+  // (XᵀX)·g = Xᵀy; the 3×3 system is solved exactly.
+  std::array<std::array<double, 3>, 3> xtx{};
+  std::array<double, 3> xty{};
+  for (const Observation& o : obs) {
+    const double u = static_cast<double>(o.metrics.c1) * base.beta_us;
+    const double v =
+        static_cast<double>(o.metrics.c2) * base.tau_us_per_byte;
+    const std::array<double, 3> row{u, v, 1.0};
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) xtx[i][j] += row[i] * row[j];
+      xty[i] += row[i] * o.measured_us;
+    }
+  }
+  const std::array<double, 3> g = solve3(xtx, xty);
+  return ExtendedModel{base, g[0], g[1], g[2]};
+}
+
+double r_squared(const ExtendedModel& model, std::span<const Observation> obs) {
+  BRUCK_REQUIRE(!obs.empty());
+  double mean = 0.0;
+  for (const Observation& o : obs) mean += o.measured_us;
+  mean /= static_cast<double>(obs.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (const Observation& o : obs) {
+    const double e = o.measured_us - model.predict_us(o.metrics);
+    ss_res += e * e;
+    ss_tot += (o.measured_us - mean) * (o.measured_us - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace bruck::model

@@ -1,0 +1,42 @@
+// The refined model of Section 3.5:  T = g1·C1·ts + g2·C2·tc + g3,
+// where g1 absorbs the slowdown of system routines on start-ups, g2 absorbs
+// congestion on transfers, and g3 is a fixed offset.  The paper introduces
+// it to explain the quantitative gap between the linear model and SP-1
+// measurements; we provide a least-squares fitter so the wall-clock bench
+// can calibrate (g1, g2, g3) against the threaded runtime.
+#pragma once
+
+#include <span>
+
+#include "model/linear_model.hpp"
+#include "model/metrics.hpp"
+
+namespace bruck::model {
+
+struct ExtendedModel {
+  LinearModel base;  ///< supplies ts (= beta_us) and tc (= tau_us_per_byte)
+  double g1 = 1.0;
+  double g2 = 1.0;
+  double g3 = 0.0;
+
+  [[nodiscard]] double predict_us(const CostMetrics& m) const;
+};
+
+/// One calibration observation: measured time for an algorithm whose
+/// analytic measures are (c1, c2).
+struct Observation {
+  CostMetrics metrics;
+  double measured_us = 0.0;
+};
+
+/// Least-squares fit of (g1, g2, g3) minimizing Σ (predict − measured)².
+/// Requires at least 3 observations whose (C1·ts, C2·tc, 1) design matrix
+/// has full rank; throws ContractViolation otherwise.
+[[nodiscard]] ExtendedModel fit_extended_model(const LinearModel& base,
+                                               std::span<const Observation> obs);
+
+/// Coefficient of determination (R²) of a fitted model on observations.
+[[nodiscard]] double r_squared(const ExtendedModel& model,
+                               std::span<const Observation> obs);
+
+}  // namespace bruck::model

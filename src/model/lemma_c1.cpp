@@ -1,0 +1,40 @@
+#include "model/lemma_c1.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bruck::model {
+
+std::int64_t lemma_c1_minimal_h(std::int64_t m, std::int64_t c) {
+  BRUCK_REQUIRE(c >= 2);
+  BRUCK_REQUIRE(m >= c);
+  BRUCK_REQUIRE_MSG(c * m <= 10000, "binomial range too large for long double");
+  const std::int64_t cm = c * m;
+  // target = 2^m; long double holds up to ~2^16384, and our partial sums are
+  // bounded by 2^{cm} ≤ 2^10000.
+  const long double target =
+      std::exp2(static_cast<long double>(m));  // 2^m, exact for m < 16384
+  long double sum = 1.0L;       // C(cm, 0)
+  long double binom = 1.0L;     // C(cm, j), updated incrementally
+  std::int64_t h = 0;
+  while (sum < target) {
+    BRUCK_ENSURE_MSG(h < cm, "sum of all binomials is 2^{cm} >= 2^m");
+    binom *= static_cast<long double>(cm - h);
+    binom /= static_cast<long double>(h + 1);
+    sum += binom;
+    ++h;
+  }
+  return h;
+}
+
+double lemma_c1_bound(std::int64_t m, std::int64_t c) {
+  BRUCK_REQUIRE(c >= 2);
+  BRUCK_REQUIRE(m >= c);
+  const double by64 = static_cast<double>(m) / 64.0;
+  const double bylog =
+      static_cast<double>(m) / (8.0 * std::log2(static_cast<double>(c)));
+  return by64 < bylog ? by64 : bylog;
+}
+
+}  // namespace bruck::model

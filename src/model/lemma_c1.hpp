@@ -1,0 +1,23 @@
+// Appendix C, Lemma C.1 — the combinatorial engine behind Theorem 2.9:
+// for 2 ≤ c ≤ m, if Σ_{j=0}^{h} C(c·m, j) ≥ 2^m then
+// h ≥ min(m/64, m/(8·log2 c)).
+//
+// The lemma is proved symbolically in the paper; this module evaluates both
+// sides numerically so the bench/test suite can exercise it over concrete
+// ranges (and so Theorem 2.9's "h must be Ω(log n)" step is demonstrable
+// with numbers).
+#pragma once
+
+#include <cstdint>
+
+namespace bruck::model {
+
+/// The smallest h ≥ 0 with Σ_{j=0}^{h} C(c·m, j) ≥ 2^m.
+/// Requires 2 ≤ c ≤ m and c·m small enough for long-double binomials
+/// (c·m ≤ 10000 is ample for every use here).
+[[nodiscard]] std::int64_t lemma_c1_minimal_h(std::int64_t m, std::int64_t c);
+
+/// The lemma's lower bound min(m/64, m/(8·log2 c)).
+[[nodiscard]] double lemma_c1_bound(std::int64_t m, std::int64_t c);
+
+}  // namespace bruck::model

@@ -1,0 +1,24 @@
+#include "model/linear_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace bruck::model {
+
+double LinearModel::predict_us(const CostMetrics& m) const {
+  BRUCK_REQUIRE(m.c1 >= 0 && m.c2 >= 0);
+  return static_cast<double>(m.c1) * beta_us +
+         static_cast<double>(m.c2) * tau_us_per_byte;
+}
+
+double LinearModel::message_us(std::int64_t bytes) const {
+  BRUCK_REQUIRE(bytes >= 0);
+  return beta_us + static_cast<double>(bytes) * tau_us_per_byte;
+}
+
+LinearModel ibm_sp1() { return {"IBM SP-1 (EUIH)", 29.0, 0.12}; }
+
+LinearModel startup_dominated() { return {"startup-dominated", 100.0, 0.01}; }
+
+LinearModel bandwidth_dominated() { return {"bandwidth-dominated", 0.5, 0.25}; }
+
+}  // namespace bruck::model

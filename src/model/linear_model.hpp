@@ -1,0 +1,36 @@
+// The linear communication-cost model of Section 1.2: sending an m-byte
+// message costs β + m·τ, so an algorithm with measures (C1, C2) costs
+// T = C1·β + C2·τ.
+#pragma once
+
+#include <string>
+
+#include "model/metrics.hpp"
+
+namespace bruck::model {
+
+struct LinearModel {
+  std::string name;
+  double beta_us = 0.0;          ///< per-message start-up time (µs)
+  double tau_us_per_byte = 0.0;  ///< per-byte transfer time (µs/byte)
+
+  /// Predicted time (µs) of an algorithm with the given measures.
+  [[nodiscard]] double predict_us(const CostMetrics& m) const;
+
+  /// Predicted time (µs) of a single m-byte point-to-point message.
+  [[nodiscard]] double message_us(std::int64_t bytes) const;
+};
+
+/// The 64-node IBM SP-1 of Section 3.5: β ≈ 29 µs start-up and ≈8.5 MB/s
+/// sustained point-to-point bandwidth, i.e. τ ≈ 0.12 µs/byte.
+[[nodiscard]] LinearModel ibm_sp1();
+
+/// A start-up-dominated profile (commodity Ethernet-like): high β relative
+/// to τ.  Used by tuner benches to show the radix moving toward 2.
+[[nodiscard]] LinearModel startup_dominated();
+
+/// A bandwidth-dominated profile (shared-memory-like): negligible β.  Used
+/// by tuner benches to show the radix moving toward n.
+[[nodiscard]] LinearModel bandwidth_dominated();
+
+}  // namespace bruck::model

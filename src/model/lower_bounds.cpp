@@ -1,0 +1,73 @@
+#include "model/lower_bounds.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::model {
+
+std::int64_t concat_c1_lower_bound(std::int64_t n, int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  return ceil_log(n, k + 1);
+}
+
+std::int64_t concat_c2_lower_bound(std::int64_t n, int k,
+                                   std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  return ceil_div(block_bytes * (n - 1), k);
+}
+
+std::int64_t index_c1_lower_bound(std::int64_t n, int k) {
+  // Proposition 2.3 reduces concatenation to index.
+  return concat_c1_lower_bound(n, k);
+}
+
+std::int64_t index_c2_lower_bound(std::int64_t n, int k,
+                                  std::int64_t block_bytes) {
+  // Proposition 2.4, by the same reduction.
+  return concat_c2_lower_bound(n, k, block_bytes);
+}
+
+std::int64_t index_c2_bound_at_min_rounds(std::int64_t n, int k,
+                                          std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  const int d = ceil_log(n, k + 1);
+  BRUCK_REQUIRE_MSG(ipow(k + 1, d) == n,
+                    "Theorem 2.5 requires n to be an exact power of k+1");
+  // C2 ≥ b·n·d / (k+1).
+  return ceil_div(block_bytes * n * d, k + 1);
+}
+
+std::int64_t index_c1_bound_at_min_volume(std::int64_t n, int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  return ceil_div(n - 1, k);
+}
+
+double index_c2_compound_order(std::int64_t n, int k,
+                               std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  if (n == 1) return 0.0;
+  const double logk1 =
+      std::log(static_cast<double>(n)) / std::log(static_cast<double>(k + 1));
+  return static_cast<double>(block_bytes) * static_cast<double>(n) * logk1 /
+         static_cast<double>(k + 1);
+}
+
+double index_c2_logn_rounds_order(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  if (n == 1) return 0.0;
+  return static_cast<double>(block_bytes) * static_cast<double>(n) *
+         std::log2(static_cast<double>(n));
+}
+
+}  // namespace bruck::model

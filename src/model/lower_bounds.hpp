@@ -1,0 +1,44 @@
+// Lower bounds from Section 2 of the paper.  All bounds are returned in the
+// integral units used by CostMetrics (rounds, bytes); real-valued bounds are
+// rounded up, which is valid since the measures are integral.
+#pragma once
+
+#include <cstdint>
+
+namespace bruck::model {
+
+/// Proposition 2.1: any concatenation needs ≥ ⌈log_{k+1} n⌉ rounds.
+[[nodiscard]] std::int64_t concat_c1_lower_bound(std::int64_t n, int k);
+
+/// Proposition 2.2: any concatenation transfers ≥ b(n−1)/k units.
+[[nodiscard]] std::int64_t concat_c2_lower_bound(std::int64_t n, int k,
+                                                 std::int64_t block_bytes);
+
+/// Proposition 2.3: any index needs ≥ ⌈log_{k+1} n⌉ rounds.
+[[nodiscard]] std::int64_t index_c1_lower_bound(std::int64_t n, int k);
+
+/// Proposition 2.4: any index transfers ≥ b(n−1)/k units.
+[[nodiscard]] std::int64_t index_c2_lower_bound(std::int64_t n, int k,
+                                                std::int64_t block_bytes);
+
+/// Theorem 2.5: when n = (k+1)^d and C1 = log_{k+1} n exactly, any index
+/// algorithm transfers at least (b·n / (k+1)) · log_{k+1} n units.
+/// Requires n to be an exact power of k+1.
+[[nodiscard]] std::int64_t index_c2_bound_at_min_rounds(std::int64_t n, int k,
+                                                        std::int64_t block_bytes);
+
+/// Theorem 2.6: any index algorithm with C2 = b(n−1)/k exactly needs
+/// ≥ ⌈(n−1)/k⌉ rounds.
+[[nodiscard]] std::int64_t index_c1_bound_at_min_volume(std::int64_t n, int k);
+
+/// Theorem 2.7's Ω-form evaluated with constant 1: n·b·log_{k+1}(n)/(k+1).
+/// For benches that plot the compound trade-off for general n.
+[[nodiscard]] double index_c2_compound_order(std::int64_t n, int k,
+                                             std::int64_t block_bytes);
+
+/// Theorem 2.9's Ω-form for the one-port model with C1 = O(log n):
+/// b·n·log2(n) (constant 1).
+[[nodiscard]] double index_c2_logn_rounds_order(std::int64_t n,
+                                                std::int64_t block_bytes);
+
+}  // namespace bruck::model

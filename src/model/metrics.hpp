@@ -1,0 +1,26 @@
+// The paper's two complexity measures plus auxiliary load measures.
+//
+// C1: number of communication rounds (start-up count).
+// C2: Σ over rounds i of m_i, where m_i is the largest message (in bytes)
+//     sent over any port of any processor in round i.
+//
+// The estimated time under the linear model is T = C1·β + C2·τ (Section 1.2).
+// total_bytes and the per-rank aggregates are not used by the paper's
+// analysis but are reported by the benches as network-load sanity checks.
+#pragma once
+
+#include <cstdint>
+
+namespace bruck::model {
+
+struct CostMetrics {
+  std::int64_t c1 = 0;             ///< communication rounds
+  std::int64_t c2 = 0;             ///< Σ_rounds max message size (bytes)
+  std::int64_t total_bytes = 0;    ///< Σ over all messages of their size
+  std::int64_t max_rank_sent = 0;  ///< max over ranks of total bytes sent
+  std::int64_t max_rank_recv = 0;  ///< max over ranks of total bytes received
+
+  friend bool operator==(const CostMetrics&, const CostMetrics&) = default;
+};
+
+}  // namespace bruck::model

@@ -1,0 +1,106 @@
+#include "model/tuner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::model {
+
+std::vector<std::int64_t> candidate_radices(std::int64_t n, RadixSet set,
+                                            int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  const std::int64_t hi = std::max<std::int64_t>(2, n);
+  std::vector<std::int64_t> out;
+  switch (set) {
+    case RadixSet::kAll:
+      for (std::int64_t r = 2; r <= hi; ++r) out.push_back(r);
+      break;
+    case RadixSet::kPowersOfTwo: {
+      for (std::int64_t r = 2; r <= hi; r *= 2) out.push_back(r);
+      if (out.empty() || out.back() != hi) out.push_back(hi);
+      break;
+    }
+    case RadixSet::kPortAligned: {
+      // (r−1) mod k == 0 minimizes wasted port slots per subphase
+      // (Section 3.4); always include r = 2 (the C1-optimal end at k = 1)
+      // and r = n (the C2-optimal end).
+      for (std::int64_t r = 2; r <= hi; ++r) {
+        if ((r - 1) % k == 0 || r == 2 || r == hi) out.push_back(r);
+      }
+      break;
+    }
+  }
+  BRUCK_ENSURE(!out.empty());
+  return out;
+}
+
+std::vector<RadixChoice> index_radix_curve(std::int64_t n, int k,
+                                           std::int64_t block_bytes,
+                                           const LinearModel& machine,
+                                           RadixSet set) {
+  std::vector<RadixChoice> curve;
+  for (std::int64_t r : candidate_radices(n, set, k)) {
+    RadixChoice c;
+    c.radix = r;
+    c.metrics = index_bruck_cost(n, r, k, block_bytes);
+    c.predicted_us = machine.predict_us(c.metrics);
+    curve.push_back(c);
+  }
+  return curve;
+}
+
+RadixChoice pick_index_radix(std::int64_t n, int k, std::int64_t block_bytes,
+                             const LinearModel& machine, RadixSet set) {
+  const std::vector<RadixChoice> curve =
+      index_radix_curve(n, k, block_bytes, machine, set);
+  const auto best = std::min_element(
+      curve.begin(), curve.end(), [](const RadixChoice& a, const RadixChoice& b) {
+        if (a.predicted_us != b.predicted_us)
+          return a.predicted_us < b.predicted_us;
+        return a.radix < b.radix;
+      });
+  return *best;
+}
+
+std::int64_t crossover_block_bytes(std::int64_t n, int k, std::int64_t radix_a,
+                                   std::int64_t radix_b,
+                                   const LinearModel& machine,
+                                   std::int64_t limit) {
+  BRUCK_REQUIRE(limit >= 1);
+  // Costs are linear in b, so the sign of (time_a − time_b) changes at most
+  // once; find the first b where the order differs from b = 1.
+  auto diff = [&](std::int64_t b) {
+    const double ta = machine.predict_us(index_bruck_cost(n, radix_a, k, b));
+    const double tb = machine.predict_us(index_bruck_cost(n, radix_b, k, b));
+    return ta - tb;
+  };
+  double d1 = diff(1);
+  if (d1 == 0.0) {
+    // Both costs are affine in b, so equality at two points means equality
+    // everywhere — no crossover.  Equality at b = 1 only means they diverge
+    // immediately after.
+    if (diff(2) == 0.0) return 0;
+    return 1;
+  }
+  // Exponential search then bisection for the sign change.
+  std::int64_t lo = 1;
+  std::int64_t hi = 2;
+  while (hi <= limit && diff(hi) * d1 > 0.0) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > limit) return 0;  // no crossover within limit
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (diff(mid) * d1 > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace bruck::model

@@ -1,0 +1,58 @@
+// Radix and algorithm selection (Section 3.3: "r can be fine-tuned according
+// to the parameters of the underlying machine to balance between the
+// start-up time and the data transfer time").
+//
+// The tuner evaluates the exact cost formulas under a LinearModel and picks
+// the minimizer.  Evaluating all candidate radices costs O(n·log n) digit
+// censuses in the worst case — microseconds for n up to thousands — so the
+// tuner simply enumerates rather than relying on a closed-form crossover.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/costs.hpp"
+#include "model/linear_model.hpp"
+
+namespace bruck::model {
+
+struct RadixChoice {
+  std::int64_t radix = 2;
+  CostMetrics metrics;
+  double predicted_us = 0.0;
+};
+
+/// Candidate filter for the radix sweep.
+enum class RadixSet {
+  kAll,          ///< every r in [2, max(2,n)]
+  kPowersOfTwo,  ///< r ∈ {2, 4, 8, …} ∩ [2, n], plus r = n (the paper's Fig. 5 sweep)
+  kPortAligned,  ///< r with (r−1) mod k == 0 (Section 3.4's advice), plus r = 2
+};
+
+/// All candidate radices for (n, set, k), sorted ascending.
+[[nodiscard]] std::vector<std::int64_t> candidate_radices(std::int64_t n,
+                                                          RadixSet set, int k);
+
+/// The radix minimizing modeled time for the index operation (ties broken
+/// toward the smaller radix, which has the fewer-rounds shape).
+[[nodiscard]] RadixChoice pick_index_radix(std::int64_t n, int k,
+                                           std::int64_t block_bytes,
+                                           const LinearModel& machine,
+                                           RadixSet set = RadixSet::kAll);
+
+/// The full modeled trade-off curve: one entry per candidate radix.
+[[nodiscard]] std::vector<RadixChoice> index_radix_curve(
+    std::int64_t n, int k, std::int64_t block_bytes, const LinearModel& machine,
+    RadixSet set = RadixSet::kAll);
+
+/// Block size at which the modeled times of two radices cross, found by
+/// scanning block sizes in [1, limit].  Returns 0 if they never cross.
+/// Used to reproduce Fig. 5's break-even observation (~100–200 bytes between
+/// r = 2 and r = n on the SP-1 model at n = 64).
+[[nodiscard]] std::int64_t crossover_block_bytes(std::int64_t n, int k,
+                                                 std::int64_t radix_a,
+                                                 std::int64_t radix_b,
+                                                 const LinearModel& machine,
+                                                 std::int64_t limit = 1 << 20);
+
+}  // namespace bruck::model

@@ -1,0 +1,61 @@
+// The abstract k-port communicator the collective algorithms are written
+// against (the substrate interface of Section 1.2's model).
+//
+// A *round* is one synchronous communication step of the paper's model: each
+// processor may send up to k messages and receive up to k messages.  The
+// algorithm supplies the global round index explicitly; this is what lets
+// the trace compute C1 and C2 exactly as the paper defines them even when
+// some ranks are idle in some rounds (tree-based baselines).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bruck::mps {
+
+struct SendSpec {
+  std::int64_t dst = 0;
+  std::span<const std::byte> data;
+};
+
+struct RecvSpec {
+  std::int64_t src = 0;
+  /// Exact-size landing buffer; the substrate asserts the incoming payload
+  /// matches data.size() (the paper's algorithms always know the sizes).
+  std::span<std::byte> data;
+};
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  [[nodiscard]] virtual std::int64_t rank() const = 0;
+  [[nodiscard]] virtual std::int64_t size() const = 0;
+  [[nodiscard]] virtual int ports() const = 0;
+
+  /// Execute one communication round.  Preconditions:
+  ///  * sends.size() ≤ ports() and recvs.size() ≤ ports();
+  ///  * no self-sends;
+  ///  * `round` is strictly greater than any round this rank used before.
+  /// Sends are posted first (buffered, non-blocking), then receives complete
+  /// in spec order; the call returns when all receives have landed.
+  virtual void exchange(int round, std::span<const SendSpec> sends,
+                        std::span<const RecvSpec> recvs) = 0;
+
+  /// Appendix A's send_and_recv: one send and one receive as a single
+  /// one-port round.
+  void send_and_recv(int round, std::span<const std::byte> out,
+                     std::int64_t dst, std::span<std::byte> in,
+                     std::int64_t src) {
+    const SendSpec s{dst, out};
+    const RecvSpec r{src, in};
+    exchange(round, {&s, 1}, {&r, 1});
+  }
+
+  /// Block until all ranks reached this barrier (used for timing fences, not
+  /// required for correctness of exchanges).
+  virtual void barrier() = 0;
+};
+
+}  // namespace bruck::mps

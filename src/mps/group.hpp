@@ -1,0 +1,51 @@
+// Process groups — Appendix A's collectives take "A, the array of the n
+// different processor ids, such that A[i] = p_i": the operations run inside
+// an ordered subset of the machine, with group ranks translated through A.
+// GroupComm realizes exactly that: a Communicator view over an ordered
+// member list of a parent communicator.  Collectives run unmodified inside
+// the group; disjoint groups run concurrently on one fabric (the paper's
+// "operate within arbitrary and dynamic subsets of processors",
+// Section 1.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::mps {
+
+class GroupComm final : public Communicator {
+ public:
+  /// `members[i]` is the parent rank acting as group rank i (the paper's
+  /// A[i] = p_i).  Members must be distinct, valid parent ranks, and
+  /// include the calling parent rank.
+  GroupComm(Communicator& parent, std::vector<std::int64_t> members);
+
+  [[nodiscard]] std::int64_t rank() const override { return group_rank_; }
+  [[nodiscard]] std::int64_t size() const override {
+    return static_cast<std::int64_t>(members_.size());
+  }
+  [[nodiscard]] int ports() const override { return parent_->ports(); }
+
+  /// Appendix A's getrank: the group rank of a parent rank, or −1.
+  [[nodiscard]] std::int64_t getrank(std::int64_t parent_rank) const;
+
+  /// The parent rank of a group rank (A[i]).
+  [[nodiscard]] std::int64_t member(std::int64_t group_rank) const;
+
+  void exchange(int round, std::span<const SendSpec> sends,
+                std::span<const RecvSpec> recvs) override;
+
+  /// Group barriers are intentionally unsupported: the parent barrier spans
+  /// the whole fabric, and the group's collectives synchronize through
+  /// their own receives.  Throws ContractViolation.
+  [[noreturn]] void barrier() override;
+
+ private:
+  Communicator* parent_;
+  std::vector<std::int64_t> members_;
+  std::int64_t group_rank_ = -1;
+};
+
+}  // namespace bruck::mps

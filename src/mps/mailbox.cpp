@@ -1,0 +1,42 @@
+#include "mps/mailbox.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+void Mailbox::push(Message m) {
+  {
+    const std::scoped_lock lock(mu_);
+    queues_[m.src].push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_from(std::int64_t src, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    const auto it = queues_.find(src);
+    return it != queues_.end() && !it->second.empty();
+  });
+  if (!ok) {
+    std::ostringstream os;
+    os << "mailbox receive from rank " << src << " timed out after "
+       << timeout.count() << " ms (deadlock or mismatched exchange?)";
+    throw ContractViolation(os.str());
+  }
+  auto& q = queues_[src];
+  Message m = std::move(q.front());
+  q.pop_front();
+  return m;
+}
+
+std::size_t Mailbox::pending() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [src, q] : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace bruck::mps

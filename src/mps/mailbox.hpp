@@ -1,0 +1,42 @@
+// Buffered per-destination mailbox.  Sends never block (the paper's model
+// has no flow control below the round structure); receives block until the
+// next message from the requested source arrives, with a timeout so that a
+// deadlocked algorithm fails loudly instead of hanging the test binary.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "mps/message.hpp"
+
+namespace bruck::mps {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message (called from the sender's thread).
+  void push(Message m);
+
+  /// Pop the oldest pending message from `src`; blocks up to `timeout`.
+  /// Throws bruck::ContractViolation on timeout — a deadlock diagnostic,
+  /// not a recoverable condition.
+  [[nodiscard]] Message pop_from(std::int64_t src,
+                                 std::chrono::milliseconds timeout);
+
+  /// Number of queued messages over all sources (diagnostics; O(sources)).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::int64_t, std::deque<Message>> queues_;
+};
+
+}  // namespace bruck::mps

@@ -1,0 +1,22 @@
+// The wire unit of the multiport message-passing substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bruck::mps {
+
+struct Message {
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  /// Per-(src, dst) sequence number assigned by the sender; receivers check
+  /// it to assert FIFO channel order was preserved.
+  std::int64_t seq = 0;
+  /// Global communication-round index supplied by the algorithm; carried for
+  /// trace/bookkeeping only (matching is FIFO per channel).
+  int round = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace bruck::mps

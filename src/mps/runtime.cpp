@@ -1,0 +1,57 @@
+#include "mps/runtime.hpp"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+RunResult run_spmd(const FabricOptions& options,
+                   const std::function<void(Communicator&)>& body) {
+  BRUCK_REQUIRE(options.n >= 1);
+  BRUCK_REQUIRE(options.k >= 1);
+  BRUCK_REQUIRE(body != nullptr);
+
+  auto fabric = std::make_shared<Fabric>(options);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(options.n));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(options.n));
+    for (std::int64_t rank = 0; rank < options.n; ++rank) {
+      threads.emplace_back([&, rank] {
+        try {
+          ThreadComm comm(*fabric, rank);
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(rank)] = std::current_exception();
+          fabric->drop_from_barrier();
+        }
+      });
+    }
+  }  // jthread joins here
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  RunResult result;
+  result.trace = std::shared_ptr<Trace>(fabric, &fabric->trace());
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+RunResult run_spmd(std::int64_t n, int k,
+                   const std::function<void(Communicator&)>& body) {
+  FabricOptions options;
+  options.n = n;
+  options.k = k;
+  return run_spmd(options, body);
+}
+
+}  // namespace bruck::mps

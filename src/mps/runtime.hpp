@@ -1,0 +1,29 @@
+// SPMD launcher: run the same body on n rank threads over one Fabric, join,
+// propagate failures, and hand back the executed trace and wall time.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mps/thread_comm.hpp"
+
+namespace bruck::mps {
+
+struct RunResult {
+  /// Executed communication trace (empty if record_trace was off).
+  std::shared_ptr<Trace> trace;
+  /// Wall-clock seconds of the parallel section (thread spawn to last join).
+  double wall_seconds = 0.0;
+};
+
+/// Run `body(comm)` on every rank of a fabric described by `options`.
+/// If any rank throws, the first exception (by rank order) is rethrown after
+/// all threads have been joined.
+RunResult run_spmd(const FabricOptions& options,
+                   const std::function<void(Communicator&)>& body);
+
+/// Convenience overload for the common (n, k) case.
+RunResult run_spmd(std::int64_t n, int k,
+                   const std::function<void(Communicator&)>& body);
+
+}  // namespace bruck::mps

@@ -1,0 +1,91 @@
+#include "mps/thread_comm.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+Fabric::Fabric(const FabricOptions& options)
+    : options_(options),
+      trace_(options.n, options.k),
+      barrier_(static_cast<std::ptrdiff_t>(options.n)) {
+  BRUCK_REQUIRE(options_.n >= 1);
+  BRUCK_REQUIRE(options_.k >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(options_.n));
+  for (std::int64_t i = 0; i < options_.n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& Fabric::mailbox(std::int64_t rank) {
+  BRUCK_REQUIRE(rank >= 0 && rank < options_.n);
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void Fabric::arrive_at_barrier() { barrier_.arrive_and_wait(); }
+
+void Fabric::drop_from_barrier() { barrier_.arrive_and_drop(); }
+
+ThreadComm::ThreadComm(Fabric& fabric, std::int64_t rank)
+    : fabric_(&fabric),
+      rank_(rank),
+      send_seq_(static_cast<std::size_t>(fabric.n()), 0),
+      recv_seq_(static_cast<std::size_t>(fabric.n()), 0) {
+  BRUCK_REQUIRE(rank >= 0 && rank < fabric.n());
+}
+
+void ThreadComm::exchange(int round, std::span<const SendSpec> sends,
+                          std::span<const RecvSpec> recvs) {
+  BRUCK_REQUIRE_MSG(round > last_round_,
+                    "round indices must be strictly increasing per rank");
+  BRUCK_REQUIRE_MSG(static_cast<int>(sends.size()) <= ports(),
+                    "more sends than ports in one round");
+  BRUCK_REQUIRE_MSG(static_cast<int>(recvs.size()) <= ports(),
+                    "more receives than ports in one round");
+  last_round_ = round;
+
+  // Post all sends first: buffered, so a round never deadlocks regardless of
+  // the global send/receive ordering across ranks.
+  for (const SendSpec& s : sends) {
+    BRUCK_REQUIRE_MSG(s.dst != rank_, "self-send (local data needs no port)");
+    BRUCK_REQUIRE(s.dst >= 0 && s.dst < size());
+    BRUCK_REQUIRE_MSG(!s.data.empty(), "empty message");
+    Message m;
+    m.src = rank_;
+    m.dst = s.dst;
+    m.seq = send_seq_[static_cast<std::size_t>(s.dst)]++;
+    m.round = round;
+    m.payload.assign(s.data.begin(), s.data.end());
+    if (fabric_->options().record_trace) {
+      fabric_->trace().sink(rank_).record_send(
+          round, s.dst, static_cast<std::int64_t>(s.data.size()));
+    }
+    fabric_->mailbox(s.dst).push(std::move(m));
+  }
+
+  // Complete receives in spec order; FIFO per channel plus the sequence
+  // check makes any send/receive mismatch a hard error at the first
+  // misaligned message.
+  for (const RecvSpec& r : recvs) {
+    BRUCK_REQUIRE_MSG(r.src != rank_, "self-receive");
+    BRUCK_REQUIRE(r.src >= 0 && r.src < size());
+    Message m = fabric_->mailbox(rank_).pop_from(
+        r.src, fabric_->options().recv_timeout);
+    const std::int64_t expected_seq = recv_seq_[static_cast<std::size_t>(r.src)]++;
+    if (m.seq != expected_seq || m.payload.size() != r.data.size()) {
+      std::ostringstream os;
+      os << "rank " << rank_ << " round " << round << ": message from rank "
+         << r.src << " has seq " << m.seq << " (expected " << expected_seq
+         << ") and " << m.payload.size() << " bytes (expected "
+         << r.data.size() << ")";
+      throw ContractViolation(os.str());
+    }
+    std::memcpy(r.data.data(), m.payload.data(), m.payload.size());
+  }
+}
+
+void ThreadComm::barrier() { fabric_->arrive_at_barrier(); }
+
+}  // namespace bruck::mps

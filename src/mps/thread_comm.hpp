@@ -1,0 +1,76 @@
+// The substrate implementation: a Fabric owns the shared state (mailboxes,
+// trace, barrier) of one simulated machine; each rank thread drives a
+// ThreadComm facade bound to its rank.
+#pragma once
+
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mps/communicator.hpp"
+#include "mps/mailbox.hpp"
+#include "mps/trace.hpp"
+
+namespace bruck::mps {
+
+struct FabricOptions {
+  std::int64_t n = 1;
+  int k = 1;
+  bool record_trace = true;
+  /// Receive timeout: a deadlocked or mismatched algorithm throws instead of
+  /// hanging the process.
+  std::chrono::milliseconds recv_timeout{30000};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricOptions& options);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] std::int64_t n() const { return options_.n; }
+  [[nodiscard]] int k() const { return options_.k; }
+  [[nodiscard]] const FabricOptions& options() const { return options_; }
+
+  [[nodiscard]] Mailbox& mailbox(std::int64_t rank);
+  [[nodiscard]] Trace& trace() { return trace_; }
+  void arrive_at_barrier();
+
+  /// Called by a rank that is abandoning the computation (exception unwind):
+  /// removes it from all future barrier phases so surviving ranks cannot
+  /// hang waiting for it.
+  void drop_from_barrier();
+
+ private:
+  FabricOptions options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Trace trace_;
+  std::barrier<> barrier_;
+};
+
+class ThreadComm final : public Communicator {
+ public:
+  ThreadComm(Fabric& fabric, std::int64_t rank);
+
+  [[nodiscard]] std::int64_t rank() const override { return rank_; }
+  [[nodiscard]] std::int64_t size() const override { return fabric_->n(); }
+  [[nodiscard]] int ports() const override { return fabric_->k(); }
+
+  void exchange(int round, std::span<const SendSpec> sends,
+                std::span<const RecvSpec> recvs) override;
+  void barrier() override;
+
+  /// Highest round index this rank has used, or −1.
+  [[nodiscard]] int last_round() const { return last_round_; }
+
+ private:
+  Fabric* fabric_;
+  std::int64_t rank_;
+  int last_round_ = -1;
+  std::vector<std::int64_t> send_seq_;  // per-destination next sequence
+  std::vector<std::int64_t> recv_seq_;  // per-source next expected sequence
+};
+
+}  // namespace bruck::mps

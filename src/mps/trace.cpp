@@ -1,0 +1,51 @@
+#include "mps/trace.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+Trace::Trace(std::int64_t n, int k) : n_(n), k_(k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  sinks_.resize(static_cast<std::size_t>(n));
+}
+
+TraceSink& Trace::sink(std::int64_t rank) {
+  BRUCK_REQUIRE(rank >= 0 && rank < n_);
+  return sinks_[static_cast<std::size_t>(rank)];
+}
+
+sched::Schedule Trace::to_schedule() const {
+  int max_round = -1;
+  for (const TraceSink& s : sinks_) {
+    for (const SendEvent& e : s.sends()) max_round = std::max(max_round, e.round);
+  }
+  sched::Schedule schedule(n_, k_);
+  for (int r = 0; r <= max_round; ++r) schedule.add_round();
+  for (std::int64_t rank = 0; rank < n_; ++rank) {
+    for (const SendEvent& e : sinks_[static_cast<std::size_t>(rank)].sends()) {
+      BRUCK_ENSURE_MSG(e.round >= 0, "negative round index recorded");
+      schedule.add_transfer(static_cast<std::size_t>(e.round),
+                            sched::Transfer{rank, e.dst, e.bytes});
+    }
+  }
+  schedule.normalize();
+  const std::string err = schedule.validate();
+  BRUCK_ENSURE_MSG(err.empty(), "executed trace violates the k-port model: " + err);
+  return schedule;
+}
+
+model::CostMetrics Trace::metrics() const {
+  if (event_count() == 0) return {};
+  return to_schedule().metrics();
+}
+
+std::size_t Trace::event_count() const {
+  std::size_t total = 0;
+  for (const TraceSink& s : sinks_) total += s.sends().size();
+  return total;
+}
+
+}  // namespace bruck::mps

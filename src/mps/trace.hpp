@@ -1,0 +1,64 @@
+// Per-rank communication event log and its aggregation into the paper's
+// complexity measures.
+//
+// Each rank owns a pre-allocated sink and appends without synchronization;
+// aggregation happens after all rank threads have joined.  The aggregate can
+// be rendered as a sched::Schedule, giving an executed-trace view that tests
+// compare against the independently *built* schedule for the same algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/metrics.hpp"
+#include "sched/schedule.hpp"
+
+namespace bruck::mps {
+
+struct SendEvent {
+  int round = 0;
+  std::int64_t dst = 0;
+  std::int64_t bytes = 0;
+};
+
+/// One rank's append-only event log.
+class TraceSink {
+ public:
+  void record_send(int round, std::int64_t dst, std::int64_t bytes) {
+    sends_.push_back(SendEvent{round, dst, bytes});
+  }
+  [[nodiscard]] const std::vector<SendEvent>& sends() const { return sends_; }
+  void clear() { sends_.clear(); }
+
+ private:
+  std::vector<SendEvent> sends_;
+};
+
+class Trace {
+ public:
+  Trace(std::int64_t n, int k);
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+
+  /// The sink owned by `rank`; each rank must touch only its own sink while
+  /// threads are running.
+  [[nodiscard]] TraceSink& sink(std::int64_t rank);
+
+  /// Rebuild the global round structure from all sinks.  Only valid after
+  /// the rank threads joined.  Validates the k-port constraints.
+  [[nodiscard]] sched::Schedule to_schedule() const;
+
+  /// The paper's measures of the executed pattern.
+  [[nodiscard]] model::CostMetrics metrics() const;
+
+  /// Total number of recorded send events across ranks.
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  std::int64_t n_;
+  int k_;
+  std::vector<TraceSink> sinks_;
+};
+
+}  // namespace bruck::mps

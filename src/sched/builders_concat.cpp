@@ -1,0 +1,126 @@
+#include "sched/builders_concat.hpp"
+
+#include "topo/binomial.hpp"
+#include "topo/partition.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::sched {
+
+namespace {
+
+/// Append the one-round pattern of a table partition: every rank sends every
+/// area on its own port at offset n1 + L_m.
+void add_partition_round(Schedule& s, std::int64_t n, std::int64_t n1,
+                         const topo::TablePartition& part) {
+  const std::size_t round = s.add_round();
+  for (const topo::Area& area : part.areas) {
+    const std::int64_t offset = n1 + area.left_col();
+    const std::int64_t bytes = area.size();
+    for (std::int64_t u = 0; u < n; ++u) {
+      s.add_transfer(round, Transfer{u, pos_mod(u - offset, n), bytes});
+    }
+  }
+}
+
+}  // namespace
+
+Schedule build_concat_bruck(std::int64_t n, int k, std::int64_t block_bytes,
+                            model::ConcatLastRound strategy) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, k);
+  if (n == 1 || block_bytes == 0) return s;
+  if (strategy == model::ConcatLastRound::kAuto) {
+    strategy = model::concat_byte_split_feasible(n, k, block_bytes)
+                   ? model::ConcatLastRound::kByteSplit
+                   : model::ConcatLastRound::kColumnGranular;
+  }
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+  std::int64_t cur = 1;
+  for (int i = 0; i + 1 < d; ++i) {
+    const std::size_t round = s.add_round();
+    for (int j = 1; j <= k; ++j) {
+      for (std::int64_t u = 0; u < n; ++u) {
+        s.add_transfer(
+            round, Transfer{u, pos_mod(u - j * cur, n), cur * block_bytes});
+      }
+    }
+    cur *= (k + 1);
+  }
+  if (n2 == 0) return s;
+  switch (strategy) {
+    case model::ConcatLastRound::kByteSplit:
+      add_partition_round(
+          s, n, n1, topo::byte_split_partition(n1, n2, block_bytes, k));
+      break;
+    case model::ConcatLastRound::kColumnGranular:
+      add_partition_round(
+          s, n, n1, topo::column_granular_partition(n1, n2, block_bytes, k));
+      break;
+    case model::ConcatLastRound::kTwoRound: {
+      if (n2 <= k) {
+        add_partition_round(
+            s, n, n1, topo::column_granular_partition(n1, n2, block_bytes, k));
+      } else {
+        add_partition_round(
+            s, n, n1, topo::byte_split_partition(n1, n2 - k, block_bytes, k));
+        const std::size_t round = s.add_round();
+        for (std::int64_t c = n2 - k; c < n2; ++c) {
+          const std::int64_t offset = n1 + c;
+          for (std::int64_t u = 0; u < n; ++u) {
+            s.add_transfer(round,
+                           Transfer{u, pos_mod(u - offset, n), block_bytes});
+          }
+        }
+      }
+      break;
+    }
+    case model::ConcatLastRound::kAuto:
+      BRUCK_ENSURE_MSG(false, "kAuto resolved above");
+  }
+  return s;
+}
+
+Schedule build_concat_folklore(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, /*k=*/1);
+  if (n == 1 || block_bytes == 0) return s;
+  const auto gather = topo::binomial_gather_rounds(n);
+  for (std::size_t i = 0; i < gather.size(); ++i) {
+    const std::size_t round = s.add_round();
+    for (const topo::RoundEdge& e : gather[i]) {
+      const std::int64_t seg =
+          topo::binomial_gather_segment(n, e.from, static_cast<int>(i));
+      s.add_transfer(round, Transfer{e.from, e.to, seg * block_bytes});
+    }
+  }
+  const auto bcast = topo::binomial_broadcast_rounds(n);
+  for (const auto& edges : bcast) {
+    const std::size_t round = s.add_round();
+    for (const topo::RoundEdge& e : edges) {
+      s.add_transfer(round, Transfer{e.from, e.to, n * block_bytes});
+    }
+  }
+  return s;
+}
+
+Schedule build_concat_ring(std::int64_t n, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, /*k=*/1);
+  if (n == 1 || block_bytes == 0) return s;
+  for (std::int64_t t = 0; t < n - 1; ++t) {
+    const std::size_t round = s.add_round();
+    for (std::int64_t u = 0; u < n; ++u) {
+      s.add_transfer(round, Transfer{u, pos_mod(u + 1, n), block_bytes});
+    }
+  }
+  return s;
+}
+
+}  // namespace bruck::sched

@@ -1,0 +1,26 @@
+// Data-free derivations of the concatenation algorithms' patterns (see
+// builders_index.hpp for the cross-check rationale).
+#pragma once
+
+#include <cstdint>
+
+#include "model/costs.hpp"
+#include "sched/schedule.hpp"
+
+namespace bruck::sched {
+
+/// Section 4 circulant concatenation on n ranks, k ports, b-byte blocks,
+/// with the given last-round strategy (kAuto resolves exactly as coll/).
+[[nodiscard]] Schedule build_concat_bruck(std::int64_t n, int k,
+                                          std::int64_t block_bytes,
+                                          model::ConcatLastRound strategy);
+
+/// Folklore binomial gather + broadcast (one port).
+[[nodiscard]] Schedule build_concat_folklore(std::int64_t n,
+                                             std::int64_t block_bytes);
+
+/// Ring allgather (one port).
+[[nodiscard]] Schedule build_concat_ring(std::int64_t n,
+                                         std::int64_t block_bytes);
+
+}  // namespace bruck::sched

@@ -1,0 +1,77 @@
+#include "sched/builders_index.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/radix.hpp"
+
+namespace bruck::sched {
+
+Schedule build_index_bruck(std::int64_t n, std::int64_t r, int k,
+                           std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE(r >= 2 && r <= std::max<std::int64_t>(2, n));
+  Schedule s(n, k);
+  if (n == 1 || block_bytes == 0) return s;
+  const int w = radix_digit_count(n, r);
+  for (int x = 0; x < w; ++x) {
+    const std::int64_t dist = ipow(r, x);
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      const std::size_t round = s.add_round();
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::int64_t bytes =
+            block_bytes * radix_digit_census(n, r, x, z);
+        for (std::int64_t i = 0; i < n; ++i) {
+          s.add_transfer(round,
+                         Transfer{i, pos_mod(i + z * dist, n), bytes});
+        }
+      }
+    }
+  }
+  return s;
+}
+
+Schedule build_index_direct(std::int64_t n, int k, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, k);
+  if (n == 1 || block_bytes == 0) return s;
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    const std::size_t round = s.add_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        s.add_transfer(round, Transfer{i, pos_mod(i + j, n), block_bytes});
+      }
+    }
+  }
+  return s;
+}
+
+Schedule build_index_pairwise(std::int64_t n, int k,
+                              std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE(is_pow2(n));
+  Schedule s(n, k);
+  if (n == 1 || block_bytes == 0) return s;
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    const std::size_t round = s.add_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        s.add_transfer(round, Transfer{i, i ^ j, block_bytes});
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace bruck::sched

@@ -1,0 +1,104 @@
+#include "sched/builders_primitives.hpp"
+
+#include <algorithm>
+
+#include "topo/binomial.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::sched {
+
+Schedule build_bcast_circulant(std::int64_t n, int k, std::int64_t root,
+                               std::int64_t payload_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(payload_bytes >= 0);
+  Schedule s(n, k);
+  if (n == 1 || payload_bytes == 0) return s;
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+  for (int i = 0; i < d; ++i) {
+    const std::size_t round = s.add_round();
+    if (i < d - 1) {
+      const std::int64_t base = ipow(k + 1, i);
+      for (std::int64_t v = 0; v < base; ++v) {
+        for (int j = 1; j <= k; ++j) {
+          s.add_transfer(round, Transfer{pos_mod(root + v, n),
+                                         pos_mod(root + v + j * base, n),
+                                         payload_bytes});
+        }
+      }
+    } else {
+      for (std::int64_t c = 0; c < n2; ++c) {
+        s.add_transfer(round, Transfer{pos_mod(root + (c % n1), n),
+                                       pos_mod(root + n1 + c, n),
+                                       payload_bytes});
+      }
+    }
+  }
+  return s;
+}
+
+Schedule build_bcast_binomial(std::int64_t n, std::int64_t root,
+                              std::int64_t payload_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(payload_bytes >= 0);
+  Schedule s(n, 1);
+  if (n == 1 || payload_bytes == 0) return s;
+  for (const auto& edges : topo::binomial_broadcast_rounds(n)) {
+    const std::size_t round = s.add_round();
+    for (const topo::RoundEdge& e : edges) {
+      s.add_transfer(round, Transfer{pos_mod(root + e.from, n),
+                                     pos_mod(root + e.to, n), payload_bytes});
+    }
+  }
+  return s;
+}
+
+Schedule build_gather_binomial(std::int64_t n, std::int64_t root,
+                               std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, 1);
+  if (n == 1 || block_bytes == 0) return s;
+  const auto rounds = topo::binomial_gather_rounds(n);
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const std::size_t round = s.add_round();
+    for (const topo::RoundEdge& e : rounds[i]) {
+      const std::int64_t seg =
+          topo::binomial_gather_segment(n, e.from, static_cast<int>(i));
+      s.add_transfer(round, Transfer{pos_mod(root + e.from, n),
+                                     pos_mod(root + e.to, n),
+                                     seg * block_bytes});
+    }
+  }
+  return s;
+}
+
+Schedule build_scatter_binomial(std::int64_t n, std::int64_t root,
+                                std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  Schedule s(n, 1);
+  if (n == 1 || block_bytes == 0) return s;
+  const int d = ceil_log(n, 2);
+  for (int j = 0; j < d; ++j) {
+    const std::size_t round = s.add_round();
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    for (std::int64_t v = 0; v + stride < n; v += 2 * stride) {
+      const std::int64_t upper =
+          std::min<std::int64_t>(stride, n - v - stride);
+      s.add_transfer(round, Transfer{pos_mod(root + v, n),
+                                     pos_mod(root + v + stride, n),
+                                     upper * block_bytes});
+    }
+  }
+  return s;
+}
+
+}  // namespace bruck::sched

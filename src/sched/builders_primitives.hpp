@@ -1,0 +1,28 @@
+// Data-free derivations of the one-to-all / all-to-one primitives
+// (broadcast, gather, scatter) — see builders_index.hpp for the rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+
+namespace bruck::sched {
+
+/// k-port circulant-tree broadcast from `root`.
+[[nodiscard]] Schedule build_bcast_circulant(std::int64_t n, int k,
+                                             std::int64_t root,
+                                             std::int64_t payload_bytes);
+
+/// One-port binomial broadcast from `root`.
+[[nodiscard]] Schedule build_bcast_binomial(std::int64_t n, std::int64_t root,
+                                            std::int64_t payload_bytes);
+
+/// One-port binomial gather to `root`.
+[[nodiscard]] Schedule build_gather_binomial(std::int64_t n, std::int64_t root,
+                                             std::int64_t block_bytes);
+
+/// One-port binomial scatter from `root`.
+[[nodiscard]] Schedule build_scatter_binomial(std::int64_t n, std::int64_t root,
+                                              std::int64_t block_bytes);
+
+}  // namespace bruck::sched

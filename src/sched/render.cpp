@@ -1,0 +1,66 @@
+#include "sched/render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace bruck::sched {
+
+std::string render_rounds(const Schedule& schedule) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < schedule.rounds().size(); ++i) {
+    os << "round " << i << ':';
+    std::vector<Transfer> transfers = schedule.rounds()[i].transfers;
+    std::sort(transfers.begin(), transfers.end());
+    for (const Transfer& t : transfers) {
+      os << ' ' << t.src << "->" << t.dst << ':' << t.bytes;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_traffic_matrix(const Schedule& schedule) {
+  const auto n = static_cast<std::size_t>(schedule.n());
+  std::vector<std::vector<std::int64_t>> traffic(
+      n, std::vector<std::int64_t>(n, 0));
+  for (const Round& round : schedule.rounds()) {
+    for (const Transfer& t : round.transfers) {
+      traffic[static_cast<std::size_t>(t.src)][static_cast<std::size_t>(t.dst)] +=
+          t.bytes;
+    }
+  }
+  // Column width from the largest entry.
+  std::int64_t widest = 0;
+  for (const auto& row : traffic) {
+    for (std::int64_t v : row) widest = std::max(widest, v);
+  }
+  const int width =
+      std::max<int>(4, static_cast<int>(std::to_string(widest).size()) + 1);
+
+  std::ostringstream os;
+  os << "bytes sent (row = source, column = destination)\n";
+  os << std::setw(6) << "src\\dst";
+  for (std::size_t c = 0; c < n; ++c) os << std::setw(width) << c;
+  os << std::setw(width + 2) << "sum" << '\n';
+  for (std::size_t r = 0; r < n; ++r) {
+    os << std::setw(6) << r << ' ';
+    std::int64_t sum = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      os << std::setw(width) << traffic[r][c];
+      sum += traffic[r][c];
+    }
+    os << std::setw(width + 2) << sum << '\n';
+  }
+  os << std::setw(6) << "sum" << ' ';
+  for (std::size_t c = 0; c < n; ++c) {
+    std::int64_t sum = 0;
+    for (std::size_t r = 0; r < n; ++r) sum += traffic[r][c];
+    os << std::setw(width) << sum;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace bruck::sched

@@ -1,0 +1,21 @@
+// Human-readable renderings of schedules: a per-round transfer listing and
+// an n×n aggregate traffic matrix.  Used by the walkthrough example and the
+// benches to show who talks to whom, and by tests as a smoke check that the
+// renderer tracks the schedule.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace bruck::sched {
+
+/// One line per round: "round 3: 0->1:16 2->5:16 ...", transfers in
+/// normalized order.
+[[nodiscard]] std::string render_rounds(const Schedule& schedule);
+
+/// An n×n matrix of total bytes sent from row-rank to column-rank over the
+/// whole schedule, with row/column sums.
+[[nodiscard]] std::string render_traffic_matrix(const Schedule& schedule);
+
+}  // namespace bruck::sched

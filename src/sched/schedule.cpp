@@ -1,0 +1,84 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bruck::sched {
+
+Schedule::Schedule(std::int64_t n, int k) : n_(n), k_(k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+}
+
+std::size_t Schedule::add_round() {
+  rounds_.emplace_back();
+  return rounds_.size() - 1;
+}
+
+void Schedule::add_transfer(std::size_t round, Transfer t) {
+  BRUCK_REQUIRE(round < rounds_.size());
+  rounds_[round].transfers.push_back(t);
+}
+
+std::string Schedule::validate() const {
+  std::vector<int> sends(static_cast<std::size_t>(n_));
+  std::vector<int> recvs(static_cast<std::size_t>(n_));
+  for (std::size_t ri = 0; ri < rounds_.size(); ++ri) {
+    std::fill(sends.begin(), sends.end(), 0);
+    std::fill(recvs.begin(), recvs.end(), 0);
+    if (rounds_[ri].transfers.empty()) {
+      std::ostringstream os;
+      os << "round " << ri << " is empty (rounds must contain a transfer)";
+      return os.str();
+    }
+    for (const Transfer& t : rounds_[ri].transfers) {
+      auto fail = [&](const char* why) {
+        std::ostringstream os;
+        os << "round " << ri << ": transfer " << t.src << "->" << t.dst << " ("
+           << t.bytes << " B): " << why;
+        return os.str();
+      };
+      if (t.src < 0 || t.src >= n_) return fail("source rank out of range");
+      if (t.dst < 0 || t.dst >= n_) return fail("destination rank out of range");
+      if (t.src == t.dst) return fail("self-send (local data needs no port)");
+      if (t.bytes <= 0) return fail("message must carry at least one byte");
+      if (++sends[static_cast<std::size_t>(t.src)] > k_)
+        return fail("sender exceeds k send ports this round");
+      if (++recvs[static_cast<std::size_t>(t.dst)] > k_)
+        return fail("receiver exceeds k receive ports this round");
+    }
+  }
+  return {};
+}
+
+model::CostMetrics Schedule::metrics() const {
+  const std::string err = validate();
+  BRUCK_REQUIRE_MSG(err.empty(), err);
+  model::CostMetrics m;
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_));
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_));
+  for (const Round& round : rounds_) {
+    std::int64_t round_max = 0;
+    for (const Transfer& t : round.transfers) {
+      round_max = std::max(round_max, t.bytes);
+      m.total_bytes += t.bytes;
+      sent[static_cast<std::size_t>(t.src)] += t.bytes;
+      recv[static_cast<std::size_t>(t.dst)] += t.bytes;
+    }
+    m.c1 += 1;
+    m.c2 += round_max;
+  }
+  for (std::int64_t v : sent) m.max_rank_sent = std::max(m.max_rank_sent, v);
+  for (std::int64_t v : recv) m.max_rank_recv = std::max(m.max_rank_recv, v);
+  return m;
+}
+
+void Schedule::normalize() {
+  for (Round& round : rounds_) {
+    std::sort(round.transfers.begin(), round.transfers.end());
+  }
+}
+
+}  // namespace bruck::sched

@@ -1,0 +1,44 @@
+#include "sched/virtual_time.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bruck::sched {
+
+VirtualTimeResult virtual_time(const sched::Schedule& schedule,
+                               const model::LinearModel& machine) {
+  const std::string err = schedule.validate();
+  BRUCK_REQUIRE_MSG(err.empty(), err);
+  const auto n = static_cast<std::size_t>(schedule.n());
+  VirtualTimeResult result;
+  result.finish_us.assign(n, 0.0);
+  std::vector<double> next(n);
+  for (const sched::Round& round : schedule.rounds()) {
+    next = result.finish_us;  // idle ranks keep their clocks
+    for (const sched::Transfer& t : round.transfers) {
+      const auto s = static_cast<std::size_t>(t.src);
+      const auto d = static_cast<std::size_t>(t.dst);
+      const double start =
+          std::max(result.finish_us[s], result.finish_us[d]);
+      const double done = start + machine.message_us(t.bytes);
+      next[s] = std::max(next[s], done);
+      next[d] = std::max(next[d], done);
+    }
+    result.finish_us = next;
+  }
+  for (double f : result.finish_us) {
+    result.makespan_us = std::max(result.makespan_us, f);
+  }
+  for (double f : result.finish_us) {
+    result.total_slack_us += result.makespan_us - f;
+  }
+  return result;
+}
+
+double virtual_makespan_us(const sched::Schedule& schedule,
+                           const model::LinearModel& machine) {
+  return virtual_time(schedule, machine).makespan_us;
+}
+
+}  // namespace bruck::sched

@@ -1,0 +1,47 @@
+// Event-driven virtual-time evaluation of a schedule.
+//
+// Section 1.2 notes that finer models (BSP, Postal, LogP) "take into
+// account that a receiving processor generally completes its receive
+// operation later than the corresponding sending processor finishes its
+// send" — and that the paper trades that fidelity for the simple
+// T = C1·β + C2·τ.  This module quantifies the gap: it replays a schedule
+// with per-rank clocks and no global round barrier, so an idle rank's slack
+// is not charged to the makespan.
+//
+// Semantics: rank r enters round i at its current clock S_r.  A transfer
+// (s → d, m bytes) in round i completes at max(S_s, S_d) + β + m·τ (the k
+// ports of one rank operate concurrently, so transfers of one round do not
+// queue behind each other).  A rank's clock after the round is the latest
+// completion among the transfers it touches (or S_r if it idles).  The
+// makespan is the largest final clock.
+//
+// For perfectly balanced algorithms (every rank sends the round maximum in
+// every round) the makespan equals the linear model's C1·β + C2·τ exactly;
+// for tree algorithms with idle ranks it is strictly smaller.  The
+// bench_ablation_models binary reports both across the library.
+#pragma once
+
+#include <vector>
+
+#include "model/linear_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace bruck::sched {
+
+struct VirtualTimeResult {
+  double makespan_us = 0.0;
+  /// Final per-rank clocks (µs).
+  std::vector<double> finish_us;
+  /// Σ over ranks of (makespan − finish): aggregate idle tail.
+  double total_slack_us = 0.0;
+};
+
+/// Replay `schedule` under `machine` with per-rank clocks.
+[[nodiscard]] VirtualTimeResult virtual_time(const sched::Schedule& schedule,
+                                             const model::LinearModel& machine);
+
+/// Convenience: makespan only.
+[[nodiscard]] double virtual_makespan_us(const sched::Schedule& schedule,
+                                         const model::LinearModel& machine);
+
+}  // namespace bruck::sched

@@ -1,0 +1,58 @@
+#include "topo/binomial.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+
+std::vector<std::vector<RoundEdge>> binomial_gather_rounds(std::int64_t n) {
+  BRUCK_REQUIRE(n >= 1);
+  const int d = n == 1 ? 0 : ceil_log(n, 2);
+  std::vector<std::vector<RoundEdge>> rounds;
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    std::vector<RoundEdge> edges;
+    for (std::int64_t r = stride; r < n; r += 2 * stride) {
+      edges.push_back(RoundEdge{r, r - stride});
+    }
+    rounds.push_back(std::move(edges));
+  }
+  return rounds;
+}
+
+std::vector<std::vector<RoundEdge>> binomial_broadcast_rounds(std::int64_t n) {
+  BRUCK_REQUIRE(n >= 1);
+  const int d = n == 1 ? 0 : ceil_log(n, 2);
+  std::vector<std::vector<RoundEdge>> rounds;
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    std::vector<RoundEdge> edges;
+    for (std::int64_t r = 0; r + stride < n; r += 2 * stride) {
+      edges.push_back(RoundEdge{r, r + stride});
+    }
+    rounds.push_back(std::move(edges));
+  }
+  // Rounds at the top of a truncated tree can be empty for small n (e.g.
+  // n = 3 has no round where stride = 2 sends exist? it does: 0 -> 2).
+  // Remove genuinely empty rounds so C1 is not overcounted.
+  rounds.erase(std::remove_if(rounds.begin(), rounds.end(),
+                              [](const auto& e) { return e.empty(); }),
+               rounds.end());
+  return rounds;
+}
+
+std::int64_t binomial_gather_segment(std::int64_t n, std::int64_t rank,
+                                     int round) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(rank >= 0 && rank < n);
+  BRUCK_REQUIRE(round >= 0);
+  // Before round i, rank r owns [r, min(r + 2^i, next sibling, n)).
+  // Because sends so far merged [r, r + 2^i): the segment is capped by n.
+  const std::int64_t stride = ipow(2, round);
+  return std::max<std::int64_t>(
+      0, std::min(rank + stride, n) - rank);
+}
+
+}  // namespace bruck::topo

@@ -1,0 +1,35 @@
+// Binomial gather/broadcast trees over ranks [0, n) rooted at 0, used by the
+// folklore concatenation baseline (Section 4 intro).  n need not be a power
+// of two; the trees are the standard truncated binomial trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bruck::topo {
+
+struct RoundEdge {
+  std::int64_t from = 0;
+  std::int64_t to = 0;
+
+  friend auto operator<=>(const RoundEdge&, const RoundEdge&) = default;
+};
+
+/// Gather rounds: in round i (0-based), ranks r with r mod 2^{i+1} == 2^i
+/// send their accumulated segment to r − 2^i.  ⌈log2 n⌉ rounds; after the
+/// last, rank 0 holds everything.
+[[nodiscard]] std::vector<std::vector<RoundEdge>> binomial_gather_rounds(
+    std::int64_t n);
+
+/// Broadcast rounds (reverse of gather): in round j, ranks r with
+/// r mod 2^{d−j} == 0 send to r + 2^{d−1−j} (when < n).  ⌈log2 n⌉ rounds;
+/// after the last, every rank has the root's data.
+[[nodiscard]] std::vector<std::vector<RoundEdge>> binomial_broadcast_rounds(
+    std::int64_t n);
+
+/// Size (in blocks) of the contiguous segment [r, …) that rank r owns just
+/// before gather round i; the message size of r's send in that round.
+[[nodiscard]] std::int64_t binomial_gather_segment(std::int64_t n,
+                                                   std::int64_t rank, int round);
+
+}  // namespace bruck::topo

@@ -1,0 +1,113 @@
+#include "topo/circulant.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+
+CirculantGraph::CirculantGraph(std::int64_t n, std::vector<std::int64_t> offsets)
+    : n_(n), offsets_(std::move(offsets)) {
+  BRUCK_REQUIRE(n >= 1);
+  for (std::int64_t s : offsets_) BRUCK_REQUIRE(s >= 1 && s < n);
+  std::sort(offsets_.begin(), offsets_.end());
+  offsets_.erase(std::unique(offsets_.begin(), offsets_.end()), offsets_.end());
+}
+
+bool CirculantGraph::has_edge(std::int64_t u, std::int64_t v) const {
+  BRUCK_REQUIRE(u >= 0 && u < n_);
+  BRUCK_REQUIRE(v >= 0 && v < n_);
+  if (u == v) return false;
+  for (std::int64_t s : offsets_) {
+    if (pos_mod(u + s, n_) == v || pos_mod(u - s, n_) == v) return true;
+  }
+  return false;
+}
+
+std::vector<std::int64_t> CirculantGraph::neighbors(std::int64_t u) const {
+  BRUCK_REQUIRE(u >= 0 && u < n_);
+  std::set<std::int64_t> out;
+  for (std::int64_t s : offsets_) {
+    out.insert(pos_mod(u + s, n_));
+    out.insert(pos_mod(u - s, n_));
+  }
+  out.erase(u);
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::int64_t> concat_round_offsets(int k, int round) {
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(round >= 0);
+  const std::int64_t base = ipow(k + 1, round);
+  std::vector<std::int64_t> s;
+  s.reserve(static_cast<std::size_t>(k));
+  for (int j = 1; j <= k; ++j) s.push_back(j * base);
+  return s;
+}
+
+std::vector<std::int64_t> concat_offset_set(std::int64_t n, int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  const int d = ceil_log(n, k + 1);
+  std::vector<std::int64_t> all;
+  for (int i = 0; i + 1 < d; ++i) {
+    const std::vector<std::int64_t> si = concat_round_offsets(k, i);
+    all.insert(all.end(), si.begin(), si.end());
+  }
+  return all;
+}
+
+namespace {
+
+/// Shared construction: rounds 0..rounds−1 of T_root in relative
+/// coordinates.  After round i the tree is exactly the interval
+/// [0, (k+1)^{i+1}): a node u < (k+1)^i adds children u + j·(k+1)^i for
+/// j = 1..k; every child is new because its digit i in base (k+1) is j ≠ 0
+/// while all of u's digits ≥ i are 0.
+std::vector<TreeEdge> build_tree_rounds(std::int64_t n, int k,
+                                        std::int64_t root, int rounds) {
+  std::vector<TreeEdge> edges;
+  for (int i = 0; i < rounds; ++i) {
+    const std::int64_t base = ipow(k + 1, i);
+    for (std::int64_t u = 0; u < base; ++u) {
+      for (int j = 1; j <= k; ++j) {
+        const std::int64_t child = u + j * base;
+        edges.push_back(
+            TreeEdge{pos_mod(root + u, n), pos_mod(root + child, n), i});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const TreeEdge& a, const TreeEdge& b) {
+              return std::tie(a.round, a.parent, a.child) <
+                     std::tie(b.round, b.parent, b.child);
+            });
+  return edges;
+}
+
+}  // namespace
+
+std::vector<TreeEdge> concat_spanning_tree(std::int64_t n, int k,
+                                           std::int64_t root) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  const int d = ceil_log(n, k + 1);
+  return build_tree_rounds(n, k, root, d - 1);
+}
+
+std::vector<TreeEdge> concat_full_spanning_tree(std::int64_t n, int k,
+                                                std::int64_t root) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(root >= 0 && root < n);
+  const int d = ceil_log(n, k + 1);
+  BRUCK_REQUIRE_MSG(ipow(k + 1, d) == n,
+                    "the full uniform tree exists only for n = (k+1)^d");
+  return build_tree_rounds(n, k, root, d);
+}
+
+}  // namespace bruck::topo

@@ -1,0 +1,74 @@
+// Circulant graphs and the round-labelled spanning trees of Section 4.1.
+//
+// The concatenation algorithm runs on the circulant graph G(n, S) with
+// offset set S = S_0 ∪ … ∪ S_{d−2}, S_i = {(k+1)^i, 2(k+1)^i, …, k(k+1)^i}.
+// The data of node `root` travels down a spanning tree T_root built round by
+// round: in round i, every node already in the tree adds edges with the k
+// offsets of S_i.  After d−1 rounds the tree spans exactly the n1 = (k+1)^{d−1}
+// nodes root, root+1, …, root+n1−1 (mod n).  T_root is the translation of
+// T_0 by root (Fig. 8), which is what makes one schedule serve all n
+// broadcasts simultaneously.
+//
+// The library builds trees with *positive* offsets (node u sends to u + s);
+// the executable concatenation algorithm follows Appendix B and uses the
+// mirror-image negative offsets.  Tests pin down the correspondence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bruck::topo {
+
+/// The circulant graph G(n, S) of the definition in Section 4.
+class CirculantGraph {
+ public:
+  CirculantGraph(std::int64_t n, std::vector<std::int64_t> offsets);
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] const std::vector<std::int64_t>& offsets() const {
+    return offsets_;
+  }
+
+  /// True iff u and v are adjacent, i.e. v ≡ u ± s (mod n) for some s ∈ S.
+  [[nodiscard]] bool has_edge(std::int64_t u, std::int64_t v) const;
+
+  /// All neighbours of u, deduplicated, ascending.
+  [[nodiscard]] std::vector<std::int64_t> neighbors(std::int64_t u) const;
+
+ private:
+  std::int64_t n_;
+  std::vector<std::int64_t> offsets_;
+};
+
+/// The offset set S_i = {(k+1)^i, 2(k+1)^i, …, k(k+1)^i} of round i.
+[[nodiscard]] std::vector<std::int64_t> concat_round_offsets(int k, int round);
+
+/// The full offset set S = S_0 ∪ … ∪ S_{d−2} for (n, k), where
+/// d = ⌈log_{k+1} n⌉.  Empty when d ≤ 1.
+[[nodiscard]] std::vector<std::int64_t> concat_offset_set(std::int64_t n, int k);
+
+/// One directed edge of a round-labelled spanning tree.
+struct TreeEdge {
+  std::int64_t parent = 0;
+  std::int64_t child = 0;
+  int round = 0;
+
+  friend auto operator<=>(const TreeEdge&, const TreeEdge&) = default;
+};
+
+/// The spanning tree T_root of Section 4.1 for the first d−1 rounds of the
+/// concatenation among n nodes with k ports.  Edges are returned sorted by
+/// (round, parent, child).  The tree covers root, root+1, …, root+n1−1
+/// (mod n) where n1 = (k+1)^{⌈log_{k+1} n⌉ − 1}.
+[[nodiscard]] std::vector<TreeEdge> concat_spanning_tree(std::int64_t n, int k,
+                                                         std::int64_t root);
+
+/// The full d-round spanning tree of Figures 7–8, defined when n is an exact
+/// power of k+1 (then the final round continues the uniform offset pattern
+/// S_{d−1} and the tree spans all n nodes).  For n = 9, k = 2, root 0 this
+/// is exactly the paper's Figure 7; root 1 gives Figure 8.
+[[nodiscard]] std::vector<TreeEdge> concat_full_spanning_tree(std::int64_t n,
+                                                              int k,
+                                                              std::int64_t root);
+
+}  // namespace bruck::topo

@@ -1,0 +1,175 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+
+std::int64_t Area::size() const {
+  std::int64_t total = 0;
+  for (const AreaCell& c : cells) total += c.size();
+  return total;
+}
+
+std::int64_t Area::left_col() const {
+  BRUCK_REQUIRE(!cells.empty());
+  return cells.front().col;
+}
+
+std::int64_t Area::right_col() const {
+  BRUCK_REQUIRE(!cells.empty());
+  return cells.back().col;
+}
+
+std::int64_t Area::span() const { return right_col() - left_col() + 1; }
+
+std::int64_t TablePartition::alpha() const {
+  if (k == 0) return 0;
+  return ceil_div(b * n2, k);
+}
+
+std::int64_t TablePartition::max_span() const {
+  std::int64_t m = 0;
+  for (const Area& area : areas) m = std::max(m, area.span());
+  return m;
+}
+
+std::int64_t TablePartition::max_size() const {
+  std::int64_t m = 0;
+  for (const Area& area : areas) m = std::max(m, area.size());
+  return m;
+}
+
+bool TablePartition::feasible() const {
+  return max_span() <= n1 && max_size() <= alpha();
+}
+
+std::string TablePartition::check_exact_cover() const {
+  // Mark every cell; detect overlaps and gaps.
+  std::vector<int> owner(static_cast<std::size_t>(b * n2), -1);
+  for (std::size_t ai = 0; ai < areas.size(); ++ai) {
+    for (const AreaCell& c : areas[ai].cells) {
+      if (c.col < 0 || c.col >= n2 || c.row_begin < 0 || c.row_end > b ||
+          c.row_begin >= c.row_end) {
+        std::ostringstream os;
+        os << "area " << ai << " has an out-of-range cell run (col " << c.col
+           << ", rows [" << c.row_begin << ", " << c.row_end << "))";
+        return os.str();
+      }
+      for (std::int64_t row = c.row_begin; row < c.row_end; ++row) {
+        auto& slot = owner[static_cast<std::size_t>(c.col * b + row)];
+        if (slot != -1) {
+          std::ostringstream os;
+          os << "cell (col " << c.col << ", row " << row
+             << ") covered by areas " << slot << " and " << ai;
+          return os.str();
+        }
+        slot = static_cast<int>(ai);
+      }
+    }
+  }
+  for (std::int64_t col = 0; col < n2; ++col) {
+    for (std::int64_t row = 0; row < b; ++row) {
+      if (owner[static_cast<std::size_t>(col * b + row)] == -1) {
+        std::ostringstream os;
+        os << "cell (col " << col << ", row " << row << ") uncovered";
+        return os.str();
+      }
+    }
+  }
+  if (static_cast<int>(areas.size()) > k) return "more than k areas";
+  return {};
+}
+
+std::string TablePartition::render() const {
+  std::vector<int> owner(static_cast<std::size_t>(b * n2), 0);
+  for (std::size_t ai = 0; ai < areas.size(); ++ai) {
+    for (const AreaCell& c : areas[ai].cells) {
+      for (std::int64_t row = c.row_begin; row < c.row_end; ++row) {
+        owner[static_cast<std::size_t>(c.col * b + row)] =
+            static_cast<int>(ai) + 1;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "byte\\node ";
+  for (std::int64_t col = 0; col < n2; ++col) {
+    os << 'p' << (n1 + col) << ' ';
+  }
+  os << '\n';
+  for (std::int64_t row = 0; row < b; ++row) {
+    os << "   " << row << "      ";
+    for (std::int64_t col = 0; col < n2; ++col) {
+      os << ' ' << owner[static_cast<std::size_t>(col * b + row)] << ' ';
+      if (n1 + col >= 10) os << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+TablePartition byte_split_partition(std::int64_t n1, std::int64_t n2,
+                                    std::int64_t b, int k) {
+  BRUCK_REQUIRE(n1 >= 1);
+  BRUCK_REQUIRE(n2 >= 0);
+  BRUCK_REQUIRE(b >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  TablePartition p{n1, n2, b, k, {}};
+  const std::int64_t total = b * n2;
+  if (total == 0) return p;
+  // Area m owns the column-major cell range [m·α, min((m+1)·α, T)): each
+  // area is filled to exactly α = ⌈T/k⌉ entries before the next one opens,
+  // so constraint (2) holds by construction, and cuts align to column
+  // boundaries whenever b divides α (in particular for the b ≤ 2 cases the
+  // paper singles out as always optimal).  Constraint (1) (span ≤ n1) is
+  // what can fail in the paper's stated range; callers check .feasible().
+  const std::int64_t alpha = ceil_div(total, k);
+  for (int m = 0; m < k; ++m) {
+    const std::int64_t begin = std::min<std::int64_t>(m * alpha, total);
+    const std::int64_t end = std::min<std::int64_t>((m + 1) * alpha, total);
+    if (begin >= end) continue;
+    Area area;
+    std::int64_t pos = begin;
+    while (pos < end) {
+      const std::int64_t col = pos / b;
+      const std::int64_t row = pos % b;
+      const std::int64_t run = std::min(end - pos, b - row);
+      area.cells.push_back(AreaCell{col, row, row + run});
+      pos += run;
+    }
+    p.areas.push_back(std::move(area));
+  }
+  BRUCK_ENSURE_MSG(p.check_exact_cover().empty(), p.check_exact_cover());
+  return p;
+}
+
+TablePartition column_granular_partition(std::int64_t n1, std::int64_t n2,
+                                         std::int64_t b, int k) {
+  BRUCK_REQUIRE(n1 >= 1);
+  BRUCK_REQUIRE(n2 >= 0);
+  BRUCK_REQUIRE(b >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  TablePartition p{n1, n2, b, k, {}};
+  if (n2 == 0) return p;
+  // Area m owns whole columns [⌊m·n2/k⌋, ⌊(m+1)·n2/k⌋): at most ⌈n2/k⌉ ≤ n1
+  // columns (n2 ≤ k·n1 always holds for the concatenation geometry), so the
+  // span constraint can never fail.
+  for (int m = 0; m < k; ++m) {
+    const std::int64_t begin = static_cast<std::int64_t>(m) * n2 / k;
+    const std::int64_t end = static_cast<std::int64_t>(m + 1) * n2 / k;
+    if (begin >= end) continue;
+    Area area;
+    for (std::int64_t col = begin; col < end; ++col) {
+      area.cells.push_back(AreaCell{col, 0, b});
+    }
+    p.areas.push_back(std::move(area));
+  }
+  BRUCK_ENSURE_MSG(p.check_exact_cover().empty(), p.check_exact_cover());
+  return p;
+}
+
+}  // namespace bruck::topo

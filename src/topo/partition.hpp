@@ -1,0 +1,94 @@
+// The table-partitioning construction of Proposition 4.2, which schedules
+// the final (partial) round of the concatenation algorithm.
+//
+// Setting: after the first d−1 rounds every node holds a window of
+// n1 = (k+1)^{d−1} consecutive blocks; n2 = n − n1 blocks remain to be
+// delivered to each node.  Build a table of b rows (bytes of a block) and
+// n2 columns (the still-unspanned nodes of the spanning tree, in circulant
+// order) and partition it into at most k *areas* such that
+//   (1) each area's column-span is at most n1 (so a single sender within
+//       the already-spanned window holds every block the area references),
+//   (2) each area has at most α = ⌈b·n2/k⌉ entries (so no port carries more
+//       than α bytes in the round).
+// Each area is then shipped on its own port with a single circulant offset
+// determined by the area's leftmost column (Table 1 of the paper).
+//
+// The greedy column-major filling implemented here is the paper's
+// "straightforward algorithm": it reproduces Table 1 exactly for
+// (n1, n2, b, k) = (3, 7, 3, 3), and satisfies both constraints for every
+// combination outside the paper's stated range b ≥ 3, k ≥ 3,
+// (k+1)^d − k < n < (k+1)^d.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bruck::topo {
+
+/// A maximal run of cells of one area inside one column:
+/// rows [row_begin, row_end) of column `col`.
+struct AreaCell {
+  std::int64_t col = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+
+  [[nodiscard]] std::int64_t size() const { return row_end - row_begin; }
+  friend bool operator==(const AreaCell&, const AreaCell&) = default;
+};
+
+/// One area A_m of the partition; shipped on one port with circulant offset
+/// n1 + left_col().
+struct Area {
+  std::vector<AreaCell> cells;  ///< ascending column order, non-empty runs
+
+  [[nodiscard]] std::int64_t size() const;      ///< total entries (bytes)
+  [[nodiscard]] std::int64_t left_col() const;  ///< L_m
+  [[nodiscard]] std::int64_t right_col() const; ///< R_m
+  [[nodiscard]] std::int64_t span() const;      ///< R_m − L_m + 1
+};
+
+struct TablePartition {
+  std::int64_t n1 = 0;
+  std::int64_t n2 = 0;
+  std::int64_t b = 0;
+  int k = 0;
+  std::vector<Area> areas;  ///< non-empty areas, ≤ k of them
+
+  /// Max entries allowed per area: α = ⌈b·n2/k⌉.
+  [[nodiscard]] std::int64_t alpha() const;
+
+  /// Largest column-span over areas (0 when there are no areas).
+  [[nodiscard]] std::int64_t max_span() const;
+
+  /// Largest entry count over areas (0 when there are no areas).
+  [[nodiscard]] std::int64_t max_size() const;
+
+  /// True iff every area satisfies both Proposition 4.2 constraints
+  /// (span ≤ n1 and size ≤ α).  Column-granular partitions intentionally
+  /// relax the size constraint to α + (b−1); check max_span()/max_size()
+  /// against the relaxed bound for those.
+  [[nodiscard]] bool feasible() const;
+
+  /// Empty when the partition exactly tiles the table and every constraint
+  /// holds, otherwise a description of the first defect (used by tests).
+  [[nodiscard]] std::string check_exact_cover() const;
+
+  /// Render the partition like the paper's Table 1: a b × n2 grid whose
+  /// entry is the 1-based area number.
+  [[nodiscard]] std::string render() const;
+};
+
+/// The paper's greedy byte-split partition (may violate the span constraint
+/// inside the paper's non-optimal range; check .feasible()).
+[[nodiscard]] TablePartition byte_split_partition(std::int64_t n1,
+                                                  std::int64_t n2,
+                                                  std::int64_t b, int k);
+
+/// Whole-column partition: never splits a column across areas.  Always
+/// feasible; per-area size at most b·⌈n2/k⌉ ≤ α + (b−1).
+[[nodiscard]] TablePartition column_granular_partition(std::int64_t n1,
+                                                       std::int64_t n2,
+                                                       std::int64_t b, int k);
+
+}  // namespace bruck::topo

@@ -1,0 +1,63 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style Expects/Ensures).
+//
+// BRUCK_REQUIRE checks a precondition, BRUCK_ENSURE a postcondition or
+// internal invariant.  Both are always on: the library's correctness story
+// rests on cross-checking three independent derivations of each algorithm
+// (executed trace, built schedule, closed-form cost), and silently disabled
+// checks would defeat that.  Violations throw `bruck::ContractViolation` so
+// tests can assert on misuse, rather than aborting the whole test binary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bruck {
+
+/// Thrown when a BRUCK_REQUIRE/BRUCK_ENSURE contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace bruck
+
+#define BRUCK_REQUIRE(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::bruck::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__, std::string{});               \
+  } while (false)
+
+#define BRUCK_REQUIRE_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::bruck::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__, (msg));                       \
+  } while (false)
+
+#define BRUCK_ENSURE(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::bruck::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                     std::string{});                         \
+  } while (false)
+
+#define BRUCK_ENSURE_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::bruck::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                     (msg));                                 \
+  } while (false)

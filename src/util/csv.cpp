@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace bruck {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), ncols_(headers.size()) {
+  BRUCK_REQUIRE(ncols_ > 0);
+  row(headers);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  BRUCK_REQUIRE(cells.size() == ncols_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace bruck

@@ -1,0 +1,25 @@
+// Minimal CSV emission for figure series so bench output can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bruck {
+
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  /// Append a data row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Quote-and-escape a single cell per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+  std::size_t ncols_;
+};
+
+}  // namespace bruck

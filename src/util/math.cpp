@@ -1,0 +1,68 @@
+#include "util/math.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bruck {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  BRUCK_REQUIRE(a >= 0);
+  BRUCK_REQUIRE(b > 0);
+  return (a + b - 1) / b;
+}
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  BRUCK_REQUIRE(base >= 0);
+  BRUCK_REQUIRE(exp >= 0);
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    BRUCK_ENSURE_MSG(base == 0 ||
+                         result <= std::numeric_limits<std::int64_t>::max() / (base == 0 ? 1 : base),
+                     "ipow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+int ceil_log(std::int64_t x, std::int64_t base) {
+  BRUCK_REQUIRE(x >= 1);
+  BRUCK_REQUIRE(base >= 2);
+  int w = 0;
+  std::int64_t p = 1;
+  while (p < x) {
+    // p grows geometrically, so this terminates in O(log x) steps; guard the
+    // multiply so pathological (x near INT64_MAX) inputs fail loudly.
+    BRUCK_ENSURE_MSG(p <= std::numeric_limits<std::int64_t>::max() / base,
+                     "ceil_log overflow");
+    p *= base;
+    ++w;
+  }
+  return w;
+}
+
+int floor_log(std::int64_t x, std::int64_t base) {
+  BRUCK_REQUIRE(x >= 1);
+  BRUCK_REQUIRE(base >= 2);
+  int w = 0;
+  std::int64_t p = base;
+  while (p <= x) {
+    if (p > std::numeric_limits<std::int64_t>::max() / base) return w + 1;
+    p *= base;
+    ++w;
+  }
+  return w;
+}
+
+bool is_pow2(std::int64_t x) {
+  BRUCK_REQUIRE(x >= 1);
+  return (x & (x - 1)) == 0;
+}
+
+std::int64_t pos_mod(std::int64_t x, std::int64_t m) {
+  BRUCK_REQUIRE(m > 0);
+  std::int64_t r = x % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace bruck

@@ -1,0 +1,31 @@
+// Small integer helpers shared by the cost formulas, the schedule builders
+// and the collective implementations.  All functions are total over their
+// stated preconditions and check them via BRUCK_REQUIRE.
+#pragma once
+
+#include <cstdint>
+
+namespace bruck {
+
+/// ⌈a / b⌉ for non-negative a, positive b.
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// base^exp with overflow detection (throws ContractViolation on overflow).
+/// exp ≥ 0, base ≥ 0.
+[[nodiscard]] std::int64_t ipow(std::int64_t base, int exp);
+
+/// ⌈log_base(x)⌉ for x ≥ 1, base ≥ 2: the least w with base^w ≥ x.
+/// This is the paper's ⌈log_r n⌉ (number of radix-r digits needed for
+/// values 0..x−1, except that x = 1 yields 0 digits).
+[[nodiscard]] int ceil_log(std::int64_t x, std::int64_t base);
+
+/// ⌊log_base(x)⌋ for x ≥ 1, base ≥ 2: the greatest w with base^w ≤ x.
+[[nodiscard]] int floor_log(std::int64_t x, std::int64_t base);
+
+/// True iff x is a power of two (x ≥ 1).
+[[nodiscard]] bool is_pow2(std::int64_t x);
+
+/// x mod m mapped into [0, m), correct for negative x (the paper's `mod`).
+[[nodiscard]] std::int64_t pos_mod(std::int64_t x, std::int64_t m);
+
+}  // namespace bruck

@@ -1,0 +1,107 @@
+#include "util/radix.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck {
+
+int radix_digit_count(std::int64_t n, std::int64_t r) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(r >= 2);
+  return ceil_log(n, r);
+}
+
+std::int64_t radix_digit(std::int64_t v, std::int64_t r, int x) {
+  BRUCK_REQUIRE(v >= 0);
+  BRUCK_REQUIRE(r >= 2);
+  BRUCK_REQUIRE(x >= 0);
+  return (v / ipow(r, x)) % r;
+}
+
+std::vector<std::int64_t> radix_digits(std::int64_t v, std::int64_t r, int w) {
+  BRUCK_REQUIRE(v >= 0);
+  BRUCK_REQUIRE(r >= 2);
+  BRUCK_REQUIRE(w >= 0);
+  std::vector<std::int64_t> digits(static_cast<std::size_t>(w));
+  for (int x = 0; x < w; ++x) {
+    digits[static_cast<std::size_t>(x)] = v % r;
+    v /= r;
+  }
+  BRUCK_ENSURE_MSG(v == 0, "value does not fit in w radix-r digits");
+  return digits;
+}
+
+std::int64_t radix_compose(const std::vector<std::int64_t>& digits,
+                           std::int64_t r) {
+  BRUCK_REQUIRE(r >= 2);
+  std::int64_t v = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    BRUCK_REQUIRE(digits[i] >= 0 && digits[i] < r);
+    v = v * r + digits[i];
+  }
+  return v;
+}
+
+std::int64_t radix_subphase_height(std::int64_t n, std::int64_t r, int x) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(r >= 2);
+  BRUCK_REQUIRE(x >= 0);
+  const std::int64_t dist = ipow(r, x);
+  const std::int64_t h = ceil_div(n, dist);
+  return h < r ? h : r;
+}
+
+std::int64_t radix_digit_census(std::int64_t n, std::int64_t r, int x,
+                                std::int64_t z) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(r >= 2);
+  BRUCK_REQUIRE(x >= 0);
+  BRUCK_REQUIRE(z >= 0 && z < r);
+  // Values j ∈ [0, n) with ⌊j / r^x⌋ mod r == z.  Writing j = q·r^{x+1} +
+  // z·r^x + t with t ∈ [0, r^x): count the j below n directly.
+  const std::int64_t lo = ipow(r, x);
+  std::int64_t count = 0;
+  const std::int64_t period = lo * r;
+  const std::int64_t full_periods = n / period;
+  count = full_periods * lo;
+  const std::int64_t rem = n % period;  // partial period [0, rem)
+  const std::int64_t band_lo = z * lo;  // digit==z band within the period
+  if (rem > band_lo) {
+    const std::int64_t in_band = rem - band_lo;
+    count += in_band < lo ? in_band : lo;
+  }
+  return count;
+}
+
+std::int64_t radix_max_census(std::int64_t n, std::int64_t r) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(r >= 2);
+  const int w = radix_digit_count(n, r);
+  std::int64_t best = 0;
+  for (int x = 0; x < w; ++x) {
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z = 1; z < h; ++z) {
+      const std::int64_t c = radix_digit_census(n, r, x, z);
+      best = best < c ? c : best;
+    }
+  }
+  return best;
+}
+
+std::vector<std::int64_t> radix_digit_members(std::int64_t n, std::int64_t r,
+                                              int x, std::int64_t z) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(r >= 2);
+  BRUCK_REQUIRE(x >= 0);
+  BRUCK_REQUIRE(z >= 0 && z < r);
+  std::vector<std::int64_t> members;
+  members.reserve(static_cast<std::size_t>(radix_digit_census(n, r, x, z)));
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (radix_digit(j, r, x) == z) members.push_back(j);
+  }
+  BRUCK_ENSURE(static_cast<std::int64_t>(members.size()) ==
+               radix_digit_census(n, r, x, z));
+  return members;
+}
+
+}  // namespace bruck

@@ -1,0 +1,62 @@
+// Radix-r digit arithmetic for the index algorithm (Section 3.2 of the paper).
+//
+// The index algorithm encodes each block-id j ∈ [0, n) in radix-r using
+// w = ⌈log_r n⌉ digits.  Subphase x of Phase 2 handles digit x: every block
+// whose digit x equals z is rotated z·r^x positions.  These helpers are the
+// single source of truth for that decomposition; the collective
+// implementation, the schedule builder and the cost formulas all call them,
+// so the three derivations cannot drift apart on digit conventions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bruck {
+
+/// Number of radix-r digits used by the index algorithm for n blocks:
+/// w = ⌈log_r n⌉ (0 when n == 1: a single block needs no rotation).
+[[nodiscard]] int radix_digit_count(std::int64_t n, std::int64_t r);
+
+/// Digit x (0 = least significant) of value v in radix r.
+[[nodiscard]] std::int64_t radix_digit(std::int64_t v, std::int64_t r, int x);
+
+/// All w digits of v in radix r, least significant first.
+[[nodiscard]] std::vector<std::int64_t> radix_digits(std::int64_t v,
+                                                     std::int64_t r, int w);
+
+/// Reassemble a value from its radix-r digits (inverse of radix_digits).
+[[nodiscard]] std::int64_t radix_compose(const std::vector<std::int64_t>& digits,
+                                         std::int64_t r);
+
+/// Number of digit values that actually occur in subphase x for n blocks:
+/// h = min(r, ⌈n / r^x⌉).  Step z of subphase x exists for 1 ≤ z ≤ h−1.
+/// This is the `h` of Appendix A lines 7–11, generalized to every subphase
+/// (for non-final subphases ⌈n / r^x⌉ ≥ r so h = r).
+[[nodiscard]] std::int64_t radix_subphase_height(std::int64_t n, std::int64_t r,
+                                                 int x);
+
+/// Count of block-ids j ∈ [0, n) whose digit x in radix r equals z.
+/// This is the number of blocks packed into one message in step (x, z) of
+/// Phase 2, hence the message size in that communication round is
+/// b · radix_digit_census(n, r, x, z).
+[[nodiscard]] std::int64_t radix_digit_census(std::int64_t n, std::int64_t r,
+                                              int x, std::int64_t z);
+
+/// The block-ids counted by radix_digit_census, in increasing order.
+/// The pack/unpack routines and the schedule builder both iterate this.
+[[nodiscard]] std::vector<std::int64_t> radix_digit_members(std::int64_t n,
+                                                            std::int64_t r,
+                                                            int x,
+                                                            std::int64_t z);
+
+/// The largest census over all (subphase, step) pairs — the exact maximum
+/// number of blocks any single Phase-2 message carries.
+///
+/// Note: Section 3.2 states the bound ⌈n/r⌉, which is exact whenever n is a
+/// power of r but can be exceeded by the truncated top digit otherwise
+/// (e.g. n = 16, r = 3: the top subphase moves the 7 blocks 9..15 at once,
+/// while ⌈16/3⌉ = 6).  Buffer sizing and the benches use this exact value;
+/// see EXPERIMENTS.md for the discussion.
+[[nodiscard]] std::int64_t radix_max_census(std::int64_t n, std::int64_t r);
+
+}  // namespace bruck

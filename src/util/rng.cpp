@@ -1,0 +1,46 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace bruck {
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) {
+  BRUCK_REQUIRE(bound >= 1);
+  // Rejection sampling to avoid modulo bias; the loop is expected to run
+  // just over once on average.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+void fill_random_bytes(std::span<std::byte> out, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = rng.next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::byte>(word & 0xff);
+      word >>= 8;
+    }
+  }
+}
+
+std::byte payload_byte(std::uint64_t seed, std::int64_t src, std::int64_t block,
+                       std::size_t offset) {
+  // One SplitMix64 step keyed by all four coordinates: cheap and collision-
+  // resistant enough that a misrouted block is virtually certain to differ.
+  SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(src) * 0x100000001b3ULL) ^
+                 (static_cast<std::uint64_t>(block) << 20) ^
+                 (static_cast<std::uint64_t>(offset) << 42));
+  return static_cast<std::byte>(rng.next() & 0xff);
+}
+
+void fill_payload(std::span<std::byte> out, std::uint64_t seed, std::int64_t src,
+                  std::int64_t block) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = payload_byte(seed, src, block, i);
+  }
+}
+
+}  // namespace bruck

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generator for test payloads and workload
+// generators.  SplitMix64: tiny, fast, passes BigCrush for this use, and —
+// crucially for the cross-rank content checks in tests — every rank can
+// regenerate any other rank's payload from (seed, rank, block) alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bruck {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound ≥ 1.
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill `out` with bytes derived deterministically from `seed`.
+void fill_random_bytes(std::span<std::byte> out, std::uint64_t seed);
+
+/// The canonical payload byte for (seed, source rank, block id, offset).
+/// Tests use this to verify *content* of delivered blocks, not just sizes,
+/// without holding all n² blocks in one place.
+[[nodiscard]] std::byte payload_byte(std::uint64_t seed, std::int64_t src,
+                                     std::int64_t block, std::size_t offset);
+
+/// Fill a block's payload with payload_byte values.
+void fill_payload(std::span<std::byte> out, std::uint64_t seed,
+                  std::int64_t src, std::int64_t block);
+
+}  // namespace bruck

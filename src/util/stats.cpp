@@ -1,0 +1,44 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bruck {
+
+Summary summarize(std::span<const double> samples) {
+  BRUCK_REQUIRE(!samples.empty());
+  Summary s;
+  s.count = samples.size();
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  s.median = percentile(sorted, 50.0);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> samples, double p) {
+  BRUCK_REQUIRE(!samples.empty());
+  BRUCK_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace bruck

@@ -1,0 +1,24 @@
+// Summary statistics for wall-clock benchmark samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bruck {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n−1 denominator)
+};
+
+/// Compute summary statistics of a non-empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile p ∈ [0, 100] of a non-empty sample.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+}  // namespace bruck

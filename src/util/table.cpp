@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bruck {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BRUCK_REQUIRE(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BRUCK_REQUIRE_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool any_digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+  auto rule = [&] {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << "| ";
+      const bool right = align_numeric && numeric[c];
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c]))
+         << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  emit(headers_, /*align_numeric=*/false);
+  rule();
+  for (const auto& row : rows_) emit(row, /*align_numeric=*/true);
+  rule();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+namespace detail {
+
+std::string cell_to_string(const std::string& v) { return v; }
+std::string cell_to_string(const char* v) { return std::string(v); }
+
+std::string cell_to_string(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+std::string cell_to_string(std::int64_t v) { return std::to_string(v); }
+std::string cell_to_string(int v) { return std::to_string(v); }
+std::string cell_to_string(std::size_t v) { return std::to_string(v); }
+
+}  // namespace detail
+
+}  // namespace bruck

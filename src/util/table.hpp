@@ -1,0 +1,51 @@
+// Aligned-column ASCII tables for the benchmark harness output.  The figure
+// and table benches print the same rows/series the paper reports; this
+// printer keeps them readable in a terminal and in the captured
+// bench_output.txt.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bruck {
+
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule and per-column alignment (numbers right).
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string cell_to_string(const std::string& v);
+std::string cell_to_string(const char* v);
+std::string cell_to_string(double v);
+std::string cell_to_string(std::int64_t v);
+std::string cell_to_string(int v);
+std::string cell_to_string(std::size_t v);
+}  // namespace detail
+
+template <typename... Ts>
+void TextTable::add(const Ts&... cells) {
+  add_row({detail::cell_to_string(cells)...});
+}
+
+}  // namespace bruck

@@ -1,0 +1,114 @@
+// Block-buffer views and the local phases: the bulk-copy rotation against a
+// naive per-block reference, contract checks, and aliasing-free behaviour.
+#include "coll/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace bruck::coll {
+namespace {
+
+std::vector<std::byte> random_blocks(std::int64_t n, std::int64_t b,
+                                     std::uint64_t seed) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(n * b));
+  fill_random_bytes(buf, seed);
+  return buf;
+}
+
+TEST(BlockSpan, AccessorsAndContracts) {
+  std::vector<std::byte> buf(12);
+  BlockSpan s(buf, 4, 3);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_EQ(s.block_bytes(), 3);
+  EXPECT_EQ(s.block(2).data(), buf.data() + 6);
+  EXPECT_EQ(s.blocks(1, 2).size(), 6u);
+  EXPECT_THROW((void)s.block(4), ContractViolation);
+  EXPECT_THROW((void)s.blocks(3, 2), ContractViolation);
+  EXPECT_THROW(BlockSpan(buf, 5, 3), ContractViolation);  // size mismatch
+}
+
+TEST(BlockSpan, ZeroWidthBlocksAreLegal) {
+  std::vector<std::byte> empty;
+  BlockSpan s(empty, 7, 0);
+  EXPECT_EQ(s.count(), 7);
+  EXPECT_TRUE(s.block(3).empty());
+}
+
+TEST(RotateBlocksUp, MatchesNaiveReferenceExhaustively) {
+  for (std::int64_t n : {1, 2, 3, 5, 8, 13}) {
+    for (std::int64_t b : {0, 1, 3, 8}) {
+      const std::vector<std::byte> src = random_blocks(n, b, 5);
+      for (std::int64_t steps = 0; steps <= n + 2; ++steps) {
+        std::vector<std::byte> fast(src.size());
+        rotate_blocks_up(ConstBlockSpan(src, n, b), BlockSpan(fast, n, b),
+                         steps);
+        // Naive per-block reference.
+        std::vector<std::byte> naive(src.size());
+        for (std::int64_t x = 0; x < n; ++x) {
+          for (std::int64_t o = 0; o < b; ++o) {
+            naive[static_cast<std::size_t>(x * b + o)] =
+                src[static_cast<std::size_t>(pos_mod(x + steps, n) * b + o)];
+          }
+        }
+        EXPECT_EQ(fast, naive) << "n=" << n << " b=" << b << " steps=" << steps;
+      }
+    }
+  }
+}
+
+TEST(RotateBlocksUp, ZeroStepsIsCopy) {
+  const std::vector<std::byte> src = random_blocks(6, 4, 9);
+  std::vector<std::byte> dst(src.size());
+  rotate_blocks_up(ConstBlockSpan(src, 6, 4), BlockSpan(dst, 6, 4), 0);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(RotateBlocksUp, NegativeStepsWrap) {
+  const std::vector<std::byte> src = random_blocks(5, 2, 11);
+  std::vector<std::byte> minus(src.size());
+  std::vector<std::byte> plus(src.size());
+  rotate_blocks_up(ConstBlockSpan(src, 5, 2), BlockSpan(minus, 5, 2), -2);
+  rotate_blocks_up(ConstBlockSpan(src, 5, 2), BlockSpan(plus, 5, 2), 3);
+  EXPECT_EQ(minus, plus);
+}
+
+TEST(RotateWindowToOrigin, InvertsRotateBlocksUp) {
+  // rotate_window_to_origin(rank) undoes rotate_blocks_up(rank): the concat
+  // epilogue is the inverse of its (virtual) prologue.
+  for (std::int64_t n : {2, 5, 9}) {
+    const std::int64_t b = 3;
+    const std::vector<std::byte> src = random_blocks(n, b, 13);
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      std::vector<std::byte> window(src.size());
+      rotate_blocks_up(ConstBlockSpan(src, n, b), BlockSpan(window, n, b),
+                       rank);
+      std::vector<std::byte> out(src.size());
+      rotate_window_to_origin(ConstBlockSpan(window, n, b),
+                              BlockSpan(out, n, b), rank);
+      EXPECT_EQ(out, src) << "n=" << n << " rank=" << rank;
+    }
+  }
+}
+
+TEST(UnrotateByRank, IsAnInvolutionComposedWithItself) {
+  // unrotate_by_rank maps slot (rank − i) to block i; applying the map
+  // twice with the same rank restores the original buffer (i ↦ rank − i is
+  // an involution mod n).
+  const std::int64_t n = 7, b = 2;
+  const std::vector<std::byte> src = random_blocks(n, b, 21);
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    std::vector<std::byte> once(src.size());
+    std::vector<std::byte> twice(src.size());
+    unrotate_by_rank(ConstBlockSpan(src, n, b), BlockSpan(once, n, b), rank);
+    unrotate_by_rank(ConstBlockSpan(once, n, b), BlockSpan(twice, n, b), rank);
+    EXPECT_EQ(twice, src) << "rank=" << rank;
+  }
+}
+
+}  // namespace
+}  // namespace bruck::coll

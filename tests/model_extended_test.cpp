@@ -1,0 +1,93 @@
+// The Section 3.5 refined model T = g1·C1·ts + g2·C2·tc + g3 and its
+// least-squares calibration.
+#include "model/extended_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/costs.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bruck::model {
+namespace {
+
+std::vector<Observation> synthetic_observations(const LinearModel& base,
+                                                double g1, double g2, double g3,
+                                                double noise) {
+  std::vector<Observation> obs;
+  SplitMix64 rng(7);
+  for (std::int64_t n : {4, 8, 16, 32, 64}) {
+    for (std::int64_t r : {2, 4, 8}) {
+      for (std::int64_t b : {16, 256, 2048}) {
+        if (r > n) continue;
+        Observation o;
+        o.metrics = index_bruck_cost(n, r, 1, b);
+        const double clean =
+            g1 * static_cast<double>(o.metrics.c1) * base.beta_us +
+            g2 * static_cast<double>(o.metrics.c2) * base.tau_us_per_byte + g3;
+        // Additive bounded noise: multiplicative noise would scale with the
+        // dominant C2 column and bias the small-coefficient estimates.
+        const double eps =
+            noise * (static_cast<double>(rng.next_below(2000)) / 1000.0 - 1.0);
+        o.measured_us = clean + eps;
+        obs.push_back(o);
+      }
+    }
+  }
+  return obs;
+}
+
+TEST(ExtendedModel, RecoversExactCoefficientsFromCleanData) {
+  const LinearModel base = ibm_sp1();
+  const auto obs = synthetic_observations(base, 1.7, 2.3, 55.0, 0.0);
+  const ExtendedModel fit = fit_extended_model(base, obs);
+  EXPECT_NEAR(fit.g1, 1.7, 1e-9);
+  EXPECT_NEAR(fit.g2, 2.3, 1e-9);
+  EXPECT_NEAR(fit.g3, 55.0, 1e-6);
+  EXPECT_NEAR(r_squared(fit, obs), 1.0, 1e-12);
+}
+
+TEST(ExtendedModel, RobustToModestNoise) {
+  const LinearModel base = ibm_sp1();
+  // ±5 µs additive jitter on observations spanning hundreds of µs.
+  const auto obs = synthetic_observations(base, 1.5, 2.0, 10.0, 5.0);
+  const ExtendedModel fit = fit_extended_model(base, obs);
+  EXPECT_NEAR(fit.g1, 1.5, 0.2);
+  EXPECT_NEAR(fit.g2, 2.0, 0.2);
+  EXPECT_GT(r_squared(fit, obs), 0.99);
+}
+
+TEST(ExtendedModel, PredictReducesToLinearWhenIdentity) {
+  const LinearModel base = ibm_sp1();
+  const ExtendedModel id{base, 1.0, 1.0, 0.0};
+  const CostMetrics m = index_bruck_cost(64, 2, 1, 128);
+  EXPECT_DOUBLE_EQ(id.predict_us(m), base.predict_us(m));
+}
+
+TEST(ExtendedModel, RejectsDegenerateDesigns) {
+  const LinearModel base = ibm_sp1();
+  // Fewer than 3 observations.
+  std::vector<Observation> two(2);
+  EXPECT_THROW(fit_extended_model(base, two), ContractViolation);
+  // Identical observations: the design matrix is rank-1.
+  Observation o;
+  o.metrics = index_bruck_cost(8, 2, 1, 16);
+  o.measured_us = 100.0;
+  std::vector<Observation> same(5, o);
+  EXPECT_THROW(fit_extended_model(base, same), ContractViolation);
+}
+
+TEST(ExtendedModel, RSquaredHandlesConstantData) {
+  const LinearModel base = ibm_sp1();
+  ExtendedModel fit{base, 0.0, 0.0, 42.0};
+  Observation o;
+  o.metrics = CostMetrics{};
+  o.measured_us = 42.0;
+  const std::vector<Observation> obs(3, o);
+  EXPECT_DOUBLE_EQ(r_squared(fit, obs), 1.0);
+}
+
+}  // namespace
+}  // namespace bruck::model

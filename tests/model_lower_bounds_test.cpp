@@ -1,0 +1,149 @@
+// Section 2's lower bounds: closed forms, the reduction between the two
+// operations, and consistency with the algorithms' achieved measures.
+#include "model/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/costs.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::model {
+namespace {
+
+TEST(LowerBounds, Proposition21RoundBound) {
+  EXPECT_EQ(concat_c1_lower_bound(1, 1), 0);
+  EXPECT_EQ(concat_c1_lower_bound(2, 1), 1);
+  EXPECT_EQ(concat_c1_lower_bound(64, 1), 6);
+  EXPECT_EQ(concat_c1_lower_bound(65, 1), 7);
+  EXPECT_EQ(concat_c1_lower_bound(9, 2), 2);   // 3^2 = 9
+  EXPECT_EQ(concat_c1_lower_bound(10, 2), 3);
+  EXPECT_EQ(concat_c1_lower_bound(64, 3), 3);  // 4^3 = 64
+}
+
+TEST(LowerBounds, Proposition22VolumeBound) {
+  EXPECT_EQ(concat_c2_lower_bound(5, 1, 10), 40);
+  EXPECT_EQ(concat_c2_lower_bound(5, 2, 10), 20);
+  EXPECT_EQ(concat_c2_lower_bound(5, 3, 10), 14);  // ceil(40/3)
+  EXPECT_EQ(concat_c2_lower_bound(1, 1, 10), 0);
+}
+
+TEST(LowerBounds, IndexReducesToConcat) {
+  // Propositions 2.3/2.4 prove the index bounds via reduction; the functions
+  // must agree everywhere.
+  for (std::int64_t n = 1; n <= 66; ++n) {
+    for (int k = 1; k <= 4; ++k) {
+      EXPECT_EQ(index_c1_lower_bound(n, k), concat_c1_lower_bound(n, k));
+      EXPECT_EQ(index_c2_lower_bound(n, k, 7), concat_c2_lower_bound(n, k, 7));
+    }
+  }
+}
+
+TEST(LowerBounds, Theorem25ExactPowerFormula) {
+  // C2 >= (b·n/(k+1))·log_{k+1} n for n = (k+1)^d.
+  EXPECT_EQ(index_c2_bound_at_min_rounds(8, 1, 1), 12);    // 8/2·3
+  EXPECT_EQ(index_c2_bound_at_min_rounds(64, 1, 1), 192);  // 64/2·6
+  EXPECT_EQ(index_c2_bound_at_min_rounds(9, 2, 1), 6);     // 9/3·2
+  EXPECT_EQ(index_c2_bound_at_min_rounds(64, 3, 2), 96);   // 2·64/4·3
+  EXPECT_THROW((void)index_c2_bound_at_min_rounds(10, 1, 1), ContractViolation);
+}
+
+TEST(LowerBounds, Theorem25IsTightForTheBruckAlgorithm) {
+  // The r = k+1 Bruck algorithm meets the Theorem 2.5 bound with equality
+  // when n is an exact power of k+1 — the compound trade-off is real.
+  struct Case {
+    std::int64_t n;
+    int k;
+  };
+  for (const auto& [n, k] :
+       {Case{4, 1}, Case{8, 1}, Case{64, 1}, Case{9, 2}, Case{27, 2},
+        Case{16, 3}, Case{64, 3}, Case{25, 4}}) {
+    for (std::int64_t b : {1, 5}) {
+      const CostMetrics m = index_bruck_cost(n, k + 1, k, b);
+      EXPECT_EQ(m.c1, index_c1_lower_bound(n, k));
+      EXPECT_EQ(m.c2, index_c2_bound_at_min_rounds(n, k, b))
+          << "n=" << n << " k=" << k << " b=" << b;
+    }
+  }
+}
+
+TEST(LowerBounds, Theorem26VolumeOptimalNeedsLinearRounds) {
+  EXPECT_EQ(index_c1_bound_at_min_volume(64, 1), 63);
+  EXPECT_EQ(index_c1_bound_at_min_volume(64, 3), 21);
+  EXPECT_EQ(index_c1_bound_at_min_volume(1, 2), 0);
+}
+
+TEST(LowerBounds, CompoundOrdersArePositiveAndMonotone) {
+  double prev = 0.0;
+  for (std::int64_t n = 2; n <= 128; n *= 2) {
+    const double v = index_c2_compound_order(n, 1, 4);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(index_c2_compound_order(1, 1, 4), 0.0);
+  EXPECT_DOUBLE_EQ(index_c2_logn_rounds_order(1, 4), 0.0);
+  EXPECT_NEAR(index_c2_logn_rounds_order(64, 1), 64.0 * 6.0, 1e-9);
+}
+
+TEST(LowerBounds, EveryAlgorithmRespectsStandaloneBounds) {
+  for (std::int64_t n = 1; n <= 40; ++n) {
+    for (int k = 1; k <= 3; ++k) {
+      const std::int64_t b = 3;
+      for (std::int64_t r = 2; r <= std::max<std::int64_t>(2, n); ++r) {
+        const CostMetrics m = index_bruck_cost(n, r, k, b);
+        EXPECT_GE(m.c1, index_c1_lower_bound(n, k));
+        EXPECT_GE(m.c2, index_c2_lower_bound(n, k, b));
+      }
+      const CostMetrics dir = index_direct_cost(n, k, b);
+      EXPECT_GE(dir.c1, index_c1_lower_bound(n, k));
+      EXPECT_GE(dir.c2, index_c2_lower_bound(n, k, b));
+      for (auto strat : {ConcatLastRound::kAuto, ConcatLastRound::kTwoRound,
+                         ConcatLastRound::kColumnGranular}) {
+        const CostMetrics c = concat_bruck_cost(n, k, b, strat);
+        EXPECT_GE(c.c1, concat_c1_lower_bound(n, k));
+        EXPECT_GE(c.c2, concat_c2_lower_bound(n, k, b));
+      }
+    }
+    const CostMetrics folk = concat_folklore_cost(n, 3);
+    EXPECT_GE(folk.c1, concat_c1_lower_bound(n, 1));
+    EXPECT_GE(folk.c2, concat_c2_lower_bound(n, 1, 3));
+    const CostMetrics ring = concat_ring_cost(n, 3);
+    EXPECT_GE(ring.c1, concat_c1_lower_bound(n, 1));
+    EXPECT_GE(ring.c2, concat_c2_lower_bound(n, 1, 3));
+  }
+}
+
+TEST(LowerBounds, Theorem27CompoundShapeForGeneralN) {
+  // Theorem 2.7: any algorithm using the minimal ⌈log_{k+1} n⌉ rounds must
+  // move Ω(n·b·log_{k+1}(n)/(k+1)) units.  The r = k+1 Bruck algorithm is
+  // round-minimal for EVERY n (not just powers); its C2 must track the
+  // Ω-form within constant factors across a dense sweep.
+  for (std::int64_t n = 4; n <= 150; ++n) {
+    for (int k : {1, 2, 3}) {
+      const std::int64_t b = 4;
+      const CostMetrics m = index_bruck_cost(n, k + 1, k, b);
+      ASSERT_EQ(m.c1, index_c1_lower_bound(n, k)) << "round-minimal for all n";
+      const double order = index_c2_compound_order(n, k, b);
+      EXPECT_GE(static_cast<double>(m.c2), 0.4 * order)
+          << "n=" << n << " k=" << k;
+      EXPECT_LE(static_cast<double>(m.c2), 2.5 * order)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LowerBounds, OnePortLogRoundsTheorem29Shape) {
+  // Theorem 2.9: with C1 = O(log n) at k = 1, C2 = Ω(bn log n).  The r = 2
+  // algorithm has C1 = ceil(log2 n) and its C2 is within a constant factor
+  // (≈1/2 .. 1) of b·n·log2(n) — consistent with the theorem's order.
+  for (std::int64_t n : {8, 16, 64, 128, 256}) {
+    const std::int64_t b = 2;
+    const CostMetrics m = index_bruck_cost(n, 2, 1, b);
+    const double order = index_c2_logn_rounds_order(n, b);
+    EXPECT_GE(static_cast<double>(m.c2), 0.45 * order) << "n=" << n;
+    EXPECT_LE(static_cast<double>(m.c2), 1.05 * order) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace bruck::model

@@ -1,0 +1,103 @@
+// Radix tuning (Section 3.3's machine-parameter balancing) and the Fig. 5
+// crossover machinery.
+#include "model/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bruck::model {
+namespace {
+
+TEST(CandidateRadices, Sets) {
+  const auto all = candidate_radices(8, RadixSet::kAll, 1);
+  EXPECT_EQ(all, (std::vector<std::int64_t>{2, 3, 4, 5, 6, 7, 8}));
+  const auto pow2 = candidate_radices(64, RadixSet::kPowersOfTwo, 1);
+  EXPECT_EQ(pow2, (std::vector<std::int64_t>{2, 4, 8, 16, 32, 64}));
+  const auto pow2_odd = candidate_radices(5, RadixSet::kPowersOfTwo, 1);
+  EXPECT_EQ(pow2_odd, (std::vector<std::int64_t>{2, 4, 5}));
+  const auto aligned = candidate_radices(10, RadixSet::kPortAligned, 3);
+  // (r−1) % 3 == 0 → {4, 7, 10}, plus always 2 and n.
+  EXPECT_EQ(aligned, (std::vector<std::int64_t>{2, 4, 7, 10}));
+  const auto tiny = candidate_radices(1, RadixSet::kAll, 1);
+  EXPECT_EQ(tiny, (std::vector<std::int64_t>{2}));
+}
+
+TEST(Tuner, PicksTheCurveMinimum) {
+  const LinearModel machine = ibm_sp1();
+  for (std::int64_t n : {5, 16, 64}) {
+    for (std::int64_t b : {1, 64, 4096}) {
+      const auto curve = index_radix_curve(n, 1, b, machine, RadixSet::kAll);
+      const RadixChoice best = pick_index_radix(n, 1, b, machine, RadixSet::kAll);
+      for (const RadixChoice& c : curve) {
+        EXPECT_LE(best.predicted_us, c.predicted_us + 1e-12)
+            << "n=" << n << " b=" << b << " r=" << c.radix;
+      }
+    }
+  }
+}
+
+TEST(Tuner, StartupDominatedPrefersSmallRadix) {
+  // When β >> b·τ, C1 dominates: the minimum-round radix r = 2 must win.
+  const RadixChoice c = pick_index_radix(64, 1, 1, startup_dominated());
+  EXPECT_EQ(c.radix, 2);
+}
+
+TEST(Tuner, BandwidthDominatedPrefersLargeRadix) {
+  // When β ≈ 0, C2 dominates: a volume-optimal radix must win.  For n = 64
+  // both r = 63 and r = 64 achieve C2 = b(n−1); ties break low.
+  LinearModel free_startup{"free-startup", 0.0, 1.0};
+  const RadixChoice c = pick_index_radix(64, 1, 1024, free_startup);
+  EXPECT_GE(c.radix, 63);
+  EXPECT_EQ(c.metrics.c2, 1024 * 63);
+}
+
+TEST(Tuner, SP1RadixGrowsWithMessageSize) {
+  // Fig. 6's qualitative claim: "As the message size increases, the minimal
+  // time of the curve tends to occur at a higher radix."
+  std::int64_t prev_radix = 2;
+  for (std::int64_t b : {1, 16, 64, 256, 1024, 8192}) {
+    const RadixChoice c = pick_index_radix(64, 1, b, ibm_sp1());
+    EXPECT_GE(c.radix, prev_radix) << "b=" << b;
+    prev_radix = c.radix;
+  }
+  // Largest blocks land on a volume-optimal radix (63 and 64 tie at n = 64).
+  EXPECT_GE(pick_index_radix(64, 1, 8192, ibm_sp1()).radix, 63);
+}
+
+TEST(Tuner, CrossoverMatchesFig5Regime) {
+  // Fig. 5: on the 64-node SP-1 the r = 2 and r = n curves cross at a
+  // message size of about 100–200 bytes.  (The paper plots message size
+  // m = b·n per... the per-destination block b; our model crossover lands in
+  // the same order of magnitude.)
+  const std::int64_t cross = crossover_block_bytes(64, 1, 2, 64, ibm_sp1());
+  EXPECT_GT(cross, 8);
+  EXPECT_LT(cross, 512);
+  // Below the crossover r=2 wins, above it r=64 wins.
+  const LinearModel m = ibm_sp1();
+  const double below2 = m.predict_us(index_bruck_cost(64, 2, 1, cross / 2));
+  const double below64 = m.predict_us(index_bruck_cost(64, 64, 1, cross / 2));
+  EXPECT_LT(below2, below64);
+  const double above2 = m.predict_us(index_bruck_cost(64, 2, 1, cross * 2));
+  const double above64 = m.predict_us(index_bruck_cost(64, 64, 1, cross * 2));
+  EXPECT_GT(above2, above64);
+}
+
+TEST(Tuner, CrossoverReturnsZeroWhenNoneExists) {
+  // r = 2 against itself never crosses.
+  EXPECT_EQ(crossover_block_bytes(64, 1, 2, 2, ibm_sp1()), 0);
+}
+
+TEST(Tuner, KPortCurveUsesAlignedRadices) {
+  const auto curve =
+      index_radix_curve(64, 3, 8, ibm_sp1(), RadixSet::kPortAligned);
+  for (const RadixChoice& c : curve) {
+    EXPECT_TRUE((c.radix - 1) % 3 == 0 || c.radix == 2 || c.radix == 64)
+        << c.radix;
+  }
+}
+
+}  // namespace
+}  // namespace bruck::model

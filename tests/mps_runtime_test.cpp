@@ -1,0 +1,278 @@
+// The multiport message-passing substrate: mailboxes, the threaded
+// communicator, trace aggregation, and failure behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "mps/mailbox.hpp"
+#include "mps/runtime.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace bruck::mps {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Mailbox, FifoPerSource) {
+  Mailbox box;
+  Message m1;
+  m1.src = 3;
+  m1.seq = 0;
+  m1.payload = bytes_of({1});
+  Message m2 = m1;
+  m2.seq = 1;
+  m2.payload = bytes_of({2});
+  box.push(m1);
+  box.push(m2);
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.pop_from(3, 1000ms).payload, bytes_of({1}));
+  EXPECT_EQ(box.pop_from(3, 1000ms).payload, bytes_of({2}));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, SelectsBySource) {
+  Mailbox box;
+  Message a;
+  a.src = 1;
+  a.payload = bytes_of({10});
+  Message b;
+  b.src = 2;
+  b.payload = bytes_of({20});
+  box.push(a);
+  box.push(b);
+  EXPECT_EQ(box.pop_from(2, 1000ms).payload, bytes_of({20}));
+  EXPECT_EQ(box.pop_from(1, 1000ms).payload, bytes_of({10}));
+}
+
+TEST(Mailbox, TimeoutThrowsDiagnostic) {
+  Mailbox box;
+  try {
+    (void)box.pop_from(7, 50ms);
+    FAIL() << "expected timeout";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(Runtime, PingPongDeliversPayload) {
+  const std::vector<std::byte> ping = bytes_of({1, 2, 3});
+  const std::vector<std::byte> pong = bytes_of({9, 8});
+  run_spmd(2, 1, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> in(2);
+      comm.send_and_recv(0, ping, 1, in, 1);
+      BRUCK_ENSURE(in == pong);
+    } else {
+      std::vector<std::byte> in(3);
+      comm.send_and_recv(0, pong, 0, in, 0);
+      BRUCK_ENSURE(in == ping);
+    }
+  });
+}
+
+TEST(Runtime, TraceRecordsRoundsAndBytes) {
+  RunResult rr = run_spmd(3, 1, [&](Communicator& comm) {
+    const std::int64_t me = comm.rank();
+    std::vector<std::byte> out(static_cast<std::size_t>(me + 1),
+                               std::byte{0xAB});
+    std::vector<std::byte> in(
+        static_cast<std::size_t>(pos_mod(me - 1, 3) + 1));
+    comm.send_and_recv(0, out, pos_mod(me + 1, 3), in, pos_mod(me - 1, 3));
+  });
+  const model::CostMetrics m = rr.trace->metrics();
+  EXPECT_EQ(m.c1, 1);
+  EXPECT_EQ(m.c2, 3);  // largest message in the single round
+  EXPECT_EQ(m.total_bytes, 1 + 2 + 3);
+  const sched::Schedule s = rr.trace->to_schedule();
+  EXPECT_EQ(s.round_count(), 1u);
+  EXPECT_EQ(s.rounds()[0].transfers.size(), 3u);
+}
+
+TEST(Runtime, MultiPortExchange) {
+  // Rank r sends one message to every other rank in a single round (k = 3,
+  // n = 4); everything must land, and the trace must validate.
+  const std::int64_t n = 4;
+  RunResult rr = run_spmd(n, 3, [&](Communicator& comm) {
+    const std::int64_t me = comm.rank();
+    std::vector<std::vector<std::byte>> outs;
+    std::vector<std::vector<std::byte>> ins(3, std::vector<std::byte>(4));
+    std::vector<SendSpec> sends;
+    std::vector<RecvSpec> recvs;
+    int slot = 0;
+    for (std::int64_t peer = 0; peer < n; ++peer) {
+      if (peer == me) continue;
+      outs.push_back(std::vector<std::byte>(4, static_cast<std::byte>(me)));
+      sends.push_back(SendSpec{peer, outs.back()});
+      recvs.push_back(RecvSpec{peer, ins[static_cast<std::size_t>(slot++)]});
+    }
+    comm.exchange(0, sends, recvs);
+    slot = 0;
+    for (std::int64_t peer = 0; peer < n; ++peer) {
+      if (peer == me) continue;
+      for (std::byte v : ins[static_cast<std::size_t>(slot)]) {
+        BRUCK_ENSURE(v == static_cast<std::byte>(peer));
+      }
+      ++slot;
+    }
+  });
+  const model::CostMetrics m = rr.trace->metrics();
+  EXPECT_EQ(m.c1, 1);
+  EXPECT_EQ(m.c2, 4);
+  EXPECT_EQ(m.total_bytes, n * (n - 1) * 4);
+}
+
+TEST(Runtime, RejectsTooManySendsForPorts) {
+  EXPECT_THROW(
+      run_spmd(3, 1,
+               [&](Communicator& comm) {
+                 if (comm.rank() != 0) {
+                   // Rank 1 and 2 wait for nothing; rank 0 violates ports.
+                   return;
+                 }
+                 std::vector<std::byte> a(1), b(1);
+                 const SendSpec sends[2] = {{1, a}, {2, b}};
+                 comm.exchange(0, sends, {});
+               }),
+      ContractViolation);
+}
+
+TEST(Runtime, RejectsNonMonotoneRounds) {
+  EXPECT_THROW(run_spmd(2, 1,
+                        [&](Communicator& comm) {
+                          std::vector<std::byte> a(1);
+                          std::vector<std::byte> in(1);
+                          const std::int64_t peer = 1 - comm.rank();
+                          comm.send_and_recv(1, a, peer, in, peer);
+                          comm.send_and_recv(1, a, peer, in, peer);  // reused
+                        }),
+               ContractViolation);
+}
+
+TEST(Runtime, RejectsSelfSend) {
+  EXPECT_THROW(run_spmd(2, 1,
+                        [&](Communicator& comm) {
+                          std::vector<std::byte> a(1);
+                          std::vector<std::byte> in(1);
+                          comm.send_and_recv(0, a, comm.rank(), in,
+                                             comm.rank());
+                        }),
+               ContractViolation);
+}
+
+TEST(Runtime, SizeMismatchIsDiagnosed) {
+  FabricOptions options;
+  options.n = 2;
+  options.k = 1;
+  options.recv_timeout = 2000ms;
+  try {
+    run_spmd(options, [&](Communicator& comm) {
+      std::vector<std::byte> out(3);
+      std::vector<std::byte> in(comm.rank() == 0 ? 3 : 5);  // rank 1 lies
+      const std::int64_t peer = 1 - comm.rank();
+      comm.send_and_recv(0, out, peer, in, peer);
+    });
+    FAIL() << "expected mismatch";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("bytes (expected"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Runtime, DeadlockTimesOutInsteadOfHanging) {
+  FabricOptions options;
+  options.n = 2;
+  options.k = 1;
+  options.recv_timeout = 100ms;
+  EXPECT_THROW(run_spmd(options,
+                        [&](Communicator& comm) {
+                          // Both ranks receive, nobody sends.
+                          std::vector<std::byte> in(1);
+                          const RecvSpec r{1 - comm.rank(), in};
+                          comm.exchange(0, {}, {&r, 1});
+                        }),
+               ContractViolation);
+}
+
+TEST(Runtime, BarrierSynchronizesAllRanks) {
+  const std::int64_t n = 8;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run_spmd(n, 1, [&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    if (before.load() != n) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Runtime, ExceptionInOneRankPropagatesAndUnblocksBarrier) {
+  FabricOptions options;
+  options.n = 4;
+  options.k = 1;
+  options.recv_timeout = 2000ms;
+  EXPECT_THROW(run_spmd(options,
+                        [&](Communicator& comm) {
+                          if (comm.rank() == 2) {
+                            throw ContractViolation("rank 2 gives up");
+                          }
+                          comm.barrier();
+                        }),
+               ContractViolation);
+}
+
+TEST(Runtime, TraceDisabledRecordsNothing) {
+  FabricOptions options;
+  options.n = 2;
+  options.k = 1;
+  options.record_trace = false;
+  RunResult rr = run_spmd(options, [&](Communicator& comm) {
+    std::vector<std::byte> a(1), in(1);
+    const std::int64_t peer = 1 - comm.rank();
+    comm.send_and_recv(0, a, peer, in, peer);
+  });
+  EXPECT_EQ(rr.trace->event_count(), 0u);
+}
+
+TEST(Runtime, StressManyRoundsRandomSizes) {
+  // 8 ranks, 50 rounds of ring exchanges with pseudo-random message sizes:
+  // sequence numbers, sizes and contents must all line up.
+  const std::int64_t n = 8;
+  const int rounds = 50;
+  RunResult rr = run_spmd(n, 1, [&](Communicator& comm) {
+    const std::int64_t me = comm.rank();
+    for (int t = 0; t < rounds; ++t) {
+      // All ranks derive the same size schedule.
+      SplitMix64 rng(static_cast<std::uint64_t>(t) * 977);
+      const std::size_t len = 1 + rng.next_below(64);
+      std::vector<std::byte> out(len, static_cast<std::byte>(me ^ t));
+      std::vector<std::byte> in(len);
+      comm.send_and_recv(t, out, pos_mod(me + 1, n), in, pos_mod(me - 1, n));
+      for (std::byte v : in) {
+        BRUCK_ENSURE(v == static_cast<std::byte>(pos_mod(me - 1, n) ^ t));
+      }
+    }
+  });
+  const model::CostMetrics m = rr.trace->metrics();
+  EXPECT_EQ(m.c1, rounds);
+  EXPECT_EQ(rr.trace->event_count(), static_cast<std::size_t>(n * rounds));
+}
+
+TEST(Runtime, WallTimeIsMeasured) {
+  RunResult rr = run_spmd(2, 1, [&](Communicator& comm) { comm.barrier(); });
+  EXPECT_GT(rr.wall_seconds, 0.0);
+  EXPECT_LT(rr.wall_seconds, 30.0);
+}
+
+}  // namespace
+}  // namespace bruck::mps

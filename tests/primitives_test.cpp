@@ -1,0 +1,271 @@
+// Broadcast / gather / scatter: content correctness over (n, k, root, b)
+// sweeps, the trace == built-schedule == closed-form cross-check, and the
+// Proposition 2.1 optimality of the circulant broadcast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/api.hpp"
+#include "coll/bcast.hpp"
+#include "coll/gather_scatter.hpp"
+#include "model/costs.hpp"
+#include "model/lower_bounds.hpp"
+#include "mps/runtime.hpp"
+#include "sched/builders_primitives.hpp"
+#include "util/rng.hpp"
+
+namespace bruck {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Broadcast.
+
+struct BcastCase {
+  std::int64_t n;
+  int k;
+  std::int64_t root;
+  std::int64_t bytes;
+  bool circulant;
+};
+
+std::string bcast_name(const BcastCase& c) {
+  return std::string(c.circulant ? "circ" : "binom") + "_n" +
+         std::to_string(c.n) + "_k" + std::to_string(c.k) + "_root" +
+         std::to_string(c.root) + "_b" + std::to_string(c.bytes);
+}
+
+class BcastSweep : public ::testing::TestWithParam<BcastCase> {};
+
+TEST_P(BcastSweep, PayloadReachesEveryRankAndTraceMatches) {
+  const auto [n, k, root, bytes, circulant] = GetParam();
+  std::vector<std::string> errors(static_cast<std::size_t>(n));
+  mps::RunResult rr = mps::run_spmd(n, k, [&, r = root](mps::Communicator& comm) {
+    std::vector<std::byte> data(static_cast<std::size_t>(bytes));
+    if (comm.rank() == r) fill_payload(data, 47, r, 0);
+    if (circulant) {
+      coll::bcast_circulant(comm, r, data, {});
+    } else {
+      coll::bcast_binomial(comm, r, data, {});
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] != payload_byte(47, r, 0, i)) {
+        errors[static_cast<std::size_t>(comm.rank())] = "payload corrupted";
+        return;
+      }
+    }
+  });
+  for (const std::string& e : errors) ASSERT_EQ(e, "");
+  sched::Schedule executed = rr.trace->to_schedule();
+  sched::Schedule built =
+      circulant ? sched::build_bcast_circulant(n, k, root, bytes)
+                : sched::build_bcast_binomial(n, root, bytes);
+  built.normalize();
+  EXPECT_TRUE(executed == built) << bcast_name(GetParam());
+  const model::CostMetrics closed =
+      circulant ? model::bcast_circulant_cost(n, k, bytes)
+                : model::bcast_binomial_cost(n, bytes);
+  EXPECT_EQ(executed.metrics(), closed) << bcast_name(GetParam());
+}
+
+std::vector<BcastCase> bcast_cases() {
+  std::vector<BcastCase> cases;
+  for (std::int64_t n : {1, 2, 3, 5, 8, 9, 13, 16, 26, 27, 28, 32}) {
+    for (int k : {1, 2, 3}) {
+      for (std::int64_t root : {std::int64_t{0}, n / 2, n - 1}) {
+        if (root != 0 && (root == n / 2) == (root == n - 1)) continue;
+        cases.push_back(BcastCase{n, k, root, 12, true});
+      }
+    }
+    cases.push_back(BcastCase{n, 1, n / 2, 12, false});
+  }
+  // Dedup roots that coincide for tiny n.
+  std::vector<BcastCase> unique;
+  for (const BcastCase& c : cases) {
+    bool seen = false;
+    for (const BcastCase& u : unique) {
+      if (bcast_name(u) == bcast_name(c)) seen = true;
+    }
+    if (!seen) unique.push_back(c);
+  }
+  return unique;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BcastSweep, ::testing::ValuesIn(bcast_cases()),
+                         [](const auto& pinfo) { return bcast_name(pinfo.param); });
+
+TEST(Bcast, CirculantMeetsProposition21Everywhere) {
+  // C1 = ⌈log_{k+1} n⌉ exactly: the broadcast round bound is achieved for
+  // every n, not just powers.
+  for (std::int64_t n = 1; n <= 80; ++n) {
+    for (int k = 1; k <= 5; ++k) {
+      const model::CostMetrics m = model::bcast_circulant_cost(n, k, 4);
+      EXPECT_EQ(m.c1, model::concat_c1_lower_bound(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Bcast, ApiDispatch) {
+  for (const auto alg : {coll::BcastAlgorithm::kCirculant,
+                         coll::BcastAlgorithm::kBinomial,
+                         coll::BcastAlgorithm::kAuto}) {
+    std::vector<int> bad(7, 0);
+    mps::run_spmd(7, 2, [&](mps::Communicator& comm) {
+      std::vector<std::byte> data(9);
+      if (comm.rank() == 3) fill_payload(data, 5, 3, 0);
+      coll::BcastApiOptions options;
+      options.algorithm = alg;
+      // Binomial ignores extra ports; both must deliver.
+      coll::broadcast(comm, 3, data, options);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] != payload_byte(5, 3, 0, i)) {
+          bad[static_cast<std::size_t>(comm.rank())] = 1;
+        }
+      }
+    });
+    for (int b : bad) EXPECT_EQ(b, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / scatter.
+
+struct RootedCase {
+  std::int64_t n;
+  std::int64_t root;
+  std::int64_t b;
+};
+
+std::string rooted_name(const RootedCase& c) {
+  return "n" + std::to_string(c.n) + "_root" + std::to_string(c.root) + "_b" +
+         std::to_string(c.b);
+}
+
+class GatherSweep : public ::testing::TestWithParam<RootedCase> {};
+
+TEST_P(GatherSweep, RootCollectsEveryBlockAndTraceMatches) {
+  const auto [n, root, b] = GetParam();
+  std::vector<std::string> errors(static_cast<std::size_t>(n));
+  mps::RunResult rr = mps::run_spmd(n, 1, [&, rt = root](mps::Communicator& comm) {
+    const std::int64_t rank = comm.rank();
+    std::vector<std::byte> send(static_cast<std::size_t>(b));
+    std::vector<std::byte> recv(static_cast<std::size_t>(n * b));
+    fill_payload(send, 61, rank, 0);
+    coll::gather_binomial(comm, rt, send, recv, b, {});
+    if (rank == rt) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t off = 0; off < b; ++off) {
+          if (recv[static_cast<std::size_t>(i * b + off)] !=
+              payload_byte(61, i, 0, static_cast<std::size_t>(off))) {
+            errors[static_cast<std::size_t>(rank)] =
+                "block " + std::to_string(i) + " wrong at root";
+            return;
+          }
+        }
+      }
+    }
+  });
+  for (const std::string& e : errors) ASSERT_EQ(e, "");
+  if (b > 0 && n > 1) {
+    sched::Schedule executed = rr.trace->to_schedule();
+    sched::Schedule built = sched::build_gather_binomial(n, root, b);
+    built.normalize();
+    EXPECT_TRUE(executed == built) << rooted_name(GetParam());
+    EXPECT_EQ(executed.metrics(), model::gather_binomial_cost(n, b));
+  }
+}
+
+class ScatterSweep : public ::testing::TestWithParam<RootedCase> {};
+
+TEST_P(ScatterSweep, EveryRankGetsItsBlockAndTraceMatches) {
+  const auto [n, root, b] = GetParam();
+  std::vector<std::string> errors(static_cast<std::size_t>(n));
+  mps::RunResult rr = mps::run_spmd(n, 1, [&, rt = root](mps::Communicator& comm) {
+    const std::int64_t rank = comm.rank();
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b));
+    std::vector<std::byte> recv(static_cast<std::size_t>(b));
+    if (rank == rt) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        fill_payload(std::span<std::byte>(send).subspan(
+                         static_cast<std::size_t>(i * b),
+                         static_cast<std::size_t>(b)),
+                     71, i, 0);
+      }
+    }
+    coll::scatter_binomial(comm, rt, send, recv, b, {});
+    for (std::int64_t off = 0; off < b; ++off) {
+      if (recv[static_cast<std::size_t>(off)] !=
+          payload_byte(71, rank, 0, static_cast<std::size_t>(off))) {
+        errors[static_cast<std::size_t>(rank)] = "wrong block delivered";
+        return;
+      }
+    }
+  });
+  for (const std::string& e : errors) ASSERT_EQ(e, "");
+  if (b > 0 && n > 1) {
+    sched::Schedule executed = rr.trace->to_schedule();
+    sched::Schedule built = sched::build_scatter_binomial(n, root, b);
+    built.normalize();
+    EXPECT_TRUE(executed == built) << rooted_name(GetParam());
+    EXPECT_EQ(executed.metrics(), model::scatter_binomial_cost(n, b));
+  }
+}
+
+std::vector<RootedCase> rooted_cases() {
+  std::vector<RootedCase> cases;
+  for (std::int64_t n : {1, 2, 3, 5, 8, 11, 16, 21, 32}) {
+    cases.push_back(RootedCase{n, 0, 5});
+    if (n > 2) cases.push_back(RootedCase{n, n - 1, 5});
+  }
+  cases.push_back(RootedCase{9, 4, 0});
+  cases.push_back(RootedCase{9, 4, 1});
+  cases.push_back(RootedCase{9, 4, 33});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GatherSweep,
+                         ::testing::ValuesIn(rooted_cases()),
+                         [](const auto& pinfo) { return rooted_name(pinfo.param); });
+INSTANTIATE_TEST_SUITE_P(Sweep, ScatterSweep,
+                         ::testing::ValuesIn(rooted_cases()),
+                         [](const auto& pinfo) { return rooted_name(pinfo.param); });
+
+TEST(GatherScatter, RoundTripThroughApi) {
+  // scatter(gather(x)) == x at every rank, composing through the facade
+  // with threaded rounds.
+  const std::int64_t n = 12;
+  const std::int64_t b = 7;
+  std::vector<int> bad(static_cast<std::size_t>(n), 0);
+  mps::run_spmd(n, 1, [&](mps::Communicator& comm) {
+    const std::int64_t rank = comm.rank();
+    std::vector<std::byte> mine(static_cast<std::size_t>(b));
+    fill_payload(mine, 83, rank, 0);
+    std::vector<std::byte> at_root(static_cast<std::size_t>(n * b));
+    int round = coll::gather(comm, 5, mine, at_root, b);
+    std::vector<std::byte> back(static_cast<std::size_t>(b));
+    coll::scatter(comm, 5, at_root, back, b, coll::RootedOptions{round});
+    if (back != mine) bad[static_cast<std::size_t>(rank)] = 1;
+  });
+  for (int x : bad) EXPECT_EQ(x, 0);
+}
+
+TEST(GatherScatter, CostsAreMirrorImages) {
+  for (std::int64_t n = 1; n <= 64; ++n) {
+    const model::CostMetrics g = model::gather_binomial_cost(n, 6);
+    const model::CostMetrics s = model::scatter_binomial_cost(n, 6);
+    EXPECT_EQ(g.c1, s.c1);
+    EXPECT_EQ(g.c2, s.c2);
+    EXPECT_EQ(g.total_bytes, s.total_bytes);
+    EXPECT_EQ(g.max_rank_sent, s.max_rank_recv);
+    EXPECT_EQ(g.max_rank_recv, s.max_rank_sent);
+  }
+}
+
+TEST(GatherScatter, PowerOfTwoVolumeIsBnMinusOne) {
+  for (std::int64_t n : {2, 4, 8, 16, 32, 64}) {
+    EXPECT_EQ(model::gather_binomial_cost(n, 3).c2, 3 * (n - 1));
+  }
+}
+
+}  // namespace
+}  // namespace bruck

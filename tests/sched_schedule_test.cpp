@@ -1,0 +1,132 @@
+// Schedule IR: k-port validation, metrics, normalization.
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace bruck::sched {
+namespace {
+
+Schedule tiny_valid() {
+  Schedule s(4, 2);
+  const std::size_t r0 = s.add_round();
+  s.add_transfer(r0, {0, 1, 10});
+  s.add_transfer(r0, {1, 0, 20});
+  s.add_transfer(r0, {2, 3, 5});
+  const std::size_t r1 = s.add_round();
+  s.add_transfer(r1, {3, 0, 7});
+  return s;
+}
+
+TEST(Schedule, ValidPatternPasses) {
+  EXPECT_EQ(tiny_valid().validate(), "");
+}
+
+TEST(Schedule, MetricsComputeThePaperMeasures) {
+  const model::CostMetrics m = tiny_valid().metrics();
+  EXPECT_EQ(m.c1, 2);
+  EXPECT_EQ(m.c2, 20 + 7);  // max of round 0 plus max of round 1
+  EXPECT_EQ(m.total_bytes, 42);
+  EXPECT_EQ(m.max_rank_sent, 20);  // rank 1
+}
+
+TEST(Schedule, MaxRankRecvAggregatesAcrossRounds) {
+  const model::CostMetrics m = tiny_valid().metrics();
+  EXPECT_EQ(m.max_rank_recv, 27);  // rank 0: 20 in round 0, 7 in round 1
+}
+
+TEST(Schedule, RejectsSelfSend) {
+  Schedule s(3, 1);
+  s.add_transfer(s.add_round(), {1, 1, 4});
+  EXPECT_NE(s.validate().find("self-send"), std::string::npos);
+}
+
+TEST(Schedule, RejectsOutOfRangeRanks) {
+  Schedule s(3, 1);
+  s.add_transfer(s.add_round(), {0, 3, 4});
+  EXPECT_NE(s.validate().find("out of range"), std::string::npos);
+  Schedule s2(3, 1);
+  s2.add_transfer(s2.add_round(), {-1, 0, 4});
+  EXPECT_NE(s2.validate().find("out of range"), std::string::npos);
+}
+
+TEST(Schedule, RejectsEmptyMessageAndEmptyRound) {
+  Schedule s(3, 1);
+  s.add_transfer(s.add_round(), {0, 1, 0});
+  EXPECT_NE(s.validate().find("at least one byte"), std::string::npos);
+  Schedule s2(3, 1);
+  s2.add_round();
+  EXPECT_NE(s2.validate().find("empty"), std::string::npos);
+}
+
+TEST(Schedule, EnforcesKPortsPerRound) {
+  // 2 sends by rank 0 in one round with k = 1: invalid.
+  Schedule s(4, 1);
+  const std::size_t r = s.add_round();
+  s.add_transfer(r, {0, 1, 1});
+  s.add_transfer(r, {0, 2, 1});
+  EXPECT_NE(s.validate().find("send ports"), std::string::npos);
+  // Same pattern with k = 2: valid.
+  Schedule s2(4, 2);
+  const std::size_t r2 = s2.add_round();
+  s2.add_transfer(r2, {0, 1, 1});
+  s2.add_transfer(r2, {0, 2, 1});
+  EXPECT_EQ(s2.validate(), "");
+  // Receive side: two messages into rank 2 with k = 1: invalid.
+  Schedule s3(4, 1);
+  const std::size_t r3 = s3.add_round();
+  s3.add_transfer(r3, {0, 2, 1});
+  s3.add_transfer(r3, {1, 2, 1});
+  EXPECT_NE(s3.validate().find("receive ports"), std::string::npos);
+}
+
+TEST(Schedule, SamePairTwicePerRoundIsLegalWithinPorts) {
+  // Two distinct messages between the same pair ride two ports — the model
+  // allows it (it is how the last concat round splits a block byte-wise).
+  Schedule s(2, 2);
+  const std::size_t r = s.add_round();
+  s.add_transfer(r, {0, 1, 3});
+  s.add_transfer(r, {0, 1, 2});
+  EXPECT_EQ(s.validate(), "");
+  const model::CostMetrics m = s.metrics();
+  EXPECT_EQ(m.c1, 1);
+  EXPECT_EQ(m.c2, 3);
+}
+
+TEST(Schedule, MetricsThrowOnInvalid) {
+  Schedule s(3, 1);
+  s.add_transfer(s.add_round(), {1, 1, 4});
+  EXPECT_THROW((void)s.metrics(), ContractViolation);
+}
+
+TEST(Schedule, NormalizeMakesEmissionOrderIrrelevant) {
+  Schedule a(3, 2);
+  const std::size_t ra = a.add_round();
+  a.add_transfer(ra, {0, 1, 5});
+  a.add_transfer(ra, {1, 2, 6});
+  Schedule b(3, 2);
+  const std::size_t rb = b.add_round();
+  b.add_transfer(rb, {1, 2, 6});
+  b.add_transfer(rb, {0, 1, 5});
+  EXPECT_FALSE(a == b);
+  a.normalize();
+  b.normalize();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Schedule, EmptyScheduleIsValidWithZeroMetrics) {
+  const Schedule s(5, 2);
+  EXPECT_EQ(s.validate(), "");
+  EXPECT_EQ(s.metrics(), model::CostMetrics{});
+}
+
+TEST(Schedule, RejectsBadConstruction) {
+  EXPECT_THROW(Schedule(0, 1), ContractViolation);
+  EXPECT_THROW(Schedule(1, 0), ContractViolation);
+  Schedule s(2, 1);
+  EXPECT_THROW(s.add_transfer(0, {0, 1, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bruck::sched

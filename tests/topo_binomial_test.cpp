@@ -1,0 +1,92 @@
+// Binomial gather/broadcast trees used by the folklore baseline.
+#include "topo/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+namespace {
+
+TEST(BinomialGather, EveryNonRootSendsExactlyOnce) {
+  for (std::int64_t n = 1; n <= 70; ++n) {
+    const auto rounds = binomial_gather_rounds(n);
+    EXPECT_EQ(static_cast<int>(rounds.size()), n == 1 ? 0 : ceil_log(n, 2));
+    std::set<std::int64_t> senders;
+    for (const auto& round : rounds) {
+      for (const RoundEdge& e : round) {
+        EXPECT_TRUE(senders.insert(e.from).second)
+            << "rank " << e.from << " sends twice in gather, n=" << n;
+        EXPECT_EQ(e.to, e.from - (e.from & -e.from))
+            << "gather parent strips the lowest set bit";
+      }
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(senders.size()), n - 1);
+    EXPECT_FALSE(senders.count(0));
+  }
+}
+
+TEST(BinomialGather, SegmentsAccumulateToN) {
+  // Simulating the gather with the declared segment sizes must deliver all
+  // n blocks to rank 0.
+  for (std::int64_t n = 1; n <= 70; ++n) {
+    std::vector<std::int64_t> have(static_cast<std::size_t>(n), 1);
+    const auto rounds = binomial_gather_rounds(n);
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+      for (const RoundEdge& e : rounds[i]) {
+        EXPECT_EQ(binomial_gather_segment(n, e.from, static_cast<int>(i)),
+                  have[static_cast<std::size_t>(e.from)])
+            << "n=" << n << " round=" << i << " from=" << e.from;
+        have[static_cast<std::size_t>(e.to)] +=
+            have[static_cast<std::size_t>(e.from)];
+        have[static_cast<std::size_t>(e.from)] = 0;
+      }
+    }
+    EXPECT_EQ(have[0], n);
+  }
+}
+
+TEST(BinomialBroadcast, ReachesEveryRankExactlyOnce) {
+  for (std::int64_t n = 1; n <= 70; ++n) {
+    const auto rounds = binomial_broadcast_rounds(n);
+    std::set<std::int64_t> reached{0};
+    for (const auto& round : rounds) {
+      std::set<std::int64_t> this_round;
+      for (const RoundEdge& e : round) {
+        EXPECT_TRUE(reached.count(e.from))
+            << "broadcast sender " << e.from << " does not have the data yet";
+        EXPECT_TRUE(this_round.insert(e.to).second);
+        EXPECT_TRUE(reached.insert(e.to).second)
+            << "rank " << e.to << " receives twice";
+      }
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(reached.size()), n);
+  }
+}
+
+TEST(BinomialBroadcast, IsGatherReversed) {
+  // The broadcast edge set is the gather edge set with directions flipped.
+  for (std::int64_t n : {1, 2, 3, 7, 8, 21, 64}) {
+    std::multiset<std::pair<std::int64_t, std::int64_t>> g, b;
+    for (const auto& round : binomial_gather_rounds(n)) {
+      for (const RoundEdge& e : round) g.insert({e.to, e.from});
+    }
+    for (const auto& round : binomial_broadcast_rounds(n)) {
+      for (const RoundEdge& e : round) b.insert({e.from, e.to});
+    }
+    EXPECT_EQ(g, b) << "n=" << n;
+  }
+}
+
+TEST(BinomialGatherSegment, CapsAtN) {
+  EXPECT_EQ(binomial_gather_segment(10, 8, 3), 2);   // [8, 10)
+  EXPECT_EQ(binomial_gather_segment(10, 4, 2), 4);   // [4, 8)
+  EXPECT_EQ(binomial_gather_segment(10, 9, 0), 1);
+  EXPECT_THROW((void)binomial_gather_segment(10, 10, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bruck::topo

@@ -1,0 +1,170 @@
+// Circulant graphs and the Section 4.1 spanning trees (Figures 7 and 8).
+#include "topo/circulant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+namespace {
+
+TEST(CirculantGraph, EdgesAndNeighbors) {
+  const CirculantGraph g(9, {1, 2});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 8));  // offset −1 wraps
+  EXPECT_TRUE(g.has_edge(0, 7));  // offset −2 wraps
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 3));
+  EXPECT_EQ(g.neighbors(0), (std::vector<std::int64_t>{1, 2, 7, 8}));
+}
+
+TEST(CirculantGraph, DeduplicatesOffsets) {
+  const CirculantGraph g(5, {2, 2, 1});
+  EXPECT_EQ(g.offsets(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(ConcatOffsets, MatchSectionFourDefinition) {
+  // S_i = {(k+1)^i, 2(k+1)^i, …, k(k+1)^i}.
+  EXPECT_EQ(concat_round_offsets(2, 0), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(concat_round_offsets(2, 1), (std::vector<std::int64_t>{3, 6}));
+  EXPECT_EQ(concat_round_offsets(1, 3), (std::vector<std::int64_t>{8}));
+  // n = 9, k = 2: d = 2, S = S_0 = {1, 2}.
+  EXPECT_EQ(concat_offset_set(9, 2), (std::vector<std::int64_t>{1, 2}));
+  // n = 10, k = 2: d = 3, S = {1, 2} ∪ {3, 6}.
+  EXPECT_EQ(concat_offset_set(10, 2), (std::vector<std::int64_t>{1, 2, 3, 6}));
+  // d ≤ 1: empty offset set (a single round needs no growth phase).
+  EXPECT_TRUE(concat_offset_set(3, 2).empty());
+}
+
+TEST(SpanningTree, PaperFigure7) {
+  // n = 9 = (k+1)^2, k = 2, root 0 — the full two-round tree of Fig. 7:
+  // round 0 adds {(0,1), (0,2)}; round 1 adds
+  // {(0,3), (0,6), (1,4), (1,7), (2,5), (2,8)}.
+  const auto edges = concat_full_spanning_tree(9, 2, 0);
+  ASSERT_EQ(edges.size(), 8u);
+  const std::vector<TreeEdge> expected{
+      {0, 1, 0}, {0, 2, 0},                                      // round 0
+      {0, 3, 1}, {0, 6, 1}, {1, 4, 1}, {1, 7, 1}, {2, 5, 1}, {2, 8, 1}};
+  std::multiset<std::tuple<std::int64_t, std::int64_t, int>> got, want;
+  for (const TreeEdge& e : edges) got.insert({e.parent, e.child, e.round});
+  for (const TreeEdge& e : expected) want.insert({e.parent, e.child, e.round});
+  EXPECT_EQ(got, want);
+}
+
+TEST(SpanningTree, PaperFigure8TranslationProperty) {
+  // T_1 is T_0 with every label shifted by +1 (mod 9).
+  const auto t0 = concat_full_spanning_tree(9, 2, 0);
+  const auto t1 = concat_full_spanning_tree(9, 2, 1);
+  ASSERT_EQ(t0.size(), t1.size());
+  std::multiset<std::tuple<std::int64_t, std::int64_t, int>> shifted, got;
+  for (const TreeEdge& e : t0) {
+    shifted.insert({pos_mod(e.parent + 1, 9), pos_mod(e.child + 1, 9), e.round});
+  }
+  for (const TreeEdge& e : t1) got.insert({e.parent, e.child, e.round});
+  EXPECT_EQ(got, shifted);
+}
+
+TEST(SpanningTree, SpansExactlyTheFirstN1Nodes) {
+  for (std::int64_t n : {2, 5, 9, 10, 16, 26, 27, 28, 64, 100}) {
+    for (int k : {1, 2, 3, 4}) {
+      for (std::int64_t root : {std::int64_t{0}, n / 2, n - 1}) {
+        const int d = ceil_log(n, k + 1);
+        const std::int64_t n1 = ipow(k + 1, d - 1);
+        const auto edges = concat_spanning_tree(n, k, root);
+        EXPECT_EQ(static_cast<std::int64_t>(edges.size()), n1 - 1)
+            << "a tree on n1 nodes has n1−1 edges";
+        // Children are exactly root+1 .. root+n1−1, each exactly once.
+        std::set<std::int64_t> children;
+        for (const TreeEdge& e : edges) {
+          EXPECT_TRUE(children.insert(e.child).second)
+              << "node " << e.child << " has two parents";
+        }
+        for (std::int64_t t = 1; t < n1; ++t) {
+          EXPECT_TRUE(children.count(pos_mod(root + t, n)))
+              << "n=" << n << " k=" << k << " root=" << root << " t=" << t;
+        }
+        EXPECT_FALSE(children.count(root));
+      }
+    }
+  }
+}
+
+TEST(SpanningTree, RoundEdgesUseRoundOffsets) {
+  for (std::int64_t n : {9, 27, 64}) {
+    for (int k : {1, 2, 3}) {
+      const auto edges = concat_spanning_tree(n, k, 0);
+      for (const TreeEdge& e : edges) {
+        const auto offsets = concat_round_offsets(k, e.round);
+        const std::int64_t diff = pos_mod(e.child - e.parent, n);
+        EXPECT_NE(std::find(offsets.begin(), offsets.end(), diff),
+                  offsets.end())
+            << "edge (" << e.parent << "→" << e.child << ") round " << e.round;
+      }
+    }
+  }
+}
+
+TEST(SpanningTree, GrowthIsGeometric) {
+  // After round i the tree has (k+1)^{i+1} nodes (capped by n1): data can
+  // reach at most (k+1)^d nodes in d rounds — the Proposition 2.1 mechanism.
+  const std::int64_t n = 64;
+  const int k = 3;
+  const auto edges = concat_spanning_tree(n, k, 0);
+  std::map<int, std::int64_t> per_round;
+  for (const TreeEdge& e : edges) per_round[e.round] += 1;
+  std::int64_t nodes = 1;
+  for (const auto& [round, added] : per_round) {
+    EXPECT_EQ(added, nodes * k) << "every node adds k children in round "
+                                << round;
+    nodes += added;
+  }
+}
+
+TEST(SpanningTree, ParentsPrecedeChildren) {
+  // A node only transmits in round i if it already received the data:
+  // its parent edge has a strictly smaller round (root has none).
+  const std::int64_t n = 27;
+  const int k = 2;
+  const auto edges = concat_spanning_tree(n, k, 5);
+  std::map<std::int64_t, int> joined;  // node → round it joined
+  joined[5] = -1;
+  for (const TreeEdge& e : edges) {  // sorted by round
+    ASSERT_TRUE(joined.count(e.parent)) << "parent joined earlier";
+    EXPECT_LT(joined[e.parent], e.round);
+    joined[e.child] = e.round;
+  }
+}
+
+TEST(SpanningTree, RejectsBadArguments) {
+  EXPECT_THROW(concat_spanning_tree(5, 1, 5), ContractViolation);
+  EXPECT_THROW(concat_spanning_tree(5, 0, 0), ContractViolation);
+  EXPECT_THROW(CirculantGraph(5, {0}), ContractViolation);
+  EXPECT_THROW(CirculantGraph(5, {5}), ContractViolation);
+  // Full tree only exists for exact powers of k+1.
+  EXPECT_THROW(concat_full_spanning_tree(10, 2, 0), ContractViolation);
+  EXPECT_NO_THROW((void)concat_full_spanning_tree(27, 2, 3));
+}
+
+TEST(SpanningTree, FullTreeSpansAllNodesForExactPowers) {
+  for (int k : {1, 2, 3}) {
+    for (int d : {1, 2, 3}) {
+      const std::int64_t n = ipow(k + 1, d);
+      if (n > 64) continue;
+      const auto edges = concat_full_spanning_tree(n, k, 0);
+      EXPECT_EQ(static_cast<std::int64_t>(edges.size()), n - 1);
+      std::set<std::int64_t> covered{0};
+      for (const TreeEdge& e : edges) covered.insert(e.child);
+      EXPECT_EQ(static_cast<std::int64_t>(covered.size()), n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bruck::topo

@@ -1,0 +1,175 @@
+// The Proposition 4.2 table partitioning, including an exact reproduction of
+// the paper's Table 1 instance and exhaustive constraint sweeps.
+#include "topo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "model/costs.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::topo {
+namespace {
+
+TEST(ByteSplitPartition, ReproducesPaperTable1) {
+  // Table 1: n1 = 3 (p0..p2), n2 = 7 (p3..p9), b = 3 bytes, k = 3 ports;
+  // α = ⌈3·7/3⌉ = 7.
+  const TablePartition p = byte_split_partition(3, 7, 3, 3);
+  ASSERT_EQ(p.areas.size(), 3u);
+  EXPECT_EQ(p.alpha(), 7);
+  EXPECT_TRUE(p.feasible());
+  EXPECT_EQ(p.check_exact_cover(), "");
+
+  // Area 1: columns 0–2 (offset 3): p3 gets 3 bytes, p4 gets 3, p5 gets 1.
+  EXPECT_EQ(p.areas[0].left_col(), 0);
+  EXPECT_EQ(p.areas[0].size(), 7);
+  // Per-column byte counts of area 1.
+  std::map<std::int64_t, std::int64_t> a1;
+  for (const AreaCell& c : p.areas[0].cells) a1[c.col] += c.size();
+  EXPECT_EQ(a1, (std::map<std::int64_t, std::int64_t>{{0, 3}, {1, 3}, {2, 1}}));
+
+  // Area 2: leftmost column 2 (offset 5): p5 gets 2, p6 gets 3, p7 gets 2.
+  EXPECT_EQ(p.areas[1].left_col(), 2);
+  EXPECT_EQ(p.areas[1].size(), 7);
+  std::map<std::int64_t, std::int64_t> a2;
+  for (const AreaCell& c : p.areas[1].cells) a2[c.col] += c.size();
+  EXPECT_EQ(a2, (std::map<std::int64_t, std::int64_t>{{2, 2}, {3, 3}, {4, 2}}));
+
+  // Area 3: leftmost column 4 (offset 7): p7 gets 1, p8 gets 3, p9 gets 3.
+  EXPECT_EQ(p.areas[2].left_col(), 4);
+  EXPECT_EQ(p.areas[2].size(), 7);
+  std::map<std::int64_t, std::int64_t> a3;
+  for (const AreaCell& c : p.areas[2].cells) a3[c.col] += c.size();
+  EXPECT_EQ(a3, (std::map<std::int64_t, std::int64_t>{{4, 1}, {5, 3}, {6, 3}}));
+
+  // The offsets the paper derives: 3, 5, 7.
+  EXPECT_EQ(3 + p.areas[0].left_col(), 3);
+  EXPECT_EQ(3 + p.areas[1].left_col(), 5);
+  EXPECT_EQ(3 + p.areas[2].left_col(), 7);
+
+  // All spans within n1 = 3.
+  for (const Area& a : p.areas) EXPECT_LE(a.span(), 3);
+}
+
+TEST(ByteSplitPartition, RenderShowsAreaNumbers) {
+  const TablePartition p = byte_split_partition(3, 7, 3, 3);
+  const std::string grid = p.render();
+  EXPECT_NE(grid.find("p3"), std::string::npos);
+  EXPECT_NE(grid.find("p9"), std::string::npos);
+  EXPECT_NE(grid.find('1'), std::string::npos);
+  EXPECT_NE(grid.find('3'), std::string::npos);
+}
+
+TEST(ByteSplitPartition, ConstraintsAcrossGrid) {
+  // Size constraint (≤ α) holds by construction everywhere; exact cover must
+  // hold everywhere; spans must hold whenever the model-level feasibility
+  // check says so (the two implementations must agree).
+  for (std::int64_t n1 : {1, 2, 3, 4, 5, 8, 9, 16}) {
+    for (std::int64_t n2 = 0; n2 <= 5 * n1; ++n2) {
+      for (std::int64_t b : {1, 2, 3, 4, 7}) {
+        for (int k : {1, 2, 3, 4, 5}) {
+          if (n2 > k * n1) continue;  // outside concatenation geometry
+          const TablePartition p = byte_split_partition(n1, n2, b, k);
+          EXPECT_EQ(p.check_exact_cover(), "")
+              << "n1=" << n1 << " n2=" << n2 << " b=" << b << " k=" << k;
+          for (const Area& a : p.areas) EXPECT_LE(a.size(), p.alpha());
+          EXPECT_LE(static_cast<int>(p.areas.size()), k);
+        }
+      }
+    }
+  }
+}
+
+TEST(ByteSplitPartition, FeasibilityAgreesWithModelPredicate) {
+  // topo::byte_split_partition(...).feasible() and
+  // model::concat_byte_split_feasible(n, k, b) are independent encodings of
+  // the same criterion; sweep the concatenation geometry and compare.
+  for (std::int64_t n = 2; n <= 200; ++n) {
+    for (int k = 1; k <= 5; ++k) {
+      for (std::int64_t b : {1, 2, 3, 4, 5}) {
+        const int d = ceil_log(n, k + 1);
+        const std::int64_t n1 = ipow(k + 1, d - 1);
+        const std::int64_t n2 = n - n1;
+        if (n2 == 0) continue;
+        const TablePartition p = byte_split_partition(n1, n2, b, k);
+        EXPECT_EQ(p.feasible(), model::concat_byte_split_feasible(n, k, b))
+            << "n=" << n << " k=" << k << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ByteSplitPartition, KnownInfeasibleInstance) {
+  // n = 3, k = 3, b = 3 (the d = 1 corner of the paper's range): n1 = 1,
+  // n2 = 2, α = 2 — the middle area must straddle two columns, span 2 > 1.
+  const TablePartition p = byte_split_partition(1, 2, 3, 3);
+  EXPECT_FALSE(p.feasible());
+  EXPECT_EQ(p.check_exact_cover(), "") << "cover is still exact";
+}
+
+TEST(ColumnGranularPartition, AlwaysFeasibleWithinGeometry) {
+  for (std::int64_t n1 : {1, 2, 3, 4, 9, 16}) {
+    for (std::int64_t n2 = 0; n2 <= 5 * n1; ++n2) {
+      for (std::int64_t b : {1, 3, 5}) {
+        for (int k : {1, 2, 3, 5}) {
+          if (n2 > k * n1) continue;
+          const TablePartition p = column_granular_partition(n1, n2, b, k);
+          EXPECT_EQ(p.check_exact_cover(), "");
+          // Span constraint always holds; the size bound is the Remark's
+          // relaxed α + (b−1), not Proposition 4.2's α.
+          EXPECT_LE(p.max_span(), n1)
+              << "n1=" << n1 << " n2=" << n2 << " b=" << b << " k=" << k;
+          for (const Area& a : p.areas) {
+            EXPECT_LE(a.size(), p.alpha() + b - 1);
+            EXPECT_LE(a.span(), n1);
+            // Whole columns only.
+            for (const AreaCell& c : a.cells) {
+              EXPECT_EQ(c.row_begin, 0);
+              EXPECT_EQ(c.row_end, b);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoRoundRoundA, AlwaysFeasibleAcrossConcatGeometry) {
+  // concat's kTwoRound ships columns [0, n2−k) by byte-split in its first
+  // round; that partition must be feasible for every n2 > k in geometry.
+  for (std::int64_t n = 2; n <= 300; ++n) {
+    for (int k = 1; k <= 6; ++k) {
+      for (std::int64_t b : {1, 2, 3, 5, 8}) {
+        const int d = ceil_log(n, k + 1);
+        const std::int64_t n1 = ipow(k + 1, d - 1);
+        const std::int64_t n2 = n - n1;
+        if (n2 <= k) continue;
+        const TablePartition p = byte_split_partition(n1, n2 - k, b, k);
+        EXPECT_TRUE(p.feasible())
+            << "n=" << n << " k=" << k << " b=" << b << " (round A)";
+      }
+    }
+  }
+}
+
+TEST(Partition, DegenerateInputs) {
+  const TablePartition empty = byte_split_partition(4, 0, 3, 2);
+  EXPECT_TRUE(empty.areas.empty());
+  EXPECT_TRUE(empty.feasible());
+  EXPECT_EQ(empty.check_exact_cover(), "");
+  EXPECT_THROW(byte_split_partition(0, 1, 1, 1), ContractViolation);
+  EXPECT_THROW(byte_split_partition(1, -1, 1, 1), ContractViolation);
+  EXPECT_THROW(byte_split_partition(1, 1, 0, 1), ContractViolation);
+  EXPECT_THROW(byte_split_partition(1, 1, 1, 0), ContractViolation);
+}
+
+TEST(Partition, AreaAccessorsRejectEmpty) {
+  Area a;
+  EXPECT_THROW((void)a.left_col(), ContractViolation);
+  EXPECT_EQ(a.size(), 0);
+}
+
+}  // namespace
+}  // namespace bruck::topo

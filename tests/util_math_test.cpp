@@ -1,0 +1,119 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bruck {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(0, 1), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(14, 5), 3);
+  EXPECT_EQ(ceil_div(15, 5), 3);
+}
+
+TEST(CeilDiv, RejectsBadArguments) {
+  EXPECT_THROW((void)ceil_div(-1, 2), ContractViolation);
+  EXPECT_THROW((void)ceil_div(1, 0), ContractViolation);
+  EXPECT_THROW((void)ceil_div(1, -3), ContractViolation);
+}
+
+TEST(Ipow, SmallValues) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(1, 62), 1);
+  EXPECT_EQ(ipow(0, 0), 1);
+  EXPECT_EQ(ipow(0, 5), 0);
+  EXPECT_EQ(ipow(10, 18), 1000000000000000000LL);
+}
+
+TEST(Ipow, DetectsOverflow) {
+  EXPECT_THROW((void)ipow(2, 63), ContractViolation);
+  EXPECT_THROW((void)ipow(10, 19), ContractViolation);
+}
+
+TEST(CeilLog, MatchesDefinition) {
+  // ceil_log(x, b) is the least w with b^w >= x.
+  EXPECT_EQ(ceil_log(1, 2), 0);
+  EXPECT_EQ(ceil_log(2, 2), 1);
+  EXPECT_EQ(ceil_log(3, 2), 2);
+  EXPECT_EQ(ceil_log(4, 2), 2);
+  EXPECT_EQ(ceil_log(5, 2), 3);
+  EXPECT_EQ(ceil_log(64, 2), 6);
+  EXPECT_EQ(ceil_log(65, 2), 7);
+  EXPECT_EQ(ceil_log(9, 3), 2);
+  EXPECT_EQ(ceil_log(10, 3), 3);
+  EXPECT_EQ(ceil_log(1, 7), 0);
+}
+
+TEST(CeilLog, ExhaustiveAgainstIpow) {
+  for (std::int64_t base = 2; base <= 7; ++base) {
+    for (std::int64_t x = 1; x <= 1000; ++x) {
+      const int w = ceil_log(x, base);
+      EXPECT_GE(ipow(base, w), x) << "x=" << x << " base=" << base;
+      if (w > 0) {
+        EXPECT_LT(ipow(base, w - 1), x) << "x=" << x << " base=" << base;
+      }
+    }
+  }
+}
+
+TEST(FloorLog, MatchesDefinition) {
+  EXPECT_EQ(floor_log(1, 2), 0);
+  EXPECT_EQ(floor_log(2, 2), 1);
+  EXPECT_EQ(floor_log(3, 2), 1);
+  EXPECT_EQ(floor_log(4, 2), 2);
+  EXPECT_EQ(floor_log(80, 3), 3);
+  EXPECT_EQ(floor_log(81, 3), 4);
+}
+
+TEST(FloorLog, ExhaustiveAgainstIpow) {
+  for (std::int64_t base = 2; base <= 5; ++base) {
+    for (std::int64_t x = 1; x <= 500; ++x) {
+      const int w = floor_log(x, base);
+      EXPECT_LE(ipow(base, w), x);
+      EXPECT_GT(ipow(base, w + 1), x);
+    }
+  }
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_TRUE(is_pow2(std::int64_t{1} << 62));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_FALSE(is_pow2(1023));
+  EXPECT_THROW((void)is_pow2(0), ContractViolation);
+}
+
+TEST(PosMod, NegativeArguments) {
+  EXPECT_EQ(pos_mod(5, 3), 2);
+  EXPECT_EQ(pos_mod(-1, 3), 2);
+  EXPECT_EQ(pos_mod(-3, 3), 0);
+  EXPECT_EQ(pos_mod(-7, 5), 3);
+  EXPECT_EQ(pos_mod(0, 7), 0);
+  EXPECT_THROW((void)pos_mod(1, 0), ContractViolation);
+}
+
+TEST(PosMod, AlwaysInRange) {
+  for (std::int64_t x = -50; x <= 50; ++x) {
+    for (std::int64_t m = 1; m <= 12; ++m) {
+      const std::int64_t r = pos_mod(x, m);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, m);
+      EXPECT_EQ(pos_mod(r - x, m), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bruck

@@ -1,0 +1,129 @@
+// Tests for rng, stats, table and csv utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bruck {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(FillRandomBytes, DeterministicAndLengthExact) {
+  std::vector<std::byte> a(37);
+  std::vector<std::byte> b(37);
+  fill_random_bytes(a, 99);
+  fill_random_bytes(b, 99);
+  EXPECT_EQ(a, b);
+  fill_random_bytes(b, 100);
+  EXPECT_NE(a, b);
+}
+
+TEST(PayloadByte, DistinguishesCoordinates) {
+  // Different (src, block, offset) triples should essentially never agree on
+  // all of a handful of bytes; spot-check pairwise distinctness over a grid.
+  std::set<std::vector<std::byte>> seen;
+  for (std::int64_t src = 0; src < 6; ++src) {
+    for (std::int64_t block = 0; block < 6; ++block) {
+      std::vector<std::byte> sig;
+      for (std::size_t off = 0; off < 8; ++off) {
+        sig.push_back(payload_byte(42, src, block, off));
+      }
+      EXPECT_TRUE(seen.insert(sig).second)
+          << "payload collision at src=" << src << " block=" << block;
+    }
+  }
+}
+
+TEST(FillPayload, MatchesPayloadByte) {
+  std::vector<std::byte> buf(16);
+  fill_payload(buf, 7, 3, 5);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], payload_byte(7, 3, 5, i));
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> v{5.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+  EXPECT_THROW((void)percentile(v, 101.0), ContractViolation);
+  EXPECT_THROW((void)summarize(std::vector<double>{}), ContractViolation);
+}
+
+TEST(TextTable, AlignsAndRules) {
+  TextTable t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos) << out;
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.row({"1", "two,three"});
+  EXPECT_EQ(os.str(), "x,y\n1,\"two,three\"\n");
+}
+
+}  // namespace
+}  // namespace bruck

@@ -1,0 +1,137 @@
+#include "util/radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck {
+namespace {
+
+TEST(RadixDigitCount, MatchesPaperExamples) {
+  // Section 3.2: block-ids 0..n-1 need w = ceil(log_r n) digits.
+  EXPECT_EQ(radix_digit_count(5, 2), 3);
+  EXPECT_EQ(radix_digit_count(5, 3), 2);  // "5 is encoded into 12 base 3"
+  EXPECT_EQ(radix_digit_count(64, 2), 6);
+  EXPECT_EQ(radix_digit_count(64, 8), 2);
+  EXPECT_EQ(radix_digit_count(1, 2), 0);
+}
+
+TEST(RadixDigits, PaperExampleFiveBaseThree) {
+  // "5 is encoded into '12' using radix-3 representation": digit 0 is 2,
+  // digit 1 is 1 — so block 5 first rotates 2 (step 2 of subphase 0), then 3
+  // (step 1 of subphase 1).
+  EXPECT_EQ(radix_digit(5, 3, 0), 2);
+  EXPECT_EQ(radix_digit(5, 3, 1), 1);
+  const auto digits = radix_digits(5, 3, 2);
+  ASSERT_EQ(digits.size(), 2u);
+  EXPECT_EQ(digits[0], 2);
+  EXPECT_EQ(digits[1], 1);
+}
+
+TEST(RadixDigits, RoundTripExhaustive) {
+  for (std::int64_t r = 2; r <= 9; ++r) {
+    for (std::int64_t v = 0; v < 600; ++v) {
+      const int w = radix_digit_count(v + 1, r);
+      const auto digits = radix_digits(v, r, w == 0 ? 1 : w);
+      EXPECT_EQ(radix_compose(digits, r), v) << "v=" << v << " r=" << r;
+      for (std::size_t x = 0; x < digits.size(); ++x) {
+        EXPECT_EQ(digits[x], radix_digit(v, r, static_cast<int>(x)));
+      }
+    }
+  }
+}
+
+TEST(RadixDigits, RejectsValueTooLarge) {
+  EXPECT_THROW(radix_digits(8, 2, 3), ContractViolation);  // needs 4 digits
+  EXPECT_NO_THROW((void)radix_digits(7, 2, 3));
+}
+
+TEST(SubphaseHeight, FullAndPartialSubphases) {
+  // n = 5, r = 2: w = 3 subphases; heights ceil(5/1)=5→2, ceil(5/2)=3→2,
+  // ceil(5/4)=2.
+  EXPECT_EQ(radix_subphase_height(5, 2, 0), 2);
+  EXPECT_EQ(radix_subphase_height(5, 2, 1), 2);
+  EXPECT_EQ(radix_subphase_height(5, 2, 2), 2);
+  // n = 5, r = 3: subphase 0 full (h = 3), subphase 1 partial (h = ceil(5/3) = 2).
+  EXPECT_EQ(radix_subphase_height(5, 3, 0), 3);
+  EXPECT_EQ(radix_subphase_height(5, 3, 1), 2);
+  // n = 7, r = 4: subphase 1 has h = ceil(7/4) = 2 (only step z = 1).
+  EXPECT_EQ(radix_subphase_height(7, 4, 1), 2);
+}
+
+TEST(SubphaseHeight, LastSubphaseMatchesAppendixA) {
+  // Appendix A line 8: in the last subphase h = ceil(n / dist).
+  for (std::int64_t n = 2; n <= 100; ++n) {
+    for (std::int64_t r = 2; r <= n; ++r) {
+      const int w = radix_digit_count(n, r);
+      const std::int64_t dist = ipow(r, w - 1);
+      EXPECT_EQ(radix_subphase_height(n, r, w - 1), ceil_div(n, dist))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(DigitCensus, MatchesMembersExhaustive) {
+  for (std::int64_t n : {1, 2, 3, 5, 7, 8, 12, 16, 27, 31, 64}) {
+    for (std::int64_t r = 2; r <= std::min<std::int64_t>(n + 1, 9); ++r) {
+      const int w = radix_digit_count(n, r);
+      for (int x = 0; x < std::max(w, 1); ++x) {
+        std::int64_t total = 0;
+        for (std::int64_t z = 0; z < r; ++z) {
+          const auto members = radix_digit_members(n, r, x, z);
+          EXPECT_EQ(static_cast<std::int64_t>(members.size()),
+                    radix_digit_census(n, r, x, z))
+              << "n=" << n << " r=" << r << " x=" << x << " z=" << z;
+          for (std::int64_t m : members) EXPECT_EQ(radix_digit(m, r, x), z);
+          total += static_cast<std::int64_t>(members.size());
+        }
+        EXPECT_EQ(total, n);  // digit classes partition [0, n)
+      }
+    }
+  }
+}
+
+TEST(DigitCensus, BoundedByMaxCensus) {
+  // Section 3.2 quotes the bound ⌈n/r⌉; the exact bound is radix_max_census
+  // (the two agree when n is a power of r, and the top truncated digit can
+  // exceed ⌈n/r⌉ otherwise — see the header note).
+  for (std::int64_t n = 1; n <= 80; ++n) {
+    for (std::int64_t r = 2; r <= std::max<std::int64_t>(2, n); ++r) {
+      const std::int64_t cap = n == 1 ? 0 : radix_max_census(n, r);
+      const int w = radix_digit_count(n, r);
+      for (int x = 0; x < w; ++x) {
+        for (std::int64_t z = 1; z < radix_subphase_height(n, r, x); ++z) {
+          EXPECT_LE(radix_digit_census(n, r, x, z), cap);
+          EXPECT_GE(radix_digit_census(n, r, x, z), 1)
+              << "every step within the subphase height moves >= 1 block";
+        }
+      }
+    }
+  }
+}
+
+TEST(DigitCensus, PaperBoundExactForPowersOfR) {
+  // When n = r^w the Section 3.2 bound b·⌈n/r⌉ holds with equality at the
+  // top subphase.
+  for (std::int64_t r = 2; r <= 6; ++r) {
+    for (int w = 1; w <= 4; ++w) {
+      const std::int64_t n = ipow(r, w);
+      if (n > 1300) continue;
+      EXPECT_EQ(radix_max_census(n, r), ceil_div(n, r)) << "n=" << n
+                                                        << " r=" << r;
+    }
+  }
+}
+
+TEST(DigitCensus, TopDigitCanExceedPaperBound) {
+  // The documented counterexample: n = 16, r = 3.
+  EXPECT_EQ(radix_max_census(16, 3), 7);
+  EXPECT_EQ(ceil_div(16, 3), 6);
+  EXPECT_EQ(radix_digit_census(16, 3, 2, 1), 7);
+}
+
+}  // namespace
+}  // namespace bruck

@@ -1,0 +1,124 @@
+// bruckcl_plan — command-line planner for the collectives.
+//
+//   bruckcl_plan index  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
+//   bruckcl_plan concat <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
+//   bruckcl_plan rounds <n> <k> <block_bytes> <radix>
+//
+// `index` prints the full radix trade-off curve under the given machine and
+// the tuner's pick; `concat` prints the strategy comparison vs the lower
+// bounds; `rounds` prints the round-by-round transfer listing of the index
+// algorithm (handy for eyeballing patterns).
+//
+// Defaults for (beta, tau) are the paper's SP-1 measurements.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "model/costs.hpp"
+#include "model/linear_model.hpp"
+#include "model/lower_bounds.hpp"
+#include "model/tuner.hpp"
+#include "sched/builders_index.hpp"
+#include "sched/render.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  bruckcl_plan index  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
+            << "  bruckcl_plan concat <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
+            << "  bruckcl_plan rounds <n> <k> <block_bytes> <radix>\n";
+  return 2;
+}
+
+bruck::model::LinearModel machine_from(int argc, char** argv, int beta_idx) {
+  bruck::model::LinearModel m = bruck::model::ibm_sp1();
+  if (argc > beta_idx) {
+    m.name = "custom";
+    m.beta_us = std::atof(argv[beta_idx]);
+  }
+  if (argc > beta_idx + 1) m.tau_us_per_byte = std::atof(argv[beta_idx + 1]);
+  return m;
+}
+
+int cmd_index(std::int64_t n, int k, std::int64_t b,
+              const bruck::model::LinearModel& machine) {
+  std::cout << "index operation (alltoall): n = " << n << ", k = " << k
+            << ", b = " << b << " bytes; machine \"" << machine.name
+            << "\" (beta " << machine.beta_us << " us, tau "
+            << machine.tau_us_per_byte << " us/B)\n\n";
+  bruck::TextTable t({"radix", "C1", "C2 (bytes)", "modeled us"});
+  for (const auto& c : bruck::model::index_radix_curve(n, k, b, machine)) {
+    t.add(c.radix, c.metrics.c1, c.metrics.c2, c.predicted_us);
+  }
+  t.print(std::cout);
+  const auto best = bruck::model::pick_index_radix(n, k, b, machine);
+  std::cout << "\ntuner pick: r = " << best.radix << " (~" << best.predicted_us
+            << " us); lower bounds: C1 >= "
+            << bruck::model::index_c1_lower_bound(n, k) << ", C2 >= "
+            << bruck::model::index_c2_lower_bound(n, k, b) << " bytes\n";
+  return 0;
+}
+
+int cmd_concat(std::int64_t n, int k, std::int64_t b,
+               const bruck::model::LinearModel& machine) {
+  using bruck::model::ConcatLastRound;
+  std::cout << "concatenation (allgather): n = " << n << ", k = " << k
+            << ", b = " << b << " bytes\n\n";
+  bruck::TextTable t({"algorithm", "C1", "C2 (bytes)", "modeled us"});
+  auto add = [&](const std::string& name, const bruck::model::CostMetrics& m) {
+    t.add(name, m.c1, m.c2, machine.predict_us(m));
+  };
+  add("bruck (auto)",
+      bruck::model::concat_bruck_cost(n, k, b, ConcatLastRound::kAuto));
+  add("bruck (two-round)",
+      bruck::model::concat_bruck_cost(n, k, b, ConcatLastRound::kTwoRound));
+  add("bruck (column-granular)",
+      bruck::model::concat_bruck_cost(n, k, b,
+                                      ConcatLastRound::kColumnGranular));
+  if (k == 1) {
+    add("folklore", bruck::model::concat_folklore_cost(n, b));
+    add("ring", bruck::model::concat_ring_cost(n, b));
+  }
+  t.print(std::cout);
+  std::cout << "\nlower bounds: C1 >= "
+            << bruck::model::concat_c1_lower_bound(n, k) << ", C2 >= "
+            << bruck::model::concat_c2_lower_bound(n, k, b) << " bytes";
+  if (bruck::model::concat_paper_nonoptimal_range(n, k, b)) {
+    std::cout << "  [inside the paper's non-optimal range]";
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_rounds(std::int64_t n, int k, std::int64_t b, std::int64_t r) {
+  const bruck::sched::Schedule s = bruck::sched::build_index_bruck(n, r, k, b);
+  std::cout << bruck::sched::render_rounds(s) << '\n'
+            << bruck::sched::render_traffic_matrix(s);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string cmd = argv[1];
+  const std::int64_t n = std::atoll(argv[2]);
+  const int k = std::atoi(argv[3]);
+  const std::int64_t b = std::atoll(argv[4]);
+  if (n < 1 || k < 1 || b < 0) return usage();
+  try {
+    if (cmd == "index") return cmd_index(n, k, b, machine_from(argc, argv, 5));
+    if (cmd == "concat") return cmd_concat(n, k, b, machine_from(argc, argv, 5));
+    if (cmd == "rounds") {
+      if (argc < 6) return usage();
+      return cmd_rounds(n, k, b, std::atoll(argv[5]));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
