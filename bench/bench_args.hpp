@@ -1,0 +1,49 @@
+// Common command-line handling for the bench binaries:
+//   --smoke        shrink the sweeps for CI (seconds, not minutes)
+//   --csv <path>   additionally emit machine-readable rows (util/csv.hpp)
+// Unknown flags abort with a usage message so CI typos fail loudly.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace bruck::bench {
+
+struct BenchArgs {
+  bool smoke = false;
+  std::string csv_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--csv <path>]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Open the CSV sink (std::ofstream stays closed when no path was given;
+/// callers guard emission on is_open()).
+inline std::ofstream open_csv(const BenchArgs& args) {
+  std::ofstream out;
+  if (!args.csv_path.empty()) {
+    out.open(args.csv_path);
+    if (!out) {
+      std::cerr << "cannot open csv output: " << args.csv_path << "\n";
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+}  // namespace bruck::bench

@@ -5,14 +5,18 @@
 // binomial-tree measures the folklore baseline is built from.
 #include <cstdint>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "coll/bcast.hpp"
 #include "coll/gather_scatter.hpp"
 #include "model/costs.hpp"
 #include "model/lower_bounds.hpp"
 #include "mps/runtime.hpp"
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -43,20 +47,40 @@ bruck::model::CostMetrics measure_bcast(std::int64_t n, int k, std::int64_t b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bruck::bench::BenchArgs args = bruck::bench::parse_bench_args(argc, argv);
+  std::ofstream csv_file = bruck::bench::open_csv(args);
   const std::int64_t b = 256;
+  const std::vector<std::int64_t> bcast_ns =
+      args.smoke ? std::vector<std::int64_t>{5, 9, 16}
+                 : std::vector<std::int64_t>{5, 9, 16, 17, 27, 40, 64};
+  const std::vector<std::int64_t> gs_ns =
+      args.smoke ? std::vector<std::int64_t>{8, 13, 16}
+                 : std::vector<std::int64_t>{8, 13, 16, 27, 32, 64};
+
+  std::unique_ptr<bruck::CsvWriter> csv;
+  if (csv_file.is_open()) {
+    csv = std::make_unique<bruck::CsvWriter>(
+        csv_file,
+        std::vector<std::string>{"op", "n", "k", "b", "c1", "c2", "c1_bound"});
+  }
 
   std::cout << "broadcast: k-port circulant tree vs Proposition 2.1 "
                "(payload 256 B, measured)\n\n";
   bruck::TextTable t({"n", "k", "C1", "Prop 2.1 bound", "C2",
                       "binomial C1 (k=1)"});
-  for (const std::int64_t n : {5, 9, 16, 17, 27, 40, 64}) {
+  for (const std::int64_t n : bcast_ns) {
     for (const int k : {1, 2, 3}) {
       const bruck::model::CostMetrics m = measure_bcast(n, k, b, true);
       const std::int64_t binom =
           k == 1 ? measure_bcast(n, 1, b, false).c1 : 0;
       t.add(n, k, m.c1, bruck::model::concat_c1_lower_bound(n, k), m.c2,
             k == 1 ? std::to_string(binom) : std::string("-"));
+      if (csv) {
+        csv->row({"bcast_circulant", std::to_string(n), std::to_string(k),
+                  std::to_string(b), std::to_string(m.c1), std::to_string(m.c2),
+                  std::to_string(bruck::model::concat_c1_lower_bound(n, k))});
+      }
     }
   }
   t.print(std::cout);
@@ -66,11 +90,17 @@ int main() {
   std::cout << "gather/scatter (binomial, one port, b = 256):\n\n";
   bruck::TextTable gs({"n", "gather C1", "gather C2", "scatter C1",
                        "scatter C2", "b(n-1)"});
-  for (const std::int64_t n : {8, 13, 16, 27, 32, 64}) {
+  for (const std::int64_t n : gs_ns) {
     const bruck::model::CostMetrics g = bruck::model::gather_binomial_cost(n, b);
     const bruck::model::CostMetrics s =
         bruck::model::scatter_binomial_cost(n, b);
     gs.add(n, g.c1, g.c2, s.c1, s.c2, b * (n - 1));
+    if (csv) {
+      csv->row({"gather_binomial", std::to_string(n), "1", std::to_string(b),
+                std::to_string(g.c1), std::to_string(g.c2), ""});
+      csv->row({"scatter_binomial", std::to_string(n), "1", std::to_string(b),
+                std::to_string(s.c1), std::to_string(s.c2), ""});
+    }
   }
   gs.print(std::cout);
   std::cout << "\nC2 equals b(n-1) exactly at powers of two and stays within "

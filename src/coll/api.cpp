@@ -8,6 +8,7 @@
 #include "coll/index_bruck.hpp"
 #include "coll/index_direct.hpp"
 #include "coll/index_pairwise.hpp"
+#include "coll/plan_cache.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -33,6 +34,32 @@ std::string to_string(ConcatAlgorithm a) {
   return "?";
 }
 
+std::string to_string(ExecutionPath p) {
+  switch (p) {
+    case ExecutionPath::kCompiled: return "compiled";
+    case ExecutionPath::kReference: return "reference";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The shared compiled tail of both collectives: fetch (or lower once) the
+/// plan for `key`, execute it, and report the cache/round/byte statistics.
+int run_compiled(mps::Communicator& comm, const PlanKey& key,
+                 std::span<const std::byte> send, std::span<std::byte> recv,
+                 std::int64_t block_bytes, int start_round) {
+  const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const PlanExecution ex =
+      lookup.plan->run(comm, send, recv, block_bytes, start_round);
+  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
+                                        lookup.plan->round_count(),
+                                        ex.bytes_sent});
+  return ex.next_round;
+}
+
+}  // namespace
+
 AlltoallPlan plan_alltoall(std::int64_t n, int k, std::int64_t block_bytes,
                            const AlltoallOptions& options) {
   BRUCK_REQUIRE(n >= 1);
@@ -57,7 +84,8 @@ AlltoallPlan plan_alltoall(std::int64_t n, int k, std::int64_t block_bytes,
         plan.predicted =
             model::index_bruck_cost(n, plan.radix, k, block_bytes);
       } else {
-        const model::RadixChoice choice = model::pick_index_radix(
+        // Memoized: repeated kAuto calls on one geometry skip the sweep.
+        const model::RadixChoice choice = model::pick_index_radix_cached(
             n, k, block_bytes, options.machine, options.radix_set);
         plan.radix = choice.radix;
         plan.predicted = choice.metrics;
@@ -74,40 +102,66 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
              const AlltoallOptions& options) {
   const AlltoallPlan plan =
       plan_alltoall(comm.size(), comm.ports(), block_bytes, options);
-  switch (plan.algorithm) {
-    case IndexAlgorithm::kDirect:
-      return index_direct(comm, send, recv, block_bytes,
-                          IndexDirectOptions{options.start_round});
-    case IndexAlgorithm::kPairwise:
-      return index_pairwise(comm, send, recv, block_bytes,
-                            IndexPairwiseOptions{options.start_round});
-    case IndexAlgorithm::kBruck:
-    case IndexAlgorithm::kAuto:
-      return index_bruck(comm, send, recv, block_bytes,
-                         IndexBruckOptions{plan.radix, options.start_round});
+
+  if (options.path == ExecutionPath::kReference) {
+    switch (plan.algorithm) {
+      case IndexAlgorithm::kDirect:
+        return index_direct(comm, send, recv, block_bytes,
+                            IndexDirectOptions{options.start_round});
+      case IndexAlgorithm::kPairwise:
+        return index_pairwise(comm, send, recv, block_bytes,
+                              IndexPairwiseOptions{options.start_round});
+      case IndexAlgorithm::kBruck:
+      case IndexAlgorithm::kAuto:
+        return index_bruck(comm, send, recv, block_bytes,
+                           IndexBruckOptions{plan.radix, options.start_round});
+    }
+    BRUCK_ENSURE_MSG(false, "unreachable");
+    return options.start_round;
   }
-  BRUCK_ENSURE_MSG(false, "unreachable");
-  return options.start_round;
+
+  // Compiled hot path: the tuner's radix choice is part of the key.
+  return run_compiled(
+      comm, index_plan_key(plan.algorithm, comm.size(), comm.ports(), plan.radix),
+      send, recv, block_bytes, options.start_round);
 }
 
 int allgather(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, std::int64_t block_bytes,
               const AllgatherOptions& options) {
-  switch (options.algorithm) {
-    case ConcatAlgorithm::kFolklore:
-      return concat_folklore(comm, send, recv, block_bytes,
-                             ConcatFolkloreOptions{options.start_round});
-    case ConcatAlgorithm::kRing:
-      return concat_ring(comm, send, recv, block_bytes,
-                         ConcatRingOptions{options.start_round});
-    case ConcatAlgorithm::kBruck:
-    case ConcatAlgorithm::kAuto:
-      return concat_bruck(
-          comm, send, recv, block_bytes,
-          ConcatBruckOptions{options.last_round, options.start_round});
+  const ConcatAlgorithm algorithm =
+      options.algorithm == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
+                                                  : options.algorithm;
+
+  if (options.path == ExecutionPath::kReference) {
+    switch (algorithm) {
+      case ConcatAlgorithm::kFolklore:
+        return concat_folklore(comm, send, recv, block_bytes,
+                               ConcatFolkloreOptions{options.start_round});
+      case ConcatAlgorithm::kRing:
+        return concat_ring(comm, send, recv, block_bytes,
+                           ConcatRingOptions{options.start_round});
+      case ConcatAlgorithm::kBruck:
+      case ConcatAlgorithm::kAuto:
+        return concat_bruck(
+            comm, send, recv, block_bytes,
+            ConcatBruckOptions{options.last_round, options.start_round});
+    }
+    BRUCK_ENSURE_MSG(false, "unreachable");
+    return options.start_round;
   }
-  BRUCK_ENSURE_MSG(false, "unreachable");
-  return options.start_round;
+
+  // Canonicalize the last-round strategy so equal geometries share a key
+  // (the same resolution concat_bruck performs internally).
+  const model::ConcatLastRound strategy =
+      algorithm == ConcatAlgorithm::kBruck
+          ? model::resolve_concat_last_round(comm.size(), comm.ports(),
+                                             block_bytes, options.last_round)
+          : options.last_round;
+  return run_compiled(comm,
+                      concat_plan_key(algorithm, comm.size(), comm.ports(),
+                                      strategy, block_bytes),
+                      send, recv, block_bytes, options.start_round);
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

@@ -28,8 +28,21 @@ enum class ConcatAlgorithm {
   kAuto,      ///< Bruck (optimal in both measures for most n)
 };
 
+/// How the facade executes a collective.
+enum class ExecutionPath {
+  /// Lower (or fetch from the PlanCache) a compiled plan and run it: zero
+  /// planning work on repeated same-geometry calls, zero-copy wire paths
+  /// where the pattern allows.  The default hot path.
+  kCompiled,
+  /// The original inline implementations that re-derive the pattern per
+  /// call.  Kept as the cross-check oracle: tests assert kCompiled and
+  /// kReference produce identical results and traces.
+  kReference,
+};
+
 [[nodiscard]] std::string to_string(IndexAlgorithm a);
 [[nodiscard]] std::string to_string(ConcatAlgorithm a);
+[[nodiscard]] std::string to_string(ExecutionPath p);
 
 struct AlltoallOptions {
   IndexAlgorithm algorithm = IndexAlgorithm::kAuto;
@@ -41,12 +54,14 @@ struct AlltoallOptions {
   /// powers of two; kAll finds the true model optimum).
   model::RadixSet radix_set = model::RadixSet::kAll;
   int start_round = 0;
+  ExecutionPath path = ExecutionPath::kCompiled;
 };
 
 struct AllgatherOptions {
   ConcatAlgorithm algorithm = ConcatAlgorithm::kAuto;
   model::ConcatLastRound last_round = model::ConcatLastRound::kAuto;
   int start_round = 0;
+  ExecutionPath path = ExecutionPath::kCompiled;
 };
 
 /// The decision kAuto (or radix = 0) would make, without running anything.

@@ -80,12 +80,8 @@ int concat_bruck(mps::Communicator& comm, std::span<const std::byte> send,
   }
   if (b == 0) return round;  // nothing to move; pattern is vacuous
 
-  model::ConcatLastRound strategy = options.strategy;
-  if (strategy == model::ConcatLastRound::kAuto) {
-    strategy = model::concat_byte_split_feasible(n, k, b)
-                   ? model::ConcatLastRound::kByteSplit
-                   : model::ConcatLastRound::kColumnGranular;
-  }
+  const model::ConcatLastRound strategy =
+      model::resolve_concat_last_round(n, k, b, options.strategy);
 
   // Window buffer: slot t holds B[rank + t mod n] once filled.
   std::vector<std::byte> window(static_cast<std::size_t>(n * b));

@@ -1,0 +1,680 @@
+#include "coll/plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "coll/blocks.hpp"
+#include "topo/binomial.hpp"
+#include "topo/partition.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/radix.hpp"
+
+namespace bruck::coll {
+
+namespace {
+
+/// Cells covering whole consecutive blocks [first, first + count).
+std::vector<PlanCell> whole_blocks(std::int64_t first, std::int64_t count) {
+  std::vector<PlanCell> cells;
+  cells.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    cells.push_back(PlanCell{first + i, 0, PlanCell::kWholeBlock});
+  }
+  return cells;
+}
+
+std::vector<PlanCell> one_block(std::int64_t slot) {
+  return {PlanCell{slot, 0, PlanCell::kWholeBlock}};
+}
+
+}  // namespace
+
+Plan::Plan(PlanCollective collective, std::string algorithm, std::int64_t n,
+           int k, std::int64_t block_bytes)
+    : collective_(collective),
+      algorithm_(std::move(algorithm)),
+      n_(n),
+      k_(k),
+      block_bytes_(block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  programs_.resize(static_cast<std::size_t>(n));
+}
+
+void Plan::begin_round() {
+  for (RankProgram& p : programs_) {
+    PlanRound r;
+    r.sends_begin = static_cast<std::uint32_t>(p.sends.size());
+    r.recvs_begin = static_cast<std::uint32_t>(p.recvs.size());
+    p.rounds.push_back(r);
+  }
+}
+
+void Plan::end_round() {
+  for (RankProgram& p : programs_) {
+    PlanRound& r = p.rounds.back();
+    r.sends_end = static_cast<std::uint32_t>(p.sends.size());
+    r.recvs_end = static_cast<std::uint32_t>(p.recvs.size());
+  }
+  ++round_count_;
+}
+
+void Plan::add_message(std::int64_t rank, bool is_send, std::int64_t peer,
+                       PlanBuffer buffer, const std::vector<PlanCell>& cells) {
+  BRUCK_REQUIRE(!cells.empty());
+  BRUCK_REQUIRE(peer >= 0 && peer < n_ && peer != rank);
+  PlanMessage m;
+  m.peer = peer;
+  m.buffer = buffer;
+  m.cells_begin = static_cast<std::uint32_t>(cells_.size());
+  cells_.insert(cells_.end(), cells.begin(), cells.end());
+  m.cells_end = static_cast<std::uint32_t>(cells_.size());
+  m.contiguous = cells_contiguous(m.cells_begin, m.cells_end);
+  RankProgram& p = programs_[static_cast<std::size_t>(rank)];
+  (is_send ? p.sends : p.recvs).push_back(m);
+}
+
+bool Plan::cells_contiguous(std::uint32_t begin, std::uint32_t end) const {
+  if (block_bytes_ == PlanCell::kWholeBlock) {
+    // Block-size-independent plan: a run of whole consecutive blocks is
+    // contiguous under every block size.
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const PlanCell& c = cells_[i];
+      if (c.lo != 0 || c.hi != PlanCell::kWholeBlock) return false;
+      if (i > begin && c.slot != cells_[i - 1].slot + 1) return false;
+    }
+    return true;
+  }
+  const std::int64_t b = block_bytes_;
+  for (std::uint32_t i = begin + 1; i < end; ++i) {
+    const PlanCell& prev = cells_[i - 1];
+    const PlanCell& cur = cells_[i];
+    const std::int64_t prev_end =
+        prev.slot * b + (prev.hi == PlanCell::kWholeBlock ? b : prev.hi);
+    const std::int64_t cur_begin = cur.slot * b + cur.lo;
+    if (prev_end != cur_begin) return false;
+  }
+  return true;
+}
+
+std::int64_t Plan::message_bytes(const PlanMessage& m, std::int64_t b) const {
+  std::int64_t total = 0;
+  for (std::uint32_t i = m.cells_begin; i < m.cells_end; ++i) {
+    const PlanCell& c = cells_[i];
+    total += c.hi == PlanCell::kWholeBlock ? b : c.hi - c.lo;
+  }
+  return total;
+}
+
+void Plan::finalize() {
+  needs_scratch_ = prologue_ == PlanPrologue::kRotateSendToScratch ||
+                   prologue_ == PlanPrologue::kCopySendToScratch0;
+  for (const RankProgram& p : programs_) {
+    BRUCK_ENSURE(static_cast<int>(p.rounds.size()) == round_count_);
+    for (const PlanMessage& m : p.sends) {
+      if (m.buffer == PlanBuffer::kScratch) needs_scratch_ = true;
+    }
+    for (const PlanMessage& m : p.recvs) {
+      if (m.buffer == PlanBuffer::kScratch) needs_scratch_ = true;
+      BRUCK_ENSURE_MSG(m.buffer != PlanBuffer::kUserSend,
+                       "a receive cannot land in the caller's send buffer");
+    }
+  }
+  // Validate the pattern under the k-port model using a reference block
+  // size (index plans are block-size independent; 1 byte/block suffices).
+  const sched::Schedule view = to_schedule(1);
+  const std::string err = view.validate();
+  BRUCK_ENSURE_MSG(err.empty(), "lowered plan violates the k-port model: " + err);
+}
+
+sched::Schedule Plan::to_schedule(std::int64_t block_bytes) const {
+  const std::int64_t b =
+      block_bytes_ == PlanCell::kWholeBlock ? block_bytes : block_bytes_;
+  sched::Schedule schedule(n_, k_);
+  for (int i = 0; i < round_count_; ++i) schedule.add_round();
+  for (std::int64_t rank = 0; rank < n_; ++rank) {
+    const RankProgram& p = programs_[static_cast<std::size_t>(rank)];
+    for (int i = 0; i < round_count_; ++i) {
+      const PlanRound& r = p.rounds[static_cast<std::size_t>(i)];
+      for (std::uint32_t s = r.sends_begin; s < r.sends_end; ++s) {
+        const std::int64_t bytes = message_bytes(p.sends[s], b);
+        if (bytes == 0) continue;
+        schedule.add_transfer(
+            static_cast<std::size_t>(i),
+            sched::Transfer{rank, p.sends[s].peer, bytes});
+      }
+    }
+  }
+  schedule.normalize();
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+PlanExecution Plan::run(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::int64_t block_bytes,
+                        int start_round) const {
+  const std::int64_t n = n_;
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  BRUCK_REQUIRE_MSG(comm.size() == n, "plan lowered for a different n");
+  BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
+  BRUCK_REQUIRE(b >= 0);
+  if (collective_ == PlanCollective::kIndex) {
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n * b);
+  } else {
+    BRUCK_REQUIRE_MSG(b == block_bytes_,
+                      "concat plans are lowered per block size");
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+
+  std::vector<std::byte> scratch(
+      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
+
+  switch (prologue_) {
+    case PlanPrologue::kNone:
+      break;
+    case PlanPrologue::kRotateSendToScratch:
+      rotate_blocks_up(ConstBlockSpan(send, n, b), BlockSpan(scratch, n, b),
+                       rank);
+      break;
+    case PlanPrologue::kCopyOwnBlock:
+      if (b > 0) {
+        std::memcpy(recv.data() + rank * b, send.data() + rank * b,
+                    static_cast<std::size_t>(b));
+      }
+      break;
+    case PlanPrologue::kCopySendToScratch0:
+      if (b > 0) {
+        std::memcpy(scratch.data(), send.data(), static_cast<std::size_t>(b));
+      }
+      break;
+    case PlanPrologue::kCopySendToRecvOwnSlot:
+      if (b > 0) {
+        std::memcpy(recv.data() + rank * b, send.data(),
+                    static_cast<std::size_t>(b));
+      }
+      break;
+  }
+
+  const auto readable = [&](PlanBuffer buf) -> std::span<const std::byte> {
+    switch (buf) {
+      case PlanBuffer::kUserSend: return send;
+      case PlanBuffer::kUserRecv: return recv;
+      case PlanBuffer::kScratch: return scratch;
+    }
+    return {};
+  };
+  const auto writable = [&](PlanBuffer buf) -> std::span<std::byte> {
+    return buf == PlanBuffer::kScratch ? std::span<std::byte>(scratch) : recv;
+  };
+
+  const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
+  PlanExecution out;
+  std::vector<std::vector<std::byte>> out_stage(
+      static_cast<std::size_t>(k_));
+  std::vector<std::vector<std::byte>> in_stage(static_cast<std::size_t>(k_));
+  std::vector<mps::SendSpec> sends;
+  std::vector<mps::RecvSpec> recvs;
+  // Non-contiguous receives pending scatter after the exchange.
+  std::vector<std::pair<const PlanMessage*, const std::byte*>> scatters;
+
+  for (int i = 0; i < round_count_; ++i) {
+    const PlanRound& round = prog.rounds[static_cast<std::size_t>(i)];
+    sends.clear();
+    recvs.clear();
+    scatters.clear();
+
+    for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
+      const PlanMessage& m = prog.sends[s];
+      const std::int64_t bytes = message_bytes(m, b);
+      if (bytes == 0) continue;  // b = 0: pure round counting, off the fabric
+      std::span<const std::byte> payload;
+      if (m.contiguous) {
+        // Zero-copy: the message is one byte run of the source buffer.
+        const PlanCell& first = cells_[m.cells_begin];
+        payload = readable(m.buffer)
+                      .subspan(static_cast<std::size_t>(first.slot * b +
+                                                        first.lo),
+                               static_cast<std::size_t>(bytes));
+      } else {
+        std::vector<std::byte>& stage = out_stage[s - round.sends_begin];
+        stage.resize(static_cast<std::size_t>(bytes));
+        const std::span<const std::byte> src = readable(m.buffer);
+        std::size_t pos = 0;
+        for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+          const PlanCell& cell = cells_[c];
+          const std::int64_t len =
+              cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
+          std::memcpy(stage.data() + pos,
+                      src.data() + cell.slot * b + cell.lo,
+                      static_cast<std::size_t>(len));
+          pos += static_cast<std::size_t>(len);
+        }
+        payload = stage;
+      }
+      sends.push_back(mps::SendSpec{m.peer, payload});
+      out.bytes_sent += bytes;
+    }
+
+    for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
+      const PlanMessage& m = prog.recvs[r];
+      const std::int64_t bytes = message_bytes(m, b);
+      if (bytes == 0) continue;
+      std::span<std::byte> landing;
+      if (m.contiguous) {
+        const PlanCell& first = cells_[m.cells_begin];
+        landing = writable(m.buffer)
+                      .subspan(static_cast<std::size_t>(first.slot * b +
+                                                        first.lo),
+                               static_cast<std::size_t>(bytes));
+      } else {
+        std::vector<std::byte>& stage = in_stage[r - round.recvs_begin];
+        stage.resize(static_cast<std::size_t>(bytes));
+        landing = stage;
+        scatters.emplace_back(&m, stage.data());
+      }
+      recvs.push_back(mps::RecvSpec{m.peer, landing});
+    }
+
+    if (!sends.empty() || !recvs.empty()) {
+      comm.exchange(start_round + i, sends, recvs);
+    }
+
+    for (const auto& [m, data] : scatters) {
+      std::span<std::byte> dst = writable(m->buffer);
+      std::size_t pos = 0;
+      for (std::uint32_t c = m->cells_begin; c < m->cells_end; ++c) {
+        const PlanCell& cell = cells_[c];
+        const std::int64_t len =
+            cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
+        std::memcpy(dst.data() + cell.slot * b + cell.lo, data + pos,
+                    static_cast<std::size_t>(len));
+        pos += static_cast<std::size_t>(len);
+      }
+    }
+  }
+
+  switch (epilogue_) {
+    case PlanEpilogue::kNone:
+      break;
+    case PlanEpilogue::kUnrotateByRank:
+      unrotate_by_rank(ConstBlockSpan(scratch, n, b), BlockSpan(recv, n, b),
+                       rank);
+      break;
+    case PlanEpilogue::kRotateWindowToOrigin:
+      rotate_window_to_origin(ConstBlockSpan(scratch, n, b),
+                              BlockSpan(recv, n, b), rank);
+      break;
+    case PlanEpilogue::kScratchToRecvAtRoot:
+      if (rank == 0 && b > 0) {
+        std::memcpy(recv.data(), scratch.data(), recv.size());
+      }
+      break;
+  }
+
+  out.next_round = start_round + round_count_;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: the compiled counterparts of the coll/ implementations.  Each
+// mirrors its oracle's loop structure exactly (same rounds, same peers, same
+// pack order), so plan-executed and directly-executed results — and traces —
+// are bit-identical.
+
+std::shared_ptr<const Plan> Plan::lower_index_bruck(std::int64_t n, int k,
+                                                    std::int64_t radix) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(radix >= 2 && radix <= std::max<std::int64_t>(2, n),
+                    "radix must be in [2, max(2, n)]");
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kIndex, "bruck(r=" + std::to_string(radix) + ")", n, k,
+      PlanCell::kWholeBlock));
+  plan->prologue_ = PlanPrologue::kRotateSendToScratch;
+  plan->epilogue_ = PlanEpilogue::kUnrotateByRank;
+
+  const std::int64_t r = radix;
+  const int w = radix_digit_count(n, r);
+  for (int x = 0; x < w; ++x) {
+    const std::int64_t dist = ipow(r, x);
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      plan->begin_round();
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::vector<std::int64_t> members =
+            radix_digit_members(n, r, x, z);
+        std::vector<PlanCell> cells;
+        cells.reserve(members.size());
+        for (const std::int64_t slot : members) {
+          cells.push_back(PlanCell{slot, 0, PlanCell::kWholeBlock});
+        }
+        for (std::int64_t rank = 0; rank < n; ++rank) {
+          const std::int64_t dst = pos_mod(rank + z * dist, n);
+          const std::int64_t src = pos_mod(rank - z * dist, n);
+          plan->add_message(rank, /*is_send=*/true, dst, PlanBuffer::kScratch,
+                            cells);
+          plan->add_message(rank, /*is_send=*/false, src, PlanBuffer::kScratch,
+                            cells);
+        }
+      }
+      plan->end_round();
+    }
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_index_direct(std::int64_t n, int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(
+      new Plan(PlanCollective::kIndex, "direct", n, k, PlanCell::kWholeBlock));
+  plan->prologue_ = PlanPrologue::kCopyOwnBlock;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t dst = pos_mod(rank + j, n);
+        const std::int64_t src = pos_mod(rank - j, n);
+        plan->add_message(rank, true, dst, PlanBuffer::kUserSend,
+                          one_block(dst));
+        plan->add_message(rank, false, src, PlanBuffer::kUserRecv,
+                          one_block(src));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_index_pairwise(std::int64_t n, int k) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanCollective::kIndex, "pairwise",
+                                             n, k, PlanCell::kWholeBlock));
+  plan->prologue_ = PlanPrologue::kCopyOwnBlock;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t peer = rank ^ j;
+        plan->add_message(rank, true, peer, PlanBuffer::kUserSend,
+                          one_block(peer));
+        plan->add_message(rank, false, peer, PlanBuffer::kUserRecv,
+                          one_block(peer));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concat_bruck(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    model::ConcatLastRound strategy) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE_MSG(strategy != model::ConcatLastRound::kAuto,
+                    "resolve kAuto before lowering (plan keys are canonical)");
+  const std::int64_t b = block_bytes;
+  auto plan = std::shared_ptr<Plan>(
+      new Plan(PlanCollective::kConcat, "bruck", n, k, b));
+  plan->prologue_ = PlanPrologue::kCopySendToScratch0;
+  plan->epilogue_ = PlanEpilogue::kRotateWindowToOrigin;
+  if (n == 1 || b == 0) {
+    // Pattern is vacuous; prologue + epilogue alone realize the copy.
+    plan->finalize();
+    return plan;
+  }
+
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+
+  // Full rounds: the window of cur blocks goes to the k nodes at −j·cur.
+  std::int64_t cur = 1;
+  for (int i = 0; i + 1 < d; ++i) {
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      for (int j = 1; j <= k; ++j) {
+        plan->add_message(rank, true, pos_mod(rank - j * cur, n),
+                          PlanBuffer::kScratch, whole_blocks(0, cur));
+        plan->add_message(rank, false, pos_mod(rank + j * cur, n),
+                          PlanBuffer::kScratch, whole_blocks(j * cur, cur));
+      }
+    }
+    plan->end_round();
+    cur *= (k + 1);
+  }
+  BRUCK_ENSURE(cur == n1);
+
+  // Last round(s): a table partition ships the remaining n2 block-columns,
+  // one area per port (Section 4.2); cells are byte-granular.
+  const auto emit_partition = [&](const topo::TablePartition& part) {
+    plan->begin_round();
+    for (std::size_t m = 0; m < part.areas.size(); ++m) {
+      const topo::Area& area = part.areas[m];
+      const std::int64_t offset = n1 + area.left_col();
+      std::vector<PlanCell> send_cells;
+      std::vector<PlanCell> recv_cells;
+      send_cells.reserve(area.cells.size());
+      recv_cells.reserve(area.cells.size());
+      for (const topo::AreaCell& cell : area.cells) {
+        const std::int64_t slot = cell.col - area.left_col();
+        BRUCK_ENSURE_MSG(slot >= 0 && slot < n1,
+                         "area references a block outside the sender's window "
+                         "(span constraint violated)");
+        send_cells.push_back(PlanCell{slot, cell.row_begin, cell.row_end});
+        recv_cells.push_back(
+            PlanCell{n1 + cell.col, cell.row_begin, cell.row_end});
+      }
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        plan->add_message(rank, true, pos_mod(rank - offset, n),
+                          PlanBuffer::kScratch, send_cells);
+        plan->add_message(rank, false, pos_mod(rank + offset, n),
+                          PlanBuffer::kScratch, recv_cells);
+      }
+    }
+    plan->end_round();
+  };
+
+  if (n2 > 0) {
+    switch (strategy) {
+      case model::ConcatLastRound::kByteSplit: {
+        const topo::TablePartition part =
+            topo::byte_split_partition(n1, n2, b, k);
+        BRUCK_REQUIRE_MSG(
+            part.feasible(),
+            "byte-split partition infeasible for this (n, k, b); use "
+            "kColumnGranular, kTwoRound or kAuto");
+        emit_partition(part);
+        break;
+      }
+      case model::ConcatLastRound::kColumnGranular: {
+        const topo::TablePartition part =
+            topo::column_granular_partition(n1, n2, b, k);
+        BRUCK_ENSURE(part.max_span() <= n1);
+        BRUCK_ENSURE(part.max_size() <= part.alpha() + b - 1);
+        emit_partition(part);
+        break;
+      }
+      case model::ConcatLastRound::kTwoRound: {
+        if (n2 <= k) {
+          const topo::TablePartition part =
+              topo::column_granular_partition(n1, n2, b, k);
+          BRUCK_ENSURE(part.max_span() <= n1);
+          BRUCK_ENSURE(part.max_size() <= b);
+          emit_partition(part);
+        } else {
+          const topo::TablePartition part_a =
+              topo::byte_split_partition(n1, n2 - k, b, k);
+          BRUCK_ENSURE_MSG(part_a.feasible(),
+                           "two-round round A must always be feasible");
+          emit_partition(part_a);
+          topo::TablePartition part_b{n1, n2, b, k, {}};
+          for (std::int64_t c = n2 - k; c < n2; ++c) {
+            topo::Area area;
+            area.cells.push_back(topo::AreaCell{c, 0, b});
+            part_b.areas.push_back(std::move(area));
+          }
+          emit_partition(part_b);
+        }
+        break;
+      }
+      case model::ConcatLastRound::kAuto:
+        BRUCK_ENSURE_MSG(false, "unreachable: kAuto rejected above");
+    }
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concat_folklore(
+    std::int64_t n, int k, std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  // One-port algorithm on a k-port fabric: one message per round per rank.
+  auto plan = std::shared_ptr<Plan>(
+      new Plan(PlanCollective::kConcat, "folklore", n, k, block_bytes));
+  plan->prologue_ = PlanPrologue::kCopySendToScratch0;
+  plan->epilogue_ = PlanEpilogue::kScratchToRecvAtRoot;
+  if (n == 1 || block_bytes == 0) {
+    plan->finalize();
+    return plan;
+  }
+  const int d = ceil_log(n, 2);
+
+  // Gather phase: rank r accumulates the linear segment [r, r + seg).
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == stride) {
+        const std::int64_t seg = topo::binomial_gather_segment(n, rank, i);
+        plan->add_message(rank, true, rank - stride, PlanBuffer::kScratch,
+                          whole_blocks(0, seg));
+      } else if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        const std::int64_t seg =
+            topo::binomial_gather_segment(n, rank + stride, i);
+        plan->add_message(rank, false, rank + stride, PlanBuffer::kScratch,
+                          whole_blocks(stride, seg));
+      }
+    }
+    plan->end_round();
+  }
+
+  // Broadcast phase: rank 0 pushes the full concatenation down the reversed
+  // tree.  Rank 0 sends from its gather staging; every other rank receives
+  // into (and forwards from) the user recv buffer.
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        plan->add_message(
+            rank, true, rank + stride,
+            rank == 0 ? PlanBuffer::kScratch : PlanBuffer::kUserRecv,
+            whole_blocks(0, n));
+      } else if (pos_mod(rank, 2 * stride) == stride) {
+        plan->add_message(rank, false, rank - stride, PlanBuffer::kUserRecv,
+                          whole_blocks(0, n));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concat_ring(std::int64_t n, int k,
+                                                    std::int64_t block_bytes) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  auto plan = std::shared_ptr<Plan>(
+      new Plan(PlanCollective::kConcat, "ring", n, k, block_bytes));
+  plan->prologue_ = PlanPrologue::kCopySendToRecvOwnSlot;
+  if (n == 1 || block_bytes == 0) {
+    plan->finalize();
+    return plan;
+  }
+
+  for (std::int64_t t = 0; t < n - 1; ++t) {
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      const std::int64_t succ = pos_mod(rank + 1, n);
+      const std::int64_t pred = pos_mod(rank - 1, n);
+      plan->add_message(rank, true, succ, PlanBuffer::kUserRecv,
+                        one_block(pos_mod(rank - t, n)));
+      plan->add_message(rank, false, pred, PlanBuffer::kUserRecv,
+                        one_block(pos_mod(rank - t - 1, n)));
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "plan " << (collective_ == PlanCollective::kIndex ? "index" : "concat")
+     << "/" << algorithm_ << ": n=" << n_ << " k=" << k_;
+  if (block_bytes_ == PlanCell::kWholeBlock) {
+    os << " (block-size independent)";
+  } else {
+    os << " b=" << block_bytes_;
+  }
+  os << ", " << round_count_ << " rounds\n";
+  const std::int64_t b_view =
+      block_bytes_ == PlanCell::kWholeBlock ? 1 : block_bytes_;
+  if (round_count_ > 0) {
+    const model::CostMetrics m = to_schedule(b_view).metrics();
+    os << "  C1=" << m.c1 << " C2=" << m.c2
+       << (block_bytes_ == PlanCell::kWholeBlock ? " blocks" : " bytes")
+       << " total=" << m.total_bytes << "\n";
+  }
+  os << "  rank 0 program:\n";
+  const RankProgram& p = programs_[0];
+  for (int i = 0; i < round_count_; ++i) {
+    const PlanRound& r = p.rounds[static_cast<std::size_t>(i)];
+    os << "    round " << i << ":";
+    if (r.sends_begin == r.sends_end && r.recvs_begin == r.recvs_end) {
+      os << " idle";
+    }
+    for (std::uint32_t s = r.sends_begin; s < r.sends_end; ++s) {
+      const PlanMessage& m = p.sends[s];
+      os << "  ->" << m.peer << " " << message_bytes(m, b_view)
+         << (block_bytes_ == PlanCell::kWholeBlock ? "blk" : "B")
+         << (m.contiguous ? " (zero-copy)" : " (packed)");
+    }
+    for (std::uint32_t r2 = r.recvs_begin; r2 < r.recvs_end; ++r2) {
+      const PlanMessage& m = p.recvs[r2];
+      os << "  <-" << m.peer << " " << message_bytes(m, b_view)
+         << (block_bytes_ == PlanCell::kWholeBlock ? "blk" : "B");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,190 @@
+// Compiled-schedule execution engine.
+//
+// Every collective in this library has a fixed communication pattern once
+// (algorithm, n, k, radix/strategy, block size) are known: the rounds, the
+// peer of every message, and exactly which byte ranges of which buffer each
+// message carries.  The hot path re-derived all of that on every call.  A
+// `Plan` derives it once — lowering an algorithm into a per-rank program of
+// rounds whose messages are lists of *cells* (byte ranges of block slots)
+// over one of three buffers (user send, user recv, scratch) — and then
+// `run()` just walks the program: gather cells into a staging buffer (or
+// point straight into the source buffer when the cells are contiguous —
+// the zero-copy fast path), exchange, scatter.
+//
+// Plans are immutable after lowering and shared by all rank threads of a
+// fabric; `PlanCache` (plan_cache.hpp) memoizes them per geometry so a
+// repeated collective on the same communicator shape does no planning work
+// at all.
+//
+// Index plans are *block-size independent*: their cells are whole blocks,
+// so one plan serves every block_bytes (sizes are resolved at run time).
+// Concat plans are lowered for one exact block size, because the last
+// round's byte-split table partition (Section 4.2) depends on b.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/costs.hpp"
+#include "mps/communicator.hpp"
+#include "sched/schedule.hpp"
+
+namespace bruck::coll {
+
+/// Which collective a plan realizes; drives the run-time buffer contracts
+/// (index: send = n blocks, recv = n blocks; concat: send = 1 block,
+/// recv = n blocks).
+enum class PlanCollective { kIndex, kConcat };
+
+/// The buffer a message's cells live in.
+enum class PlanBuffer : std::uint8_t {
+  kUserSend,  ///< the caller's send buffer
+  kUserRecv,  ///< the caller's recv buffer
+  kScratch,   ///< the plan's n-block scratch (rotation window / staging)
+};
+
+/// One byte range of one block slot: bytes [lo, hi) of block `slot`, with
+/// hi == kWholeBlock meaning [0, block_bytes) resolved at run time.
+struct PlanCell {
+  static constexpr std::int64_t kWholeBlock = -1;
+  std::int64_t slot = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = kWholeBlock;
+};
+
+/// One message of one round on one port: the peer it travels to/from and
+/// the cells it carries, as a [begin, end) range into the plan's cell pool.
+struct PlanMessage {
+  std::int64_t peer = 0;
+  PlanBuffer buffer = PlanBuffer::kScratch;
+  std::uint32_t cells_begin = 0;
+  std::uint32_t cells_end = 0;
+  /// Cells form one contiguous byte run in `buffer` (whole consecutive
+  /// blocks): the executor skips the pack/unpack staging entirely.
+  bool contiguous = false;
+};
+
+/// One round of one rank's program: index ranges into the rank's message
+/// vectors.  Empty ranges mean the rank is idle that round (tree-based
+/// algorithms); the round is still counted.
+struct PlanRound {
+  std::uint32_t sends_begin = 0;
+  std::uint32_t sends_end = 0;
+  std::uint32_t recvs_begin = 0;
+  std::uint32_t recvs_end = 0;
+};
+
+/// Local data movement before the communication rounds.
+enum class PlanPrologue : std::uint8_t {
+  kNone,
+  kRotateSendToScratch,   ///< index Bruck Phase 1: scratch[s] = send[(s+rank)%n]
+  kCopyOwnBlock,          ///< direct/pairwise: recv[rank] = send[rank]
+  kCopySendToScratch0,    ///< concat Bruck/folklore: scratch[0] = send
+  kCopySendToRecvOwnSlot, ///< ring: recv[rank] = send
+};
+
+/// Local data movement after the communication rounds.
+enum class PlanEpilogue : std::uint8_t {
+  kNone,
+  kUnrotateByRank,         ///< index Bruck Phase 3
+  kRotateWindowToOrigin,   ///< concat Bruck final re-indexing
+  kScratchToRecvAtRoot,    ///< folklore: rank 0's gather result → recv
+};
+
+/// Result of one plan execution on one rank.
+struct PlanExecution {
+  int next_round = 0;            ///< next free round index
+  std::int64_t bytes_sent = 0;   ///< this rank's total payload bytes
+};
+
+class Plan {
+ public:
+  [[nodiscard]] PlanCollective collective() const { return collective_; }
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+  /// Block size the plan was lowered for; PlanCell::kWholeBlock (−1) for
+  /// block-size-independent index plans.
+  [[nodiscard]] std::int64_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] int round_count() const { return round_count_; }
+  [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
+
+  /// Execute this rank's program.  For index plans `send`/`recv` hold n
+  /// blocks of `block_bytes` each; for concat plans `send` is one block and
+  /// `block_bytes` must equal the plan's.  Returns the next free round and
+  /// the bytes this rank put on the wire.
+  PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, std::int64_t block_bytes,
+                    int start_round = 0) const;
+
+  /// Data-free view of the whole pattern (all ranks), for cross-checking
+  /// against sched/ builders and for cost metrics.  Index plans render with
+  /// the given block size (default 1: byte counts equal block counts).
+  [[nodiscard]] sched::Schedule to_schedule(std::int64_t block_bytes = 1) const;
+
+  /// Human-readable anatomy: per-round message counts, peers and sizes of
+  /// rank 0, plus totals (the `bruckcl_plan compile` rendering).
+  [[nodiscard]] std::string describe() const;
+
+  // -- Lowering entry points (the compiled counterparts of coll/) ----------
+
+  static std::shared_ptr<const Plan> lower_index_bruck(std::int64_t n, int k,
+                                                       std::int64_t radix);
+  static std::shared_ptr<const Plan> lower_index_direct(std::int64_t n, int k);
+  static std::shared_ptr<const Plan> lower_index_pairwise(std::int64_t n,
+                                                          int k);
+  static std::shared_ptr<const Plan> lower_concat_bruck(
+      std::int64_t n, int k, std::int64_t block_bytes,
+      model::ConcatLastRound strategy);
+  /// Folklore and ring are one-port algorithms; `k` is the fabric's port
+  /// count they will run on (they use one port per round regardless).
+  static std::shared_ptr<const Plan> lower_concat_folklore(
+      std::int64_t n, int k, std::int64_t block_bytes);
+  static std::shared_ptr<const Plan> lower_concat_ring(
+      std::int64_t n, int k, std::int64_t block_bytes);
+
+ private:
+  struct RankProgram {
+    std::vector<PlanMessage> sends;
+    std::vector<PlanMessage> recvs;
+    std::vector<PlanRound> rounds;
+  };
+
+  Plan(PlanCollective collective, std::string algorithm, std::int64_t n, int k,
+       std::int64_t block_bytes);
+
+  /// Open/close one round across all ranks; messages added in between
+  /// belong to it.  end_round advances the plan's round counter.
+  void begin_round();
+  void end_round();
+
+  /// Append a message to `rank`'s program, computing `contiguous` from the
+  /// cells.
+  void add_message(std::int64_t rank, bool is_send, std::int64_t peer,
+                   PlanBuffer buffer, const std::vector<PlanCell>& cells);
+
+  /// Validate the lowered pattern against the k-port model and precompute
+  /// run-time flags.
+  void finalize();
+
+  [[nodiscard]] bool cells_contiguous(std::uint32_t begin,
+                                      std::uint32_t end) const;
+  [[nodiscard]] std::int64_t message_bytes(const PlanMessage& m,
+                                           std::int64_t b) const;
+
+  PlanCollective collective_;
+  std::string algorithm_;
+  std::int64_t n_;
+  int k_;
+  std::int64_t block_bytes_;  // kWholeBlock for index plans
+  int round_count_ = 0;
+  bool needs_scratch_ = false;
+  PlanPrologue prologue_ = PlanPrologue::kNone;
+  PlanEpilogue epilogue_ = PlanEpilogue::kNone;
+  std::vector<PlanCell> cells_;
+  std::vector<RankProgram> programs_;  // one per rank
+};
+
+}  // namespace bruck::coll

@@ -1,0 +1,137 @@
+#include "coll/plan_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace bruck::coll {
+
+std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
+  // FNV-1a over the key fields; cheap and stable.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(key.collective));
+  mix(key.algorithm);
+  mix(static_cast<std::uint64_t>(key.n));
+  mix(static_cast<std::uint64_t>(key.k));
+  mix(static_cast<std::uint64_t>(key.radix));
+  mix(key.strategy);
+  mix(static_cast<std::uint64_t>(key.block_class));
+  return static_cast<std::size_t>(h);
+}
+
+PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
+                       std::int64_t radix) {
+  BRUCK_REQUIRE_MSG(algorithm != IndexAlgorithm::kAuto,
+                    "resolve kAuto before keying");
+  PlanKey key;
+  key.collective = PlanCollective::kIndex;
+  key.algorithm = static_cast<std::uint8_t>(algorithm);
+  key.n = n;
+  key.k = k;
+  key.radix = algorithm == IndexAlgorithm::kBruck ? radix : 0;
+  key.strategy = 0;
+  key.block_class = 0;  // index plans serve every block size
+  return key;
+}
+
+PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
+                        model::ConcatLastRound strategy,
+                        std::int64_t block_bytes) {
+  BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kAuto,
+                    "resolve kAuto before keying");
+  BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kBruck ||
+                        strategy != model::ConcatLastRound::kAuto,
+                    "resolve the last-round strategy before keying");
+  PlanKey key;
+  key.collective = PlanCollective::kConcat;
+  key.algorithm = static_cast<std::uint8_t>(algorithm);
+  key.n = n;
+  key.k = k;
+  key.radix = 0;
+  key.strategy = algorithm == ConcatAlgorithm::kBruck
+                     ? static_cast<std::uint8_t>(strategy)
+                     : 0;
+  key.block_class = block_bytes;
+  return key;
+}
+
+namespace {
+
+std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
+  if (key.collective == PlanCollective::kIndex) {
+    switch (static_cast<IndexAlgorithm>(key.algorithm)) {
+      case IndexAlgorithm::kBruck:
+        return Plan::lower_index_bruck(key.n, key.k, key.radix);
+      case IndexAlgorithm::kDirect:
+        return Plan::lower_index_direct(key.n, key.k);
+      case IndexAlgorithm::kPairwise:
+        return Plan::lower_index_pairwise(key.n, key.k);
+      case IndexAlgorithm::kAuto:
+        break;
+    }
+  } else {
+    switch (static_cast<ConcatAlgorithm>(key.algorithm)) {
+      case ConcatAlgorithm::kBruck:
+        return Plan::lower_concat_bruck(
+            key.n, key.k, key.block_class,
+            static_cast<model::ConcatLastRound>(key.strategy));
+      case ConcatAlgorithm::kFolklore:
+        return Plan::lower_concat_folklore(key.n, key.k, key.block_class);
+      case ConcatAlgorithm::kRing:
+        return Plan::lower_concat_ring(key.n, key.k, key.block_class);
+      case ConcatAlgorithm::kAuto:
+        break;
+    }
+  }
+  BRUCK_ENSURE_MSG(false, "unloweable plan key");
+  return nullptr;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  BRUCK_REQUIRE(capacity >= 1);
+}
+
+PlanCache::Lookup PlanCache::get_or_lower(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return Lookup{it->second.plan, true};
+  }
+  ++misses_;
+  std::shared_ptr<const Plan> plan = lower_from_key(key);
+  lru_.push_front(key);
+  plans_.emplace(key, Entry{plan, lru_.begin()});
+  if (plans_.size() > capacity_) {
+    plans_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return Lookup{plan, false};
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PlanCacheStats{hits_, misses_, evictions_, plans_.size()};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace bruck::coll

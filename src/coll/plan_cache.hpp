@@ -1,0 +1,111 @@
+// Memoization of compiled plans per communicator geometry.
+//
+// A key identifies everything a plan depends on: the collective, the
+// resolved algorithm (never kAuto — the tuner's radix choice and the concat
+// last-round resolution happen *before* keying, so the tuned parameters are
+// part of the key), n, k, radix/strategy, and the block-size class.  Index
+// plans are block-size independent (class 0: one plan serves every b);
+// concat plans are lowered per exact block size because the byte-split
+// table partition of Section 4.2 depends on b.
+//
+// The cache is process-global and thread-safe: all rank threads of a fabric
+// share it, so the first collective call on a new geometry lowers once and
+// every other rank (and every later call) takes the hit path — zero
+// re-planning work.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "coll/api.hpp"
+#include "coll/plan.hpp"
+
+namespace bruck::coll {
+
+struct PlanKey {
+  PlanCollective collective = PlanCollective::kIndex;
+  /// Resolved IndexAlgorithm / ConcatAlgorithm enumerator value.
+  std::uint8_t algorithm = 0;
+  std::int64_t n = 1;
+  int k = 1;
+  /// Index Bruck radix; 0 for every other algorithm.
+  std::int64_t radix = 0;
+  /// Resolved model::ConcatLastRound enumerator for concat Bruck; 0 else.
+  std::uint8_t strategy = 0;
+  /// 0 for index plans (block-size independent); exact b for concat plans.
+  std::int64_t block_class = 0;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const;
+};
+
+/// Make the canonical key for a *resolved* index algorithm choice
+/// (`algorithm` must not be kAuto; radix is ignored unless kBruck).
+[[nodiscard]] PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n,
+                                     int k, std::int64_t radix);
+
+/// Make the canonical key for a *resolved* concat algorithm choice
+/// (`strategy` must not be kAuto when algorithm is kBruck).
+[[nodiscard]] PlanKey concat_plan_key(ConcatAlgorithm algorithm,
+                                      std::int64_t n, int k,
+                                      model::ConcatLastRound strategy,
+                                      std::int64_t block_bytes);
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  friend bool operator==(const PlanCacheStats&, const PlanCacheStats&) =
+      default;
+};
+
+class PlanCache {
+ public:
+  /// Memory bound: concat plans are per-(geometry, b), so a workload
+  /// sweeping many message sizes would otherwise pin one plan per size
+  /// forever.  Least-recently-used plans are evicted past this many
+  /// entries (in-flight executions keep their plan alive via shared_ptr).
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  struct Lookup {
+    std::shared_ptr<const Plan> plan;
+    bool cache_hit = false;
+  };
+
+  /// The plan for `key`, lowering it on first use.  Thread-safe; concurrent
+  /// same-key callers serialize on the first lowering and all but one
+  /// report a hit.
+  Lookup get_or_lower(const PlanKey& key);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  void clear();
+
+  /// The process-wide cache used by the coll:: facade.
+  static PlanCache& global();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    std::list<PlanKey>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<PlanKey> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bruck::coll

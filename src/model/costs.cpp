@@ -136,16 +136,21 @@ bool concat_paper_nonoptimal_range(std::int64_t n, int k,
   return top - k < n && n < top;
 }
 
+ConcatLastRound resolve_concat_last_round(std::int64_t n, int k,
+                                          std::int64_t block_bytes,
+                                          ConcatLastRound strategy) {
+  if (strategy != ConcatLastRound::kAuto) return strategy;
+  return concat_byte_split_feasible(n, k, block_bytes)
+             ? ConcatLastRound::kByteSplit
+             : ConcatLastRound::kColumnGranular;
+}
+
 CostMetrics concat_bruck_cost(std::int64_t n, int k, std::int64_t block_bytes,
                               ConcatLastRound strategy) {
   check_common(n, k, block_bytes);
   CostMetrics m;
   if (n == 1) return m;
-  if (strategy == ConcatLastRound::kAuto) {
-    strategy = concat_byte_split_feasible(n, k, block_bytes)
-                   ? ConcatLastRound::kByteSplit
-                   : ConcatLastRound::kColumnGranular;
-  }
+  strategy = resolve_concat_last_round(n, k, block_bytes, strategy);
   const ConcatShape s = concat_shape(n, k);
   const std::int64_t b = block_bytes;
   // Full rounds i = 0..d−2: each rank sends its whole current window

@@ -56,6 +56,15 @@ enum class ConcatLastRound {
 [[nodiscard]] bool concat_byte_split_feasible(std::int64_t n, int k,
                                               std::int64_t block_bytes);
 
+/// The strategy kAuto stands for on this (n, k, b): kByteSplit when
+/// feasible, else kColumnGranular (keeps C1 optimal).  Non-kAuto inputs
+/// pass through unchanged.  The single source of this rule — the cost
+/// formulas, the executable algorithm, the schedule builder, and the plan
+/// cache key must all resolve identically or the three-way cross-checks
+/// lose their meaning.
+[[nodiscard]] ConcatLastRound resolve_concat_last_round(
+    std::int64_t n, int k, std::int64_t block_bytes, ConcatLastRound strategy);
+
 /// True iff (n, b, k) lies in the paper's stated non-optimal range:
 /// b ≥ 3, k ≥ 3 and (k+1)^d − k < n < (k+1)^d for some integer d.
 [[nodiscard]] bool concat_paper_nonoptimal_range(std::int64_t n, int k,

@@ -1,6 +1,10 @@
 #include "model/tuner.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -62,6 +66,79 @@ RadixChoice pick_index_radix(std::int64_t n, int k, std::int64_t block_bytes,
         return a.radix < b.radix;
       });
   return *best;
+}
+
+namespace {
+
+// (n, k, b, set, β bits, τ bits) → choice.  Doubles are compared by bit
+// pattern: two models predicting identical times are the same key, and NaN
+// never reaches here (predict_us is a polynomial of finite inputs).
+using TunerKey =
+    std::tuple<std::int64_t, int, std::int64_t, int, std::uint64_t,
+               std::uint64_t>;
+
+struct TunerCache {
+  std::mutex mu;
+  std::map<TunerKey, RadixChoice> entries;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+TunerCache& tuner_cache() {
+  static TunerCache cache;
+  return cache;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+RadixChoice pick_index_radix_cached(std::int64_t n, int k,
+                                    std::int64_t block_bytes,
+                                    const LinearModel& machine, RadixSet set) {
+  const TunerKey key{n,
+                     k,
+                     block_bytes,
+                     static_cast<int>(set),
+                     double_bits(machine.beta_us),
+                     double_bits(machine.tau_us_per_byte)};
+  TunerCache& cache = tuner_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      ++cache.hits;
+      return it->second;
+    }
+  }
+  // Sweep outside the lock: concurrent first callers may both compute, but
+  // the result is deterministic so last-writer-wins is harmless.
+  const RadixChoice choice =
+      pick_index_radix(n, k, block_bytes, machine, set);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    ++cache.misses;
+    cache.entries.emplace(key, choice);
+  }
+  return choice;
+}
+
+TunerCacheStats tuner_cache_stats() {
+  TunerCache& cache = tuner_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return TunerCacheStats{cache.hits, cache.misses};
+}
+
+void clear_tuner_cache() {
+  TunerCache& cache = tuner_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+  cache.hits = 0;
+  cache.misses = 0;
 }
 
 std::int64_t crossover_block_bytes(std::int64_t n, int k, std::int64_t radix_a,

@@ -40,6 +40,24 @@ enum class RadixSet {
                                            const LinearModel& machine,
                                            RadixSet set = RadixSet::kAll);
 
+/// Memoized pick_index_radix, keyed on (n, k, block_bytes, machine's β/τ,
+/// set).  The sweep is O(n·log n) digit censuses; the compiled-schedule hot
+/// path calls this so that repeated kAuto collectives on one geometry skip
+/// the tuner entirely (the chosen radix then keys the PlanCache).
+/// Thread-safe.
+[[nodiscard]] RadixChoice pick_index_radix_cached(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const LinearModel& machine, RadixSet set = RadixSet::kAll);
+
+struct TunerCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Counters of pick_index_radix_cached since process start (or last clear).
+[[nodiscard]] TunerCacheStats tuner_cache_stats();
+void clear_tuner_cache();
+
 /// The full modeled trade-off curve: one entry per candidate radix.
 [[nodiscard]] std::vector<RadixChoice> index_radix_curve(
     std::int64_t n, int k, std::int64_t block_bytes, const LinearModel& machine,

@@ -26,6 +26,15 @@ struct RecvSpec {
   std::span<std::byte> data;
 };
 
+/// One compiled-plan execution on one rank, as reported to the trace:
+/// whether the plan came out of the PlanCache hot, how many rounds it spans
+/// and how many payload bytes this rank put on the wire.
+struct PlanEvent {
+  bool cache_hit = false;
+  int rounds = 0;
+  std::int64_t bytes_sent = 0;
+};
+
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -56,6 +65,13 @@ class Communicator {
   /// Block until all ranks reached this barrier (used for timing fences, not
   /// required for correctness of exchanges).
   virtual void barrier() = 0;
+
+  /// Plan-statistics sink: the compiled-schedule executor reports one event
+  /// per collective call.  Substrates that keep a trace forward it there;
+  /// the default is a no-op so algorithm code never has to care.
+  virtual void record_plan_event(const PlanEvent& event) {
+    (void)event;
+  }
 };
 
 }  // namespace bruck::mps

@@ -37,6 +37,12 @@ class GroupComm final : public Communicator {
   void exchange(int round, std::span<const SendSpec> sends,
                 std::span<const RecvSpec> recvs) override;
 
+  /// Plan statistics flow to the parent's sink (the group has no trace of
+  /// its own).
+  void record_plan_event(const PlanEvent& event) override {
+    parent_->record_plan_event(event);
+  }
+
   /// Group barriers are intentionally unsupported: the parent barrier spans
   /// the whole fabric, and the group's collectives synchronize through
   /// their own receives.  Throws ContractViolation.

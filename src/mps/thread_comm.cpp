@@ -88,4 +88,10 @@ void ThreadComm::exchange(int round, std::span<const SendSpec> sends,
 
 void ThreadComm::barrier() { fabric_->arrive_at_barrier(); }
 
+void ThreadComm::record_plan_event(const PlanEvent& event) {
+  if (fabric_->options().record_trace) {
+    fabric_->trace().sink(rank_).record_plan(event);
+  }
+}
+
 }  // namespace bruck::mps

@@ -61,6 +61,7 @@ class ThreadComm final : public Communicator {
   void exchange(int round, std::span<const SendSpec> sends,
                 std::span<const RecvSpec> recvs) override;
   void barrier() override;
+  void record_plan_event(const PlanEvent& event) override;
 
   /// Highest round index this rank has used, or −1.
   [[nodiscard]] int last_round() const { return last_round_; }

@@ -48,4 +48,21 @@ std::size_t Trace::event_count() const {
   return total;
 }
 
+PlanStats Trace::plan_stats() const {
+  PlanStats stats;
+  for (const TraceSink& s : sinks_) {
+    for (const PlanEvent& e : s.plans()) {
+      ++stats.uses;
+      if (e.cache_hit) {
+        ++stats.hits;
+      } else {
+        ++stats.misses;
+      }
+      stats.rounds += e.rounds;
+      stats.bytes_sent += e.bytes_sent;
+    }
+  }
+  return stats;
+}
+
 }  // namespace bruck::mps

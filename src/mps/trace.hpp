@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "model/metrics.hpp"
+#include "mps/communicator.hpp"
 #include "sched/schedule.hpp"
 
 namespace bruck::mps {
@@ -21,17 +22,34 @@ struct SendEvent {
   std::int64_t bytes = 0;
 };
 
+/// Aggregate view of the compiled-plan executions recorded in a trace.
+struct PlanStats {
+  std::uint64_t uses = 0;    ///< plan executions recorded (one per rank call)
+  std::uint64_t hits = 0;    ///< executions that found their plan cached
+  std::uint64_t misses = 0;  ///< executions that had to lower a plan
+  std::int64_t rounds = 0;   ///< Σ per-execution round counts
+  std::int64_t bytes_sent = 0;  ///< Σ per-rank payload bytes
+
+  friend bool operator==(const PlanStats&, const PlanStats&) = default;
+};
+
 /// One rank's append-only event log.
 class TraceSink {
  public:
   void record_send(int round, std::int64_t dst, std::int64_t bytes) {
     sends_.push_back(SendEvent{round, dst, bytes});
   }
+  void record_plan(const PlanEvent& event) { plans_.push_back(event); }
   [[nodiscard]] const std::vector<SendEvent>& sends() const { return sends_; }
-  void clear() { sends_.clear(); }
+  [[nodiscard]] const std::vector<PlanEvent>& plans() const { return plans_; }
+  void clear() {
+    sends_.clear();
+    plans_.clear();
+  }
 
  private:
   std::vector<SendEvent> sends_;
+  std::vector<PlanEvent> plans_;
 };
 
 class Trace {
@@ -54,6 +72,10 @@ class Trace {
 
   /// Total number of recorded send events across ranks.
   [[nodiscard]] std::size_t event_count() const;
+
+  /// Aggregated compiled-plan statistics across ranks (zero when the
+  /// collectives ran through the reference paths).
+  [[nodiscard]] PlanStats plan_stats() const;
 
  private:
   std::int64_t n_;

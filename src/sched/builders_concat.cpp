@@ -32,11 +32,7 @@ Schedule build_concat_bruck(std::int64_t n, int k, std::int64_t block_bytes,
   BRUCK_REQUIRE(block_bytes >= 0);
   Schedule s(n, k);
   if (n == 1 || block_bytes == 0) return s;
-  if (strategy == model::ConcatLastRound::kAuto) {
-    strategy = model::concat_byte_split_feasible(n, k, block_bytes)
-                   ? model::ConcatLastRound::kByteSplit
-                   : model::ConcatLastRound::kColumnGranular;
-  }
+  strategy = model::resolve_concat_last_round(n, k, block_bytes, strategy);
   const int d = ceil_log(n, k + 1);
   const std::int64_t n1 = ipow(k + 1, d - 1);
   const std::int64_t n2 = n - n1;

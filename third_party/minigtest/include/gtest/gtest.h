@@ -1,0 +1,673 @@
+// minigtest — a single-header, dependency-free implementation of the subset
+// of the GoogleTest API this repository uses.
+//
+// Why it exists: the tier-1 verify command must work from a clean checkout
+// with no network access (FetchContent) and no system googletest.  This shim
+// implements TEST / TEST_P / INSTANTIATE_TEST_SUITE_P, the EXPECT_* /
+// ASSERT_* comparison macros (with << message streaming), EXPECT_THROW /
+// EXPECT_NO_THROW, EXPECT_NEAR / EXPECT_DOUBLE_EQ, SCOPED_TRACE and FAIL.
+// Configure with -DBRUCK_USE_SYSTEM_GTEST=ON to build against a real
+// googletest instead; the test sources compile unchanged against either.
+//
+// Deliberate simplifications (acceptable for this suite):
+//  * --gtest_filter supports ':'-separated patterns with '*' wildcards and a
+//    single leading '-' negative section, which covers interactive use.
+//  * EXPECT_DOUBLE_EQ uses a 4-ULP distance like googletest.
+//  * Death tests, matchers, TYPED_TEST and TEST_F are not implemented.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Message {
+ public:
+  Message() = default;
+  Message(const Message& other) { os_ << other.str(); }
+
+  template <class T>
+  Message& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Value printing: stream when the type supports it, else a placeholder.
+
+template <class T>
+std::string PrintValue(const T& value) {
+  if constexpr (std::is_convertible_v<T, std::string_view>) {
+    // Built with append (not operator+): gcc 12's -Wrestrict false
+    // positive (PR105329) fires on the concatenation spelling.
+    std::string quoted(1, '"');
+    quoted.append(std::string_view(value));
+    quoted.append(1, '"');
+    return quoted;
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (requires(std::ostream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    std::ostringstream os;
+    os << "<" << sizeof(T) << "-byte object>";
+    return os.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry of runnable tests and global per-test state.
+
+struct TestCase {
+  std::string full_name;  // "Suite.Name" (or "Prefix/Suite.Name/Param")
+  std::function<void()> body;
+};
+
+struct Registry {
+  std::vector<TestCase> tests;
+  // Parameterized expansions, run after all static initialization.
+  std::vector<std::function<void()>> deferred;
+  std::vector<std::string> scoped_traces;
+  std::string filter = "*";
+  bool list_only = false;
+  bool current_failed = false;
+
+  static Registry& get() {
+    static Registry r;
+    return r;
+  }
+};
+
+inline void ReportFailure(const char* file, int line, const std::string& text) {
+  Registry& reg = Registry::get();
+  reg.current_failed = true;
+  std::cout << file << ":" << line << ": Failure\n" << text << "\n";
+  for (auto it = reg.scoped_traces.rbegin(); it != reg.scoped_traces.rend();
+       ++it) {
+    std::cout << "Google Test trace:\n" << *it << "\n";
+  }
+}
+
+/// `AssertHelper(...) = Message() << user_text` reports one failure; the
+/// assignment-operator trick is what lets the macros accept trailing `<<`.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+
+  void operator=(const Message& message) const {
+    std::string text = summary_;
+    const std::string user = message.str();
+    if (!user.empty()) {
+      text.append(1, '\n');
+      text.append(user);
+    }
+    ReportFailure(file_, line_, text);
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* file, int line, const std::string& msg) {
+    std::ostringstream os;
+    os << file << ":" << line << ": " << msg;
+    Registry::get().scoped_traces.push_back(os.str());
+  }
+  ~ScopedTrace() { Registry::get().scoped_traces.pop_back(); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Comparisons.  Each returns "" on success or the failure description.
+
+template <class A, class B, class Op>
+std::string CompareOp(const char* a_expr, const char* b_expr, const A& a,
+                      const B& b, Op op, const char* op_str) {
+  if (op(a, b)) return {};
+  std::ostringstream os;
+  if (std::strcmp(op_str, "==") == 0) {
+    os << "Expected equality of these values:\n  " << a_expr
+       << "\n    Which is: " << PrintValue(a) << "\n  " << b_expr
+       << "\n    Which is: " << PrintValue(b);
+  } else {
+    os << "Expected: (" << a_expr << ") " << op_str << " (" << b_expr
+       << "), actual: " << PrintValue(a) << " vs " << PrintValue(b);
+  }
+  return os.str();
+}
+
+inline std::string CheckBool(const char* expr, bool value, bool expected) {
+  if (value == expected) return {};
+  std::ostringstream os;
+  os << "Value of: " << expr << "\n  Actual: " << (value ? "true" : "false")
+     << "\nExpected: " << (expected ? "true" : "false");
+  return os.str();
+}
+
+inline std::string CheckNear(const char* a_expr, const char* b_expr,
+                             const char* tol_expr, double a, double b,
+                             double tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= tol) return {};
+  std::ostringstream os;
+  os << "The difference between " << a_expr << " and " << b_expr << " is "
+     << diff << ", which exceeds " << tol_expr << ", where\n" << a_expr
+     << " evaluates to " << a << ",\n" << b_expr << " evaluates to " << b
+     << ", and\n" << tol_expr << " evaluates to " << tol << ".";
+  return os.str();
+}
+
+inline bool AlmostEqualDoubles(double x, double y) {
+  if (std::isnan(x) || std::isnan(y)) return false;
+  if (x == y) return true;
+  // 4-ULP comparison on the biased integer representation (googletest's rule).
+  const auto biased = [](double v) -> std::uint64_t {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    constexpr std::uint64_t kSignBit = 0x8000000000000000ull;
+    return (bits & kSignBit) ? ~bits + 1 : bits | kSignBit;
+  };
+  const std::uint64_t bx = biased(x);
+  const std::uint64_t by = biased(y);
+  const std::uint64_t dist = bx > by ? bx - by : by - bx;
+  return dist <= 4;
+}
+
+inline std::string CheckDoubleEq(const char* a_expr, const char* b_expr,
+                                 double a, double b) {
+  if (AlmostEqualDoubles(a, b)) return {};
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << a_expr
+     << "\n    Which is: " << a << "\n  " << b_expr << "\n    Which is: " << b;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Filtering: ':'-separated '*' patterns, optional single '-' negative tail.
+
+inline bool WildcardMatch(std::string_view pattern, std::string_view name) {
+  if (pattern.empty()) return name.empty();
+  if (pattern[0] == '*') {
+    for (std::size_t i = 0; i <= name.size(); ++i) {
+      if (WildcardMatch(pattern.substr(1), name.substr(i))) return true;
+    }
+    return false;
+  }
+  if (name.empty() || (pattern[0] != '?' && pattern[0] != name[0])) {
+    return false;
+  }
+  return WildcardMatch(pattern.substr(1), name.substr(1));
+}
+
+inline bool MatchesSection(std::string_view section, std::string_view name) {
+  while (!section.empty()) {
+    const std::size_t colon = section.find(':');
+    const std::string_view pat = section.substr(0, colon);
+    if (WildcardMatch(pat, name)) return true;
+    if (colon == std::string_view::npos) break;
+    section.remove_prefix(colon + 1);
+  }
+  return false;
+}
+
+inline bool FilterAccepts(const std::string& filter, const std::string& name) {
+  const std::size_t dash = filter.find('-');
+  const std::string_view positive =
+      dash == std::string::npos
+          ? std::string_view(filter)
+          : std::string_view(filter).substr(0, dash);
+  const std::string_view negative =
+      dash == std::string::npos ? std::string_view()
+                                : std::string_view(filter).substr(dash + 1);
+  if (!positive.empty() && !MatchesSection(positive, name)) return false;
+  if (positive.empty() && !MatchesSection("*", name)) return false;
+  if (!negative.empty() && MatchesSection(negative, name)) return false;
+  return true;
+}
+
+inline bool RegisterTest(std::string full_name, std::function<void()> body) {
+  Registry::get().tests.push_back({std::move(full_name), std::move(body)});
+  return true;
+}
+
+inline int RunAll() {
+  Registry& reg = Registry::get();
+  for (auto& expand : reg.deferred) expand();
+  reg.deferred.clear();
+
+  std::vector<const TestCase*> selected;
+  for (const TestCase& t : reg.tests) {
+    if (FilterAccepts(reg.filter, t.full_name)) selected.push_back(&t);
+  }
+  if (reg.list_only) {
+    for (const TestCase* t : selected) std::cout << t->full_name << "\n";
+    return 0;
+  }
+
+  std::vector<std::string> failed;
+  std::cout << "[==========] Running " << selected.size() << " tests.\n";
+  for (const TestCase* t : selected) {
+    std::cout << "[ RUN      ] " << t->full_name << "\n";
+    reg.current_failed = false;
+    try {
+      t->body();
+    } catch (const std::exception& e) {
+      ReportFailure("<uncaught>", 0,
+                    std::string("uncaught exception: ") + e.what());
+    } catch (...) {
+      ReportFailure("<uncaught>", 0, "uncaught non-std exception");
+    }
+    if (reg.current_failed) {
+      failed.push_back(t->full_name);
+      std::cout << "[  FAILED  ] " << t->full_name << "\n";
+    } else {
+      std::cout << "[       OK ] " << t->full_name << "\n";
+    }
+  }
+  std::cout << "[==========] " << selected.size() << " tests ran.\n";
+  std::cout << "[  PASSED  ] " << (selected.size() - failed.size())
+            << " tests.\n";
+  if (!failed.empty()) {
+    std::cout << "[  FAILED  ] " << failed.size() << " tests, listed below:\n";
+    for (const std::string& name : failed) {
+      std::cout << "[  FAILED  ] " << name << "\n";
+    }
+  }
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test fixtures.
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+  void Run() {
+    SetUp();
+    TestBody();
+    TearDown();
+  }
+};
+
+template <class T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+
+  [[nodiscard]] const T& GetParam() const { return *CurrentParam(); }
+
+  /// Slot holding the active parameter while a TEST_P body runs (tests are
+  /// executed sequentially, so one slot per parameter type suffices).
+  static const T*& CurrentParam() {
+    static const T* current = nullptr;
+    return current;
+  }
+};
+
+template <class T>
+struct TestParamInfo {
+  T param;
+  std::size_t index = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parameter generators.
+
+namespace internal {
+
+template <class... Ts>
+struct ValuesGen {
+  std::tuple<Ts...> values;
+
+  template <class P>
+  [[nodiscard]] std::vector<P> materialize() const {
+    std::vector<P> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&out](const auto&... v) { (out.push_back(static_cast<P>(v)), ...); },
+        values);
+    return out;
+  }
+};
+
+template <class V>
+struct ValuesInGen {
+  std::vector<V> values;
+
+  template <class P>
+  [[nodiscard]] std::vector<P> materialize() const {
+    return std::vector<P>(values.begin(), values.end());
+  }
+};
+
+template <class P, class Lists, std::size_t I = 0>
+void CartesianProduct(const Lists& lists, P& current, std::vector<P>& out) {
+  if constexpr (I == std::tuple_size_v<Lists>) {
+    out.push_back(current);
+  } else {
+    for (const auto& v : std::get<I>(lists)) {
+      std::get<I>(current) = v;
+      CartesianProduct<P, Lists, I + 1>(lists, current, out);
+    }
+  }
+}
+
+template <class... Gs>
+struct CombineGen {
+  std::tuple<Gs...> gens;
+
+  template <class P>
+  [[nodiscard]] std::vector<P> materialize() const {
+    return materialize_impl<P>(std::index_sequence_for<Gs...>{});
+  }
+
+  template <class P, std::size_t... Is>
+  [[nodiscard]] std::vector<P> materialize_impl(
+      std::index_sequence<Is...>) const {
+    auto lists = std::make_tuple(
+        std::get<Is>(gens)
+            .template materialize<std::tuple_element_t<Is, P>>()...);
+    std::vector<P> out;
+    P current{};
+    CartesianProduct<P>(lists, current, out);
+    return out;
+  }
+};
+
+/// Per-fixture registry: TEST_P bodies and INSTANTIATE_* generators meet
+/// here; the cross product is expanded lazily inside RUN_ALL_TESTS so the
+/// two macros may appear in any order in a translation unit.
+template <class Fixture>
+struct ParamRegistry {
+  using P = typename Fixture::ParamType;
+  struct PTest {
+    std::string name;
+    std::function<void(const P&)> run;
+  };
+
+  static std::vector<PTest>& tests() {
+    static std::vector<PTest> v;
+    return v;
+  }
+
+  static bool AddTest(const char* /*suite*/, const char* name,
+                      std::function<void(const P&)> run) {
+    tests().push_back({name, std::move(run)});
+    return true;
+  }
+
+  template <class Gen>
+  static bool AddInstantiation(const char* prefix, const char* suite,
+                               Gen gen) {
+    return AddInstantiation(prefix, suite, std::move(gen),
+                            [](const TestParamInfo<P>& info) {
+                              return std::to_string(info.index);
+                            });
+  }
+
+  template <class Gen, class NameGen>
+  static bool AddInstantiation(const char* prefix, const char* suite, Gen gen,
+                               NameGen name_gen_raw) {
+    const std::string prefix_s = prefix;
+    const std::string suite_s = suite;
+    // Type-erase the user's name generator: calling it through std::function
+    // stops gcc 12 from inlining user string concatenations into the
+    // registration loop, where its -Wrestrict false positive (PR105329)
+    // would fire on otherwise-clean test code.
+    const std::function<std::string(const TestParamInfo<P>&)> name_gen =
+        name_gen_raw;
+    Registry::get().deferred.push_back([prefix_s, suite_s, gen, name_gen] {
+      auto params =
+          std::make_shared<std::vector<P>>(gen.template materialize<P>());
+      for (const PTest& t : tests()) {
+        for (std::size_t i = 0; i < params->size(); ++i) {
+          TestParamInfo<P> info{(*params)[i], i};
+          // append, not operator+: sidesteps gcc 12's -Wrestrict false
+          // positive (PR105329) through user name-generator lambdas.
+          std::string full = prefix_s;
+          full.append(1, '/').append(suite_s).append(1, '.').append(t.name);
+          full.append(1, '/').append(name_gen(info));
+          auto run = t.run;
+          RegisterTest(std::move(full), [params, i, run] { run((*params)[i]); });
+        }
+      }
+    });
+    return true;
+  }
+};
+
+}  // namespace internal
+
+template <class... Ts>
+internal::ValuesGen<std::decay_t<Ts>...> Values(Ts&&... values) {
+  return {std::make_tuple(std::forward<Ts>(values)...)};
+}
+
+template <class C>
+auto ValuesIn(const C& container) {
+  using V = std::decay_t<decltype(*std::begin(container))>;
+  return internal::ValuesInGen<V>{
+      std::vector<V>(std::begin(container), std::end(container))};
+}
+
+template <class... Gs>
+internal::CombineGen<std::decay_t<Gs>...> Combine(Gs&&... gens) {
+  return {std::make_tuple(std::forward<Gs>(gens)...)};
+}
+
+inline void InitGoogleTest(int* argc, char** argv) {
+  internal::Registry& reg = internal::Registry::get();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      reg.filter = std::string(arg.substr(15));
+    } else if (arg == "--gtest_list_tests") {
+      reg.list_only = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+}  // namespace testing
+
+// ---------------------------------------------------------------------------
+// Macros.
+
+#define MINIGTEST_CLASS_NAME_(suite, name) suite##_##name##_MiniTest
+
+#define TEST(suite, name)                                                     \
+  class MINIGTEST_CLASS_NAME_(suite, name) : public ::testing::Test {         \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  static const bool minigtest_reg_##suite##_##name [[maybe_unused]] =         \
+      ::testing::internal::RegisterTest(#suite "." #name, [] {                \
+        MINIGTEST_CLASS_NAME_(suite, name) t;                                 \
+        t.Run();                                                              \
+      });                                                                     \
+  void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST_P(fixture, name)                                                 \
+  class MINIGTEST_CLASS_NAME_(fixture, name) : public fixture {               \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  static const bool minigtest_preg_##fixture##_##name [[maybe_unused]] =      \
+      ::testing::internal::ParamRegistry<fixture>::AddTest(                   \
+          #fixture, #name, [](const typename fixture::ParamType& p) {         \
+            fixture::CurrentParam() = &p;                                     \
+            MINIGTEST_CLASS_NAME_(fixture, name) t;                           \
+            t.Run();                                                          \
+            fixture::CurrentParam() = nullptr;                                \
+          });                                                                 \
+  void MINIGTEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, ...)                        \
+  static const bool minigtest_inst_##prefix##_##fixture [[maybe_unused]] =    \
+      ::testing::internal::ParamRegistry<fixture>::AddInstantiation(          \
+          #prefix, #fixture, __VA_ARGS__)
+
+// `switch (0) case 0: default:` swallows the dangling-else ambiguity exactly
+// as googletest does; `return helper = Message()` makes ASSERT_* fatal while
+// still accepting a trailing `<<` chain.
+#define MINIGTEST_AMBIGUOUS_ELSE_ switch (0) case 0: default:
+
+#define MINIGTEST_NONFATAL_(text)                                             \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, (text)) =             \
+      ::testing::Message()
+
+#define MINIGTEST_FATAL_(text)                                                \
+  return ::testing::internal::AssertHelper(__FILE__, __LINE__, (text)) =      \
+             ::testing::Message()
+
+#define MINIGTEST_CMP_(a, b, op, op_str, fail)                                \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if (const std::string minigtest_msg = ::testing::internal::CompareOp(       \
+          #a, #b, (a), (b),                                                   \
+          [](const auto& x, const auto& y) { return x op y; }, op_str);       \
+      minigtest_msg.empty())                                                  \
+    ;                                                                         \
+  else                                                                        \
+    fail(minigtest_msg)
+
+#define EXPECT_EQ(a, b) MINIGTEST_CMP_(a, b, ==, "==", MINIGTEST_NONFATAL_)
+#define EXPECT_NE(a, b) MINIGTEST_CMP_(a, b, !=, "!=", MINIGTEST_NONFATAL_)
+#define EXPECT_LT(a, b) MINIGTEST_CMP_(a, b, <, "<", MINIGTEST_NONFATAL_)
+#define EXPECT_LE(a, b) MINIGTEST_CMP_(a, b, <=, "<=", MINIGTEST_NONFATAL_)
+#define EXPECT_GT(a, b) MINIGTEST_CMP_(a, b, >, ">", MINIGTEST_NONFATAL_)
+#define EXPECT_GE(a, b) MINIGTEST_CMP_(a, b, >=, ">=", MINIGTEST_NONFATAL_)
+#define ASSERT_EQ(a, b) MINIGTEST_CMP_(a, b, ==, "==", MINIGTEST_FATAL_)
+#define ASSERT_NE(a, b) MINIGTEST_CMP_(a, b, !=, "!=", MINIGTEST_FATAL_)
+#define ASSERT_LT(a, b) MINIGTEST_CMP_(a, b, <, "<", MINIGTEST_FATAL_)
+#define ASSERT_LE(a, b) MINIGTEST_CMP_(a, b, <=, "<=", MINIGTEST_FATAL_)
+#define ASSERT_GT(a, b) MINIGTEST_CMP_(a, b, >, ">", MINIGTEST_FATAL_)
+#define ASSERT_GE(a, b) MINIGTEST_CMP_(a, b, >=, ">=", MINIGTEST_FATAL_)
+
+#define MINIGTEST_BOOL_(expr, expected, fail)                                 \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if (const std::string minigtest_msg = ::testing::internal::CheckBool(       \
+          #expr, static_cast<bool>(expr), expected);                          \
+      minigtest_msg.empty())                                                  \
+    ;                                                                         \
+  else                                                                        \
+    fail(minigtest_msg)
+
+#define EXPECT_TRUE(expr) MINIGTEST_BOOL_(expr, true, MINIGTEST_NONFATAL_)
+#define EXPECT_FALSE(expr) MINIGTEST_BOOL_(expr, false, MINIGTEST_NONFATAL_)
+#define ASSERT_TRUE(expr) MINIGTEST_BOOL_(expr, true, MINIGTEST_FATAL_)
+#define ASSERT_FALSE(expr) MINIGTEST_BOOL_(expr, false, MINIGTEST_FATAL_)
+
+#define EXPECT_NEAR(a, b, tol)                                                \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if (const std::string minigtest_msg = ::testing::internal::CheckNear(       \
+          #a, #b, #tol, (a), (b), (tol));                                     \
+      minigtest_msg.empty())                                                  \
+    ;                                                                         \
+  else                                                                        \
+    MINIGTEST_NONFATAL_(minigtest_msg)
+
+#define EXPECT_DOUBLE_EQ(a, b)                                                \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if (const std::string minigtest_msg =                                       \
+          ::testing::internal::CheckDoubleEq(#a, #b, (a), (b));               \
+      minigtest_msg.empty())                                                  \
+    ;                                                                         \
+  else                                                                        \
+    MINIGTEST_NONFATAL_(minigtest_msg)
+
+// The tested statement is allowed to discard [[nodiscard]] values — the
+// point of the assertion is the throw, not the result.
+#define MINIGTEST_THROW_(stmt, etype, fail)                                   \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if ([&]() -> bool {                                                         \
+        _Pragma("GCC diagnostic push")                                        \
+        _Pragma("GCC diagnostic ignored \"-Wunused-result\"")                 \
+        try {                                                                 \
+          stmt;                                                               \
+        } catch (const etype&) {                                              \
+          return true;                                                        \
+        } catch (...) {                                                       \
+          return false;                                                       \
+        }                                                                     \
+        return false;                                                         \
+        _Pragma("GCC diagnostic pop")                                         \
+      }())                                                                    \
+    ;                                                                         \
+  else                                                                        \
+    fail("Expected: " #stmt " throws an exception of type " #etype            \
+         ".\n  Actual: it throws a different type or nothing.")
+
+#define EXPECT_THROW(stmt, etype)                                             \
+  MINIGTEST_THROW_(stmt, etype, MINIGTEST_NONFATAL_)
+#define ASSERT_THROW(stmt, etype) MINIGTEST_THROW_(stmt, etype, MINIGTEST_FATAL_)
+
+#define MINIGTEST_NO_THROW_(stmt, fail)                                       \
+  MINIGTEST_AMBIGUOUS_ELSE_                                                   \
+  if ([&]() -> bool {                                                         \
+        _Pragma("GCC diagnostic push")                                        \
+        _Pragma("GCC diagnostic ignored \"-Wunused-result\"")                 \
+        try {                                                                 \
+          stmt;                                                               \
+        } catch (...) {                                                       \
+          return false;                                                       \
+        }                                                                     \
+        return true;                                                          \
+        _Pragma("GCC diagnostic pop")                                        \
+      }())                                                                    \
+    ;                                                                         \
+  else                                                                        \
+    fail("Expected: " #stmt " doesn't throw an exception.\n"                  \
+         "  Actual: it throws.")
+
+#define EXPECT_NO_THROW(stmt) MINIGTEST_NO_THROW_(stmt, MINIGTEST_NONFATAL_)
+#define ASSERT_NO_THROW(stmt) MINIGTEST_NO_THROW_(stmt, MINIGTEST_FATAL_)
+
+#define MINIGTEST_CAT_(a, b) a##b
+#define MINIGTEST_CAT2_(a, b) MINIGTEST_CAT_(a, b)
+#define SCOPED_TRACE(msg)                                                     \
+  ::testing::internal::ScopedTrace MINIGTEST_CAT2_(minigtest_trace_,          \
+                                                   __COUNTER__)(              \
+      __FILE__, __LINE__, (msg))
+
+#define FAIL() MINIGTEST_FATAL_("Failed")
+#define ADD_FAILURE() MINIGTEST_NONFATAL_("Failed")
+#define SUCCEED() static_cast<void>(0)
+
+#define RUN_ALL_TESTS() ::testing::internal::RunAll()

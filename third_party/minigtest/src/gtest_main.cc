@@ -1,0 +1,8 @@
+// Drop-in replacement for googletest's gtest_main: every test binary links
+// this translation unit and gets argument parsing + the test runner.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,13 +1,16 @@
 // bruckcl_plan — command-line planner for the collectives.
 //
-//   bruckcl_plan index  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
-//   bruckcl_plan concat <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
-//   bruckcl_plan rounds <n> <k> <block_bytes> <radix>
+//   bruckcl_plan index   <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
+//   bruckcl_plan concat  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
+//   bruckcl_plan rounds  <n> <k> <block_bytes> <radix>
+//   bruckcl_plan compile <n> <k> <block_bytes> [radix]
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
 // bounds; `rounds` prints the round-by-round transfer listing of the index
-// algorithm (handy for eyeballing patterns).
+// algorithm (handy for eyeballing patterns); `compile` lowers the compiled
+// execution plans the facade's hot path runs (index with the tuned — or
+// given — radix, plus the concat plan) and prints their anatomy.
 //
 // Defaults for (beta, tau) are the paper's SP-1 measurements.
 #include <cstdint>
@@ -15,6 +18,8 @@
 #include <iostream>
 #include <string>
 
+#include "coll/plan.hpp"
+#include "coll/plan_cache.hpp"
 #include "model/costs.hpp"
 #include "model/linear_model.hpp"
 #include "model/lower_bounds.hpp"
@@ -27,9 +32,10 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-            << "  bruckcl_plan index  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
-            << "  bruckcl_plan concat <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
-            << "  bruckcl_plan rounds <n> <k> <block_bytes> <radix>\n";
+            << "  bruckcl_plan index   <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
+            << "  bruckcl_plan concat  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
+            << "  bruckcl_plan rounds  <n> <k> <block_bytes> <radix>\n"
+            << "  bruckcl_plan compile <n> <k> <block_bytes> [radix]\n";
   return 2;
 }
 
@@ -100,6 +106,34 @@ int cmd_rounds(std::int64_t n, int k, std::int64_t b, std::int64_t r) {
   return 0;
 }
 
+int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
+  namespace coll = bruck::coll;
+  if (radix == 0) {
+    const bruck::model::RadixChoice choice =
+        bruck::model::pick_index_radix_cached(n, k, b, bruck::model::ibm_sp1());
+    radix = choice.radix;
+    std::cout << "tuner pick for the index plan: r = " << radix << "\n\n";
+  }
+  // Go through the cache exactly like the facade, so the stats line shows
+  // the real hit/miss machinery.
+  coll::PlanCache& cache = coll::PlanCache::global();
+  const auto index_lookup = cache.get_or_lower(
+      coll::index_plan_key(coll::IndexAlgorithm::kBruck, n, k, radix));
+  std::cout << index_lookup.plan->describe() << '\n';
+
+  const bruck::model::ConcatLastRound strategy =
+      bruck::model::resolve_concat_last_round(
+          n, k, b, bruck::model::ConcatLastRound::kAuto);
+  const auto concat_lookup = cache.get_or_lower(
+      coll::concat_plan_key(coll::ConcatAlgorithm::kBruck, n, k, strategy, b));
+  std::cout << concat_lookup.plan->describe() << '\n';
+
+  const coll::PlanCacheStats stats = cache.stats();
+  std::cout << "plan cache: " << stats.entries << " entries, " << stats.hits
+            << " hits, " << stats.misses << " misses\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +149,9 @@ int main(int argc, char** argv) {
     if (cmd == "rounds") {
       if (argc < 6) return usage();
       return cmd_rounds(n, k, b, std::atoll(argv[5]));
+    }
+    if (cmd == "compile") {
+      return cmd_compile(n, k, b, argc > 5 ? std::atoll(argv[5]) : 0);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
