@@ -67,7 +67,93 @@ void BM_AllgatherAlgorithms(benchmark::State& state) {
                           (n - 1) * b);
 }
 
+// Executor comparison: the same compiled plan walked by the blocking
+// (PR 1) executor vs the pipelined port-engine executor, at large block
+// sizes where pack/wire/unpack overlap and wire segmentation pay off.
+// range = {block bytes, path (ExecutionPath value), segments}.
+void BM_AlltoallExecutor(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t b = state.range(0);
+  const auto path = static_cast<bruck::coll::ExecutionPath>(state.range(1));
+  const int segments = static_cast<int>(state.range(2));
+  bruck::coll::AlltoallOptions options;
+  options.algorithm = bruck::coll::IndexAlgorithm::kBruck;
+  options.radix = 2;
+  options.path = path;
+  options.segments = segments;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                  std::byte{1});
+      std::vector<std::byte> recv(send.size());
+      bruck::coll::alltoall(comm, send, recv, b, options);
+    });
+  }
+  state.SetLabel(bruck::coll::to_string(path) + "/S=" +
+                 std::to_string(segments));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+}
+
+void BM_AllgatherExecutor(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t b = state.range(0);
+  const auto path = static_cast<bruck::coll::ExecutionPath>(state.range(1));
+  const int segments = static_cast<int>(state.range(2));
+  bruck::coll::AllgatherOptions options;
+  options.algorithm = bruck::coll::ConcatAlgorithm::kBruck;
+  options.path = path;
+  options.segments = segments;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(b), std::byte{1});
+      std::vector<std::byte> recv(static_cast<std::size_t>(n * b));
+      bruck::coll::allgather(comm, send, recv, b, options);
+    });
+  }
+  state.SetLabel(bruck::coll::to_string(path) + "/S=" +
+                 std::to_string(segments));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+}
+
 }  // namespace
+
+namespace {
+constexpr std::int64_t kCompiledPath =
+    static_cast<std::int64_t>(bruck::coll::ExecutionPath::kCompiled);
+constexpr std::int64_t kPipelinedPath =
+    static_cast<std::int64_t>(bruck::coll::ExecutionPath::kPipelined);
+}  // namespace
+
+// Executor comparison, segmented large blocks (the CI CSV artifact's
+// pipelined-vs-PR1 perf trajectory).
+BENCHMARK(BM_AlltoallExecutor)
+    ->Args({1 << 16, kCompiledPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 8})
+    ->Args({1 << 18, kCompiledPath, 1})
+    ->Args({1 << 18, kPipelinedPath, 1})
+    ->Args({1 << 18, kPipelinedPath, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+BENCHMARK(BM_AllgatherExecutor)
+    ->Args({1 << 16, kCompiledPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
 
 // Index: the radix trade-off in wall-clock at n = 8 and n = 16 ranks.
 BENCHMARK(BM_IndexBruck)

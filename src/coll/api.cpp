@@ -38,6 +38,7 @@ std::string to_string(ExecutionPath p) {
   switch (p) {
     case ExecutionPath::kCompiled: return "compiled";
     case ExecutionPath::kReference: return "reference";
+    case ExecutionPath::kPipelined: return "pipelined";
   }
   return "?";
 }
@@ -45,17 +46,38 @@ std::string to_string(ExecutionPath p) {
 namespace {
 
 /// The shared compiled tail of both collectives: fetch (or lower once) the
-/// plan for `key`, execute it, and report the cache/round/byte statistics.
+/// plan for `key`, execute it through the requested executor, and report
+/// the cache/round/byte statistics.
 int run_compiled(mps::Communicator& comm, const PlanKey& key,
                  std::span<const std::byte> send, std::span<std::byte> recv,
-                 std::int64_t block_bytes, int start_round) {
+                 std::int64_t block_bytes, int start_round, bool pipelined) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
   const PlanExecution ex =
-      lookup.plan->run(comm, send, recv, block_bytes, start_round);
+      pipelined
+          ? lookup.plan->run_pipelined(comm, send, recv, block_bytes,
+                                       start_round)
+          : lookup.plan->run(comm, send, recv, block_bytes, start_round);
   comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                         lookup.plan->round_count(),
                                         ex.bytes_sent});
   return ex.next_round;
+}
+
+/// Resolve the wire-segmentation knob for a compiled execution: 0 means
+/// "tune from the predicted metrics" (per-round message size ≈ C2/C1);
+/// only the pipelined executor segments, so other paths resolve to 1.
+int resolve_segments(int requested, bool pipelined,
+                     const model::LinearModel& machine,
+                     const model::CostMetrics& predicted) {
+  if (!pipelined) return 1;
+  if (requested != 0) {
+    BRUCK_REQUIRE_MSG(requested >= 1, "segment count must be >= 1");
+    return requested;
+  }
+  if (predicted.c1 <= 0) return 1;
+  const std::int64_t per_round =
+      (predicted.c2 + predicted.c1 - 1) / predicted.c1;
+  return model::pick_segment_count(machine, predicted.c1, per_round).segments;
 }
 
 }  // namespace
@@ -120,10 +142,15 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
     return options.start_round;
   }
 
-  // Compiled hot path: the tuner's radix choice is part of the key.
-  return run_compiled(
-      comm, index_plan_key(plan.algorithm, comm.size(), comm.ports(), plan.radix),
-      send, recv, block_bytes, options.start_round);
+  // Compiled hot path: the tuner's radix and segment choices are part of
+  // the key.
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = resolve_segments(options.segments, pipelined,
+                                        options.machine, plan.predicted);
+  return run_compiled(comm,
+                      index_plan_key(plan.algorithm, comm.size(), comm.ports(),
+                                     plan.radix, segments),
+                      send, recv, block_bytes, options.start_round, pipelined);
 }
 
 int allgather(mps::Communicator& comm, std::span<const std::byte> send,
@@ -158,10 +185,29 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
           ? model::resolve_concat_last_round(comm.size(), comm.ports(),
                                              block_bytes, options.last_round)
           : options.last_round;
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  model::CostMetrics predicted;
+  if (pipelined && options.segments == 0) {
+    switch (algorithm) {
+      case ConcatAlgorithm::kBruck:
+      case ConcatAlgorithm::kAuto:
+        predicted = model::concat_bruck_cost(comm.size(), comm.ports(),
+                                             block_bytes, strategy);
+        break;
+      case ConcatAlgorithm::kFolklore:
+        predicted = model::concat_folklore_cost(comm.size(), block_bytes);
+        break;
+      case ConcatAlgorithm::kRing:
+        predicted = model::concat_ring_cost(comm.size(), block_bytes);
+        break;
+    }
+  }
+  const int segments = resolve_segments(options.segments, pipelined,
+                                        options.machine, predicted);
   return run_compiled(comm,
                       concat_plan_key(algorithm, comm.size(), comm.ports(),
-                                      strategy, block_bytes),
-                      send, recv, block_bytes, options.start_round);
+                                      strategy, block_bytes, segments),
+                      send, recv, block_bytes, options.start_round, pipelined);
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

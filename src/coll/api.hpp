@@ -30,14 +30,18 @@ enum class ConcatAlgorithm {
 
 /// How the facade executes a collective.
 enum class ExecutionPath {
-  /// Lower (or fetch from the PlanCache) a compiled plan and run it: zero
-  /// planning work on repeated same-geometry calls, zero-copy wire paths
-  /// where the pattern allows.  The default hot path.
+  /// Lower (or fetch from the PlanCache) a compiled plan and run it with
+  /// the blocking round-by-round executor: zero planning work on repeated
+  /// same-geometry calls, zero-copy wire paths where the pattern allows.
   kCompiled,
   /// The original inline implementations that re-derive the pattern per
-  /// call.  Kept as the cross-check oracle: tests assert kCompiled and
-  /// kReference produce identical results and traces.
+  /// call.  Kept as the cross-check oracle: tests assert the compiled
+  /// paths and kReference produce identical results and traces.
   kReference,
+  /// Compiled plan + the pipelined executor over the nonblocking port
+  /// engine: round overlap where proven safe, eager out-of-order receive
+  /// completion, optional wire segmentation.  The default hot path.
+  kPipelined,
 };
 
 [[nodiscard]] std::string to_string(IndexAlgorithm a);
@@ -54,14 +58,22 @@ struct AlltoallOptions {
   /// powers of two; kAll finds the true model optimum).
   model::RadixSet radix_set = model::RadixSet::kAll;
   int start_round = 0;
-  ExecutionPath path = ExecutionPath::kCompiled;
+  ExecutionPath path = ExecutionPath::kPipelined;
+  /// Wire segments per message under kPipelined: 0 tunes under `machine`
+  /// (model::pick_segment_count), 1 disables segmentation, S > 1 forces S.
+  /// Ignored by the other paths.
+  int segments = 0;
 };
 
 struct AllgatherOptions {
   ConcatAlgorithm algorithm = ConcatAlgorithm::kAuto;
   model::ConcatLastRound last_round = model::ConcatLastRound::kAuto;
+  /// Machine profile for segment-count tuning under kPipelined.
+  model::LinearModel machine = model::ibm_sp1();
   int start_round = 0;
-  ExecutionPath path = ExecutionPath::kCompiled;
+  ExecutionPath path = ExecutionPath::kPipelined;
+  /// Same contract as AlltoallOptions::segments.
+  int segments = 0;
 };
 
 /// The decision kAuto (or radix = 0) would make, without running anything.

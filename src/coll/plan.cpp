@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <sstream>
+#include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "coll/blocks.hpp"
+#include "model/tuner.hpp"
 #include "topo/binomial.hpp"
 #include "topo/partition.hpp"
 #include "util/assert.hpp"
@@ -110,6 +114,7 @@ std::int64_t Plan::message_bytes(const PlanMessage& m, std::int64_t b) const {
 }
 
 void Plan::finalize() {
+  BRUCK_REQUIRE_MSG(segments_ >= 1, "segment count must be at least 1");
   needs_scratch_ = prologue_ == PlanPrologue::kRotateSendToScratch ||
                    prologue_ == PlanPrologue::kCopySendToScratch0;
   for (const RankProgram& p : programs_) {
@@ -123,11 +128,91 @@ void Plan::finalize() {
                        "a receive cannot land in the caller's send buffer");
     }
   }
+  compute_pipeline_safety();
   // Validate the pattern under the k-port model using a reference block
   // size (index plans are block-size independent; 1 byte/block suffices).
   const sched::Schedule view = to_schedule(1);
   const std::string err = view.validate();
   BRUCK_ENSURE_MSG(err.empty(), "lowered plan violates the k-port model: " + err);
+}
+
+namespace {
+
+/// One cell as a byte interval for the round-dependence analysis.  A
+/// kWholeBlock upper bound becomes "rest of the slot", which overlaps any
+/// range of the same slot under every block size — exactly the conservative
+/// reading a block-size-independent plan needs.
+struct CellInterval {
+  std::uint8_t buf = 0;
+  std::int64_t slot = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] auto key() const { return std::tie(buf, slot, lo); }
+};
+
+bool intervals_overlap(const std::vector<CellInterval>& a,
+                       const std::vector<CellInterval>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const auto ka = std::tie(a[i].buf, a[i].slot);
+    const auto kb = std::tie(b[j].buf, b[j].slot);
+    if (ka < kb) {
+      ++i;
+    } else if (kb < ka) {
+      ++j;
+    } else if (a[i].hi <= b[j].lo) {
+      ++i;
+    } else if (b[j].hi <= a[i].lo) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Plan::compute_pipeline_safety() {
+  const auto collect = [&](const RankProgram& p, std::uint32_t begin,
+                           std::uint32_t end, bool sends_side) {
+    std::vector<CellInterval> out;
+    for (std::uint32_t m = begin; m < end; ++m) {
+      const PlanMessage& msg = sends_side ? p.sends[m] : p.recvs[m];
+      for (std::uint32_t c = msg.cells_begin; c < msg.cells_end; ++c) {
+        const PlanCell& cell = cells_[c];
+        out.push_back(CellInterval{
+            static_cast<std::uint8_t>(msg.buffer), cell.slot, cell.lo,
+            cell.hi == PlanCell::kWholeBlock
+                ? std::numeric_limits<std::int64_t>::max()
+                : cell.hi});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CellInterval& x, const CellInterval& y) {
+                return x.key() < y.key();
+              });
+    return out;
+  };
+  for (RankProgram& p : programs_) {
+    p.pipeline_safe.assign(static_cast<std::size_t>(round_count_), 0);
+    std::vector<CellInterval> prev_writes;
+    for (int i = 0; i < round_count_; ++i) {
+      const PlanRound& r = p.rounds[static_cast<std::size_t>(i)];
+      const std::vector<CellInterval> reads =
+          collect(p, r.sends_begin, r.sends_end, /*sends_side=*/true);
+      std::vector<CellInterval> writes =
+          collect(p, r.recvs_begin, r.recvs_end, /*sends_side=*/false);
+      if (i > 0) {
+        p.pipeline_safe[static_cast<std::size_t>(i)] =
+            !intervals_overlap(prev_writes, reads) &&
+            !intervals_overlap(prev_writes, writes);
+      }
+      prev_writes = std::move(writes);
+    }
+  }
 }
 
 sched::Schedule Plan::to_schedule(std::int64_t block_bytes) const {
@@ -155,33 +240,32 @@ sched::Schedule Plan::to_schedule(std::int64_t block_bytes) const {
 // ---------------------------------------------------------------------------
 // Execution.
 
-PlanExecution Plan::run(mps::Communicator& comm,
-                        std::span<const std::byte> send,
-                        std::span<std::byte> recv, std::int64_t block_bytes,
-                        int start_round) const {
-  const std::int64_t n = n_;
-  const std::int64_t rank = comm.rank();
-  const std::int64_t b = block_bytes;
-  BRUCK_REQUIRE_MSG(comm.size() == n, "plan lowered for a different n");
+void Plan::check_run_contract(const mps::Communicator& comm,
+                              std::span<const std::byte> send,
+                              std::span<std::byte> recv,
+                              std::int64_t b) const {
+  BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(b >= 0);
   if (collective_ == PlanCollective::kIndex) {
-    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n * b);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
   } else {
     BRUCK_REQUIRE_MSG(b == block_bytes_,
                       "concat plans are lowered per block size");
     BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
   }
-  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n * b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
+}
 
-  std::vector<std::byte> scratch(
-      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
-
+void Plan::apply_prologue(std::span<const std::byte> send,
+                          std::span<std::byte> recv,
+                          std::span<std::byte> scratch, std::int64_t rank,
+                          std::int64_t b) const {
   switch (prologue_) {
     case PlanPrologue::kNone:
       break;
     case PlanPrologue::kRotateSendToScratch:
-      rotate_blocks_up(ConstBlockSpan(send, n, b), BlockSpan(scratch, n, b),
+      rotate_blocks_up(ConstBlockSpan(send, n_, b), BlockSpan(scratch, n_, b),
                        rank);
       break;
     case PlanPrologue::kCopyOwnBlock:
@@ -202,18 +286,97 @@ PlanExecution Plan::run(mps::Communicator& comm,
       }
       break;
   }
+}
 
-  const auto readable = [&](PlanBuffer buf) -> std::span<const std::byte> {
+void Plan::apply_epilogue(std::span<std::byte> recv,
+                          std::span<const std::byte> scratch,
+                          std::int64_t rank, std::int64_t b) const {
+  switch (epilogue_) {
+    case PlanEpilogue::kNone:
+      break;
+    case PlanEpilogue::kUnrotateByRank:
+      unrotate_by_rank(ConstBlockSpan(scratch, n_, b), BlockSpan(recv, n_, b),
+                       rank);
+      break;
+    case PlanEpilogue::kRotateWindowToOrigin:
+      rotate_window_to_origin(ConstBlockSpan(scratch, n_, b),
+                              BlockSpan(recv, n_, b), rank);
+      break;
+    case PlanEpilogue::kScratchToRecvAtRoot:
+      if (rank == 0 && b > 0) {
+        std::memcpy(recv.data(), scratch.data(), recv.size());
+      }
+      break;
+  }
+}
+
+namespace {
+
+/// The three run-time buffers of one plan execution, with the
+/// PlanBuffer → span mapping both executors share.
+struct ExecBuffers {
+  std::span<const std::byte> send;
+  std::span<std::byte> recv;
+  std::span<std::byte> scratch;
+
+  [[nodiscard]] std::span<const std::byte> readable(PlanBuffer buf) const {
     switch (buf) {
       case PlanBuffer::kUserSend: return send;
       case PlanBuffer::kUserRecv: return recv;
       case PlanBuffer::kScratch: return scratch;
     }
     return {};
-  };
-  const auto writable = [&](PlanBuffer buf) -> std::span<std::byte> {
-    return buf == PlanBuffer::kScratch ? std::span<std::byte>(scratch) : recv;
-  };
+  }
+  [[nodiscard]] std::span<std::byte> writable(PlanBuffer buf) const {
+    return buf == PlanBuffer::kScratch ? scratch : recv;
+  }
+};
+
+}  // namespace
+
+std::vector<std::byte> Plan::pack_message(const PlanMessage& m,
+                                          std::span<const std::byte> src,
+                                          std::int64_t b) const {
+  std::vector<std::byte> out(
+      static_cast<std::size_t>(message_bytes(m, b)));
+  std::size_t pos = 0;
+  for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+    const PlanCell& cell = cells_[c];
+    const std::int64_t len =
+        cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
+    std::memcpy(out.data() + pos, src.data() + cell.slot * b + cell.lo,
+                static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+  }
+  return out;
+}
+
+void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
+                           const std::byte* data, std::int64_t b) const {
+  std::size_t pos = 0;
+  for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+    const PlanCell& cell = cells_[c];
+    const std::int64_t len =
+        cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
+    std::memcpy(dst.data() + cell.slot * b + cell.lo, data + pos,
+                static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+  }
+}
+
+PlanExecution Plan::run(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::int64_t block_bytes,
+                        int start_round) const {
+  const std::int64_t n = n_;
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  check_run_contract(comm, send, recv, b);
+
+  std::vector<std::byte> scratch(
+      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
+  apply_prologue(send, recv, scratch, rank, b);
+  const ExecBuffers buffers{send, recv, scratch};
 
   const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
   PlanExecution out;
@@ -239,24 +402,13 @@ PlanExecution Plan::run(mps::Communicator& comm,
       if (m.contiguous) {
         // Zero-copy: the message is one byte run of the source buffer.
         const PlanCell& first = cells_[m.cells_begin];
-        payload = readable(m.buffer)
+        payload = buffers.readable(m.buffer)
                       .subspan(static_cast<std::size_t>(first.slot * b +
                                                         first.lo),
                                static_cast<std::size_t>(bytes));
       } else {
         std::vector<std::byte>& stage = out_stage[s - round.sends_begin];
-        stage.resize(static_cast<std::size_t>(bytes));
-        const std::span<const std::byte> src = readable(m.buffer);
-        std::size_t pos = 0;
-        for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
-          const PlanCell& cell = cells_[c];
-          const std::int64_t len =
-              cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
-          std::memcpy(stage.data() + pos,
-                      src.data() + cell.slot * b + cell.lo,
-                      static_cast<std::size_t>(len));
-          pos += static_cast<std::size_t>(len);
-        }
+        stage = pack_message(m, buffers.readable(m.buffer), b);
         payload = stage;
       }
       sends.push_back(mps::SendSpec{m.peer, payload});
@@ -270,7 +422,7 @@ PlanExecution Plan::run(mps::Communicator& comm,
       std::span<std::byte> landing;
       if (m.contiguous) {
         const PlanCell& first = cells_[m.cells_begin];
-        landing = writable(m.buffer)
+        landing = buffers.writable(m.buffer)
                       .subspan(static_cast<std::size_t>(first.slot * b +
                                                         first.lo),
                                static_cast<std::size_t>(bytes));
@@ -288,38 +440,150 @@ PlanExecution Plan::run(mps::Communicator& comm,
     }
 
     for (const auto& [m, data] : scatters) {
-      std::span<std::byte> dst = writable(m->buffer);
-      std::size_t pos = 0;
-      for (std::uint32_t c = m->cells_begin; c < m->cells_end; ++c) {
-        const PlanCell& cell = cells_[c];
-        const std::int64_t len =
-            cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
-        std::memcpy(dst.data() + cell.slot * b + cell.lo, data + pos,
-                    static_cast<std::size_t>(len));
-        pos += static_cast<std::size_t>(len);
-      }
+      scatter_message(*m, buffers.writable(m->buffer), data, b);
     }
   }
 
-  switch (epilogue_) {
-    case PlanEpilogue::kNone:
-      break;
-    case PlanEpilogue::kUnrotateByRank:
-      unrotate_by_rank(ConstBlockSpan(scratch, n, b), BlockSpan(recv, n, b),
-                       rank);
-      break;
-    case PlanEpilogue::kRotateWindowToOrigin:
-      rotate_window_to_origin(ConstBlockSpan(scratch, n, b),
-                              BlockSpan(recv, n, b), rank);
-      break;
-    case PlanEpilogue::kScratchToRecvAtRoot:
-      if (rank == 0 && b > 0) {
-        std::memcpy(recv.data(), scratch.data(), recv.size());
-      }
-      break;
+  apply_epilogue(recv, scratch, rank, b);
+  out.next_round = start_round + round_count_;
+  return out;
+}
+
+PlanExecution Plan::run_pipelined(mps::Communicator& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv,
+                                  std::int64_t block_bytes,
+                                  int start_round) const {
+  const std::int64_t n = n_;
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = block_bytes;
+  check_run_contract(comm, send, recv, b);
+
+  std::vector<std::byte> scratch(
+      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
+  apply_prologue(send, recv, scratch, rank, b);
+  const ExecBuffers buffers{send, recv, scratch};
+
+  const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
+  PlanExecution out;
+  out.next_round = start_round + round_count_;
+  if (round_count_ == 0) {
+    apply_epilogue(recv, scratch, rank, b);
+    return out;
   }
 
-  out.next_round = start_round + round_count_;
+  // Per-message wire segmentation: the plan-wide knob, floored so no
+  // segment drops under model::kMinSegmentBytes (the small early-round
+  // messages of a geometrically growing pattern ship whole).  Sender and
+  // receiver derive the same count from the same plan and byte size.
+  const auto segments_for = [&](std::int64_t bytes) {
+    return static_cast<int>(std::min<std::int64_t>(
+        segments_,
+        std::max<std::int64_t>(1, bytes / model::kMinSegmentBytes)));
+  };
+
+  // One record per posted receive: which plan message it belongs to (for
+  // the eager scatter of non-contiguous payloads) and which round to credit
+  // its completion to.
+  struct Posted {
+    const PlanMessage* message = nullptr;
+    int round = 0;
+    bool take_buffer = false;
+  };
+  std::unordered_map<mps::PortHandle, Posted> posted;
+  std::vector<int> open(static_cast<std::size_t>(round_count_), 0);
+
+  const auto post_round = [&](int i) {
+    const PlanRound& round = prog.rounds[static_cast<std::size_t>(i)];
+    // Pack and post sends first (reference semantics: a round's sends read
+    // the state before its receives land).  Payloads are captured at post
+    // time — packed messages move their staging buffer onto the wire —
+    // so the source buffers are free for later writes immediately.
+    for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
+      const PlanMessage& m = prog.sends[s];
+      const std::int64_t bytes = message_bytes(m, b);
+      if (bytes == 0) continue;
+      if (m.contiguous) {
+        const PlanCell& first = cells_[m.cells_begin];
+        comm.post_send(start_round + i, m.peer,
+                       buffers.readable(m.buffer)
+                           .subspan(static_cast<std::size_t>(first.slot * b +
+                                                             first.lo),
+                                    static_cast<std::size_t>(bytes)),
+                       segments_for(bytes));
+      } else {
+        comm.post_send(start_round + i, m.peer,
+                       pack_message(m, buffers.readable(m.buffer), b),
+                       segments_for(bytes));
+      }
+      out.bytes_sent += bytes;
+    }
+    for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
+      const PlanMessage& m = prog.recvs[r];
+      const std::int64_t bytes = message_bytes(m, b);
+      if (bytes == 0) continue;
+      mps::PortHandle h = 0;
+      bool take_buffer = false;
+      if (m.contiguous) {
+        // Land in place: segments stream straight into the target buffer.
+        const PlanCell& first = cells_[m.cells_begin];
+        h = comm.post_recv(start_round + i, m.peer,
+                           buffers.writable(m.buffer)
+                               .subspan(static_cast<std::size_t>(
+                                            first.slot * b + first.lo),
+                                        static_cast<std::size_t>(bytes)),
+                           segments_for(bytes));
+      } else {
+        // Scatter target: consume the wire buffer itself on completion
+        // instead of staging a copy.
+        h = comm.post_recv_buffer(start_round + i, m.peer, bytes,
+                                  segments_for(bytes));
+        take_buffer = true;
+      }
+      posted.emplace(h, Posted{&m, i, take_buffer});
+      ++open[static_cast<std::size_t>(i)];
+    }
+  };
+
+  // Complete whichever receive finishes next — regardless of round or spec
+  // order — and scatter it immediately.
+  const auto complete_one = [&] {
+    const mps::PortHandle h = comm.wait_any_recv();
+    const auto it = posted.find(h);
+    BRUCK_ENSURE_MSG(it != posted.end(), "engine reported a foreign handle");
+    const Posted rec = it->second;
+    posted.erase(it);
+    if (rec.take_buffer) {
+      const std::vector<std::byte> payload = comm.take_payload(h);
+      scatter_message(*rec.message, buffers.writable(rec.message->buffer),
+                      payload.data(), b);
+    }
+    --open[static_cast<std::size_t>(rec.round)];
+  };
+  const auto complete_round = [&](int i) {
+    while (open[static_cast<std::size_t>(i)] > 0) complete_one();
+  };
+
+  // Double-buffered pipeline: at most two rounds are in flight.  Round i is
+  // posted ahead of round i−1's completion only when the lowering proved
+  // them independent; otherwise the pipeline drains first (true data
+  // dependence — e.g. concat Bruck re-sends what it just received).
+  post_round(0);
+  for (int i = 1; i < round_count_; ++i) {
+    if (prog.pipeline_safe[static_cast<std::size_t>(i)]) {
+      post_round(i);
+      complete_round(i - 1);
+    } else {
+      complete_round(i - 1);
+      post_round(i);
+    }
+  }
+  complete_round(round_count_ - 1);
+  // Native engines are fully drained here; the deferred fallback may still
+  // hold posted sends of receive-less rounds — flush them.
+  comm.wait_all_recvs();
+
+  apply_epilogue(recv, scratch, rank, b);
   return out;
 }
 
@@ -330,7 +594,8 @@ PlanExecution Plan::run(mps::Communicator& comm,
 // are bit-identical.
 
 std::shared_ptr<const Plan> Plan::lower_index_bruck(std::int64_t n, int k,
-                                                    std::int64_t radix) {
+                                                    std::int64_t radix,
+                                                    int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   BRUCK_REQUIRE_MSG(radix >= 2 && radix <= std::max<std::int64_t>(2, n),
@@ -338,6 +603,7 @@ std::shared_ptr<const Plan> Plan::lower_index_bruck(std::int64_t n, int k,
   auto plan = std::shared_ptr<Plan>(new Plan(
       PlanCollective::kIndex, "bruck(r=" + std::to_string(radix) + ")", n, k,
       PlanCell::kWholeBlock));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kRotateSendToScratch;
   plan->epilogue_ = PlanEpilogue::kUnrotateByRank;
 
@@ -373,11 +639,13 @@ std::shared_ptr<const Plan> Plan::lower_index_bruck(std::int64_t n, int k,
   return plan;
 }
 
-std::shared_ptr<const Plan> Plan::lower_index_direct(std::int64_t n, int k) {
+std::shared_ptr<const Plan> Plan::lower_index_direct(std::int64_t n, int k,
+                                                     int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   auto plan = std::shared_ptr<Plan>(
       new Plan(PlanCollective::kIndex, "direct", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kCopyOwnBlock;
 
   for (std::int64_t j0 = 1; j0 < n; j0 += k) {
@@ -399,12 +667,14 @@ std::shared_ptr<const Plan> Plan::lower_index_direct(std::int64_t n, int k) {
   return plan;
 }
 
-std::shared_ptr<const Plan> Plan::lower_index_pairwise(std::int64_t n, int k) {
+std::shared_ptr<const Plan> Plan::lower_index_pairwise(std::int64_t n, int k,
+                                                       int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
   auto plan = std::shared_ptr<Plan>(new Plan(PlanCollective::kIndex, "pairwise",
                                              n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kCopyOwnBlock;
 
   for (std::int64_t j0 = 1; j0 < n; j0 += k) {
@@ -427,7 +697,7 @@ std::shared_ptr<const Plan> Plan::lower_index_pairwise(std::int64_t n, int k) {
 
 std::shared_ptr<const Plan> Plan::lower_concat_bruck(
     std::int64_t n, int k, std::int64_t block_bytes,
-    model::ConcatLastRound strategy) {
+    model::ConcatLastRound strategy, int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   BRUCK_REQUIRE(block_bytes >= 0);
@@ -436,6 +706,7 @@ std::shared_ptr<const Plan> Plan::lower_concat_bruck(
   const std::int64_t b = block_bytes;
   auto plan = std::shared_ptr<Plan>(
       new Plan(PlanCollective::kConcat, "bruck", n, k, b));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kCopySendToScratch0;
   plan->epilogue_ = PlanEpilogue::kRotateWindowToOrigin;
   if (n == 1 || b == 0) {
@@ -547,13 +818,14 @@ std::shared_ptr<const Plan> Plan::lower_concat_bruck(
 }
 
 std::shared_ptr<const Plan> Plan::lower_concat_folklore(
-    std::int64_t n, int k, std::int64_t block_bytes) {
+    std::int64_t n, int k, std::int64_t block_bytes, int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   BRUCK_REQUIRE(block_bytes >= 0);
   // One-port algorithm on a k-port fabric: one message per round per rank.
   auto plan = std::shared_ptr<Plan>(
       new Plan(PlanCollective::kConcat, "folklore", n, k, block_bytes));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kCopySendToScratch0;
   plan->epilogue_ = PlanEpilogue::kScratchToRecvAtRoot;
   if (n == 1 || block_bytes == 0) {
@@ -605,12 +877,14 @@ std::shared_ptr<const Plan> Plan::lower_concat_folklore(
 }
 
 std::shared_ptr<const Plan> Plan::lower_concat_ring(std::int64_t n, int k,
-                                                    std::int64_t block_bytes) {
+                                                    std::int64_t block_bytes,
+                                                    int segments) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
   BRUCK_REQUIRE(block_bytes >= 0);
   auto plan = std::shared_ptr<Plan>(
       new Plan(PlanCollective::kConcat, "ring", n, k, block_bytes));
+  plan->segments_ = segments;
   plan->prologue_ = PlanPrologue::kCopySendToRecvOwnSlot;
   if (n == 1 || block_bytes == 0) {
     plan->finalize();
@@ -644,7 +918,9 @@ std::string Plan::describe() const {
   } else {
     os << " b=" << block_bytes_;
   }
-  os << ", " << round_count_ << " rounds\n";
+  os << ", " << round_count_ << " rounds";
+  if (segments_ > 1) os << ", " << segments_ << " wire segments/message";
+  os << "\n";
   const std::int64_t b_view =
       block_bytes_ == PlanCell::kWholeBlock ? 1 : block_bytes_;
   if (round_count_ > 0) {

@@ -16,6 +16,20 @@
 // repeated collective on the same communicator shape does no planning work
 // at all.
 //
+// Two executors walk a plan.  `run()` is the blocking (PR 1) executor:
+// pack, exchange, scatter, strictly round by round.  `run_pipelined()`
+// drives the nonblocking port engine instead: sends are packed straight
+// into wire buffers and posted without waiting, receives complete eagerly
+// in *arrival* order (scatter happens per message, not per round), and
+// round r+1 is posted while round r's receives are still in flight
+// whenever the lowering proved the rounds independent (`pipeline_safe`,
+// computed in finalize() from the cells each round reads and writes).
+// Large payloads can additionally be split into `segments()` wire segments
+// per message — the plan-lowering pipelining knob (tuned through
+// model::pick_segment_count) — so a receiver consumes segment i while
+// segment i+1 is still being produced.  Both executors produce
+// byte-identical results and identical C1/C2 trace accounting.
+//
 // Index plans are *block-size independent*: their cells are whole blocks,
 // so one plan serves every block_bytes (sizes are resolved at run time).
 // Concat plans are lowered for one exact block size, because the last
@@ -110,14 +124,27 @@ class Plan {
   [[nodiscard]] std::int64_t block_bytes() const { return block_bytes_; }
   [[nodiscard]] int round_count() const { return round_count_; }
   [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
+  /// Wire segments per message under the pipelined executor (1 = off).
+  [[nodiscard]] int segments() const { return segments_; }
 
-  /// Execute this rank's program.  For index plans `send`/`recv` hold n
-  /// blocks of `block_bytes` each; for concat plans `send` is one block and
-  /// `block_bytes` must equal the plan's.  Returns the next free round and
-  /// the bytes this rank put on the wire.
+  /// Execute this rank's program with the blocking round-by-round executor.
+  /// For index plans `send`/`recv` hold n blocks of `block_bytes` each; for
+  /// concat plans `send` is one block and `block_bytes` must equal the
+  /// plan's.  Returns the next free round and the bytes this rank put on
+  /// the wire.
   PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, std::int64_t block_bytes,
                     int start_round = 0) const;
+
+  /// Execute this rank's program with the pipelined executor: nonblocking
+  /// posts, eager out-of-order receive completion, cross-round overlap
+  /// where proven safe, and segments() wire segments per message.  Same
+  /// contract, results, and trace accounting as run().
+  PlanExecution run_pipelined(mps::Communicator& comm,
+                              std::span<const std::byte> send,
+                              std::span<std::byte> recv,
+                              std::int64_t block_bytes,
+                              int start_round = 0) const;
 
   /// Data-free view of the whole pattern (all ranks), for cross-checking
   /// against sched/ builders and for cost metrics.  Index plans render with
@@ -129,27 +156,39 @@ class Plan {
   [[nodiscard]] std::string describe() const;
 
   // -- Lowering entry points (the compiled counterparts of coll/) ----------
+  //
+  // `segments` is the pipelined executor's wire-segmentation knob (≥ 1; it
+  // does not change the round/cell structure, only how run_pipelined ships
+  // each message).
 
   static std::shared_ptr<const Plan> lower_index_bruck(std::int64_t n, int k,
-                                                       std::int64_t radix);
-  static std::shared_ptr<const Plan> lower_index_direct(std::int64_t n, int k);
+                                                       std::int64_t radix,
+                                                       int segments = 1);
+  static std::shared_ptr<const Plan> lower_index_direct(std::int64_t n, int k,
+                                                        int segments = 1);
   static std::shared_ptr<const Plan> lower_index_pairwise(std::int64_t n,
-                                                          int k);
+                                                          int k,
+                                                          int segments = 1);
   static std::shared_ptr<const Plan> lower_concat_bruck(
       std::int64_t n, int k, std::int64_t block_bytes,
-      model::ConcatLastRound strategy);
+      model::ConcatLastRound strategy, int segments = 1);
   /// Folklore and ring are one-port algorithms; `k` is the fabric's port
   /// count they will run on (they use one port per round regardless).
   static std::shared_ptr<const Plan> lower_concat_folklore(
-      std::int64_t n, int k, std::int64_t block_bytes);
+      std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
   static std::shared_ptr<const Plan> lower_concat_ring(
-      std::int64_t n, int k, std::int64_t block_bytes);
+      std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
 
  private:
   struct RankProgram {
     std::vector<PlanMessage> sends;
     std::vector<PlanMessage> recvs;
     std::vector<PlanRound> rounds;
+    /// pipeline_safe[i]: round i's send reads and recv writes are disjoint
+    /// from round i−1's recv writes, so the pipelined executor may post
+    /// round i before round i−1's receives complete.  Computed in
+    /// finalize(); [0] is always false (nothing precedes round 0).
+    std::vector<std::uint8_t> pipeline_safe;
   };
 
   Plan(PlanCollective collective, std::string algorithm, std::int64_t n, int k,
@@ -174,11 +213,33 @@ class Plan {
   [[nodiscard]] std::int64_t message_bytes(const PlanMessage& m,
                                            std::int64_t b) const;
 
+  /// Compute every rank's pipeline_safe vector (part of finalize()).
+  void compute_pipeline_safety();
+
+  // Shared pieces of the two executors.
+  void check_run_contract(const mps::Communicator& comm,
+                          std::span<const std::byte> send,
+                          std::span<std::byte> recv, std::int64_t b) const;
+  void apply_prologue(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::span<std::byte> scratch,
+                      std::int64_t rank, std::int64_t b) const;
+  void apply_epilogue(std::span<std::byte> recv,
+                      std::span<const std::byte> scratch, std::int64_t rank,
+                      std::int64_t b) const;
+  /// Gather a non-contiguous message's cells into a fresh wire buffer.
+  [[nodiscard]] std::vector<std::byte> pack_message(
+      const PlanMessage& m, std::span<const std::byte> src,
+      std::int64_t b) const;
+  /// Scatter a received non-contiguous message's bytes into its cells.
+  void scatter_message(const PlanMessage& m, std::span<std::byte> dst,
+                       const std::byte* data, std::int64_t b) const;
+
   PlanCollective collective_;
   std::string algorithm_;
   std::int64_t n_;
   int k_;
   std::int64_t block_bytes_;  // kWholeBlock for index plans
+  int segments_ = 1;
   int round_count_ = 0;
   bool needs_scratch_ = false;
   PlanPrologue prologue_ = PlanPrologue::kNone;

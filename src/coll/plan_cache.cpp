@@ -18,13 +18,15 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   mix(static_cast<std::uint64_t>(key.radix));
   mix(key.strategy);
   mix(static_cast<std::uint64_t>(key.block_class));
+  mix(static_cast<std::uint64_t>(key.segments));
   return static_cast<std::size_t>(h);
 }
 
 PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
-                       std::int64_t radix) {
+                       std::int64_t radix, int segments) {
   BRUCK_REQUIRE_MSG(algorithm != IndexAlgorithm::kAuto,
                     "resolve kAuto before keying");
+  BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
   PlanKey key;
   key.collective = PlanCollective::kIndex;
   key.algorithm = static_cast<std::uint8_t>(algorithm);
@@ -33,17 +35,19 @@ PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
   key.radix = algorithm == IndexAlgorithm::kBruck ? radix : 0;
   key.strategy = 0;
   key.block_class = 0;  // index plans serve every block size
+  key.segments = segments;
   return key;
 }
 
 PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
                         model::ConcatLastRound strategy,
-                        std::int64_t block_bytes) {
+                        std::int64_t block_bytes, int segments) {
   BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kAuto,
                     "resolve kAuto before keying");
   BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kBruck ||
                         strategy != model::ConcatLastRound::kAuto,
                     "resolve the last-round strategy before keying");
+  BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
   PlanKey key;
   key.collective = PlanCollective::kConcat;
   key.algorithm = static_cast<std::uint8_t>(algorithm);
@@ -54,6 +58,7 @@ PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
                      ? static_cast<std::uint8_t>(strategy)
                      : 0;
   key.block_class = block_bytes;
+  key.segments = segments;
   return key;
 }
 
@@ -63,11 +68,11 @@ std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
   if (key.collective == PlanCollective::kIndex) {
     switch (static_cast<IndexAlgorithm>(key.algorithm)) {
       case IndexAlgorithm::kBruck:
-        return Plan::lower_index_bruck(key.n, key.k, key.radix);
+        return Plan::lower_index_bruck(key.n, key.k, key.radix, key.segments);
       case IndexAlgorithm::kDirect:
-        return Plan::lower_index_direct(key.n, key.k);
+        return Plan::lower_index_direct(key.n, key.k, key.segments);
       case IndexAlgorithm::kPairwise:
-        return Plan::lower_index_pairwise(key.n, key.k);
+        return Plan::lower_index_pairwise(key.n, key.k, key.segments);
       case IndexAlgorithm::kAuto:
         break;
     }
@@ -76,11 +81,13 @@ std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
       case ConcatAlgorithm::kBruck:
         return Plan::lower_concat_bruck(
             key.n, key.k, key.block_class,
-            static_cast<model::ConcatLastRound>(key.strategy));
+            static_cast<model::ConcatLastRound>(key.strategy), key.segments);
       case ConcatAlgorithm::kFolklore:
-        return Plan::lower_concat_folklore(key.n, key.k, key.block_class);
+        return Plan::lower_concat_folklore(key.n, key.k, key.block_class,
+                                           key.segments);
       case ConcatAlgorithm::kRing:
-        return Plan::lower_concat_ring(key.n, key.k, key.block_class);
+        return Plan::lower_concat_ring(key.n, key.k, key.block_class,
+                                       key.segments);
       case ConcatAlgorithm::kAuto:
         break;
     }
@@ -96,22 +103,69 @@ PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 PlanCache::Lookup PlanCache::get_or_lower(const PlanKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
+  // Lowering is O(n²·rounds) cell construction plus a full k-port
+  // validation — far too much work to hold the cache mutex through.  The
+  // first caller of a key installs an in-flight future and lowers outside
+  // the lock; concurrent same-key callers wait on the future (and report a
+  // hit — they did no planning work); lookups for other keys pass straight
+  // through.
+  std::shared_future<std::shared_ptr<const Plan>> in_flight;
+  std::promise<std::shared_ptr<const Plan>> promise;
+  bool creator = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return Lookup{it->second.plan, true};
+    }
+    const auto pending = pending_.find(key);
+    if (pending != pending_.end()) {
+      in_flight = pending->second;
+    } else {
+      creator = true;
+      ++misses_;
+      in_flight = promise.get_future().share();
+      pending_.emplace(key, in_flight);
+    }
+  }
+
+  if (!creator) {
+    // Another thread is lowering this key: wait for its result (rethrows
+    // its lowering failure, if any) and report a hit — no planning work
+    // happened here.
+    std::shared_ptr<const Plan> plan = in_flight.get();
+    std::lock_guard<std::mutex> lock(mu_);
     ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return Lookup{it->second.plan, true};
+    return Lookup{std::move(plan), true};
   }
-  ++misses_;
-  std::shared_ptr<const Plan> plan = lower_from_key(key);
-  lru_.push_front(key);
-  plans_.emplace(key, Entry{plan, lru_.begin()});
-  if (plans_.size() > capacity_) {
-    plans_.erase(lru_.back());
-    lru_.pop_back();
-    ++evictions_;
+
+  std::shared_ptr<const Plan> plan;
+  try {
+    plan = lower_from_key(key);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(key);
+    if (!plans_.contains(key)) {  // idempotent vs a clear() racing a lowering
+      lru_.push_front(key);
+      plans_.emplace(key, Entry{plan, lru_.begin()});
+      if (plans_.size() > capacity_) {
+        plans_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+      }
+    }
+  }
+  promise.set_value(plan);
   return Lookup{plan, false};
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,14 @@ struct PlanKey {
   std::uint8_t strategy = 0;
   /// 0 for index plans (block-size independent); exact b for concat plans.
   std::int64_t block_class = 0;
+  /// Wire segments per message under the pipelined executor (resolved — the
+  /// tuner's pick or the caller's explicit count — never 0).  Segmentation
+  /// does not change the lowered round/cell structure, but keying it keeps
+  /// "one key = one complete execution recipe"; the cost is one extra
+  /// lowering per distinct segment count on a geometry (e.g. an index
+  /// workload alternating between a small-b and a large-b auto-tuned call),
+  /// bounded by the LRU capacity — never per-call re-planning.
+  int segments = 1;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -48,14 +57,16 @@ struct PlanKeyHash {
 /// Make the canonical key for a *resolved* index algorithm choice
 /// (`algorithm` must not be kAuto; radix is ignored unless kBruck).
 [[nodiscard]] PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n,
-                                     int k, std::int64_t radix);
+                                     int k, std::int64_t radix,
+                                     int segments = 1);
 
 /// Make the canonical key for a *resolved* concat algorithm choice
 /// (`strategy` must not be kAuto when algorithm is kBruck).
 [[nodiscard]] PlanKey concat_plan_key(ConcatAlgorithm algorithm,
                                       std::int64_t n, int k,
                                       model::ConcatLastRound strategy,
-                                      std::int64_t block_bytes);
+                                      std::int64_t block_bytes,
+                                      int segments = 1);
 
 struct PlanCacheStats {
   std::uint64_t hits = 0;
@@ -82,9 +93,10 @@ class PlanCache {
     bool cache_hit = false;
   };
 
-  /// The plan for `key`, lowering it on first use.  Thread-safe; concurrent
-  /// same-key callers serialize on the first lowering and all but one
-  /// report a hit.
+  /// The plan for `key`, lowering it on first use.  Thread-safe; the
+  /// lowering runs outside the cache lock (lookups of other keys never
+  /// stall behind a miss), concurrent same-key callers wait on the first
+  /// lowering's future and all but one report a hit.
   Lookup get_or_lower(const PlanKey& key);
 
   [[nodiscard]] PlanCacheStats stats() const;
@@ -103,6 +115,12 @@ class PlanCache {
   mutable std::mutex mu_;
   std::list<PlanKey> lru_;  // front = most recently used
   std::unordered_map<PlanKey, Entry, PlanKeyHash> plans_;
+  /// Keys being lowered right now (outside the lock); same-key callers
+  /// wait on the future instead of re-lowering.
+  std::unordered_map<PlanKey,
+                     std::shared_future<std::shared_ptr<const Plan>>,
+                     PlanKeyHash>
+      pending_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -141,6 +141,40 @@ void clear_tuner_cache() {
   cache.misses = 0;
 }
 
+double pipelined_round_us(const LinearModel& machine,
+                          std::int64_t message_bytes, int segments) {
+  BRUCK_REQUIRE(message_bytes >= 0);
+  BRUCK_REQUIRE(segments >= 1);
+  const double per_segment =
+      machine.beta_us + machine.tau_us_per_byte *
+                            (static_cast<double>(message_bytes) / segments);
+  // Three overlapped stages (pack, wire, unpack): pipeline fill of depth 3
+  // plus one slot per further segment.
+  return (segments + 2) * per_segment;
+}
+
+SegmentChoice pick_segment_count(const LinearModel& machine,
+                                 std::int64_t rounds,
+                                 std::int64_t message_bytes, int max_segments,
+                                 std::int64_t min_segment_bytes) {
+  BRUCK_REQUIRE(rounds >= 0);
+  BRUCK_REQUIRE(max_segments >= 1);
+  BRUCK_REQUIRE(min_segment_bytes >= 1);
+  const int cap = static_cast<int>(std::min<std::int64_t>(
+      max_segments, std::max<std::int64_t>(1, message_bytes / min_segment_bytes)));
+  SegmentChoice best;
+  best.segments = 1;
+  best.predicted_us = rounds * pipelined_round_us(machine, message_bytes, 1);
+  for (int s = 2; s <= cap; ++s) {
+    const double t = rounds * pipelined_round_us(machine, message_bytes, s);
+    if (t < best.predicted_us) {
+      best.segments = s;
+      best.predicted_us = t;
+    }
+  }
+  return best;
+}
+
 std::int64_t crossover_block_bytes(std::int64_t n, int k, std::int64_t radix_a,
                                    std::int64_t radix_b,
                                    const LinearModel& machine,

@@ -73,4 +73,41 @@ void clear_tuner_cache();
                                                  const LinearModel& machine,
                                                  std::int64_t limit = 1 << 20);
 
+// ---------------------------------------------------------------------------
+// Wire segmentation (the pipelined executor's per-message pipelining knob).
+
+struct SegmentChoice {
+  int segments = 1;
+  double predicted_us = 0.0;
+};
+
+/// Segment-size floor shared by the tuner and the pipelined executor:
+/// slices under this size cost more in per-message overhead than their
+/// overlap buys on every profile we model.  The executor applies it per
+/// message (a plan-wide S never splits the small early-round messages of a
+/// geometrically growing pattern), the tuner when picking S.
+inline constexpr std::int64_t kMinSegmentBytes = 4096;
+
+/// Modeled time of one communication round whose largest message is
+/// `message_bytes`, shipped in `segments` pipeline segments through the
+/// executor's three overlapped stages (pack → wire → unpack):
+///   T(S) = (S + 2) · (β + τ·m/S).
+/// S = 1 degenerates to the unpipelined 3·(β + τ·m); raising S shrinks the
+/// per-stage payload but pays one more per-segment start-up — the classic
+/// latency-for-overlap trade.
+[[nodiscard]] double pipelined_round_us(const LinearModel& machine,
+                                        std::int64_t message_bytes,
+                                        int segments);
+
+/// The segment count minimizing Σ rounds · pipelined_round_us, enumerated
+/// over S ∈ [1, max_segments] with segments no smaller than
+/// `min_segment_bytes` (sub-4-KiB slices cost more in per-message overhead
+/// than their overlap buys on every profile we model).  Ties break toward
+/// the smaller S.  `message_bytes` is the per-round maximum message size
+/// (C2/C1 of the plan's predicted metrics is the natural estimate).
+[[nodiscard]] SegmentChoice pick_segment_count(
+    const LinearModel& machine, std::int64_t rounds,
+    std::int64_t message_bytes, int max_segments = 16,
+    std::int64_t min_segment_bytes = kMinSegmentBytes);
+
 }  // namespace bruck::model

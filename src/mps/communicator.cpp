@@ -1,0 +1,245 @@
+// Default implementations of the nonblocking port-engine primitives and of
+// `exchange` on the abstract Communicator.
+//
+// The two sides are mutually defined: the default `exchange` is a shim over
+// the (virtual) engine primitives, and the default engine primitives defer
+// posted operations and flush them round-by-round through the (virtual)
+// `exchange` on the first wait.  A concrete communicator overrides exactly
+// one side; overriding neither is a programming error that surfaces as a
+// loud ContractViolation out of the recursion guard below.
+#include "mps/communicator.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+namespace detail {
+
+class DeferredEngine {
+ public:
+  explicit DeferredEngine(Communicator& owner) : owner_(&owner) {}
+
+  void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data) {
+    Round& r = round_for_post(round);
+    r.sends.push_back(DeferredSend{dst, std::move(data)});
+  }
+
+  PortHandle post_recv(int round, std::int64_t src,
+                       std::span<std::byte> landing) {
+    Round& r = round_for_post(round);
+    const PortHandle h = next_handle_++;
+    r.recvs.push_back(DeferredRecv{h, src, landing, {}, /*take_buffer=*/false});
+    return h;
+  }
+
+  PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes) {
+    Round& r = round_for_post(round);
+    const PortHandle h = next_handle_++;
+    DeferredRecv op{h, src, {}, {}, /*take_buffer=*/true};
+    op.owned.resize(static_cast<std::size_t>(bytes));
+    r.recvs.push_back(std::move(op));
+    return h;
+  }
+
+  std::vector<std::byte> take_payload(PortHandle h) {
+    const auto it = completed_.find(h);
+    BRUCK_REQUIRE_MSG(it != completed_.end() && it->second.take_buffer,
+                      "take_payload needs a completed buffer-mode receive");
+    std::vector<std::byte> out = std::move(it->second.owned);
+    completed_.erase(it);
+    return out;
+  }
+
+  bool test_recv(PortHandle h) {
+    // The deferred engine cannot make progress without blocking in
+    // `exchange`, so test degrades to wait for posted-but-unflushed
+    // receives (documented on Communicator::test_recv's fallback).
+    if (completed_.contains(h)) return true;
+    wait_recv(h);
+    return true;
+  }
+
+  void wait_recv(PortHandle h) {
+    while (!completed_.contains(h)) {
+      BRUCK_REQUIRE_MSG(!rounds_.empty(),
+                        "wait on an unknown or already-consumed receive");
+      flush_front();
+    }
+    erase_unreported(h);
+    retire_if_landing(h);
+  }
+
+  PortHandle wait_any_recv() {
+    while (unreported_.empty()) {
+      BRUCK_REQUIRE_MSG(!rounds_.empty(),
+                        "wait_any_recv with no outstanding receive");
+      flush_front();
+    }
+    const PortHandle h = unreported_.front();
+    unreported_.pop_front();
+    retire_if_landing(h);
+    return h;
+  }
+
+  void wait_all() {
+    while (!rounds_.empty()) flush_front();
+    for (const PortHandle h : unreported_) retire_if_landing(h);
+    unreported_.clear();
+  }
+
+  /// True while a flush is re-entering owner_->exchange: the engine
+  /// primitives must not be called from inside it (recursion guard for
+  /// subclasses that override neither side).
+  [[nodiscard]] bool in_flush() const { return in_flush_; }
+
+ private:
+  struct DeferredSend {
+    std::int64_t dst = 0;
+    std::vector<std::byte> data;
+  };
+  struct DeferredRecv {
+    PortHandle handle = 0;
+    std::int64_t src = 0;
+    std::span<std::byte> landing;
+    std::vector<std::byte> owned;
+    bool take_buffer = false;
+  };
+  struct Round {
+    int round = 0;
+    std::vector<DeferredSend> sends;
+    std::vector<DeferredRecv> recvs;
+  };
+
+  Round& round_for_post(int round) {
+    BRUCK_REQUIRE_MSG(!in_flush_,
+                      "Communicator subclass overrides neither exchange() nor "
+                      "the port-engine primitives");
+    if (rounds_.empty() || round > rounds_.back().round) {
+      rounds_.push_back(Round{round, {}, {}});
+    }
+    BRUCK_REQUIRE_MSG(round == rounds_.back().round,
+                      "port-engine posts must use non-decreasing rounds");
+    return rounds_.back();
+  }
+
+  void flush_front() {
+    Round r = std::move(rounds_.front());
+    rounds_.pop_front();
+    std::vector<SendSpec> sends;
+    sends.reserve(r.sends.size());
+    for (const DeferredSend& s : r.sends) sends.push_back(SendSpec{s.dst, s.data});
+    std::vector<RecvSpec> recvs;
+    recvs.reserve(r.recvs.size());
+    for (DeferredRecv& op : r.recvs) {
+      recvs.push_back(RecvSpec{
+          op.src, op.take_buffer ? std::span<std::byte>(op.owned) : op.landing});
+    }
+    in_flush_ = true;
+    try {
+      owner_->exchange(r.round, sends, recvs);
+    } catch (...) {
+      in_flush_ = false;
+      throw;
+    }
+    in_flush_ = false;
+    for (DeferredRecv& op : r.recvs) {
+      unreported_.push_back(op.handle);
+      completed_.emplace(op.handle, std::move(op));
+    }
+  }
+
+  /// Landing-mode receives carry no retrievable payload: drop their
+  /// bookkeeping as soon as they are reported (buffer-mode entries live on
+  /// until take_payload).
+  void retire_if_landing(PortHandle h) {
+    const auto it = completed_.find(h);
+    if (it != completed_.end() && !it->second.take_buffer) completed_.erase(it);
+  }
+
+  void erase_unreported(PortHandle h) {
+    for (auto it = unreported_.begin(); it != unreported_.end(); ++it) {
+      if (*it == h) {
+        unreported_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Communicator* owner_;
+  std::deque<Round> rounds_;  // posted, unflushed; ascending round order
+  std::unordered_map<PortHandle, DeferredRecv> completed_;
+  std::deque<PortHandle> unreported_;  // completed, not yet handed out
+  PortHandle next_handle_ = 1;
+  bool in_flush_ = false;
+};
+
+}  // namespace detail
+
+Communicator::Communicator() = default;
+Communicator::~Communicator() = default;
+
+detail::DeferredEngine& Communicator::deferred() {
+  if (!deferred_) deferred_ = std::make_unique<detail::DeferredEngine>(*this);
+  return *deferred_;
+}
+
+void Communicator::post_send(int round, std::int64_t dst,
+                             std::span<const std::byte> data, int segments) {
+  (void)segments;  // the deferred fallback ships unsegmented (symmetrically)
+  deferred().post_send(round, dst,
+                       std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void Communicator::post_send(int round, std::int64_t dst,
+                             std::vector<std::byte>&& data, int segments) {
+  (void)segments;
+  deferred().post_send(round, dst, std::move(data));
+}
+
+PortHandle Communicator::post_recv(int round, std::int64_t src,
+                                   std::span<std::byte> data, int segments) {
+  (void)segments;
+  return deferred().post_recv(round, src, data);
+}
+
+PortHandle Communicator::post_recv_buffer(int round, std::int64_t src,
+                                          std::int64_t bytes, int segments) {
+  (void)segments;
+  return deferred().post_recv_buffer(round, src, bytes);
+}
+
+std::vector<std::byte> Communicator::take_payload(PortHandle h) {
+  return deferred().take_payload(h);
+}
+
+bool Communicator::test_recv(PortHandle h) { return deferred().test_recv(h); }
+
+void Communicator::wait_recv(PortHandle h) { deferred().wait_recv(h); }
+
+PortHandle Communicator::wait_any_recv() { return deferred().wait_any_recv(); }
+
+void Communicator::wait_all_recvs() {
+  if (deferred_) deferred_->wait_all();
+}
+
+void Communicator::exchange(int round, std::span<const SendSpec> sends,
+                            std::span<const RecvSpec> recvs) {
+  BRUCK_REQUIRE_MSG(round > last_exchange_round_,
+                    "round indices must be strictly increasing per rank");
+  BRUCK_REQUIRE_MSG(static_cast<int>(sends.size()) <= ports(),
+                    "more sends than ports in one round");
+  BRUCK_REQUIRE_MSG(static_cast<int>(recvs.size()) <= ports(),
+                    "more receives than ports in one round");
+  last_exchange_round_ = round;
+  for (const SendSpec& s : sends) post_send(round, s.dst, s.data);
+  std::vector<PortHandle> handles;
+  handles.reserve(recvs.size());
+  for (const RecvSpec& r : recvs) handles.push_back(post_recv(round, r.src, r.data));
+  for (const PortHandle h : handles) wait_recv(h);
+}
+
+}  // namespace bruck::mps

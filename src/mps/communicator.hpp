@@ -6,11 +6,30 @@
 // algorithm supplies the global round index explicitly; this is what lets
 // the trace compute C1 and C2 exactly as the paper defines them even when
 // some ranks are idle in some rounds (tree-based baselines).
+//
+// Since the port-engine refactor the *primitive* operations are
+// nonblocking: post_send/post_recv enqueue work and return immediately
+// (sends are buffered and complete at post; receives return a PortHandle),
+// test_recv/wait_recv/wait_any_recv/wait_all_recvs complete receives in
+// *arrival* order.  `exchange` — the substrate of the reference algorithms
+// and the blocking plan executor — is a thin shim over those primitives:
+// post everything, then wait for the receives in spec order.
+//
+// A subclass must override either the engine primitives (a native
+// substrate: ThreadComm) or `exchange` (a wrapping/intercepting
+// communicator: fault injectors, filters).  Whichever side is not
+// overridden falls back to the other: the default `exchange` drives the
+// engine, and the default engine defers posted operations and flushes them
+// round-by-round through `exchange` on the first wait — degraded to
+// blocking-round semantics, but correct, so wrappers written against the
+// old interface keep working under the pipelined executor.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 namespace bruck::mps {
 
@@ -35,22 +54,98 @@ struct PlanEvent {
   std::int64_t bytes_sent = 0;
 };
 
+/// Identifies one posted (nonblocking) receive on one communicator.
+/// Handles are never reused within a communicator's lifetime.
+using PortHandle = std::uint64_t;
+
+namespace detail {
+class DeferredEngine;
+}
+
 class Communicator {
  public:
-  virtual ~Communicator() = default;
+  Communicator();
+  virtual ~Communicator();
 
   [[nodiscard]] virtual std::int64_t rank() const = 0;
   [[nodiscard]] virtual std::int64_t size() const = 0;
   [[nodiscard]] virtual int ports() const = 0;
 
+  // -- Nonblocking port engine ---------------------------------------------
+  //
+  // Posts must use non-decreasing round indices, at most ports() sends and
+  // ports() receives per round, no self-sends, no empty messages.  One
+  // post_send/post_recv pair is one *logical* message: the trace records it
+  // once, with the declared round and the full byte count, regardless of
+  // `segments`.
+  //
+  // `segments` splits the payload into that many wire segments (the last
+  // pipeline-lowering knob of the plan executor): the receiver can consume
+  // segment i while segment i+1 is still being produced.  Sender and
+  // receiver must agree on the segment count of each message; segment
+  // sizes are derived from the total identically on both sides.  The
+  // deferred fallback engine ignores segmentation (symmetrically, so a
+  // fabric of wrapper communicators stays wire-consistent).
+
+  /// Post one logical send.  The payload is captured before returning (the
+  /// caller's buffer may be reused immediately).  Never blocks.
+  virtual void post_send(int round, std::int64_t dst,
+                         std::span<const std::byte> data, int segments = 1);
+
+  /// Move-in overload: a packed staging buffer becomes the wire payload
+  /// without a copy.
+  virtual void post_send(int round, std::int64_t dst,
+                         std::vector<std::byte>&& data, int segments = 1);
+
+  /// Post one logical receive landing into `data` (written by the time the
+  /// handle completes).
+  virtual PortHandle post_recv(int round, std::int64_t src,
+                               std::span<std::byte> data, int segments = 1);
+
+  /// Post one logical receive of `bytes` bytes into an engine-owned buffer;
+  /// retrieve it with take_payload() once complete.  Lets a non-contiguous
+  /// (scatter) receive consume the wire buffer directly instead of staging
+  /// a copy.
+  virtual PortHandle post_recv_buffer(int round, std::int64_t src,
+                                      std::int64_t bytes, int segments = 1);
+
+  /// The completed payload of a post_recv_buffer receive (moved out; the
+  /// handle is retired).  Precondition: `h` is complete and buffer-mode.
+  virtual std::vector<std::byte> take_payload(PortHandle h);
+
+  /// Try to complete `h` without blocking; true once it is complete.
+  /// Caveat: the deferred fallback engine (subclasses overriding only
+  /// `exchange`) cannot make progress without flushing a round through the
+  /// blocking `exchange`, so there this probe degrades to wait_recv — it
+  /// can block up to the receive timeout.  Native engines are truly
+  /// nonblocking.
+  virtual bool test_recv(PortHandle h);
+
+  /// Block until `h` completes (timeout ⇒ ContractViolation).
+  virtual void wait_recv(PortHandle h);
+
+  /// Block until *some* posted receive completes and return its handle;
+  /// each completed handle is reported exactly once across
+  /// wait_any_recv calls.  Precondition: at least one receive is
+  /// outstanding or completed-but-unreported.
+  virtual PortHandle wait_any_recv();
+
+  /// Complete every outstanding receive (and, in the deferred fallback,
+  /// flush any posted-but-unsent sends).
+  virtual void wait_all_recvs();
+
+  // ------------------------------------------------------------------------
+
   /// Execute one communication round.  Preconditions:
   ///  * sends.size() ≤ ports() and recvs.size() ≤ ports();
   ///  * no self-sends;
-  ///  * `round` is strictly greater than any round this rank used before.
+  ///  * `round` is strictly greater than any round this rank exchanged
+  ///    before.
   /// Sends are posted first (buffered, non-blocking), then receives complete
-  /// in spec order; the call returns when all receives have landed.
+  /// in spec order; the call returns when all receives have landed.  The
+  /// default implementation is a shim over the nonblocking primitives.
   virtual void exchange(int round, std::span<const SendSpec> sends,
-                        std::span<const RecvSpec> recvs) = 0;
+                        std::span<const RecvSpec> recvs);
 
   /// Appendix A's send_and_recv: one send and one receive as a single
   /// one-port round.
@@ -72,6 +167,14 @@ class Communicator {
   virtual void record_plan_event(const PlanEvent& event) {
     (void)event;
   }
+
+ private:
+  /// Lazily created state of the deferred (exchange-backed) fallback
+  /// engine; null for subclasses that override the primitives natively.
+  detail::DeferredEngine& deferred();
+  std::unique_ptr<detail::DeferredEngine> deferred_;
+  /// Round of the last default-shim exchange (strict monotonicity check).
+  int last_exchange_round_ = -1;
 };
 
 }  // namespace bruck::mps

@@ -1,6 +1,7 @@
 #include "mps/group.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -47,6 +48,38 @@ void GroupComm::exchange(int round, std::span<const SendSpec> sends,
   for (RecvSpec& r : precvs) r.src = member(r.src);
   parent_->exchange(round, psends, precvs);
 }
+
+void GroupComm::post_send(int round, std::int64_t dst,
+                          std::span<const std::byte> data, int segments) {
+  parent_->post_send(round, member(dst), data, segments);
+}
+
+void GroupComm::post_send(int round, std::int64_t dst,
+                          std::vector<std::byte>&& data, int segments) {
+  parent_->post_send(round, member(dst), std::move(data), segments);
+}
+
+PortHandle GroupComm::post_recv(int round, std::int64_t src,
+                                std::span<std::byte> data, int segments) {
+  return parent_->post_recv(round, member(src), data, segments);
+}
+
+PortHandle GroupComm::post_recv_buffer(int round, std::int64_t src,
+                                       std::int64_t bytes, int segments) {
+  return parent_->post_recv_buffer(round, member(src), bytes, segments);
+}
+
+std::vector<std::byte> GroupComm::take_payload(PortHandle h) {
+  return parent_->take_payload(h);
+}
+
+bool GroupComm::test_recv(PortHandle h) { return parent_->test_recv(h); }
+
+void GroupComm::wait_recv(PortHandle h) { parent_->wait_recv(h); }
+
+PortHandle GroupComm::wait_any_recv() { return parent_->wait_any_recv(); }
+
+void GroupComm::wait_all_recvs() { parent_->wait_all_recvs(); }
 
 void GroupComm::barrier() {
   BRUCK_REQUIRE_MSG(false,

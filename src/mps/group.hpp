@@ -37,6 +37,29 @@ class GroupComm final : public Communicator {
   void exchange(int round, std::span<const SendSpec> sends,
                 std::span<const RecvSpec> recvs) override;
 
+  // The nonblocking port engine forwards to the parent with group ranks
+  // translated to parent ranks, so compiled/pipelined plans run inside a
+  // group exactly as they do on the full machine (handles are the
+  // parent's).  A rank thread owns ONE completion stream: wait_any_recv
+  // reports any outstanding receive of the parent engine, so do not
+  // interleave a group collective with receives posted directly on the
+  // parent (or a sibling group) without draining them first — the plan
+  // executors always drain before returning, so sequential collectives
+  // compose fine; a foreign handle in flight fails loudly.
+  void post_send(int round, std::int64_t dst, std::span<const std::byte> data,
+                 int segments = 1) override;
+  void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data,
+                 int segments = 1) override;
+  PortHandle post_recv(int round, std::int64_t src, std::span<std::byte> data,
+                       int segments = 1) override;
+  PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes,
+                              int segments = 1) override;
+  std::vector<std::byte> take_payload(PortHandle h) override;
+  bool test_recv(PortHandle h) override;
+  void wait_recv(PortHandle h) override;
+  PortHandle wait_any_recv() override;
+  void wait_all_recvs() override;
+
   /// Plan statistics flow to the parent's sink (the group has no trace of
   /// its own).
   void record_plan_event(const PlanEvent& event) override {

@@ -1,6 +1,7 @@
 #include "mps/mailbox.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -32,10 +33,50 @@ Message Mailbox::pop_from(std::int64_t src, std::chrono::milliseconds timeout) {
   return m;
 }
 
+std::optional<Message> Mailbox::pop_any_locked(
+    std::span<const std::int64_t> srcs) {
+  for (const std::int64_t src : srcs) {
+    const auto it = queues_.find(src);
+    if (it != queues_.end() && !it->second.empty()) {
+      Message m = std::move(it->second.front());
+      it->second.pop_front();
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::try_pop_any(
+    std::span<const std::int64_t> srcs) {
+  const std::scoped_lock lock(mu_);
+  return pop_any_locked(srcs);
+}
+
+std::optional<Message> Mailbox::pop_any(std::span<const std::int64_t> srcs,
+                                        std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  std::optional<Message> m = pop_any_locked(srcs);
+  if (m.has_value()) return m;
+  (void)cv_.wait_for(lock, timeout, [&] {
+    m = pop_any_locked(srcs);
+    return m.has_value();
+  });
+  return m;
+}
+
 std::size_t Mailbox::pending() const {
   const std::scoped_lock lock(mu_);
   std::size_t total = 0;
   for (const auto& [src, q] : queues_) total += q.size();
+  return total;
+}
+
+std::size_t Mailbox::pending_bytes() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [src, q] : queues_) {
+    for (const Message& m : q) total += m.size_bytes();
+  }
   return total;
 }
 

@@ -2,6 +2,10 @@
 // has no flow control below the round structure); receives block until the
 // next message from the requested source arrives, with a timeout so that a
 // deadlocked algorithm fails loudly instead of hanging the test binary.
+//
+// The nonblocking port engine completes receives in arrival order, so the
+// mailbox also supports popping from *any* of a set of sources — both a
+// nonblocking probe and a blocking wait.
 #pragma once
 
 #include <chrono>
@@ -9,6 +13,8 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "mps/message.hpp"
@@ -21,7 +27,8 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Deposit a message (called from the sender's thread).
+  /// Deposit a message (called from the sender's thread).  The message is
+  /// moved in; payload buffers are never copied inside the mailbox.
   void push(Message m);
 
   /// Pop the oldest pending message from `src`; blocks up to `timeout`.
@@ -30,10 +37,29 @@ class Mailbox {
   [[nodiscard]] Message pop_from(std::int64_t src,
                                  std::chrono::milliseconds timeout);
 
+  /// Pop the oldest pending message from whichever of `srcs` has one,
+  /// without blocking.  Sources are probed in the given order (per-source
+  /// FIFO is always preserved).  Empty optional if none has a message.
+  [[nodiscard]] std::optional<Message> try_pop_any(
+      std::span<const std::int64_t> srcs);
+
+  /// Blocking try_pop_any: waits up to `timeout` for a message from any of
+  /// `srcs`.  Empty optional on timeout (the caller owns the diagnostic —
+  /// it knows which logical receives are outstanding).
+  [[nodiscard]] std::optional<Message> pop_any(
+      std::span<const std::int64_t> srcs, std::chrono::milliseconds timeout);
+
   /// Number of queued messages over all sources (diagnostics; O(sources)).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Total payload bytes queued over all sources (diagnostics: how much
+  /// data is buffered in-flight toward this rank).
+  [[nodiscard]] std::size_t pending_bytes() const;
+
  private:
+  /// Pop the oldest message among `srcs`, assuming mu_ is held.
+  std::optional<Message> pop_any_locked(std::span<const std::int64_t> srcs);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<std::int64_t, std::deque<Message>> queues_;

@@ -1,11 +1,44 @@
 #include "mps/thread_comm.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace bruck::mps {
+
+namespace {
+
+/// Byte length of segment `i` of a `total`-byte payload split `segments`
+/// ways: the remainder is spread over the leading segments, so sender and
+/// receiver derive identical layouts from (total, segments) alone.
+std::int64_t segment_length(std::int64_t total, int segments, int i) {
+  const std::int64_t base = total / segments;
+  const std::int64_t rem = total % segments;
+  return base + (i < rem ? 1 : 0);
+}
+
+/// Effective wire segment count: never more segments than bytes.
+int effective_segments(std::int64_t total, int segments) {
+  return static_cast<int>(
+      std::clamp<std::int64_t>(segments, 1, std::max<std::int64_t>(1, total)));
+}
+
+}  // namespace
+
+std::chrono::milliseconds default_recv_timeout() {
+  if (const char* env = std::getenv("BRUCK_RECV_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return std::chrono::milliseconds(v);
+    }
+  }
+  return std::chrono::milliseconds(30000);
+}
 
 Fabric::Fabric(const FabricOptions& options)
     : options_(options),
@@ -36,54 +69,242 @@ ThreadComm::ThreadComm(Fabric& fabric, std::int64_t rank)
   BRUCK_REQUIRE(rank >= 0 && rank < fabric.n());
 }
 
-void ThreadComm::exchange(int round, std::span<const SendSpec> sends,
-                          std::span<const RecvSpec> recvs) {
-  BRUCK_REQUIRE_MSG(round > last_round_,
-                    "round indices must be strictly increasing per rank");
-  BRUCK_REQUIRE_MSG(static_cast<int>(sends.size()) <= ports(),
-                    "more sends than ports in one round");
-  BRUCK_REQUIRE_MSG(static_cast<int>(recvs.size()) <= ports(),
-                    "more receives than ports in one round");
-  last_round_ = round;
+void ThreadComm::check_post(int round, std::int64_t peer, std::int64_t bytes,
+                            bool is_send) {
+  BRUCK_REQUIRE(round >= 0);
+  BRUCK_REQUIRE_MSG(round >= last_round_,
+                    "port-engine posts must use non-decreasing rounds");
+  if (round > last_round_) {
+    last_round_ = round;
+    sends_in_round_ = 0;
+    recvs_in_round_ = 0;
+  }
+  BRUCK_REQUIRE_MSG(peer != rank_, is_send
+                                       ? "self-send (local data needs no port)"
+                                       : "self-receive");
+  BRUCK_REQUIRE(peer >= 0 && peer < size());
+  BRUCK_REQUIRE_MSG(bytes > 0, "empty message");
+  if (is_send) {
+    BRUCK_REQUIRE_MSG(++sends_in_round_ <= ports(),
+                      "more sends than ports in one round");
+  } else {
+    BRUCK_REQUIRE_MSG(++recvs_in_round_ <= ports(),
+                      "more receives than ports in one round");
+  }
+}
 
-  // Post all sends first: buffered, so a round never deadlocks regardless of
-  // the global send/receive ordering across ranks.
-  for (const SendSpec& s : sends) {
-    BRUCK_REQUIRE_MSG(s.dst != rank_, "self-send (local data needs no port)");
-    BRUCK_REQUIRE(s.dst >= 0 && s.dst < size());
-    BRUCK_REQUIRE_MSG(!s.data.empty(), "empty message");
+void ThreadComm::wire_send(int round, std::int64_t dst,
+                           std::vector<std::byte>&& payload, int segments) {
+  const std::int64_t total = static_cast<std::int64_t>(payload.size());
+  if (fabric_->options().record_trace) {
+    // One logical send event, regardless of wire segmentation: C1/C2 stay
+    // the paper's measures of the declared round structure.
+    fabric_->trace().sink(rank_).record_send(round, dst, total);
+  }
+  const int s = effective_segments(total, segments);
+  auto& seq = send_seq_[static_cast<std::size_t>(dst)];
+  if (s == 1) {
     Message m;
     m.src = rank_;
-    m.dst = s.dst;
-    m.seq = send_seq_[static_cast<std::size_t>(s.dst)]++;
+    m.dst = dst;
+    m.seq = seq++;
     m.round = round;
-    m.payload.assign(s.data.begin(), s.data.end());
-    if (fabric_->options().record_trace) {
-      fabric_->trace().sink(rank_).record_send(
-          round, s.dst, static_cast<std::int64_t>(s.data.size()));
-    }
-    fabric_->mailbox(s.dst).push(std::move(m));
+    m.payload = std::move(payload);
+    fabric_->mailbox(dst).push(std::move(m));
+    return;
   }
+  // Segments share ownership of the one payload buffer: no copies, and the
+  // receiver can consume segment i while later segments are still queued.
+  auto buffer =
+      std::make_shared<const std::vector<std::byte>>(std::move(payload));
+  std::int64_t offset = 0;
+  for (int i = 0; i < s; ++i) {
+    const std::int64_t len = segment_length(total, s, i);
+    Message m;
+    m.src = rank_;
+    m.dst = dst;
+    m.seq = seq++;
+    m.round = round;
+    m.shared = buffer;
+    m.shared_offset = offset;
+    m.shared_length = len;
+    fabric_->mailbox(dst).push(std::move(m));
+    offset += len;
+  }
+}
 
-  // Complete receives in spec order; FIFO per channel plus the sequence
-  // check makes any send/receive mismatch a hard error at the first
-  // misaligned message.
-  for (const RecvSpec& r : recvs) {
-    BRUCK_REQUIRE_MSG(r.src != rank_, "self-receive");
-    BRUCK_REQUIRE(r.src >= 0 && r.src < size());
-    Message m = fabric_->mailbox(rank_).pop_from(
-        r.src, fabric_->options().recv_timeout);
-    const std::int64_t expected_seq = recv_seq_[static_cast<std::size_t>(r.src)]++;
-    if (m.seq != expected_seq || m.payload.size() != r.data.size()) {
-      std::ostringstream os;
-      os << "rank " << rank_ << " round " << round << ": message from rank "
-         << r.src << " has seq " << m.seq << " (expected " << expected_seq
-         << ") and " << m.payload.size() << " bytes (expected "
-         << r.data.size() << ")";
-      throw ContractViolation(os.str());
-    }
-    std::memcpy(r.data.data(), m.payload.data(), m.payload.size());
+void ThreadComm::post_send(int round, std::int64_t dst,
+                           std::span<const std::byte> data, int segments) {
+  check_post(round, dst, static_cast<std::int64_t>(data.size()), true);
+  wire_send(round, dst, std::vector<std::byte>(data.begin(), data.end()),
+            segments);
+}
+
+void ThreadComm::post_send(int round, std::int64_t dst,
+                           std::vector<std::byte>&& data, int segments) {
+  check_post(round, dst, static_cast<std::int64_t>(data.size()), true);
+  wire_send(round, dst, std::move(data), segments);
+}
+
+PortHandle ThreadComm::add_recv_op(RecvOp&& op) {
+  op.handle = next_handle_++;
+  op.segments = effective_segments(op.total, op.segments);
+  incomplete_.insert(op.handle);
+  if (pending_per_src_[op.src]++ == 0) waiting_srcs_.push_back(op.src);
+  recv_ops_.push_back(std::move(op));
+  return recv_ops_.back().handle;
+}
+
+PortHandle ThreadComm::post_recv(int round, std::int64_t src,
+                                 std::span<std::byte> data, int segments) {
+  check_post(round, src, static_cast<std::int64_t>(data.size()), false);
+  RecvOp op;
+  op.src = src;
+  op.round = round;
+  op.landing = data;
+  op.total = static_cast<std::int64_t>(data.size());
+  op.segments = segments;
+  return add_recv_op(std::move(op));
+}
+
+PortHandle ThreadComm::post_recv_buffer(int round, std::int64_t src,
+                                        std::int64_t bytes, int segments) {
+  check_post(round, src, bytes, false);
+  RecvOp op;
+  op.src = src;
+  op.round = round;
+  op.take_buffer = true;
+  op.total = bytes;
+  op.segments = segments;
+  if (segments > 1) {
+    // Multi-segment: pre-size the buffer, segments land by memcpy.  The
+    // single-segment case steals the wire payload instead (apply_message).
+    op.owned.resize(static_cast<std::size_t>(bytes));
   }
+  return add_recv_op(std::move(op));
+}
+
+void ThreadComm::apply_message(Message&& m) {
+  const auto it =
+      std::find_if(recv_ops_.begin(), recv_ops_.end(),
+                   [&](const RecvOp& op) { return op.src == m.src; });
+  if (it == recv_ops_.end()) {
+    std::ostringstream os;
+    os << "rank " << rank_ << ": unexpected message from rank " << m.src
+       << " (no receive posted for it)";
+    throw ContractViolation(os.str());
+  }
+  RecvOp& op = *it;
+  const std::int64_t expected_seq = recv_seq_[static_cast<std::size_t>(m.src)]++;
+  const std::int64_t expected_len =
+      segment_length(op.total, op.segments, op.seg_done);
+  const std::span<const std::byte> bytes = m.view();
+  if (m.seq != expected_seq ||
+      static_cast<std::int64_t>(bytes.size()) != expected_len) {
+    std::ostringstream os;
+    os << "rank " << rank_ << " round " << op.round << ": message from rank "
+       << m.src << " has seq " << m.seq << " (expected " << expected_seq
+       << ") and " << bytes.size() << " bytes (expected " << expected_len
+       << ")";
+    throw ContractViolation(os.str());
+  }
+  if (op.take_buffer && op.segments == 1 && !m.shared) {
+    // Whole unsegmented message into an engine-owned buffer: steal the wire
+    // payload — the buffer has now moved sender-pack → mailbox → receiver
+    // without a single copy.
+    op.owned = std::move(m.payload);
+  } else if (expected_len > 0) {
+    std::byte* base = op.take_buffer ? op.owned.data() : op.landing.data();
+    std::memcpy(base + op.offset, bytes.data(),
+                static_cast<std::size_t>(expected_len));
+  }
+  op.offset += expected_len;
+  if (++op.seg_done == op.segments) {
+    const PortHandle h = op.handle;
+    incomplete_.erase(h);
+    unreported_.push_back(h);
+    if (--pending_per_src_[op.src] == 0) {
+      pending_per_src_.erase(op.src);
+      std::erase(waiting_srcs_, op.src);
+    }
+    completed_.emplace(h, std::move(op));
+    recv_ops_.erase(it);
+  }
+}
+
+bool ThreadComm::try_progress() {
+  std::optional<Message> m = fabric_->mailbox(rank_).try_pop_any(waiting_srcs_);
+  if (!m.has_value()) return false;
+  apply_message(std::move(*m));
+  return true;
+}
+
+void ThreadComm::progress_blocking() {
+  const std::chrono::milliseconds timeout = fabric_->options().recv_timeout;
+  std::optional<Message> m =
+      fabric_->mailbox(rank_).pop_any(waiting_srcs_, timeout);
+  if (!m.has_value()) {
+    std::ostringstream os;
+    os << "rank " << rank_ << ": port-engine receive timed out after "
+       << timeout.count() << " ms waiting on rank(s)";
+    for (const std::int64_t s : waiting_srcs_) os << ' ' << s;
+    os << " (deadlock or mismatched exchange?)";
+    throw ContractViolation(os.str());
+  }
+  apply_message(std::move(*m));
+}
+
+void ThreadComm::retire_if_landing(PortHandle h) {
+  const auto it = completed_.find(h);
+  if (it != completed_.end() && !it->second.take_buffer) completed_.erase(it);
+}
+
+std::vector<std::byte> ThreadComm::take_payload(PortHandle h) {
+  const auto it = completed_.find(h);
+  BRUCK_REQUIRE_MSG(it != completed_.end() && it->second.take_buffer,
+                    "take_payload needs a completed buffer-mode receive");
+  std::vector<std::byte> out = std::move(it->second.owned);
+  completed_.erase(it);
+  return out;
+}
+
+bool ThreadComm::test_recv(PortHandle h) {
+  while (incomplete_.contains(h)) {
+    if (!try_progress()) return false;
+  }
+  const auto it = completed_.find(h);
+  BRUCK_REQUIRE_MSG(it != completed_.end(),
+                    "unknown or already-consumed receive handle");
+  std::erase(unreported_, h);
+  retire_if_landing(h);
+  return true;
+}
+
+void ThreadComm::wait_recv(PortHandle h) {
+  while (incomplete_.contains(h)) progress_blocking();
+  const auto it = completed_.find(h);
+  BRUCK_REQUIRE_MSG(it != completed_.end(),
+                    "unknown or already-consumed receive handle");
+  std::erase(unreported_, h);
+  retire_if_landing(h);
+}
+
+PortHandle ThreadComm::wait_any_recv() {
+  while (unreported_.empty()) {
+    BRUCK_REQUIRE_MSG(!recv_ops_.empty(),
+                      "wait_any_recv with no outstanding receive");
+    progress_blocking();
+  }
+  const PortHandle h = unreported_.front();
+  unreported_.pop_front();
+  retire_if_landing(h);
+  return h;
+}
+
+void ThreadComm::wait_all_recvs() {
+  while (!recv_ops_.empty()) progress_blocking();
+  for (const PortHandle h : unreported_) retire_if_landing(h);
+  unreported_.clear();
 }
 
 void ThreadComm::barrier() { fabric_->arrive_at_barrier(); }

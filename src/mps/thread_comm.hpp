@@ -1,12 +1,25 @@
 // The substrate implementation: a Fabric owns the shared state (mailboxes,
 // trace, barrier) of one simulated machine; each rank thread drives a
 // ThreadComm facade bound to its rank.
+//
+// ThreadComm implements the nonblocking port engine natively: post_send
+// deposits (optionally segmented) wire messages into the destination
+// mailbox immediately and never blocks; post_recv registers a pending
+// operation that is completed — in *arrival* order across sources — by the
+// rank's own thread inside test/wait calls.  All buffer writes therefore
+// happen on the owning rank's thread; the engine needs no locking beyond
+// the mailboxes.  `exchange` is the Communicator base-class shim over these
+// primitives.
 #pragma once
 
 #include <barrier>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mps/communicator.hpp"
@@ -15,13 +28,19 @@
 
 namespace bruck::mps {
 
+/// The fabric-wide receive timeout default: the BRUCK_RECV_TIMEOUT_MS
+/// environment variable when set to a positive integer, else 30000 ms.
+/// Read per call, so tests and sanitizer CI jobs (where every operation is
+/// 10-20x slower) can adjust it without touching code.
+[[nodiscard]] std::chrono::milliseconds default_recv_timeout();
+
 struct FabricOptions {
   std::int64_t n = 1;
   int k = 1;
   bool record_trace = true;
   /// Receive timeout: a deadlocked or mismatched algorithm throws instead of
-  /// hanging the process.
-  std::chrono::milliseconds recv_timeout{30000};
+  /// hanging the process.  Defaults to default_recv_timeout() (env-tunable).
+  std::chrono::milliseconds recv_timeout = default_recv_timeout();
 };
 
 class Fabric {
@@ -58,20 +77,76 @@ class ThreadComm final : public Communicator {
   [[nodiscard]] std::int64_t size() const override { return fabric_->n(); }
   [[nodiscard]] int ports() const override { return fabric_->k(); }
 
-  void exchange(int round, std::span<const SendSpec> sends,
-                std::span<const RecvSpec> recvs) override;
+  void post_send(int round, std::int64_t dst, std::span<const std::byte> data,
+                 int segments = 1) override;
+  void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data,
+                 int segments = 1) override;
+  PortHandle post_recv(int round, std::int64_t src, std::span<std::byte> data,
+                       int segments = 1) override;
+  PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes,
+                              int segments = 1) override;
+  std::vector<std::byte> take_payload(PortHandle h) override;
+  bool test_recv(PortHandle h) override;
+  void wait_recv(PortHandle h) override;
+  PortHandle wait_any_recv() override;
+  void wait_all_recvs() override;
+
   void barrier() override;
   void record_plan_event(const PlanEvent& event) override;
 
-  /// Highest round index this rank has used, or −1.
+  /// Highest round index this rank has posted in, or −1.
   [[nodiscard]] int last_round() const { return last_round_; }
 
  private:
+  /// One posted logical receive.
+  struct RecvOp {
+    PortHandle handle = 0;
+    std::int64_t src = 0;
+    int round = 0;
+    std::span<std::byte> landing;  ///< copy-into mode target
+    std::vector<std::byte> owned;  ///< buffer mode storage
+    bool take_buffer = false;
+    std::int64_t total = 0;  ///< logical message bytes
+    int segments = 1;
+    int seg_done = 0;
+    std::int64_t offset = 0;  ///< next segment's write offset
+  };
+
+  /// Shared post-side contract checks; advances the round/port counters.
+  void check_post(int round, std::int64_t peer, std::int64_t bytes,
+                  bool is_send);
+  /// Split `payload` into wire segments and deposit them (records the
+  /// logical send in the trace).
+  void wire_send(int round, std::int64_t dst, std::vector<std::byte>&& payload,
+                 int segments);
+  PortHandle add_recv_op(RecvOp&& op);
+  /// Match one arrived wire message to the oldest pending receive from its
+  /// source; write its bytes; complete the op on its last segment.
+  void apply_message(Message&& m);
+  /// Pop-and-apply one available message without blocking; false if none.
+  bool try_progress();
+  /// Pop-and-apply one message, blocking up to the fabric's recv timeout
+  /// (timeout ⇒ ContractViolation naming the sources still awaited).
+  void progress_blocking();
+  /// Report h as consumed: drop landing-mode bookkeeping.
+  void retire_if_landing(PortHandle h);
+
   Fabric* fabric_;
   std::int64_t rank_;
   int last_round_ = -1;
+  int sends_in_round_ = 0;
+  int recvs_in_round_ = 0;
   std::vector<std::int64_t> send_seq_;  // per-destination next sequence
   std::vector<std::int64_t> recv_seq_;  // per-source next expected sequence
+  std::list<RecvOp> recv_ops_;          // incomplete, in post order
+  // Distinct sources with ≥1 incomplete receive, maintained incrementally
+  // (the receive hot path consults this once per arriving wire message).
+  std::vector<std::int64_t> waiting_srcs_;
+  std::unordered_map<std::int64_t, int> pending_per_src_;
+  std::unordered_set<PortHandle> incomplete_;
+  std::unordered_map<PortHandle, RecvOp> completed_;
+  std::deque<PortHandle> unreported_;  // completed, not yet handed out
+  PortHandle next_handle_ = 1;
 };
 
 }  // namespace bruck::mps

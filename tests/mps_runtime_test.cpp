@@ -55,6 +55,57 @@ TEST(Mailbox, SelectsBySource) {
   EXPECT_EQ(box.pop_from(1, 1000ms).payload, bytes_of({10}));
 }
 
+TEST(Mailbox, PendingBytesTracksQueuedPayloads) {
+  Mailbox box;
+  Message a;
+  a.src = 1;
+  a.payload = bytes_of({1, 2, 3});
+  Message b;
+  b.src = 2;
+  b.payload = bytes_of({4, 5});
+  box.push(std::move(a));
+  box.push(std::move(b));
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.pending_bytes(), 5u);
+  (void)box.pop_from(1, 1000ms);
+  EXPECT_EQ(box.pending_bytes(), 2u);
+  (void)box.pop_from(2, 1000ms);
+  EXPECT_EQ(box.pending_bytes(), 0u);
+}
+
+TEST(Mailbox, TryPopAnySelectsAmongSourcesWithoutBlocking) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_pop_any(std::vector<std::int64_t>{1, 2}).has_value());
+  Message m;
+  m.src = 2;
+  m.payload = bytes_of({7});
+  box.push(std::move(m));
+  // Source 2 has a message but is outside the requested set.
+  EXPECT_FALSE(box.try_pop_any(std::vector<std::int64_t>{1, 3}).has_value());
+  const auto got = box.try_pop_any(std::vector<std::int64_t>{1, 2});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 2);
+  EXPECT_EQ(got->payload, bytes_of({7}));
+}
+
+TEST(Mailbox, PopAnyTimesOutWithEmptyOptional) {
+  Mailbox box;
+  EXPECT_FALSE(box.pop_any(std::vector<std::int64_t>{4}, 50ms).has_value());
+}
+
+TEST(Mailbox, MovesPayloadBuffersEndToEnd) {
+  // push/pop never copy the payload: the buffer that goes in is the buffer
+  // that comes out.
+  Mailbox box;
+  Message m;
+  m.src = 5;
+  m.payload = bytes_of({1, 2, 3, 4});
+  const std::byte* data = m.payload.data();
+  box.push(std::move(m));
+  const Message out = box.pop_from(5, 1000ms);
+  EXPECT_EQ(out.payload.data(), data);
+}
+
 TEST(Mailbox, TimeoutThrowsDiagnostic) {
   Mailbox box;
   try {
