@@ -1,0 +1,177 @@
+// Irregular all-to-all under a heavy-tailed size distribution.
+//
+//   $ ./alltoallv_skewed [n] [k] [heavy_every] [heavy_bytes]
+//
+// Real all-to-all traffic is rarely uniform: graph partitions, sparse
+// matrices, and shuffle phases all produce a few heavy (source,
+// destination) pairs on top of many tiny ones.  This example builds such a
+// shape — most pairs send a handful of bytes, every `heavy_every`-th pair
+// sends `heavy_bytes` — and runs it three ways through coll::alltoallv:
+//
+//   1. the vector tuner's pick (kAuto: direct vs Bruck from the shape's
+//      total + heaviest-pair bytes),
+//   2. forced Bruck (max-padded scratch, wire messages trimmed to true
+//      sizes),
+//   3. forced direct exchange,
+//
+// verifying every delivered byte and reading the executed C1/C2 off the
+// trace each time — so you can watch what skew does to the trade-off.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "model/linear_model.hpp"
+#include "mps/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::int64_t arg_or(char** argv, int argc, int i, std::int64_t fallback) {
+  return argc > i ? std::atoll(argv[i]) : fallback;
+}
+
+/// Deterministic payload byte for pair (src → dst).
+std::byte pair_byte(std::int64_t src, std::int64_t dst, std::size_t off) {
+  return bruck::payload_byte(/*seed=*/2026, src, dst, off);
+}
+
+struct RunOutcome {
+  std::string label;
+  bruck::model::CostMetrics metrics;
+  double wall_ms = 0.0;
+  bool ok = false;
+};
+
+RunOutcome run_one(const std::string& label, std::int64_t n, int k,
+                   const std::vector<std::int64_t>& counts,
+                   const bruck::coll::AlltoallvOptions& options) {
+  std::vector<std::string> errors(static_cast<std::size_t>(n));
+  bruck::mps::RunResult rr =
+      bruck::mps::run_spmd(n, k, [&](bruck::mps::Communicator& comm) {
+        const std::int64_t rank = comm.rank();
+        // Packed canonical layout: block j of the send buffer at the prefix
+        // sum of this rank's matrix row (empty displs ⇒ the facade derives
+        // exactly this layout).
+        std::int64_t send_bytes = 0;
+        std::int64_t recv_bytes = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          send_bytes += counts[static_cast<std::size_t>(rank * n + j)];
+          recv_bytes += counts[static_cast<std::size_t>(j * n + rank)];
+        }
+        std::vector<std::byte> send(static_cast<std::size_t>(send_bytes));
+        std::vector<std::byte> recv(static_cast<std::size_t>(recv_bytes));
+        std::int64_t pos = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const std::int64_t len =
+              counts[static_cast<std::size_t>(rank * n + j)];
+          for (std::int64_t o = 0; o < len; ++o) {
+            send[static_cast<std::size_t>(pos + o)] =
+                pair_byte(rank, j, static_cast<std::size_t>(o));
+          }
+          pos += len;
+        }
+
+        bruck::coll::alltoallv(comm, send, recv, counts, {}, {}, options);
+
+        pos = 0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const std::int64_t len =
+              counts[static_cast<std::size_t>(i * n + rank)];
+          for (std::int64_t o = 0; o < len; ++o) {
+            if (recv[static_cast<std::size_t>(pos + o)] !=
+                pair_byte(i, rank, static_cast<std::size_t>(o))) {
+              errors[static_cast<std::size_t>(rank)] =
+                  "bad byte in block " + std::to_string(i) + " -> " +
+                  std::to_string(rank);
+              return;
+            }
+          }
+          pos += len;
+        }
+      });
+  RunOutcome out;
+  out.label = label;
+  out.metrics = rr.trace->metrics();
+  out.wall_ms = rr.wall_seconds * 1e3;
+  out.ok = true;
+  for (const std::string& e : errors) {
+    if (!e.empty()) {
+      std::cerr << label << " verification FAILED: " << e << '\n';
+      out.ok = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t n = arg_or(argv, argc, 1, 12);
+  const int k = static_cast<int>(arg_or(argv, argc, 2, 2));
+  const std::int64_t heavy_every = arg_or(argv, argc, 3, 9);
+  const std::int64_t heavy_bytes = arg_or(argv, argc, 4, 8192);
+
+  // Heavy-tailed shape: pair (i, j) sends 1-16 bytes, except every
+  // heavy_every-th pair which sends heavy_bytes.
+  bruck::SplitMix64 rng(7);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n * n));
+  std::int64_t total = 0;
+  std::int64_t heavy_pairs = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const bool heavy = (i * n + j) % heavy_every == 0;
+      const std::int64_t c =
+          heavy ? heavy_bytes
+                : 1 + static_cast<std::int64_t>(rng.next_below(16));
+      counts[static_cast<std::size_t>(i * n + j)] = c;
+      total += c;
+      if (heavy) ++heavy_pairs;
+    }
+  }
+  std::cout << "alltoallv, heavy-tailed shape: n = " << n << ", k = " << k
+            << "; " << heavy_pairs << "/" << n * n << " pairs carry "
+            << heavy_bytes << " bytes, the rest 1-16; total " << total
+            << " bytes\n\n";
+
+  bruck::coll::AlltoallvOptions tuned;
+  // Radix 2 is the fewest-rounds end of the trade-off: the heavy blocks
+  // get forwarded log2(n) times, so skew punishes it visibly in C2.
+  bruck::coll::AlltoallvOptions forced_bruck;
+  forced_bruck.algorithm = bruck::coll::IndexAlgorithm::kBruck;
+  forced_bruck.radix = 2;
+  bruck::coll::AlltoallvOptions forced_direct;
+  forced_direct.algorithm = bruck::coll::IndexAlgorithm::kDirect;
+
+  const bruck::model::VectorIndexChoice pick = bruck::model::pick_indexv(
+      n, k, total,
+      *std::max_element(counts.begin(), counts.end()),
+      bruck::model::ibm_sp1());
+  std::cout << "vector tuner pick: "
+            << (pick.direct ? "direct exchange"
+                            : "bruck, r = " + std::to_string(pick.radix))
+            << " (~" << pick.predicted_us << " us modeled on SP-1)\n\n";
+
+  const std::vector<RunOutcome> outcomes{
+      run_one("tuned (kAuto)", n, k, counts, tuned),
+      run_one("bruck r=2 (padded+trimmed)", n, k, counts, forced_bruck),
+      run_one("direct per-pair", n, k, counts, forced_direct),
+  };
+
+  const bruck::model::LinearModel sp1 = bruck::model::ibm_sp1();
+  bruck::TextTable t({"algorithm", "C1 (rounds)", "C2 (bytes)", "total bytes",
+                      "modeled us (SP-1)", "wall ms (here)"});
+  for (const RunOutcome& o : outcomes) {
+    if (!o.ok) return 1;
+    t.add(o.label, o.metrics.c1, o.metrics.c2, o.metrics.total_bytes,
+          sp1.predict_us(o.metrics), o.wall_ms);
+  }
+  t.print(std::cout);
+  std::cout << "\nall three verified: every irregular block reached the "
+               "right processor with the right contents\n";
+  return 0;
+}

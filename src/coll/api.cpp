@@ -1,5 +1,8 @@
 #include "coll/api.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "coll/bcast.hpp"
 #include "coll/concat_bruck.hpp"
 #include "coll/concat_folklore.hpp"
@@ -9,6 +12,7 @@
 #include "coll/index_direct.hpp"
 #include "coll/index_pairwise.hpp"
 #include "coll/plan_cache.hpp"
+#include "coll/vector_reference.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -78,6 +82,33 @@ int resolve_segments(int requested, bool pipelined,
   const std::int64_t per_round =
       (predicted.c2 + predicted.c1 - 1) / predicted.c1;
   return model::pick_segment_count(machine, predicted.c1, per_round).segments;
+}
+
+/// run_compiled's irregular twin: fetch/lower the vector plan and execute
+/// it against the VectorView.
+int run_compiled_v(mps::Communicator& comm, const PlanKey& key,
+                   std::span<const std::byte> send, std::span<std::byte> recv,
+                   const VectorView& view, int start_round, bool pipelined) {
+  const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const PlanExecution ex =
+      pipelined
+          ? lookup.plan->run_pipelined(comm, send, recv, view, start_round)
+          : lookup.plan->run(comm, send, recv, view, start_round);
+  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
+                                        lookup.plan->round_count(),
+                                        ex.bytes_sent});
+  return ex.next_round;
+}
+
+/// Packed canonical layout: block i at the prefix sum of sizes [0, i).
+std::vector<std::int64_t> prefix_displs(std::span<const std::int64_t> sizes) {
+  std::vector<std::int64_t> displs(sizes.size());
+  std::int64_t pos = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    displs[i] = pos;
+    pos += sizes[i];
+  }
+  return displs;
 }
 
 }  // namespace
@@ -208,6 +239,159 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
                       concat_plan_key(algorithm, comm.size(), comm.ports(),
                                       strategy, block_bytes, segments),
                       send, recv, block_bytes, options.start_round, pipelined);
+}
+
+int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv,
+              std::span<const std::int64_t> counts,
+              std::span<const std::int64_t> send_displs,
+              std::span<const std::int64_t> recv_displs,
+              const AlltoallvOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t rank = comm.rank();
+  BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(counts.size()) == n * n,
+                    "alltoallv needs the full n*n count matrix");
+
+  // Shape statistics: drive the tuner, the padding stride, and the digest.
+  std::int64_t total = 0;
+  std::int64_t max_pair = 0;
+  for (const std::int64_t c : counts) {
+    BRUCK_REQUIRE_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+    max_pair = std::max(max_pair, c);
+  }
+
+  // Empty displacements mean the packed canonical layout.
+  std::vector<std::int64_t> sd_storage;
+  std::vector<std::int64_t> rd_storage;
+  if (send_displs.empty()) {
+    sd_storage = prefix_displs(counts.subspan(
+        static_cast<std::size_t>(rank * n), static_cast<std::size_t>(n)));
+    send_displs = sd_storage;
+  }
+  if (recv_displs.empty()) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      col[static_cast<std::size_t>(i)] =
+          counts[static_cast<std::size_t>(i * n + rank)];
+    }
+    rd_storage = prefix_displs(col);
+    recv_displs = rd_storage;
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send_displs.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv_displs.size()) == n);
+
+  if (options.path == ExecutionPath::kReference) {
+    return alltoallv_reference(comm, send, recv, counts, send_displs,
+                               recv_displs,
+                               VectorReferenceOptions{options.start_round});
+  }
+
+  // Resolve the algorithm, radix, and predicted measures (the segment
+  // tuner's input) from the shape statistics.
+  const std::int64_t mean = std::max<std::int64_t>(
+      1, (total + n * n - 1) / (n * n));
+  IndexAlgorithm algorithm = options.algorithm;
+  std::int64_t radix = std::max<std::int64_t>(2, n);
+  model::CostMetrics predicted;
+  switch (options.algorithm) {
+    case IndexAlgorithm::kDirect:
+      predicted = model::index_direct_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kPairwise:
+      predicted = model::index_pairwise_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kBruck:
+      radix = options.radix != 0
+                  ? options.radix
+                  : model::pick_index_radix_cached(n, k, mean, options.machine,
+                                                   options.radix_set)
+                        .radix;
+      predicted = model::index_bruck_cost(n, radix, k, mean);
+      break;
+    case IndexAlgorithm::kAuto: {
+      const model::VectorIndexChoice choice = model::pick_indexv_cached(
+          n, k, total, max_pair, options.machine, options.radix_set);
+      algorithm = choice.direct ? IndexAlgorithm::kDirect
+                                : IndexAlgorithm::kBruck;
+      radix = choice.radix;
+      predicted = choice.predicted;
+      break;
+    }
+  }
+
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = resolve_segments(options.segments, pipelined,
+                                        options.machine, predicted);
+  const VectorView view{counts, send_displs, recv_displs, max_pair};
+  return run_compiled_v(
+      comm,
+      indexv_plan_key(algorithm, n, k, radix, shape_digest(counts), segments),
+      send, recv, view, options.start_round, pipelined);
+}
+
+int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
+               std::span<std::byte> recv,
+               std::span<const std::int64_t> counts,
+               std::span<const std::int64_t> recv_displs,
+               const AllgathervOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(counts.size()) == n,
+                    "allgatherv needs one count per rank");
+
+  std::int64_t total = 0;
+  std::int64_t max_block = 0;
+  for (const std::int64_t c : counts) {
+    BRUCK_REQUIRE_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+    max_block = std::max(max_block, c);
+  }
+
+  std::vector<std::int64_t> rd_storage;
+  if (recv_displs.empty()) {
+    rd_storage = prefix_displs(counts);
+    recv_displs = rd_storage;
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv_displs.size()) == n);
+
+  if (options.path == ExecutionPath::kReference) {
+    return allgatherv_reference(comm, send, recv, counts, recv_displs,
+                                VectorReferenceOptions{options.start_round});
+  }
+
+  const ConcatAlgorithm algorithm =
+      options.algorithm == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
+                                                  : options.algorithm;
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  model::CostMetrics predicted;
+  if (pipelined && options.segments == 0) {
+    // Segment tuning sees the mean block (wire messages carry trimmed true
+    // sizes, so the mean is the honest per-message estimate).
+    const std::int64_t b_eff = n > 0 ? (total + n - 1) / std::max<std::int64_t>(
+                                           1, n)
+                                     : 0;
+    switch (algorithm) {
+      case ConcatAlgorithm::kBruck:
+      case ConcatAlgorithm::kAuto:
+        predicted = model::concat_bruck_cost(
+            n, k, b_eff, model::ConcatLastRound::kColumnGranular);
+        break;
+      case ConcatAlgorithm::kFolklore:
+        predicted = model::concat_folklore_cost(n, b_eff);
+        break;
+      case ConcatAlgorithm::kRing:
+        predicted = model::concat_ring_cost(n, b_eff);
+        break;
+    }
+  }
+  const int segments = resolve_segments(options.segments, pipelined,
+                                        options.machine, predicted);
+  const VectorView view{counts, {}, recv_displs, max_block};
+  return run_compiled_v(
+      comm, concatv_plan_key(algorithm, n, k, shape_digest(counts), segments),
+      send, recv, view, options.start_round, pipelined);
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

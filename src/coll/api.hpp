@@ -91,15 +91,85 @@ struct AlltoallPlan {
 /// Index operation (MPI_Alltoall).  `send`: n blocks of block_bytes, block j
 /// destined for rank j.  `recv`: n blocks, block i from rank i.
 /// Returns the next free round index.
+///
+/// Blocking: returns once all of this rank's receives have landed (under
+/// kPipelined, posts overlap internally but the call itself is
+/// synchronous).  Thread safety: SPMD — one call per rank thread with
+/// rank-local buffers; the PlanCache and tuner memos behind it are
+/// process-global and thread-safe.  Trace: one send event per nonzero
+/// message at its round, plus one PlanEvent per compiled execution.
 int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
              std::span<std::byte> recv, std::int64_t block_bytes,
              const AlltoallOptions& options = {});
 
 /// Concatenation operation (MPI_Allgather).  `send`: this rank's block.
 /// `recv`: n blocks in rank order.  Returns the next free round index.
+/// Blocking, thread-safety, and trace behavior as alltoall.
 int allgather(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, std::int64_t block_bytes,
               const AllgatherOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Irregular (vector) collectives: per-rank byte counts and displacements,
+// lowered through the same plan engine (see docs/ARCHITECTURE.md).
+
+struct AlltoallvOptions {
+  /// kAuto picks between direct exchange and Bruck via
+  /// model::pick_indexv_cached (total + heaviest-pair bytes).  kBruck runs
+  /// the Section 3 algorithm over a max-padded scratch with on-the-wire
+  /// trimming; kPairwise requires a power-of-two n.
+  IndexAlgorithm algorithm = IndexAlgorithm::kAuto;
+  /// Radix for kBruck; 0 means "tune under `machine`".
+  std::int64_t radix = 0;
+  model::LinearModel machine = model::ibm_sp1();
+  model::RadixSet radix_set = model::RadixSet::kAll;
+  int start_round = 0;
+  /// kReference runs the direct per-pair oracle (vector_reference.hpp)
+  /// regardless of `algorithm` — there is exactly one irregular oracle.
+  ExecutionPath path = ExecutionPath::kPipelined;
+  /// Same contract as AlltoallOptions::segments.
+  int segments = 0;
+};
+
+/// Irregular index operation (MPI_Alltoallv).  `counts` is the full n×n
+/// matrix — counts[i*n + j] = bytes rank i sends to rank j — and must be
+/// identical on every rank (the usual "counts were allgathered first"
+/// situation).  `send_displs`/`recv_displs` give each block's byte offset
+/// in this rank's buffers; empty spans mean the packed canonical layout
+/// (prefix sums of this rank's matrix row / column).  Blocks must not
+/// overlap; zero-count pairs never touch the fabric.  Blocks until this
+/// rank's receives have landed; records one trace send event per nonzero
+/// message plus one PlanEvent on the compiled paths.  Returns the next
+/// free round index.
+int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv,
+              std::span<const std::int64_t> counts,
+              std::span<const std::int64_t> send_displs = {},
+              std::span<const std::int64_t> recv_displs = {},
+              const AlltoallvOptions& options = {});
+
+struct AllgathervOptions {
+  /// kAuto resolves to Bruck.  Irregular Bruck always uses the
+  /// column-granular last round (the byte-split partition needs one
+  /// concrete uniform block size).
+  ConcatAlgorithm algorithm = ConcatAlgorithm::kAuto;
+  model::LinearModel machine = model::ibm_sp1();
+  int start_round = 0;
+  /// kReference runs the direct per-pair oracle (vector_reference.hpp).
+  ExecutionPath path = ExecutionPath::kPipelined;
+  int segments = 0;
+};
+
+/// Irregular concatenation (MPI_Allgatherv).  `send` is this rank's block
+/// (counts[rank] bytes); `recv` holds rank i's block at recv_displs[i]
+/// with counts[i] bytes (empty recv_displs = packed prefix-sum layout).
+/// `counts` (n entries) must be identical on every rank.  Same blocking
+/// and trace behavior as alltoallv.  Returns the next free round index.
+int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
+               std::span<std::byte> recv,
+               std::span<const std::int64_t> counts,
+               std::span<const std::int64_t> recv_displs = {},
+               const AllgathervOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // The one-to-all / all-to-one primitives of the paper's introduction.
@@ -116,6 +186,7 @@ struct BcastApiOptions {
 };
 
 /// One-to-all broadcast of `data` from `root` (in-place on non-roots).
+/// Blocking, thread-safety, and trace behavior as bcast.hpp.
 int broadcast(mps::Communicator& comm, std::int64_t root,
               std::span<std::byte> data, const BcastApiOptions& options = {});
 
@@ -124,6 +195,7 @@ struct RootedOptions {
 };
 
 /// All-to-one gather: root's `recv` gets the n blocks in rank order.
+/// Blocking, thread-safety, and trace behavior as gather_scatter.hpp.
 int gather(mps::Communicator& comm, std::int64_t root,
            std::span<const std::byte> send, std::span<std::byte> recv,
            std::int64_t block_bytes, const RootedOptions& options = {});

@@ -30,6 +30,10 @@ struct BcastOptions {
 /// k-port circulant-tree broadcast of `data` from `root`.  On the root,
 /// `data` is the payload; on every other rank it is the landing buffer
 /// (same size everywhere).  Returns the next free round index.
+/// Blocking: returns once this rank received (and, for interior tree
+/// nodes, forwarded) the payload; idle rounds do not block.  Thread
+/// safety: SPMD, one call per rank thread.  Trace: one send event per
+/// tree edge at its round.
 int bcast_circulant(mps::Communicator& comm, std::int64_t root,
                     std::span<std::byte> data, const BcastOptions& options = {});
 

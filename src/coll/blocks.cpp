@@ -93,4 +93,68 @@ void rotate_window_to_origin(ConstBlockSpan src, BlockSpan dst,
   }
 }
 
+namespace {
+
+void copy_var(const std::byte* from, std::byte* to, std::int64_t bytes) {
+  if (bytes > 0) std::memcpy(to, from, static_cast<std::size_t>(bytes));
+}
+
+}  // namespace
+
+void rotate_varblocks_to_padded(std::span<const std::byte> src,
+                                std::span<const std::int64_t> displs,
+                                std::span<const std::int64_t> sizes,
+                                std::span<std::byte> padded,
+                                std::int64_t pad_bytes, std::int64_t steps) {
+  const std::int64_t n = static_cast<std::int64_t>(displs.size());
+  BRUCK_REQUIRE(static_cast<std::int64_t>(sizes.size()) == n);
+  BRUCK_REQUIRE(pad_bytes >= 0);
+  if (n == 0) return;
+  BRUCK_REQUIRE(static_cast<std::int64_t>(padded.size()) >= n * pad_bytes);
+  for (std::int64_t s = 0; s < n; ++s) {
+    const std::int64_t j = pos_mod(s + steps, n);
+    BRUCK_REQUIRE(sizes[j] <= pad_bytes);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(src.size()) >=
+                  displs[j] + sizes[j]);
+    copy_var(src.data() + displs[j], padded.data() + s * pad_bytes, sizes[j]);
+  }
+}
+
+void unrotate_padded_by_rank(std::span<const std::byte> padded,
+                             std::int64_t pad_bytes, std::span<std::byte> dst,
+                             std::span<const std::int64_t> displs,
+                             std::span<const std::int64_t> sizes,
+                             std::int64_t rank) {
+  const std::int64_t n = static_cast<std::int64_t>(displs.size());
+  BRUCK_REQUIRE(static_cast<std::int64_t>(sizes.size()) == n);
+  BRUCK_REQUIRE(rank >= 0 && rank < n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(padded.size()) >= n * pad_bytes);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t s = pos_mod(rank - i, n);
+    BRUCK_REQUIRE(sizes[i] <= pad_bytes);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(dst.size()) >=
+                  displs[i] + sizes[i]);
+    copy_var(padded.data() + s * pad_bytes, dst.data() + displs[i], sizes[i]);
+  }
+}
+
+void rotate_padded_window_to_origin(std::span<const std::byte> padded,
+                                    std::int64_t pad_bytes,
+                                    std::span<std::byte> dst,
+                                    std::span<const std::int64_t> displs,
+                                    std::span<const std::int64_t> sizes,
+                                    std::int64_t rank) {
+  const std::int64_t n = static_cast<std::int64_t>(displs.size());
+  BRUCK_REQUIRE(static_cast<std::int64_t>(sizes.size()) == n);
+  BRUCK_REQUIRE(rank >= 0 && rank < n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(padded.size()) >= n * pad_bytes);
+  for (std::int64_t t = 0; t < n; ++t) {
+    const std::int64_t i = pos_mod(rank + t, n);
+    BRUCK_REQUIRE(sizes[i] <= pad_bytes);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(dst.size()) >=
+                  displs[i] + sizes[i]);
+    copy_var(padded.data() + t * pad_bytes, dst.data() + displs[i], sizes[i]);
+  }
+}
+
 }  // namespace bruck::coll

@@ -1,5 +1,9 @@
 // Block-granular views over byte buffers, and the local data rearrangements
 // of the index algorithm (Phases 1 and 3 of Section 3.1).
+//
+// Everything here is pure local memory movement: never blocking, no
+// fabric or trace side effects, safe to call concurrently on disjoint
+// buffers.
 #pragma once
 
 #include <cstddef>
@@ -61,5 +65,39 @@ void unrotate_by_rank(ConstBlockSpan src, BlockSpan dst, std::int64_t rank);
 /// No aliasing.
 void rotate_window_to_origin(ConstBlockSpan src, BlockSpan dst,
                              std::int64_t rank);
+
+// ---------------------------------------------------------------------------
+// Variable-extent counterparts for the irregular (vector) collectives.
+// These move between a caller buffer laid out by per-block displacements
+// (block j at displs[j], sizes[j] bytes) and a *max-padded* scratch whose
+// slots all have stride pad_bytes.  All are pure local memory movement:
+// never blocking, no fabric or trace side effects, no aliasing allowed.
+
+/// Irregular Phase 1 of the index algorithm: padded scratch slot s :=
+/// caller block (s + steps) mod n.  `displs`/`sizes` describe the caller's
+/// n blocks; each copied block occupies the first sizes[j] bytes of its
+/// pad_bytes-wide slot.
+void rotate_varblocks_to_padded(std::span<const std::byte> src,
+                                std::span<const std::int64_t> displs,
+                                std::span<const std::int64_t> sizes,
+                                std::span<std::byte> padded,
+                                std::int64_t pad_bytes, std::int64_t steps);
+
+/// Irregular Phase 3 of the index algorithm: caller block i (at displs[i],
+/// sizes[i] bytes) := padded slot (rank − i) mod n.
+void unrotate_padded_by_rank(std::span<const std::byte> padded,
+                             std::int64_t pad_bytes, std::span<std::byte> dst,
+                             std::span<const std::int64_t> displs,
+                             std::span<const std::int64_t> sizes,
+                             std::int64_t rank);
+
+/// Irregular final concat re-indexing: caller block (rank + t) mod n :=
+/// padded slot t, for all t.
+void rotate_padded_window_to_origin(std::span<const std::byte> padded,
+                                    std::int64_t pad_bytes,
+                                    std::span<std::byte> dst,
+                                    std::span<const std::int64_t> displs,
+                                    std::span<const std::int64_t> sizes,
+                                    std::int64_t rank);
 
 }  // namespace bruck::coll

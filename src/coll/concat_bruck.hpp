@@ -40,6 +40,11 @@ struct ConcatBruckOptions {
 /// Run the concatenation.  `send` is this rank's single block (block_bytes
 /// bytes); `recv` receives the n blocks in rank order.  Buffers must not
 /// alias.  Returns the next free round index.
+///
+/// Blocking: returns once all of this rank's receives have landed (each
+/// round runs through Communicator::exchange).  Thread safety: SPMD — call
+/// once per rank thread with rank-local buffers.  Trace: one send event
+/// per nonzero message, at its declared round.
 int concat_bruck(mps::Communicator& comm, std::span<const std::byte> send,
                  std::span<std::byte> recv, std::int64_t block_bytes,
                  const ConcatBruckOptions& options = {});

@@ -17,6 +17,9 @@ struct ConcatFolkloreOptions {
 };
 
 /// Same buffer contract as concat_bruck.  Returns the next free round index.
+/// Blocking: returns once this rank's receives have landed.  Thread
+/// safety: SPMD, one call per rank thread.  Trace: one send event per
+/// nonzero message at its round.
 int concat_folklore(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, std::int64_t block_bytes,
                     const ConcatFolkloreOptions& options = {});

@@ -20,6 +20,9 @@ struct GatherScatterOptions {
 /// `recv` on the ROOT holds the n blocks in rank order (recv is ignored on
 /// other ranks but must still be n·block_bytes long — uniform SPMD buffers
 /// keep the call sites simple).  Returns the next free round index.
+/// Blocking: returns once this rank's part of the tree traffic completed.
+/// Thread safety: SPMD, one call per rank thread.  Trace: one send event
+/// per tree edge at its round.
 int gather_binomial(mps::Communicator& comm, std::int64_t root,
                     std::span<const std::byte> send, std::span<std::byte> recv,
                     std::int64_t block_bytes,
@@ -27,7 +30,8 @@ int gather_binomial(mps::Communicator& comm, std::int64_t root,
 
 /// Scatter: the ROOT's `send` holds n blocks in rank order; afterwards
 /// every rank's `recv` holds its own block.  `send` is ignored on non-root
-/// ranks.  Returns the next free round index.
+/// ranks.  Returns the next free round index.  Blocking/thread-safety/
+/// trace behavior as gather_binomial.
 int scatter_binomial(mps::Communicator& comm, std::int64_t root,
                      std::span<const std::byte> send, std::span<std::byte> recv,
                      std::int64_t block_bytes,

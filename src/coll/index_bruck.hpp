@@ -41,6 +41,11 @@ struct IndexBruckOptions {
 /// Run the index operation.  `send` holds n blocks of block_bytes (block j
 /// destined for rank j); `recv` receives n blocks (block i originating at
 /// rank i).  Buffers must not alias.  Returns the next free round index.
+///
+/// Blocking: returns once all of this rank's receives have landed (each
+/// round runs through Communicator::exchange).  Thread safety: SPMD — call
+/// once per rank thread with rank-local buffers.  Trace: one send event
+/// per nonzero message, at its declared round.
 int index_bruck(mps::Communicator& comm, std::span<const std::byte> send,
                 std::span<std::byte> recv, std::int64_t block_bytes,
                 const IndexBruckOptions& options = {});

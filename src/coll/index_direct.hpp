@@ -19,6 +19,9 @@ struct IndexDirectOptions {
 };
 
 /// Same buffer contract as index_bruck.  Returns the next free round index.
+/// Blocking: returns once this rank's receives have landed.  Thread
+/// safety: SPMD, one call per rank thread.  Trace: one send event per
+/// nonzero message at its round.
 int index_direct(mps::Communicator& comm, std::span<const std::byte> send,
                  std::span<std::byte> recv, std::int64_t block_bytes,
                  const IndexDirectOptions& options = {});

@@ -18,6 +18,9 @@ struct IndexPairwiseOptions {
 };
 
 /// Same buffer contract as index_bruck; n must be a power of two.
+/// Blocking: returns once this rank's receives have landed.  Thread
+/// safety: SPMD, one call per rank thread.  Trace: one send event per
+/// nonzero message at its round.
 int index_pairwise(mps::Communicator& comm, std::span<const std::byte> send,
                    std::span<std::byte> recv, std::int64_t block_bytes,
                    const IndexPairwiseOptions& options = {});

@@ -26,6 +26,40 @@ void for_each_member(std::int64_t n, std::int64_t r, int x, std::int64_t z,
 
 }  // namespace
 
+std::int64_t gather_extents(std::span<const std::byte> src,
+                            std::span<const ByteExtent> extents,
+                            std::span<std::byte> out) {
+  std::int64_t pos = 0;
+  for (const ByteExtent& e : extents) {
+    BRUCK_REQUIRE(e.offset >= 0 && e.bytes >= 0);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(src.size()) >= e.offset + e.bytes);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(out.size()) >= pos + e.bytes);
+    if (e.bytes > 0) {
+      std::memcpy(out.data() + pos, src.data() + e.offset,
+                  static_cast<std::size_t>(e.bytes));
+    }
+    pos += e.bytes;
+  }
+  return pos;
+}
+
+std::int64_t scatter_extents(std::span<std::byte> dst,
+                             std::span<const ByteExtent> extents,
+                             std::span<const std::byte> in) {
+  std::int64_t pos = 0;
+  for (const ByteExtent& e : extents) {
+    BRUCK_REQUIRE(e.offset >= 0 && e.bytes >= 0);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(dst.size()) >= e.offset + e.bytes);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(in.size()) >= pos + e.bytes);
+    if (e.bytes > 0) {
+      std::memcpy(dst.data() + e.offset, in.data() + pos,
+                  static_cast<std::size_t>(e.bytes));
+    }
+    pos += e.bytes;
+  }
+  return pos;
+}
+
 std::int64_t pack_by_digit(std::span<const std::byte> buffer,
                            std::span<std::byte> packed, std::int64_t n,
                            std::int64_t block_bytes, std::int64_t r, int x,

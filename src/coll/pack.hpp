@@ -1,12 +1,38 @@
 // Appendix A's pack/unpack routines: gather the blocks whose block-id has
 // radix-r digit x equal to z into a contiguous message, and scatter a
-// received message back into the same slots.
+// received message back into the same slots — plus the variable-extent
+// generalization the irregular (vector) plan executor packs through.
+//
+// All routines here are pure local memory movement: they never block, never
+// touch the fabric, and record nothing in the trace.  They are safe to call
+// concurrently on disjoint buffers.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 namespace bruck::coll {
+
+/// One byte run of a variable-extent cell map: `bytes` bytes at byte
+/// `offset` of some buffer.  Zero-length extents are legal and skipped.
+struct ByteExtent {
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Gather the extents of `src` back-to-back into `out` (which must hold at
+/// least the summed extent bytes).  Returns the bytes packed.  Never
+/// blocks; no trace side effects.
+std::int64_t gather_extents(std::span<const std::byte> src,
+                            std::span<const ByteExtent> extents,
+                            std::span<std::byte> out);
+
+/// Inverse of gather_extents: scatter `in` back-to-back into the extents of
+/// `dst`.  Returns the bytes scattered.  Never blocks; no trace side
+/// effects.
+std::int64_t scatter_extents(std::span<std::byte> dst,
+                             std::span<const ByteExtent> extents,
+                             std::span<const std::byte> in);
 
 /// Pack the blocks of `buffer` (n blocks of block_bytes) whose slot index
 /// has digit x (radix r) equal to z into `packed`, in ascending slot order.

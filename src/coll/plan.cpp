@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "coll/blocks.hpp"
+#include "coll/pack.hpp"
 #include "model/tuner.hpp"
 #include "topo/binomial.hpp"
 #include "topo/partition.hpp"
@@ -67,14 +68,20 @@ void Plan::end_round() {
 }
 
 void Plan::add_message(std::int64_t rank, bool is_send, std::int64_t peer,
-                       PlanBuffer buffer, const std::vector<PlanCell>& cells) {
+                       PlanBuffer buffer, const std::vector<PlanCell>& cells,
+                       const std::vector<std::int64_t>& blocks) {
   BRUCK_REQUIRE(!cells.empty());
   BRUCK_REQUIRE(peer >= 0 && peer < n_ && peer != rank);
+  BRUCK_REQUIRE_MSG(irregular_ == !blocks.empty(),
+                    "irregular plans record one occupant-block id per cell; "
+                    "uniform plans record none");
+  BRUCK_REQUIRE(blocks.empty() || blocks.size() == cells.size());
   PlanMessage m;
   m.peer = peer;
   m.buffer = buffer;
   m.cells_begin = static_cast<std::uint32_t>(cells_.size());
   cells_.insert(cells_.end(), cells.begin(), cells.end());
+  cell_block_.insert(cell_block_.end(), blocks.begin(), blocks.end());
   m.cells_end = static_cast<std::uint32_t>(cells_.size());
   m.contiguous = cells_contiguous(m.cells_begin, m.cells_end);
   RankProgram& p = programs_[static_cast<std::size_t>(rank)];
@@ -82,6 +89,11 @@ void Plan::add_message(std::int64_t rank, bool is_send, std::int64_t peer,
 }
 
 bool Plan::cells_contiguous(std::uint32_t begin, std::uint32_t end) const {
+  if (irregular_) {
+    // Sizes and user-buffer displacements resolve at run time; only a
+    // single cell is provably one byte run under every shape.
+    return end - begin == 1;
+  }
   if (block_bytes_ == PlanCell::kWholeBlock) {
     // Block-size-independent plan: a run of whole consecutive blocks is
     // contiguous under every block size.
@@ -109,6 +121,46 @@ std::int64_t Plan::message_bytes(const PlanMessage& m, std::int64_t b) const {
   for (std::uint32_t i = m.cells_begin; i < m.cells_end; ++i) {
     const PlanCell& c = cells_[i];
     total += c.hi == PlanCell::kWholeBlock ? b : c.hi - c.lo;
+  }
+  return total;
+}
+
+std::int64_t Plan::cell_len(std::uint32_t ci, const Extents& ex) const {
+  const PlanCell& c = cells_[ci];
+  if (ex.view == nullptr) {
+    return c.hi == PlanCell::kWholeBlock ? ex.b : c.hi - c.lo;
+  }
+  // On-the-wire trimming: the cell's byte range, intersected with the
+  // occupant block's true size.
+  const std::int64_t size = ex.view->counts[static_cast<std::size_t>(
+      cell_block_[ci])];
+  const std::int64_t hi =
+      c.hi == PlanCell::kWholeBlock ? size : std::min(c.hi, size);
+  return std::max<std::int64_t>(0, hi - c.lo);
+}
+
+std::int64_t Plan::cell_offset(std::uint32_t ci, PlanBuffer buffer,
+                               const Extents& ex) const {
+  const PlanCell& c = cells_[ci];
+  if (ex.view == nullptr || buffer == PlanBuffer::kScratch) {
+    // Uniform stride: the block size, or the padded slot stride.
+    return c.slot * ex.b + c.lo;
+  }
+  const std::span<const std::int64_t> displs =
+      buffer == PlanBuffer::kUserSend ? ex.view->send_displs
+                                      : ex.view->recv_displs;
+  if (displs.empty()) {
+    // Concat plans: the user send buffer is this rank's single block.
+    return c.slot * ex.b + c.lo;
+  }
+  return displs[static_cast<std::size_t>(c.slot)] + c.lo;
+}
+
+std::int64_t Plan::resolved_message_bytes(const PlanMessage& m,
+                                          const Extents& ex) const {
+  std::int64_t total = 0;
+  for (std::uint32_t i = m.cells_begin; i < m.cells_end; ++i) {
+    total += cell_len(i, ex);
   }
   return total;
 }
@@ -244,6 +296,8 @@ void Plan::check_run_contract(const mps::Communicator& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv,
                               std::int64_t b) const {
+  BRUCK_REQUIRE_MSG(!irregular_,
+                    "irregular plans execute through the VectorView overloads");
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(b >= 0);
@@ -257,53 +311,157 @@ void Plan::check_run_contract(const mps::Communicator& comm,
   BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
 }
 
+void Plan::check_vector_contract(const mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 const VectorView& view) const {
+  BRUCK_REQUIRE_MSG(irregular_,
+                    "uniform plans execute through the block_bytes overloads");
+  BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
+  BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
+  BRUCK_REQUIRE(view.pad_bytes >= 0);
+  const std::int64_t rank = comm.rank();
+  const auto fits = [](std::span<const std::byte> buf, std::int64_t off,
+                       std::int64_t len) {
+    return off >= 0 && len >= 0 &&
+           off + len <= static_cast<std::int64_t>(buf.size());
+  };
+  if (collective_ == PlanCollective::kIndex) {
+    BRUCK_REQUIRE_MSG(
+        static_cast<std::int64_t>(view.counts.size()) == n_ * n_,
+        "index plans need the full n*n count matrix");
+    BRUCK_REQUIRE(static_cast<std::int64_t>(view.send_displs.size()) == n_);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(view.recv_displs.size()) == n_);
+    for (std::int64_t j = 0; j < n_; ++j) {
+      const std::int64_t out = view.counts[static_cast<std::size_t>(
+          rank * n_ + j)];
+      const std::int64_t in = view.counts[static_cast<std::size_t>(
+          j * n_ + rank)];
+      BRUCK_REQUIRE(out >= 0 && out <= view.pad_bytes);
+      BRUCK_REQUIRE(in >= 0 && in <= view.pad_bytes);
+      BRUCK_REQUIRE_MSG(fits(send, view.send_displs[
+                                 static_cast<std::size_t>(j)], out),
+                        "send block exceeds the send buffer");
+      BRUCK_REQUIRE_MSG(fits(recv, view.recv_displs[
+                                 static_cast<std::size_t>(j)], in),
+                        "recv block exceeds the recv buffer");
+    }
+  } else {
+    BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(view.counts.size()) == n_,
+                      "concat plans need one count per rank");
+    BRUCK_REQUIRE(static_cast<std::int64_t>(view.recv_displs.size()) == n_);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) ==
+                  view.counts[static_cast<std::size_t>(rank)]);
+    for (std::int64_t i = 0; i < n_; ++i) {
+      const std::int64_t len = view.counts[static_cast<std::size_t>(i)];
+      BRUCK_REQUIRE(len >= 0 && len <= view.pad_bytes);
+      BRUCK_REQUIRE_MSG(fits(recv, view.recv_displs[
+                                 static_cast<std::size_t>(i)], len),
+                        "recv block exceeds the recv buffer");
+    }
+  }
+}
+
 void Plan::apply_prologue(std::span<const std::byte> send,
                           std::span<std::byte> recv,
                           std::span<std::byte> scratch, std::int64_t rank,
-                          std::int64_t b) const {
+                          const Extents& ex) const {
+  const std::int64_t b = ex.b;
+  const VectorView* v = ex.view;
   switch (prologue_) {
     case PlanPrologue::kNone:
       break;
     case PlanPrologue::kRotateSendToScratch:
-      rotate_blocks_up(ConstBlockSpan(send, n_, b), BlockSpan(scratch, n_, b),
-                       rank);
-      break;
-    case PlanPrologue::kCopyOwnBlock:
-      if (b > 0) {
-        std::memcpy(recv.data() + rank * b, send.data() + rank * b,
-                    static_cast<std::size_t>(b));
+      if (v != nullptr) {
+        // Irregular Phase 1: variable send blocks into max-padded slots.
+        std::vector<std::int64_t> row(
+            v->counts.begin() + static_cast<std::ptrdiff_t>(rank * n_),
+            v->counts.begin() + static_cast<std::ptrdiff_t>((rank + 1) * n_));
+        rotate_varblocks_to_padded(send, v->send_displs, row, scratch, b,
+                                   rank);
+      } else {
+        rotate_blocks_up(ConstBlockSpan(send, n_, b),
+                         BlockSpan(scratch, n_, b), rank);
       }
       break;
-    case PlanPrologue::kCopySendToScratch0:
-      if (b > 0) {
-        std::memcpy(scratch.data(), send.data(), static_cast<std::size_t>(b));
+    case PlanPrologue::kCopyOwnBlock: {
+      std::int64_t len = b;
+      std::int64_t src_off = rank * b;
+      std::int64_t dst_off = rank * b;
+      if (v != nullptr) {
+        len = v->counts[static_cast<std::size_t>(rank * n_ + rank)];
+        src_off = v->send_displs[static_cast<std::size_t>(rank)];
+        dst_off = v->recv_displs[static_cast<std::size_t>(rank)];
+      }
+      if (len > 0) {
+        std::memcpy(recv.data() + dst_off, send.data() + src_off,
+                    static_cast<std::size_t>(len));
       }
       break;
-    case PlanPrologue::kCopySendToRecvOwnSlot:
-      if (b > 0) {
-        std::memcpy(recv.data() + rank * b, send.data(),
-                    static_cast<std::size_t>(b));
+    }
+    case PlanPrologue::kCopySendToScratch0: {
+      const std::int64_t len =
+          v != nullptr ? v->counts[static_cast<std::size_t>(rank)] : b;
+      if (len > 0) {
+        std::memcpy(scratch.data(), send.data(),
+                    static_cast<std::size_t>(len));
       }
       break;
+    }
+    case PlanPrologue::kCopySendToRecvOwnSlot: {
+      std::int64_t len = b;
+      std::int64_t dst_off = rank * b;
+      if (v != nullptr) {
+        len = v->counts[static_cast<std::size_t>(rank)];
+        dst_off = v->recv_displs[static_cast<std::size_t>(rank)];
+      }
+      if (len > 0) {
+        std::memcpy(recv.data() + dst_off, send.data(),
+                    static_cast<std::size_t>(len));
+      }
+      break;
+    }
   }
 }
 
 void Plan::apply_epilogue(std::span<std::byte> recv,
                           std::span<const std::byte> scratch,
-                          std::int64_t rank, std::int64_t b) const {
+                          std::int64_t rank, const Extents& ex) const {
+  const std::int64_t b = ex.b;
+  const VectorView* v = ex.view;
   switch (epilogue_) {
     case PlanEpilogue::kNone:
       break;
     case PlanEpilogue::kUnrotateByRank:
-      unrotate_by_rank(ConstBlockSpan(scratch, n_, b), BlockSpan(recv, n_, b),
-                       rank);
+      if (v != nullptr) {
+        // sizes[i] = bytes rank i sent to this rank (the matrix column).
+        std::vector<std::int64_t> col(static_cast<std::size_t>(n_));
+        for (std::int64_t i = 0; i < n_; ++i) {
+          col[static_cast<std::size_t>(i)] =
+              v->counts[static_cast<std::size_t>(i * n_ + rank)];
+        }
+        unrotate_padded_by_rank(scratch, b, recv, v->recv_displs, col, rank);
+      } else {
+        unrotate_by_rank(ConstBlockSpan(scratch, n_, b),
+                         BlockSpan(recv, n_, b), rank);
+      }
       break;
     case PlanEpilogue::kRotateWindowToOrigin:
-      rotate_window_to_origin(ConstBlockSpan(scratch, n_, b),
-                              BlockSpan(recv, n_, b), rank);
+      if (v != nullptr) {
+        rotate_padded_window_to_origin(scratch, b, recv, v->recv_displs,
+                                       v->counts, rank);
+      } else {
+        rotate_window_to_origin(ConstBlockSpan(scratch, n_, b),
+                                BlockSpan(recv, n_, b), rank);
+      }
       break;
     case PlanEpilogue::kScratchToRecvAtRoot:
-      if (rank == 0 && b > 0) {
+      if (rank != 0) break;
+      if (v != nullptr) {
+        // Rank 0's gather window is the identity: slot t holds block t.
+        rotate_padded_window_to_origin(scratch, b, recv, v->recv_displs,
+                                       v->counts, /*rank=*/0);
+      } else if (b > 0) {
         std::memcpy(recv.data(), scratch.data(), recv.size());
       }
       break;
@@ -336,9 +494,27 @@ struct ExecBuffers {
 
 std::vector<std::byte> Plan::pack_message(const PlanMessage& m,
                                           std::span<const std::byte> src,
-                                          std::int64_t b) const {
-  std::vector<std::byte> out(
-      static_cast<std::size_t>(message_bytes(m, b)));
+                                          const Extents& ex) const {
+  if (ex.view != nullptr) {
+    // Irregular: materialize the variable-extent cell map and gather
+    // through pack.hpp — its bounds checks guard the run-time-resolved
+    // offsets and trimmed lengths.  Only irregular messages pay for the
+    // extent list; these are new traffic, not the uniform hot path.
+    std::vector<ByteExtent> extents;
+    extents.reserve(m.cells_end - m.cells_begin);
+    std::int64_t total = 0;
+    for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+      const std::int64_t len = cell_len(c, ex);
+      extents.push_back(ByteExtent{cell_offset(c, m.buffer, ex), len});
+      total += len;
+    }
+    std::vector<std::byte> out(static_cast<std::size_t>(total));
+    gather_extents(src, extents, out);
+    return out;
+  }
+  // Uniform: allocation-free direct walk (the PR 1/2 hot path).
+  const std::int64_t b = ex.b;
+  std::vector<std::byte> out(static_cast<std::size_t>(message_bytes(m, b)));
   std::size_t pos = 0;
   for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
     const PlanCell& cell = cells_[c];
@@ -352,7 +528,22 @@ std::vector<std::byte> Plan::pack_message(const PlanMessage& m,
 }
 
 void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
-                           const std::byte* data, std::int64_t b) const {
+                           const std::byte* data, const Extents& ex) const {
+  if (ex.view != nullptr) {
+    std::vector<ByteExtent> extents;
+    extents.reserve(m.cells_end - m.cells_begin);
+    std::int64_t total = 0;
+    for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+      const std::int64_t len = cell_len(c, ex);
+      extents.push_back(ByteExtent{cell_offset(c, m.buffer, ex), len});
+      total += len;
+    }
+    scatter_extents(dst, extents,
+                    std::span<const std::byte>(
+                        data, static_cast<std::size_t>(total)));
+    return;
+  }
+  const std::int64_t b = ex.b;
   std::size_t pos = 0;
   for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
     const PlanCell& cell = cells_[c];
@@ -368,14 +559,51 @@ PlanExecution Plan::run(mps::Communicator& comm,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, std::int64_t block_bytes,
                         int start_round) const {
+  check_run_contract(comm, send, recv, block_bytes);
+  return run_blocking_impl(comm, send, recv, Extents{block_bytes, nullptr},
+                           start_round);
+}
+
+PlanExecution Plan::run(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, const VectorView& view,
+                        int start_round) const {
+  check_vector_contract(comm, send, recv, view);
+  return run_blocking_impl(comm, send, recv, Extents{view.pad_bytes, &view},
+                           start_round);
+}
+
+PlanExecution Plan::run_pipelined(mps::Communicator& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv,
+                                  std::int64_t block_bytes,
+                                  int start_round) const {
+  check_run_contract(comm, send, recv, block_bytes);
+  return run_pipelined_impl(comm, send, recv, Extents{block_bytes, nullptr},
+                            start_round);
+}
+
+PlanExecution Plan::run_pipelined(mps::Communicator& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv,
+                                  const VectorView& view,
+                                  int start_round) const {
+  check_vector_contract(comm, send, recv, view);
+  return run_pipelined_impl(comm, send, recv, Extents{view.pad_bytes, &view},
+                            start_round);
+}
+
+PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
+                                      std::span<const std::byte> send,
+                                      std::span<std::byte> recv,
+                                      const Extents& ex,
+                                      int start_round) const {
   const std::int64_t n = n_;
   const std::int64_t rank = comm.rank();
-  const std::int64_t b = block_bytes;
-  check_run_contract(comm, send, recv, b);
 
   std::vector<std::byte> scratch(
-      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
-  apply_prologue(send, recv, scratch, rank, b);
+      needs_scratch_ ? static_cast<std::size_t>(n * ex.b) : 0);
+  apply_prologue(send, recv, scratch, rank, ex);
   const ExecBuffers buffers{send, recv, scratch};
 
   const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
@@ -396,19 +624,18 @@ PlanExecution Plan::run(mps::Communicator& comm,
 
     for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
       const PlanMessage& m = prog.sends[s];
-      const std::int64_t bytes = message_bytes(m, b);
-      if (bytes == 0) continue;  // b = 0: pure round counting, off the fabric
+      const std::int64_t bytes = resolved_message_bytes(m, ex);
+      if (bytes == 0) continue;  // zero-size: pure round counting, off the fabric
       std::span<const std::byte> payload;
       if (m.contiguous) {
         // Zero-copy: the message is one byte run of the source buffer.
-        const PlanCell& first = cells_[m.cells_begin];
         payload = buffers.readable(m.buffer)
-                      .subspan(static_cast<std::size_t>(first.slot * b +
-                                                        first.lo),
+                      .subspan(static_cast<std::size_t>(
+                                   cell_offset(m.cells_begin, m.buffer, ex)),
                                static_cast<std::size_t>(bytes));
       } else {
         std::vector<std::byte>& stage = out_stage[s - round.sends_begin];
-        stage = pack_message(m, buffers.readable(m.buffer), b);
+        stage = pack_message(m, buffers.readable(m.buffer), ex);
         payload = stage;
       }
       sends.push_back(mps::SendSpec{m.peer, payload});
@@ -417,14 +644,13 @@ PlanExecution Plan::run(mps::Communicator& comm,
 
     for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
       const PlanMessage& m = prog.recvs[r];
-      const std::int64_t bytes = message_bytes(m, b);
+      const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;
       std::span<std::byte> landing;
       if (m.contiguous) {
-        const PlanCell& first = cells_[m.cells_begin];
         landing = buffers.writable(m.buffer)
-                      .subspan(static_cast<std::size_t>(first.slot * b +
-                                                        first.lo),
+                      .subspan(static_cast<std::size_t>(
+                                   cell_offset(m.cells_begin, m.buffer, ex)),
                                static_cast<std::size_t>(bytes));
       } else {
         std::vector<std::byte>& stage = in_stage[r - round.recvs_begin];
@@ -440,35 +666,33 @@ PlanExecution Plan::run(mps::Communicator& comm,
     }
 
     for (const auto& [m, data] : scatters) {
-      scatter_message(*m, buffers.writable(m->buffer), data, b);
+      scatter_message(*m, buffers.writable(m->buffer), data, ex);
     }
   }
 
-  apply_epilogue(recv, scratch, rank, b);
+  apply_epilogue(recv, scratch, rank, ex);
   out.next_round = start_round + round_count_;
   return out;
 }
 
-PlanExecution Plan::run_pipelined(mps::Communicator& comm,
-                                  std::span<const std::byte> send,
-                                  std::span<std::byte> recv,
-                                  std::int64_t block_bytes,
-                                  int start_round) const {
+PlanExecution Plan::run_pipelined_impl(mps::Communicator& comm,
+                                       std::span<const std::byte> send,
+                                       std::span<std::byte> recv,
+                                       const Extents& ex,
+                                       int start_round) const {
   const std::int64_t n = n_;
   const std::int64_t rank = comm.rank();
-  const std::int64_t b = block_bytes;
-  check_run_contract(comm, send, recv, b);
 
   std::vector<std::byte> scratch(
-      needs_scratch_ ? static_cast<std::size_t>(n * b) : 0);
-  apply_prologue(send, recv, scratch, rank, b);
+      needs_scratch_ ? static_cast<std::size_t>(n * ex.b) : 0);
+  apply_prologue(send, recv, scratch, rank, ex);
   const ExecBuffers buffers{send, recv, scratch};
 
   const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
   PlanExecution out;
   out.next_round = start_round + round_count_;
   if (round_count_ == 0) {
-    apply_epilogue(recv, scratch, rank, b);
+    apply_epilogue(recv, scratch, rank, ex);
     return out;
   }
 
@@ -501,36 +725,34 @@ PlanExecution Plan::run_pipelined(mps::Communicator& comm,
     // so the source buffers are free for later writes immediately.
     for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
       const PlanMessage& m = prog.sends[s];
-      const std::int64_t bytes = message_bytes(m, b);
+      const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;
       if (m.contiguous) {
-        const PlanCell& first = cells_[m.cells_begin];
         comm.post_send(start_round + i, m.peer,
                        buffers.readable(m.buffer)
-                           .subspan(static_cast<std::size_t>(first.slot * b +
-                                                             first.lo),
+                           .subspan(static_cast<std::size_t>(cell_offset(
+                                        m.cells_begin, m.buffer, ex)),
                                     static_cast<std::size_t>(bytes)),
                        segments_for(bytes));
       } else {
         comm.post_send(start_round + i, m.peer,
-                       pack_message(m, buffers.readable(m.buffer), b),
+                       pack_message(m, buffers.readable(m.buffer), ex),
                        segments_for(bytes));
       }
       out.bytes_sent += bytes;
     }
     for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
       const PlanMessage& m = prog.recvs[r];
-      const std::int64_t bytes = message_bytes(m, b);
+      const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;
       mps::PortHandle h = 0;
       bool take_buffer = false;
       if (m.contiguous) {
         // Land in place: segments stream straight into the target buffer.
-        const PlanCell& first = cells_[m.cells_begin];
         h = comm.post_recv(start_round + i, m.peer,
                            buffers.writable(m.buffer)
-                               .subspan(static_cast<std::size_t>(
-                                            first.slot * b + first.lo),
+                               .subspan(static_cast<std::size_t>(cell_offset(
+                                            m.cells_begin, m.buffer, ex)),
                                         static_cast<std::size_t>(bytes)),
                            segments_for(bytes));
       } else {
@@ -556,7 +778,7 @@ PlanExecution Plan::run_pipelined(mps::Communicator& comm,
     if (rec.take_buffer) {
       const std::vector<std::byte> payload = comm.take_payload(h);
       scatter_message(*rec.message, buffers.writable(rec.message->buffer),
-                      payload.data(), b);
+                      payload.data(), ex);
     }
     --open[static_cast<std::size_t>(rec.round)];
   };
@@ -583,7 +805,7 @@ PlanExecution Plan::run_pipelined(mps::Communicator& comm,
   // hold posted sends of receive-less rounds — flush them.
   comm.wait_all_recvs();
 
-  apply_epilogue(recv, scratch, rank, b);
+  apply_epilogue(recv, scratch, rank, ex);
   return out;
 }
 
@@ -908,12 +1130,331 @@ std::shared_ptr<const Plan> Plan::lower_concat_ring(std::int64_t n, int k,
 }
 
 // ---------------------------------------------------------------------------
+// Irregular (vector) lowering.  All irregular plans are shape-free: the
+// round/peer/slot structure depends only on (algorithm, n, k, radix), and
+// every cell records its occupant block's identity so the executors can
+// resolve true sizes — and trim the wire messages — from the VectorView.
+
+std::shared_ptr<const Plan> Plan::lower_indexv_direct(std::int64_t n, int k,
+                                                      int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kIndex, "directv", n, k, PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopyOwnBlock;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t dst = pos_mod(rank + j, n);
+        const std::int64_t src = pos_mod(rank - j, n);
+        plan->add_message(rank, true, dst, PlanBuffer::kUserSend,
+                          one_block(dst), {rank * n + dst});
+        plan->add_message(rank, false, src, PlanBuffer::kUserRecv,
+                          one_block(src), {src * n + rank});
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_indexv_pairwise(std::int64_t n, int k,
+                                                        int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kIndex, "pairwisev", n, k, PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopyOwnBlock;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t peer = rank ^ j;
+        plan->add_message(rank, true, peer, PlanBuffer::kUserSend,
+                          one_block(peer), {rank * n + peer});
+        plan->add_message(rank, false, peer, PlanBuffer::kUserRecv,
+                          one_block(peer), {peer * n + rank});
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_indexv_bruck(std::int64_t n, int k,
+                                                     std::int64_t radix,
+                                                     int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(radix >= 2 && radix <= std::max<std::int64_t>(2, n),
+                    "radix must be in [2, max(2, n)]");
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kIndex, "bruckv(r=" + std::to_string(radix) + ")", n, k,
+      PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kRotateSendToScratch;
+  plan->epilogue_ = PlanEpilogue::kUnrotateByRank;
+
+  // Identical round structure to the uniform lowering; scratch slots are
+  // pad_bytes wide at run time.  The occupant of slot s at rank ρ just
+  // before subphase x has travelled the partial digit sum s mod r^x, so its
+  // origin is ρ − (s mod r^x) and its destination origin + s — that lookup
+  // is what lets every wire message trim to the occupant's true bytes.
+  const std::int64_t r = radix;
+  const int w = radix_digit_count(n, r);
+  for (int x = 0; x < w; ++x) {
+    const std::int64_t dist = ipow(r, x);
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      plan->begin_round();
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::vector<std::int64_t> members =
+            radix_digit_members(n, r, x, z);
+        std::vector<PlanCell> cells;
+        cells.reserve(members.size());
+        for (const std::int64_t slot : members) {
+          cells.push_back(PlanCell{slot, 0, PlanCell::kWholeBlock});
+        }
+        for (std::int64_t rank = 0; rank < n; ++rank) {
+          const std::int64_t dst = pos_mod(rank + z * dist, n);
+          const std::int64_t src = pos_mod(rank - z * dist, n);
+          std::vector<std::int64_t> send_ids;
+          std::vector<std::int64_t> recv_ids;
+          send_ids.reserve(members.size());
+          recv_ids.reserve(members.size());
+          for (const std::int64_t slot : members) {
+            const std::int64_t travelled = pos_mod(slot, dist);
+            const std::int64_t send_origin = pos_mod(rank - travelled, n);
+            const std::int64_t recv_origin = pos_mod(src - travelled, n);
+            send_ids.push_back(send_origin * n +
+                               pos_mod(send_origin + slot, n));
+            recv_ids.push_back(recv_origin * n +
+                               pos_mod(recv_origin + slot, n));
+          }
+          plan->add_message(rank, /*is_send=*/true, dst, PlanBuffer::kScratch,
+                            cells, send_ids);
+          plan->add_message(rank, /*is_send=*/false, src,
+                            PlanBuffer::kScratch, cells, recv_ids);
+        }
+      }
+      plan->end_round();
+    }
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concatv_bruck(std::int64_t n, int k,
+                                                      int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kConcat, "bruckv", n, k, PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopySendToScratch0;
+  plan->epilogue_ = PlanEpilogue::kRotateWindowToOrigin;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+
+  // Scratch slot t at rank ρ holds rank (ρ + t) mod n's block throughout —
+  // that is each cell's occupant identity.  Same full rounds as the uniform
+  // lowering; the last round is always column-granular (the byte-split
+  // partition needs one concrete uniform b, which an irregular shape does
+  // not have).
+  const auto block_of = [n](std::int64_t rank, std::int64_t slot) {
+    return pos_mod(rank + slot, n);
+  };
+  const auto window_ids = [&](std::int64_t rank, std::int64_t first,
+                              std::int64_t count) {
+    std::vector<std::int64_t> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t t = 0; t < count; ++t) {
+      ids.push_back(block_of(rank, first + t));
+    }
+    return ids;
+  };
+
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+
+  std::int64_t cur = 1;
+  for (int i = 0; i + 1 < d; ++i) {
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      for (int j = 1; j <= k; ++j) {
+        plan->add_message(rank, true, pos_mod(rank - j * cur, n),
+                          PlanBuffer::kScratch, whole_blocks(0, cur),
+                          window_ids(rank, 0, cur));
+        plan->add_message(rank, false, pos_mod(rank + j * cur, n),
+                          PlanBuffer::kScratch, whole_blocks(j * cur, cur),
+                          window_ids(rank, j * cur, cur));
+      }
+    }
+    plan->end_round();
+    cur *= (k + 1);
+  }
+  BRUCK_ENSURE(cur == n1);
+
+  if (n2 > 0) {
+    // Column-granular final round: the n2 remaining block-columns travel as
+    // whole blocks, at most n1 per port (chunk m covers columns
+    // [m·n1, (m+1)·n1), offset (m+1)·n1) — the span constraint of
+    // Proposition 4.2 holds because each chunk fits the sender's window.
+    plan->begin_round();
+    for (std::int64_t m = 0; m * n1 < n2; ++m) {
+      const std::int64_t first = m * n1;
+      const std::int64_t count = std::min<std::int64_t>(n1, n2 - first);
+      const std::int64_t offset = n1 + first;
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        plan->add_message(rank, true, pos_mod(rank - offset, n),
+                          PlanBuffer::kScratch, whole_blocks(0, count),
+                          window_ids(rank, 0, count));
+        plan->add_message(rank, false, pos_mod(rank + offset, n),
+                          PlanBuffer::kScratch, whole_blocks(offset, count),
+                          window_ids(rank, offset, count));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concatv_folklore(std::int64_t n, int k,
+                                                         int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kConcat, "folklorev", n, k, PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopySendToScratch0;
+  plan->epilogue_ = PlanEpilogue::kScratchToRecvAtRoot;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+  const int d = ceil_log(n, 2);
+
+  // Gather-phase scratch at rank ρ is the *linear* window [ρ, ρ + seg):
+  // slot t holds rank ρ + t's block (no wraparound — segments never cross
+  // n).  Broadcast-phase traffic is the full concatenation in rank order.
+  const auto linear_ids = [](std::int64_t rank, std::int64_t first,
+                             std::int64_t count) {
+    std::vector<std::int64_t> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t t = 0; t < count; ++t) {
+      ids.push_back(rank + first + t);
+    }
+    return ids;
+  };
+  const auto identity_ids = [](std::int64_t count) {
+    std::vector<std::int64_t> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t t = 0; t < count; ++t) ids.push_back(t);
+    return ids;
+  };
+
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == stride) {
+        const std::int64_t seg = topo::binomial_gather_segment(n, rank, i);
+        plan->add_message(rank, true, rank - stride, PlanBuffer::kScratch,
+                          whole_blocks(0, seg), linear_ids(rank, 0, seg));
+      } else if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        const std::int64_t seg =
+            topo::binomial_gather_segment(n, rank + stride, i);
+        plan->add_message(rank, false, rank + stride, PlanBuffer::kScratch,
+                          whole_blocks(stride, seg),
+                          linear_ids(rank, stride, seg));
+      }
+    }
+    plan->end_round();
+  }
+
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        plan->add_message(
+            rank, true, rank + stride,
+            rank == 0 ? PlanBuffer::kScratch : PlanBuffer::kUserRecv,
+            whole_blocks(0, n), identity_ids(n));
+      } else if (pos_mod(rank, 2 * stride) == stride) {
+        plan->add_message(rank, false, rank - stride, PlanBuffer::kUserRecv,
+                          whole_blocks(0, n), identity_ids(n));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_concatv_ring(std::int64_t n, int k,
+                                                     int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kConcat, "ringv", n, k, PlanCell::kWholeBlock));
+  plan->irregular_ = true;
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopySendToRecvOwnSlot;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+
+  // Recv-buffer slot i always holds rank i's block, so identity == slot.
+  for (std::int64_t t = 0; t < n - 1; ++t) {
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      const std::int64_t succ = pos_mod(rank + 1, n);
+      const std::int64_t pred = pos_mod(rank - 1, n);
+      const std::int64_t fwd = pos_mod(rank - t, n);
+      const std::int64_t got = pos_mod(rank - t - 1, n);
+      plan->add_message(rank, true, succ, PlanBuffer::kUserRecv,
+                        one_block(fwd), {fwd});
+      plan->add_message(rank, false, pred, PlanBuffer::kUserRecv,
+                        one_block(got), {got});
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
 
 std::string Plan::describe() const {
   std::ostringstream os;
   os << "plan " << (collective_ == PlanCollective::kIndex ? "index" : "concat")
      << "/" << algorithm_ << ": n=" << n_ << " k=" << k_;
-  if (block_bytes_ == PlanCell::kWholeBlock) {
+  if (irregular_) {
+    os << " (irregular: sizes resolve per shape; per-message figures below "
+          "count whole block slots)";
+  } else if (block_bytes_ == PlanCell::kWholeBlock) {
     os << " (block-size independent)";
   } else {
     os << " b=" << block_bytes_;

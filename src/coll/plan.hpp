@@ -34,6 +34,17 @@
 // so one plan serves every block_bytes (sizes are resolved at run time).
 // Concat plans are lowered for one exact block size, because the last
 // round's byte-split table partition (Section 4.2) depends on b.
+//
+// Irregular (vector) collectives — alltoallv / allgatherv — lower through
+// the same machinery.  An irregular plan is *shape-free*: its cells still
+// reference whole block slots, but each cell additionally records the
+// *identity* of its occupant block (which (source, destination) pair for
+// index plans, which source rank for concat plans), and the actual byte
+// counts, the caller's buffer displacements, and the scratch padding
+// stride all resolve at run time from a `VectorView`.  Bruck-style
+// algorithms run over a max-padded scratch (every slot is pad_bytes wide)
+// with on-the-wire trimming: each message ships only the occupant's true
+// bytes, looked up through the cell's recorded identity.
 #pragma once
 
 #include <cstdint>
@@ -114,6 +125,27 @@ struct PlanExecution {
   std::int64_t bytes_sent = 0;   ///< this rank's total payload bytes
 };
 
+/// Run-time shape of one irregular (vector) plan execution.  Irregular
+/// plans are lowered shape-free; the view supplies the actual byte counts
+/// and the caller's buffer layouts.  Every rank of one collective call must
+/// pass the same `counts` and `pad_bytes` (the usual "the count matrix was
+/// allgathered first" situation); displacements are per-rank local.
+/// Blocks addressed by the displacements must not overlap.
+struct VectorView {
+  /// Byte counts.  Index plans read counts[src * n + dst] — the full n×n
+  /// matrix; concat plans read counts[src] — n entries.
+  std::span<const std::int64_t> counts;
+  /// Byte offset of block slot j in the caller's send buffer (index plans
+  /// only; concat plans send a single block and ignore this).
+  std::span<const std::int64_t> send_displs;
+  /// Byte offset of block slot i in the caller's recv buffer.
+  std::span<const std::int64_t> recv_displs;
+  /// Scratch slot stride: the maximum count over the whole shape.  All
+  /// ranks share one plan and one padded scratch layout, so this must be
+  /// globally agreed (the facade computes it from `counts`).
+  std::int64_t pad_bytes = 0;
+};
+
 class Plan {
  public:
   [[nodiscard]] PlanCollective collective() const { return collective_; }
@@ -126,12 +158,20 @@ class Plan {
   [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
   /// Wire segments per message under the pipelined executor (1 = off).
   [[nodiscard]] int segments() const { return segments_; }
+  /// True for irregular (vector) plans: sizes and buffer layouts resolve at
+  /// run time from a VectorView instead of a uniform block size.
+  [[nodiscard]] bool irregular() const { return irregular_; }
 
   /// Execute this rank's program with the blocking round-by-round executor.
   /// For index plans `send`/`recv` hold n blocks of `block_bytes` each; for
   /// concat plans `send` is one block and `block_bytes` must equal the
   /// plan's.  Returns the next free round and the bytes this rank put on
   /// the wire.
+  ///
+  /// Blocking: returns once all of this rank's receives have landed.
+  /// Thread safety: Plan is immutable after lowering — any number of rank
+  /// threads may execute one shared plan concurrently.  Trace: one send
+  /// event per nonzero message at its round (segmentation invisible).
   PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, std::int64_t block_bytes,
                     int start_round = 0) const;
@@ -144,6 +184,23 @@ class Plan {
                               std::span<const std::byte> send,
                               std::span<std::byte> recv,
                               std::int64_t block_bytes,
+                              int start_round = 0) const;
+
+  /// Execute an irregular plan with the blocking executor.  For index plans
+  /// `send`/`recv` are laid out by view.send_displs/view.recv_displs; for
+  /// concat plans `send` is this rank's single block (view.counts[rank]
+  /// bytes) and `recv` is laid out by view.recv_displs.  Blocks with a zero
+  /// count never touch the fabric (the round is still counted).
+  PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, const VectorView& view,
+                    int start_round = 0) const;
+
+  /// Execute an irregular plan with the pipelined executor.  Same contract,
+  /// results, and trace accounting as the blocking overload.
+  PlanExecution run_pipelined(mps::Communicator& comm,
+                              std::span<const std::byte> send,
+                              std::span<std::byte> recv,
+                              const VectorView& view,
                               int start_round = 0) const;
 
   /// Data-free view of the whole pattern (all ranks), for cross-checking
@@ -179,6 +236,31 @@ class Plan {
   static std::shared_ptr<const Plan> lower_concat_ring(
       std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
 
+  // -- Irregular (vector) lowering entry points ----------------------------
+  //
+  // All irregular plans are shape-free (see the file comment): one lowering
+  // serves every shape of the same (algorithm, n, k, radix) structure.  The
+  // Bruck variants route through a max-padded scratch and trim every wire
+  // message to the occupant block's true size.
+
+  static std::shared_ptr<const Plan> lower_indexv_bruck(std::int64_t n, int k,
+                                                        std::int64_t radix,
+                                                        int segments = 1);
+  static std::shared_ptr<const Plan> lower_indexv_direct(std::int64_t n, int k,
+                                                         int segments = 1);
+  static std::shared_ptr<const Plan> lower_indexv_pairwise(std::int64_t n,
+                                                           int k,
+                                                           int segments = 1);
+  /// Irregular concat Bruck always uses the column-granular last round (the
+  /// byte-split partition of Section 4.2 needs one concrete uniform b).
+  static std::shared_ptr<const Plan> lower_concatv_bruck(std::int64_t n, int k,
+                                                         int segments = 1);
+  static std::shared_ptr<const Plan> lower_concatv_folklore(std::int64_t n,
+                                                            int k,
+                                                            int segments = 1);
+  static std::shared_ptr<const Plan> lower_concatv_ring(std::int64_t n, int k,
+                                                        int segments = 1);
+
  private:
   struct RankProgram {
     std::vector<PlanMessage> sends;
@@ -194,15 +276,26 @@ class Plan {
   Plan(PlanCollective collective, std::string algorithm, std::int64_t n, int k,
        std::int64_t block_bytes);
 
+  /// One execution's resolved size/layout context, shared by both
+  /// executors: uniform runs carry the block size; irregular runs carry the
+  /// VectorView (and use `b` as the padded scratch stride).
+  struct Extents {
+    std::int64_t b = 0;
+    const VectorView* view = nullptr;  // null for uniform plans
+  };
+
   /// Open/close one round across all ranks; messages added in between
   /// belong to it.  end_round advances the plan's round counter.
   void begin_round();
   void end_round();
 
   /// Append a message to `rank`'s program, computing `contiguous` from the
-  /// cells.
+  /// cells.  Irregular plans must pass `blocks` — one occupant-block id per
+  /// cell (index plans: src·n + dst into the count matrix; concat plans:
+  /// the source rank) — so run time can resolve each cell's true size.
   void add_message(std::int64_t rank, bool is_send, std::int64_t peer,
-                   PlanBuffer buffer, const std::vector<PlanCell>& cells);
+                   PlanBuffer buffer, const std::vector<PlanCell>& cells,
+                   const std::vector<std::int64_t>& blocks = {});
 
   /// Validate the lowered pattern against the k-port model and precompute
   /// run-time flags.
@@ -213,6 +306,18 @@ class Plan {
   [[nodiscard]] std::int64_t message_bytes(const PlanMessage& m,
                                            std::int64_t b) const;
 
+  // Run-time resolution of one cell under an execution's Extents: its byte
+  // length (the occupant's true size for irregular plans, trimmed against
+  // the cell's [lo, hi) byte range) and its byte offset in its buffer
+  // (slot-strided for uniform plans and scratch; displacement-table for the
+  // user buffers of irregular plans).
+  [[nodiscard]] std::int64_t cell_len(std::uint32_t ci,
+                                      const Extents& ex) const;
+  [[nodiscard]] std::int64_t cell_offset(std::uint32_t ci, PlanBuffer buffer,
+                                         const Extents& ex) const;
+  [[nodiscard]] std::int64_t resolved_message_bytes(const PlanMessage& m,
+                                                    const Extents& ex) const;
+
   /// Compute every rank's pipeline_safe vector (part of finalize()).
   void compute_pipeline_safety();
 
@@ -220,19 +325,33 @@ class Plan {
   void check_run_contract(const mps::Communicator& comm,
                           std::span<const std::byte> send,
                           std::span<std::byte> recv, std::int64_t b) const;
+  void check_vector_contract(const mps::Communicator& comm,
+                             std::span<const std::byte> send,
+                             std::span<std::byte> recv,
+                             const VectorView& view) const;
   void apply_prologue(std::span<const std::byte> send,
                       std::span<std::byte> recv, std::span<std::byte> scratch,
-                      std::int64_t rank, std::int64_t b) const;
+                      std::int64_t rank, const Extents& ex) const;
   void apply_epilogue(std::span<std::byte> recv,
                       std::span<const std::byte> scratch, std::int64_t rank,
-                      std::int64_t b) const;
+                      const Extents& ex) const;
   /// Gather a non-contiguous message's cells into a fresh wire buffer.
   [[nodiscard]] std::vector<std::byte> pack_message(
       const PlanMessage& m, std::span<const std::byte> src,
-      std::int64_t b) const;
+      const Extents& ex) const;
   /// Scatter a received non-contiguous message's bytes into its cells.
   void scatter_message(const PlanMessage& m, std::span<std::byte> dst,
-                       const std::byte* data, std::int64_t b) const;
+                       const std::byte* data, const Extents& ex) const;
+
+  // The executor bodies both public run flavors funnel into.
+  PlanExecution run_blocking_impl(mps::Communicator& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv, const Extents& ex,
+                                  int start_round) const;
+  PlanExecution run_pipelined_impl(mps::Communicator& comm,
+                                   std::span<const std::byte> send,
+                                   std::span<std::byte> recv,
+                                   const Extents& ex, int start_round) const;
 
   PlanCollective collective_;
   std::string algorithm_;
@@ -241,10 +360,15 @@ class Plan {
   std::int64_t block_bytes_;  // kWholeBlock for index plans
   int segments_ = 1;
   int round_count_ = 0;
+  bool irregular_ = false;
   bool needs_scratch_ = false;
   PlanPrologue prologue_ = PlanPrologue::kNone;
   PlanEpilogue epilogue_ = PlanEpilogue::kNone;
   std::vector<PlanCell> cells_;
+  /// Irregular plans only: cells_[i]'s occupant-block id (index plans:
+  /// src·n + dst; concat plans: source rank), parallel to cells_.  Empty
+  /// for uniform plans.
+  std::vector<std::int64_t> cell_block_;
   std::vector<RankProgram> programs_;  // one per rank
 };
 

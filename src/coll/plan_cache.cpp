@@ -1,5 +1,7 @@
 #include "coll/plan_cache.hpp"
 
+#include <bit>
+
 #include "util/assert.hpp"
 
 namespace bruck::coll {
@@ -19,7 +21,25 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   mix(key.strategy);
   mix(static_cast<std::uint64_t>(key.block_class));
   mix(static_cast<std::uint64_t>(key.segments));
+  mix(key.shape_digest);
   return static_cast<std::size_t>(h);
+}
+
+std::uint64_t shape_digest(std::span<const std::int64_t> counts) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(counts.size());
+  for (const std::int64_t c : counts) {
+    // log2 size-class bucketing: 0 is its own bucket, otherwise the bit
+    // width.  Counts that only jitter within a size class digest equal.
+    mix(c == 0 ? 0
+               : static_cast<std::uint64_t>(
+                     std::bit_width(static_cast<std::uint64_t>(c))));
+  }
+  return h == 0 ? 1 : h;
 }
 
 PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
@@ -62,9 +82,61 @@ PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
   return key;
 }
 
+PlanKey indexv_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
+                        std::int64_t radix, std::uint64_t digest,
+                        int segments) {
+  PlanKey key = index_plan_key(algorithm, n, k, radix, segments);
+  BRUCK_REQUIRE_MSG(digest != 0, "vector keys need a nonzero shape digest");
+  key.shape_digest = digest;
+  return key;
+}
+
+PlanKey concatv_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
+                         std::uint64_t digest, int segments) {
+  // Strategy never enters vector keys: irregular concat Bruck is always
+  // column-granular.
+  PlanKey key = concat_plan_key(algorithm, n, k,
+                                model::ConcatLastRound::kColumnGranular,
+                                /*block_bytes=*/0, segments);
+  BRUCK_REQUIRE_MSG(digest != 0, "vector keys need a nonzero shape digest");
+  key.strategy = 0;
+  key.shape_digest = digest;
+  return key;
+}
+
 namespace {
 
 std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
+  if (key.shape_digest != 0) {
+    // Irregular plans are shape-free: the digest splits cache entries but
+    // never changes the lowering inputs.
+    if (key.collective == PlanCollective::kIndex) {
+      switch (static_cast<IndexAlgorithm>(key.algorithm)) {
+        case IndexAlgorithm::kBruck:
+          return Plan::lower_indexv_bruck(key.n, key.k, key.radix,
+                                          key.segments);
+        case IndexAlgorithm::kDirect:
+          return Plan::lower_indexv_direct(key.n, key.k, key.segments);
+        case IndexAlgorithm::kPairwise:
+          return Plan::lower_indexv_pairwise(key.n, key.k, key.segments);
+        case IndexAlgorithm::kAuto:
+          break;
+      }
+    } else {
+      switch (static_cast<ConcatAlgorithm>(key.algorithm)) {
+        case ConcatAlgorithm::kBruck:
+          return Plan::lower_concatv_bruck(key.n, key.k, key.segments);
+        case ConcatAlgorithm::kFolklore:
+          return Plan::lower_concatv_folklore(key.n, key.k, key.segments);
+        case ConcatAlgorithm::kRing:
+          return Plan::lower_concatv_ring(key.n, key.k, key.segments);
+        case ConcatAlgorithm::kAuto:
+          break;
+      }
+    }
+    BRUCK_ENSURE_MSG(false, "unloweable vector plan key");
+    return nullptr;
+  }
   if (key.collective == PlanCollective::kIndex) {
     switch (static_cast<IndexAlgorithm>(key.algorithm)) {
       case IndexAlgorithm::kBruck:

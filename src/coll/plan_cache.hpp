@@ -12,6 +12,13 @@
 // share it, so the first collective call on a new geometry lowers once and
 // every other rank (and every later call) takes the hit path — zero
 // re-planning work.
+// Irregular (vector) plans add a *shape digest* to the key: a hash of the
+// log2-bucketed count vector (bucket(c) = bit_width(c), with 0 its own
+// bucket).  Irregular plans are shape-free — any same-structure plan
+// executes any shape correctly — so bucketing is purely a cache policy:
+// a skewed workload whose counts jitter within size classes keeps hitting
+// one plan, while a genuinely different shape (different buckets) lowers
+// its own entry.  A digest of 0 marks a uniform key.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "coll/api.hpp"
@@ -46,6 +54,9 @@ struct PlanKey {
   /// workload alternating between a small-b and a large-b auto-tuned call),
   /// bounded by the LRU capacity — never per-call re-planning.
   int segments = 1;
+  /// 0 for uniform plans; the bucketed shape digest (never 0) for irregular
+  /// (vector) plans.  See the file comment.
+  std::uint64_t shape_digest = 0;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -67,6 +78,28 @@ struct PlanKeyHash {
                                       model::ConcatLastRound strategy,
                                       std::int64_t block_bytes,
                                       int segments = 1);
+
+/// Digest of an irregular shape for plan-cache keying: FNV-1a over the
+/// log2 bucket of every count (bit_width(c); 0 stays its own bucket).
+/// Deterministic, never 0.  Two shapes in the same buckets share a plan
+/// (correct for any shape — irregular plans resolve sizes at run time);
+/// shapes in different buckets key separate entries.
+[[nodiscard]] std::uint64_t shape_digest(
+    std::span<const std::int64_t> counts);
+
+/// Make the key of an irregular index plan (`algorithm` must not be kAuto;
+/// `digest` from shape_digest over the n×n count matrix).
+[[nodiscard]] PlanKey indexv_plan_key(IndexAlgorithm algorithm, std::int64_t n,
+                                      int k, std::int64_t radix,
+                                      std::uint64_t digest, int segments = 1);
+
+/// Make the key of an irregular concat plan (`digest` from shape_digest
+/// over the n per-rank counts).  Irregular concat Bruck always lowers the
+/// column-granular last round, so no strategy enters the key.
+[[nodiscard]] PlanKey concatv_plan_key(ConcatAlgorithm algorithm,
+                                       std::int64_t n, int k,
+                                       std::uint64_t digest,
+                                       int segments = 1);
 
 struct PlanCacheStats {
   std::uint64_t hits = 0;

@@ -25,6 +25,8 @@ struct ConcatViaIndexOptions {
 /// Concatenation implemented by the Proposition 2.3 reduction: replicate
 /// this rank's block n times, run the index operation, and the receive
 /// buffer is the concatenation.  Same buffer contract as concat_bruck.
+/// Blocking/thread-safety/trace behavior is the underlying index
+/// algorithm's (index_bruck.hpp).
 int concat_via_index(mps::Communicator& comm, std::span<const std::byte> send,
                      std::span<std::byte> recv, std::int64_t block_bytes,
                      const ConcatViaIndexOptions& options = {});

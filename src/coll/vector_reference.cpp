@@ -1,0 +1,116 @@
+#include "coll/vector_reference.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace bruck::coll {
+
+int alltoallv_reference(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv,
+                        std::span<const std::int64_t> counts,
+                        std::span<const std::int64_t> send_displs,
+                        std::span<const std::int64_t> recv_displs,
+                        const VectorReferenceOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const int k = comm.ports();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(counts.size()) == n * n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send_displs.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv_displs.size()) == n);
+  const auto out_bytes = [&](std::int64_t dst) {
+    return counts[static_cast<std::size_t>(rank * n + dst)];
+  };
+  const auto in_bytes = [&](std::int64_t src) {
+    return counts[static_cast<std::size_t>(src * n + rank)];
+  };
+
+  // Own block never touches the network.
+  if (out_bytes(rank) > 0) {
+    std::memcpy(recv.data() + recv_displs[static_cast<std::size_t>(rank)],
+                send.data() + send_displs[static_cast<std::size_t>(rank)],
+                static_cast<std::size_t>(out_bytes(rank)));
+  }
+  int round = options.start_round;
+  if (n == 1) return round;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    std::vector<mps::SendSpec> sends;
+    std::vector<mps::RecvSpec> recvs;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const std::int64_t dst = pos_mod(rank + j, n);
+      const std::int64_t src = pos_mod(rank - j, n);
+      if (out_bytes(dst) > 0) {
+        sends.push_back(mps::SendSpec{
+            dst, send.subspan(
+                     static_cast<std::size_t>(
+                         send_displs[static_cast<std::size_t>(dst)]),
+                     static_cast<std::size_t>(out_bytes(dst)))});
+      }
+      if (in_bytes(src) > 0) {
+        recvs.push_back(mps::RecvSpec{
+            src, recv.subspan(
+                     static_cast<std::size_t>(
+                         recv_displs[static_cast<std::size_t>(src)]),
+                     static_cast<std::size_t>(in_bytes(src)))});
+      }
+    }
+    if (!sends.empty() || !recvs.empty()) comm.exchange(round, sends, recvs);
+    ++round;
+  }
+  return round;
+}
+
+int allgatherv_reference(mps::Communicator& comm,
+                         std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         std::span<const std::int64_t> counts,
+                         std::span<const std::int64_t> recv_displs,
+                         const VectorReferenceOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const int k = comm.ports();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(counts.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv_displs.size()) == n);
+  const std::int64_t own = counts[static_cast<std::size_t>(rank)];
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == own);
+
+  if (own > 0) {
+    std::memcpy(recv.data() + recv_displs[static_cast<std::size_t>(rank)],
+                send.data(), static_cast<std::size_t>(own));
+  }
+  int round = options.start_round;
+  if (n == 1) return round;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    std::vector<mps::SendSpec> sends;
+    std::vector<mps::RecvSpec> recvs;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const std::int64_t dst = pos_mod(rank + j, n);
+      const std::int64_t src = pos_mod(rank - j, n);
+      if (own > 0) {
+        sends.push_back(
+            mps::SendSpec{dst, send.subspan(0, static_cast<std::size_t>(own))});
+      }
+      const std::int64_t in = counts[static_cast<std::size_t>(src)];
+      if (in > 0) {
+        recvs.push_back(mps::RecvSpec{
+            src, recv.subspan(
+                     static_cast<std::size_t>(
+                         recv_displs[static_cast<std::size_t>(src)]),
+                     static_cast<std::size_t>(in))});
+      }
+    }
+    if (!sends.empty() || !recvs.empty()) comm.exchange(round, sends, recvs);
+    ++round;
+  }
+  return round;
+}
+
+}  // namespace bruck::coll

@@ -1,0 +1,51 @@
+// The irregular (vector) cross-check oracle: a direct per-pair exchange
+// that re-derives nothing and shares no code with the plan engine.  Rank r
+// exchanges with ring-distance-j peers, k distances per round, shipping
+// exactly counts[r][dst] bytes to each destination — the irregular
+// counterpart of index_direct, and the substrate every compiled vector
+// path is tested against (`ExecutionPath::kReference`).
+//
+// Both calls block until all of this rank's receives have landed (they run
+// through Communicator::exchange round by round).  Thread-safe in the SPMD
+// sense: each rank thread passes its own buffers.  Trace: one send event
+// per nonzero message at its round, exactly like the compiled direct plan,
+// so oracle and plan traces are comparable transfer-for-transfer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mps/communicator.hpp"
+
+namespace bruck::coll {
+
+struct VectorReferenceOptions {
+  int start_round = 0;
+};
+
+/// Direct per-pair irregular all-to-all.  `counts` is the full n×n matrix
+/// (counts[i*n + j] = bytes rank i sends to rank j, identical on every
+/// rank); `send_displs`/`recv_displs` give each block's byte offset in the
+/// caller's buffers (n entries each, non-overlapping blocks).  Zero-count
+/// pairs never touch the fabric.  Returns the next free round index —
+/// always start_round + ⌈(n−1)/k⌉ for n > 1.
+int alltoallv_reference(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv,
+                        std::span<const std::int64_t> counts,
+                        std::span<const std::int64_t> send_displs,
+                        std::span<const std::int64_t> recv_displs,
+                        const VectorReferenceOptions& options = {});
+
+/// Direct per-pair irregular allgather.  `send` is this rank's block
+/// (counts[rank] bytes); `recv` holds block i at recv_displs[i] with
+/// counts[i] bytes.  Same round structure and blocking behavior as
+/// alltoallv_reference.
+int allgatherv_reference(mps::Communicator& comm,
+                         std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         std::span<const std::int64_t> counts,
+                         std::span<const std::int64_t> recv_displs,
+                         const VectorReferenceOptions& options = {});
+
+}  // namespace bruck::coll

@@ -3,6 +3,10 @@
 // (seed, source rank, block id, offset), so any rank — and any test — can
 // check any delivered block without global state, and a misrouted or
 // corrupted block is detected at its first byte.
+//
+// All functions here are pure local computation: never blocking, no
+// fabric or trace side effects, safe to call concurrently on disjoint
+// buffers.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "model/tuner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -127,14 +128,137 @@ RadixChoice pick_index_radix_cached(std::int64_t n, int k,
   return choice;
 }
 
+VectorIndexChoice pick_indexv(std::int64_t n, int k, std::int64_t total_bytes,
+                              std::int64_t max_pair_bytes,
+                              const LinearModel& machine, RadixSet set) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(total_bytes >= 0);
+  BRUCK_REQUIRE(max_pair_bytes >= 0);
+  BRUCK_REQUIRE(max_pair_bytes <= total_bytes);
+  VectorIndexChoice out;
+  if (total_bytes == 0 || n == 1) {
+    // Nothing on the wire: direct degenerates to pure round counting.
+    out.direct = true;
+    out.radix = std::max<std::int64_t>(2, n);
+    out.predicted = index_direct_cost(n, k, 0);
+    out.predicted_us = machine.predict_us(out.predicted);
+    return out;
+  }
+  const std::int64_t mean = std::max<std::int64_t>(
+      1, (total_bytes + n * n - 1) / (n * n));
+  const RadixChoice bruck = pick_index_radix(n, k, mean, machine, set);
+  const CostMetrics direct = index_direct_cost(n, k, max_pair_bytes);
+  const double direct_us = machine.predict_us(direct);
+  if (direct_us <= bruck.predicted_us) {
+    out.direct = true;
+    out.radix = std::max<std::int64_t>(2, n);
+    out.predicted = direct;
+    out.predicted_us = direct_us;
+  } else {
+    out.direct = false;
+    out.radix = bruck.radix;
+    out.predicted = bruck.metrics;
+    out.predicted_us = bruck.predicted_us;
+  }
+  return out;
+}
+
+namespace {
+
+// (n, k, log2 bucket of total, log2 bucket of max, set, β bits, τ bits).
+using VectorTunerKey = std::tuple<std::int64_t, int, int, int, int,
+                                  std::uint64_t, std::uint64_t>;
+
+struct VectorTunerCache {
+  std::mutex mu;
+  std::map<VectorTunerKey, VectorIndexChoice> entries;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+VectorTunerCache& vector_tuner_cache() {
+  static VectorTunerCache cache;
+  return cache;
+}
+
+int log2_bucket(std::int64_t v) {
+  return v == 0 ? 0
+               : std::bit_width(static_cast<std::uint64_t>(v));
+}
+
+/// Representative value of a bucket (its upper bound): every input in a
+/// bucket computes with the same value, so the cached decision is exact for
+/// the whole bucket, not just its first caller.
+std::int64_t bucket_ceiling(int bucket) {
+  return bucket == 0 ? 0 : (std::int64_t{1} << bucket) - 1;
+}
+
+}  // namespace
+
+VectorIndexChoice pick_indexv_cached(std::int64_t n, int k,
+                                     std::int64_t total_bytes,
+                                     std::int64_t max_pair_bytes,
+                                     const LinearModel& machine,
+                                     RadixSet set) {
+  const int total_bucket = log2_bucket(total_bytes);
+  const int max_bucket = log2_bucket(max_pair_bytes);
+  const VectorTunerKey key{n,
+                           k,
+                           total_bucket,
+                           max_bucket,
+                           static_cast<int>(set),
+                           double_bits(machine.beta_us),
+                           double_bits(machine.tau_us_per_byte)};
+  VectorTunerCache& cache = vector_tuner_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      ++cache.hits;
+      return it->second;
+    }
+  }
+  // Compute from the bucket ceilings, not the raw inputs, so every caller
+  // in a bucket gets the identical (cache-key-stable) decision.
+  const std::int64_t total_rep =
+      std::max(bucket_ceiling(total_bucket), bucket_ceiling(max_bucket));
+  const VectorIndexChoice choice = pick_indexv(
+      n, k, total_rep, bucket_ceiling(max_bucket), machine, set);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    ++cache.misses;
+    cache.entries.emplace(key, choice);
+  }
+  return choice;
+}
+
 TunerCacheStats tuner_cache_stats() {
-  TunerCache& cache = tuner_cache();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  return TunerCacheStats{cache.hits, cache.misses};
+  TunerCacheStats out;
+  {
+    TunerCache& cache = tuner_cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    out.hits = cache.hits;
+    out.misses = cache.misses;
+  }
+  {
+    VectorTunerCache& cache = vector_tuner_cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    out.hits += cache.hits;
+    out.misses += cache.misses;
+  }
+  return out;
 }
 
 void clear_tuner_cache() {
-  TunerCache& cache = tuner_cache();
+  {
+    TunerCache& cache = tuner_cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.entries.clear();
+    cache.hits = 0;
+    cache.misses = 0;
+  }
+  VectorTunerCache& cache = vector_tuner_cache();
   std::lock_guard<std::mutex> lock(cache.mu);
   cache.entries.clear();
   cache.hits = 0;

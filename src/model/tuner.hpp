@@ -58,6 +58,47 @@ struct TunerCacheStats {
 [[nodiscard]] TunerCacheStats tuner_cache_stats();
 void clear_tuner_cache();
 
+// ---------------------------------------------------------------------------
+// Irregular (vector) index tuning.  A skewed alltoallv has no single block
+// size to tune from; the pick is driven by the shape's aggregate
+// statistics: the total bytes of the whole n×n exchange and the heaviest
+// single (source, destination) pair.
+
+struct VectorIndexChoice {
+  /// True: run direct exchange.  False: run Bruck with `radix`.
+  bool direct = false;
+  std::int64_t radix = 2;
+  /// Modeled measures of the winning algorithm (see pick_indexv for the
+  /// effective block sizes used).
+  CostMetrics predicted;
+  double predicted_us = 0.0;
+};
+
+/// Pick algorithm + radix for an irregular index operation.  Direct
+/// exchange is modeled at `max_pair_bytes` (its rounds are gated by the
+/// heaviest message, and it never forwards); Bruck is modeled at the mean
+/// pair size (max-padding only pads the local scratch — the wire carries
+/// trimmed true sizes, so forwarded traffic scales with the mean).  A
+/// heavily skewed shape (large max, small mean) therefore leans direct,
+/// while many small blocks lean Bruck, matching the paper's uniform
+/// trade-off in the two degenerate cases.  Pure function; never blocks.
+[[nodiscard]] VectorIndexChoice pick_indexv(std::int64_t n, int k,
+                                            std::int64_t total_bytes,
+                                            std::int64_t max_pair_bytes,
+                                            const LinearModel& machine,
+                                            RadixSet set = RadixSet::kAll);
+
+/// Memoized pick_indexv, keyed on the log2-bucketed (total, max) — the
+/// same size-class bucketing as the PlanCache's shape digest, so a skewed
+/// workload whose counts jitter within size classes reuses one decision
+/// (and thereby one plan-cache key).  The bucketed inputs also feed the
+/// computation, keeping the decision constant across each bucket.
+/// Thread-safe; shares the tuner cache counters.
+[[nodiscard]] VectorIndexChoice pick_indexv_cached(
+    std::int64_t n, int k, std::int64_t total_bytes,
+    std::int64_t max_pair_bytes, const LinearModel& machine,
+    RadixSet set = RadixSet::kAll);
+
 /// The full modeled trade-off curve: one entry per candidate radix.
 [[nodiscard]] std::vector<RadixChoice> index_radix_curve(
     std::int64_t n, int k, std::int64_t block_bytes, const LinearModel& machine,

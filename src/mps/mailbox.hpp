@@ -21,6 +21,10 @@
 
 namespace bruck::mps {
 
+/// Thread safety: every method is internally synchronized on one mutex per
+/// mailbox; `push` is wait-free with respect to receivers (sends never
+/// block).  Trace: the mailbox records nothing — trace events are the
+/// sender's post-time responsibility.
 class Mailbox {
  public:
   Mailbox() = default;

@@ -69,6 +69,13 @@ class Fabric {
   std::barrier<> barrier_;
 };
 
+/// Blocking/thread-safety/trace contract: a ThreadComm belongs to exactly
+/// one rank thread — only that thread may call it.  post_send/post_recv
+/// never block; test_recv is truly nonblocking here; wait_* block up to
+/// the fabric's recv_timeout and then throw ContractViolation naming the
+/// still-awaited sources.  The trace records each logical send once at
+/// post time (one event regardless of wire segmentation) into this rank's
+/// private sink.
 class ThreadComm final : public Communicator {
  public:
   ThreadComm(Fabric& fabric, std::int64_t rank);

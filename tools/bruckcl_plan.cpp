@@ -4,6 +4,7 @@
 //   bruckcl_plan concat  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]
 //   bruckcl_plan rounds  <n> <k> <block_bytes> <radix>
 //   bruckcl_plan compile <n> <k> <block_bytes> [radix]
+//   bruckcl_plan compile <n> <k> <counts_file> [radix]
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
@@ -12,11 +13,20 @@
 // execution plans the facade's hot path runs (index with the tuned — or
 // given — radix, plus the concat plan) and prints their anatomy.
 //
+// When `compile`'s third argument is a file instead of a number, it is read
+// as a whitespace-separated irregular shape: n*n integers make an alltoallv
+// count matrix (counts[i*n+j] = bytes rank i sends to rank j), n integers an
+// allgatherv per-rank count vector.  The tool then prints the shape's
+// statistics, the vector tuner's pick, the shape digest the PlanCache keys
+// on, and the irregular plan's anatomy.
+//
 // Defaults for (beta, tau) are the paper's SP-1 measurements.
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "coll/plan.hpp"
 #include "coll/plan_cache.hpp"
@@ -35,7 +45,10 @@ int usage() {
             << "  bruckcl_plan index   <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
             << "  bruckcl_plan concat  <n> <k> <block_bytes> [beta_us] [tau_us_per_byte]\n"
             << "  bruckcl_plan rounds  <n> <k> <block_bytes> <radix>\n"
-            << "  bruckcl_plan compile <n> <k> <block_bytes> [radix]\n";
+            << "  bruckcl_plan compile <n> <k> <block_bytes> [radix]\n"
+            << "  bruckcl_plan compile <n> <k> <counts_file> [radix]\n"
+            << "    counts_file: n*n whitespace-separated integers (alltoallv\n"
+            << "    matrix) or n integers (allgatherv per-rank counts)\n";
   return 2;
 }
 
@@ -134,6 +147,77 @@ int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
   return 0;
 }
 
+int cmd_compile_counts(std::int64_t n, int k, const std::string& path,
+                       std::int64_t radix) {
+  namespace coll = bruck::coll;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open counts file " << path << '\n';
+    return 1;
+  }
+  std::vector<std::int64_t> counts;
+  std::int64_t v = 0;
+  while (in >> v) {
+    if (v < 0) {
+      std::cerr << "error: counts must be non-negative\n";
+      return 1;
+    }
+    counts.push_back(v);
+  }
+  const bool index = static_cast<std::int64_t>(counts.size()) == n * n;
+  if (!index && static_cast<std::int64_t>(counts.size()) != n) {
+    std::cerr << "error: counts file holds " << counts.size()
+              << " values; expected n*n = " << n * n
+              << " (alltoallv) or n = " << n << " (allgatherv)\n";
+    return 1;
+  }
+
+  std::int64_t total = 0;
+  std::int64_t max_pair = 0;
+  std::int64_t zeros = 0;
+  for (const std::int64_t c : counts) {
+    total += c;
+    max_pair = std::max(max_pair, c);
+    if (c == 0) ++zeros;
+  }
+  const std::uint64_t digest = coll::shape_digest(counts);
+  std::cout << (index ? "alltoallv" : "allgatherv") << " shape: n = " << n
+            << ", k = " << k << "; total " << total << " bytes, heaviest "
+            << (index ? "pair " : "block ") << max_pair << " bytes, " << zeros
+            << " empty " << (index ? "pairs" : "blocks")
+            << "; max-padding stride " << max_pair << " bytes\n"
+            << "shape digest (log2-bucketed): 0x" << std::hex << digest
+            << std::dec << "\n\n";
+
+  coll::PlanCache& cache = coll::PlanCache::global();
+  if (index) {
+    coll::IndexAlgorithm algorithm = coll::IndexAlgorithm::kBruck;
+    if (radix == 0) {
+      const bruck::model::VectorIndexChoice choice =
+          bruck::model::pick_indexv_cached(n, k, total, max_pair,
+                                           bruck::model::ibm_sp1());
+      algorithm = choice.direct ? coll::IndexAlgorithm::kDirect
+                                : coll::IndexAlgorithm::kBruck;
+      radix = choice.radix;
+      std::cout << "vector tuner pick: "
+                << (choice.direct ? "direct exchange"
+                                  : "bruck, r = " + std::to_string(radix))
+                << " (~" << choice.predicted_us << " us modeled)\n\n";
+    }
+    const auto lookup = cache.get_or_lower(
+        coll::indexv_plan_key(algorithm, n, k, radix, digest));
+    std::cout << lookup.plan->describe() << '\n';
+  } else {
+    const auto lookup = cache.get_or_lower(
+        coll::concatv_plan_key(coll::ConcatAlgorithm::kBruck, n, k, digest));
+    std::cout << lookup.plan->describe() << '\n';
+  }
+  const coll::PlanCacheStats stats = cache.stats();
+  std::cout << "plan cache: " << stats.entries << " entries, " << stats.hits
+            << " hits, " << stats.misses << " misses\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,8 +225,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::int64_t n = std::atoll(argv[2]);
   const int k = std::atoi(argv[3]);
-  const std::int64_t b = std::atoll(argv[4]);
-  if (n < 1 || k < 1 || b < 0) return usage();
+  const std::string arg4 = argv[4];
+  const bool arg4_numeric =
+      !arg4.empty() && arg4.find_first_not_of("0123456789") == std::string::npos;
+  const std::int64_t b = arg4_numeric ? std::atoll(argv[4]) : -1;
+  if (n < 1 || k < 1) return usage();
+  // A negative block size is an invalid argument, not a counts-file path.
+  if (!arg4.empty() && arg4[0] == '-') return usage();
+  if (!arg4_numeric && cmd != "compile") return usage();
   try {
     if (cmd == "index") return cmd_index(n, k, b, machine_from(argc, argv, 5));
     if (cmd == "concat") return cmd_concat(n, k, b, machine_from(argc, argv, 5));
@@ -151,7 +241,9 @@ int main(int argc, char** argv) {
       return cmd_rounds(n, k, b, std::atoll(argv[5]));
     }
     if (cmd == "compile") {
-      return cmd_compile(n, k, b, argc > 5 ? std::atoll(argv[5]) : 0);
+      const std::int64_t radix = argc > 5 ? std::atoll(argv[5]) : 0;
+      if (!arg4_numeric) return cmd_compile_counts(n, k, arg4, radix);
+      return cmd_compile(n, k, b, radix);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file (skipping build trees and third_party) for
+inline markdown links ``[text](target)`` and reference definitions
+``[label]: target``, and verifies that every *relative* target resolves to
+an existing file or directory.  Anchors (``path#heading`` or ``#heading``)
+are checked against a GitHub-style slugging of the target file's headings.
+External links (http/https/mailto) are not fetched.
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+Exit status: 0 when all links resolve, 1 otherwise (each failure printed).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", "third_party", ".git", ".claude"}
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slugging, close enough for ASCII docs."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE.sub("", f.read())
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = []
+    checked = 0
+    for md in md_files(root):
+        with open(md, encoding="utf-8") as f:
+            text = CODE_FENCE.sub("", f.read())
+        targets = (
+            INLINE_LINK.findall(text)
+            + IMAGE_LINK.findall(text)
+            + REF_DEF.findall(text)
+        )
+        for target in targets:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (
+                md
+                if not path_part
+                else os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part)
+                )
+            )
+            checked += 1
+            rel = os.path.relpath(md, root)
+            if not os.path.exists(resolved):
+                failures.append(f"{rel}: broken link target '{target}'")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if slugify(anchor) not in anchors_of(resolved):
+                    failures.append(
+                        f"{rel}: missing anchor '#{anchor}' in '{target}'"
+                    )
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(
+        f"check_docs_links: {checked} intra-repo links checked, "
+        f"{len(failures)} broken"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
