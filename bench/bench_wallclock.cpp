@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "coll/api.hpp"
@@ -125,6 +126,81 @@ void BM_AllgatherExecutor(benchmark::State& state) {
                           (n - 1) * b);
 }
 
+// Reduction executor comparison: the same reduce-scatter plan walked by
+// the blocking executor vs the pipelined executor whose combine is fused
+// into the out-of-order completion path.
+// range = {block bytes, path (ExecutionPath value), segments}.
+void BM_ReduceScatterExecutor(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t b = state.range(0);
+  const auto path = static_cast<bruck::coll::ExecutionPath>(state.range(1));
+  const int segments = static_cast<int>(state.range(2));
+  const bruck::coll::ReduceOp op =
+      bruck::coll::ReduceOp::sum(bruck::coll::ReduceElem::kF64);
+  bruck::coll::ReduceScatterOptions options;
+  options.algorithm = bruck::coll::ReduceAlgorithm::kBruck;
+  options.radix = 2;
+  options.path = path;
+  options.segments = segments;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                  std::byte{1});
+      std::vector<std::byte> recv(static_cast<std::size_t>(b));
+      bruck::coll::reduce_scatter(comm, send, recv, b, op, options);
+    });
+  }
+  state.SetLabel(bruck::coll::to_string(path) + "/S=" +
+                 std::to_string(segments));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+}
+
+// Allreduce: the fused pipelined path (reduce-scatter with combine-on-
+// receive + allgather) vs the naive gather-then-reduce baseline that ships
+// n full vectors and combines locally.  range = {vector bytes, fused}.
+void BM_AllreduceFusedVsGatherReduce(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t bytes = state.range(0);
+  const bool fused = state.range(1) != 0;
+  const bruck::coll::ReduceOp op =
+      bruck::coll::ReduceOp::sum(bruck::coll::ReduceElem::kF64);
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(bytes),
+                                  std::byte{1});
+      std::vector<std::byte> recv(static_cast<std::size_t>(bytes));
+      if (fused) {
+        bruck::coll::AllreduceOptions options;
+        options.path = bruck::coll::ExecutionPath::kPipelined;
+        bruck::coll::allreduce(comm, send, recv, op, options);
+      } else {
+        // Gather-then-reduce: allgather every full vector, reduce locally.
+        std::vector<std::byte> all(static_cast<std::size_t>(n * bytes));
+        bruck::coll::AllgatherOptions options;
+        options.path = bruck::coll::ExecutionPath::kPipelined;
+        bruck::coll::allgather(comm, send, all, bytes, options);
+        std::memcpy(recv.data(), all.data(),
+                    static_cast<std::size_t>(bytes));
+        for (std::int64_t i = 1; i < n; ++i) {
+          op.combine(recv.data(), all.data() + i * bytes, bytes);
+        }
+      }
+    });
+  }
+  state.SetLabel(fused ? "fused" : "gather-then-reduce");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * bytes);
+}
+
 }  // namespace
 
 namespace {
@@ -133,6 +209,27 @@ constexpr std::int64_t kCompiledPath =
 constexpr std::int64_t kPipelinedPath =
     static_cast<std::int64_t>(bruck::coll::ExecutionPath::kPipelined);
 }  // namespace
+
+// Reduction family (the CI reduction CSV artifact).
+BENCHMARK(BM_ReduceScatterExecutor)
+    ->Args({1 << 16, kCompiledPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 1})
+    ->Args({1 << 16, kPipelinedPath, 8})
+    ->Args({1 << 18, kCompiledPath, 1})
+    ->Args({1 << 18, kPipelinedPath, 1})
+    ->Args({1 << 18, kPipelinedPath, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+BENCHMARK(BM_AllreduceFusedVsGatherReduce)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 0})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
 
 // Executor comparison, segmented large blocks (the CI CSV artifact's
 // pipelined-vs-PR1 perf trajectory).

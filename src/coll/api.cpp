@@ -1,6 +1,7 @@
 #include "coll/api.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "coll/bcast.hpp"
@@ -47,6 +48,16 @@ std::string to_string(ExecutionPath p) {
   return "?";
 }
 
+std::string to_string(ReduceAlgorithm a) {
+  switch (a) {
+    case ReduceAlgorithm::kBruck: return "bruck";
+    case ReduceAlgorithm::kDirect: return "direct";
+    case ReduceAlgorithm::kPairwise: return "pairwise";
+    case ReduceAlgorithm::kAuto: return "auto";
+  }
+  return "?";
+}
+
 namespace {
 
 /// The shared compiled tail of both collectives: fetch (or lower once) the
@@ -70,17 +81,28 @@ int run_compiled(mps::Communicator& comm, const PlanKey& key,
 /// Resolve the wire-segmentation knob for a compiled execution: 0 means
 /// "tune from the predicted metrics" (per-round message size ≈ C2/C1);
 /// only the pipelined executor segments, so other paths resolve to 1.
+///
+/// Forced counts are clamped against the same model::kMinSegmentBytes
+/// per-message floor the tuner and executor apply: a forced S the floor
+/// would collapse anyway must resolve — and key the PlanCache — exactly
+/// like the tuned pick, or one geometry caches two plans for the same
+/// effective execution (the forced-vs-tuned aliasing bug).
 int resolve_segments(int requested, bool pipelined,
                      const model::LinearModel& machine,
                      const model::CostMetrics& predicted) {
   if (!pipelined) return 1;
   if (requested != 0) {
     BRUCK_REQUIRE_MSG(requested >= 1, "segment count must be >= 1");
-    return requested;
   }
   if (predicted.c1 <= 0) return 1;
   const std::int64_t per_round =
       (predicted.c2 + predicted.c1 - 1) / predicted.c1;
+  const std::int64_t floor_cap =
+      std::max<std::int64_t>(1, per_round / model::kMinSegmentBytes);
+  if (requested != 0) {
+    return static_cast<int>(
+        std::min<std::int64_t>(requested, floor_cap));
+  }
   return model::pick_segment_count(machine, predicted.c1, per_round).segments;
 }
 
@@ -218,7 +240,9 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
           : options.last_round;
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   model::CostMetrics predicted;
-  if (pipelined && options.segments == 0) {
+  if (pipelined) {
+    // Needed for forced counts too: resolve_segments clamps them against
+    // the per-message floor derived from these metrics.
     switch (algorithm) {
       case ConcatAlgorithm::kBruck:
       case ConcatAlgorithm::kAuto:
@@ -366,9 +390,10 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
                                                   : options.algorithm;
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   model::CostMetrics predicted;
-  if (pipelined && options.segments == 0) {
+  if (pipelined) {
     // Segment tuning sees the mean block (wire messages carry trimmed true
-    // sizes, so the mean is the honest per-message estimate).
+    // sizes, so the mean is the honest per-message estimate).  Computed for
+    // forced counts too (resolve_segments clamps them against the floor).
     const std::int64_t b_eff = n > 0 ? (total + n - 1) / std::max<std::int64_t>(
                                            1, n)
                                      : 0;
@@ -392,6 +417,160 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
   return run_compiled_v(
       comm, concatv_plan_key(algorithm, n, k, shape_digest(counts), segments),
       send, recv, view, options.start_round, pipelined);
+}
+
+namespace {
+
+/// Resolved reduce-scatter execution recipe: algorithm, radix, and the
+/// predicted metrics that drive segment tuning.
+struct ReducePlanChoice {
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kBruck;
+  std::int64_t radix = 2;
+  model::CostMetrics predicted;
+};
+
+ReducePlanChoice resolve_reduce_algorithm(std::int64_t n, int k,
+                                          std::int64_t block_bytes,
+                                          ReduceAlgorithm algorithm,
+                                          std::int64_t radix,
+                                          const model::LinearModel& machine,
+                                          model::RadixSet set) {
+  ReducePlanChoice out;
+  switch (algorithm) {
+    case ReduceAlgorithm::kDirect:
+      out.algorithm = ReduceAlgorithm::kDirect;
+      out.radix = std::max<std::int64_t>(2, n);
+      out.predicted = model::reduce_direct_cost(n, k, block_bytes);
+      break;
+    case ReduceAlgorithm::kPairwise:
+      out.algorithm = ReduceAlgorithm::kPairwise;
+      out.radix = std::max<std::int64_t>(2, n);
+      out.predicted = model::reduce_direct_cost(n, k, block_bytes);
+      break;
+    case ReduceAlgorithm::kBruck:
+      out.algorithm = ReduceAlgorithm::kBruck;
+      out.radix = radix != 0
+                      ? radix
+                      : model::pick_reduce_radix(n, k, block_bytes, machine,
+                                                 set)
+                            .radix;
+      out.predicted = model::reduce_bruck_cost(n, out.radix, k, block_bytes);
+      break;
+    case ReduceAlgorithm::kAuto: {
+      const model::ReduceScatterChoice choice =
+          model::pick_reduce_scatter_cached(n, k, block_bytes, machine, set);
+      out.algorithm = choice.direct ? ReduceAlgorithm::kDirect
+                                    : ReduceAlgorithm::kBruck;
+      out.radix = choice.radix;
+      out.predicted = choice.predicted;
+      break;
+    }
+  }
+  return out;
+}
+
+/// run_compiled's reduction twin: fetch/lower the reduce plan and execute
+/// it with the combine operator; the PlanEvent additionally reports the
+/// bytes combined on receive.
+int run_compiled_reduce(mps::Communicator& comm, const PlanKey& key,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::int64_t block_bytes,
+                        const ReduceOp& op, int start_round, bool pipelined) {
+  const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const PlanExecution ex =
+      pipelined
+          ? lookup.plan->run_pipelined(comm, send, recv, block_bytes, op,
+                                       start_round)
+          : lookup.plan->run(comm, send, recv, block_bytes, op, start_round);
+  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
+                                        lookup.plan->round_count(),
+                                        ex.bytes_sent, ex.bytes_reduced});
+  return ex.next_round;
+}
+
+}  // namespace
+
+int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, std::int64_t block_bytes,
+                   const ReduceOp& op, const ReduceScatterOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 &&
+                        block_bytes % op.elem_bytes() == 0,
+                    "block size must be a whole number of op elements");
+
+  if (options.path == ExecutionPath::kReference) {
+    return reduce_scatter_reference(
+        comm, send, recv, block_bytes, op,
+        ReduceReferenceOptions{options.start_round});
+  }
+
+  const ReducePlanChoice choice = resolve_reduce_algorithm(
+      n, k, block_bytes, options.algorithm, options.radix, options.machine,
+      options.radix_set);
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = resolve_segments(options.segments, pipelined,
+                                        options.machine, choice.predicted);
+  return run_compiled_reduce(
+      comm,
+      reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments),
+      send, recv, block_bytes, op, options.start_round, pipelined);
+}
+
+int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const ReduceOp& op,
+              const AllreduceOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t bytes = static_cast<std::int64_t>(send.size());
+  const std::int64_t ew = op.elem_bytes();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == bytes);
+  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
+                    "payload must be a whole number of op elements");
+
+  if (options.path == ExecutionPath::kReference) {
+    return allreduce_reference(comm, send, recv, op,
+                               ReduceReferenceOptions{options.start_round});
+  }
+
+  // Reduce-scatter over ⌈elems/n⌉-element blocks, then allgather the
+  // reduced blocks.  The tail block is zero-padded identically on every
+  // rank; padded results are combined but never copied back.
+  const std::int64_t elems = bytes / ew;
+  const std::int64_t block_elems = n > 0 ? ceil_div(elems, n) : 0;
+  const std::int64_t b = block_elems * ew;
+
+  std::vector<std::byte> padded(static_cast<std::size_t>(n * b),
+                                std::byte{0});
+  if (bytes > 0) {
+    std::memcpy(padded.data(), send.data(), static_cast<std::size_t>(bytes));
+  }
+  std::vector<std::byte> reduced(static_cast<std::size_t>(b));
+
+  ReduceScatterOptions rs;
+  rs.algorithm = options.algorithm;
+  rs.radix = options.radix;
+  rs.machine = options.machine;
+  rs.radix_set = options.radix_set;
+  rs.start_round = options.start_round;
+  rs.path = options.path;
+  rs.segments = options.segments;
+  const int after_reduce = reduce_scatter(comm, padded, reduced, b, op, rs);
+
+  std::vector<std::byte> gathered(static_cast<std::size_t>(n * b));
+  AllgatherOptions ag;
+  ag.algorithm = options.concat;
+  ag.machine = options.machine;
+  ag.start_round = after_reduce;
+  ag.path = options.path;
+  ag.segments = options.segments;
+  const int next = allgather(comm, reduced, gathered, b, ag);
+
+  if (bytes > 0) {
+    std::memcpy(recv.data(), gathered.data(),
+                static_cast<std::size_t>(bytes));
+  }
+  return next;
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

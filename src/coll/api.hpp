@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 
+#include "coll/reduction.hpp"
 #include "model/costs.hpp"
 #include "model/linear_model.hpp"
 #include "model/tuner.hpp"
@@ -170,6 +171,76 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
                std::span<const std::int64_t> counts,
                std::span<const std::int64_t> recv_displs = {},
                const AllgathervOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Reduction collectives: the index/concatenate schedules with combining
+// (reduce-scatter is an index operation whose receives ⊕-combine;
+// allreduce is reduce-scatter + concatenation).  Operators must be
+// commutative and associative (reduction.hpp).
+
+enum class ReduceAlgorithm {
+  kBruck,     ///< the Section 3 skeleton run in reverse with combining
+  kDirect,    ///< direct per-pair exchange with combining
+  kPairwise,  ///< XOR pairwise exchange (power-of-two n only)
+  kAuto,      ///< model-tuned via model::pick_reduce_scatter (γ-aware)
+};
+
+[[nodiscard]] std::string to_string(ReduceAlgorithm a);
+
+struct ReduceScatterOptions {
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kAuto;
+  /// Radix for kBruck; 0 means "tune under `machine`".
+  std::int64_t radix = 0;
+  /// Machine profile for algorithm/radix/segment tuning (its γ term prices
+  /// the combine work).
+  model::LinearModel machine = model::ibm_sp1();
+  model::RadixSet radix_set = model::RadixSet::kAll;
+  int start_round = 0;
+  /// kReference runs the per-pair oracle (reduce_scatter_reference)
+  /// regardless of `algorithm` — there is exactly one reduction oracle.
+  ExecutionPath path = ExecutionPath::kPipelined;
+  /// Same contract as AlltoallOptions::segments.
+  int segments = 0;
+};
+
+/// Reduce-scatter (MPI_Reduce_scatter_block).  `send`: n blocks of
+/// block_bytes, block j this rank's contribution to rank j.  `recv`: one
+/// block — op-combined over every rank's contribution to this rank.
+/// block_bytes must be a multiple of op.elem_bytes().  Returns the next
+/// free round index.
+///
+/// Blocking: returns once this rank's reduction is complete (under
+/// kPipelined the combine is fused into the out-of-order completion path).
+/// Thread safety: SPMD as alltoall.  Trace: one send event per nonzero
+/// message at its round, plus one PlanEvent (with bytes_reduced) per
+/// compiled execution.
+int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, std::int64_t block_bytes,
+                   const ReduceOp& op,
+                   const ReduceScatterOptions& options = {});
+
+struct AllreduceOptions {
+  /// Reduce-scatter stage algorithm.
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kAuto;
+  /// Concatenation (allgather) stage algorithm.
+  ConcatAlgorithm concat = ConcatAlgorithm::kAuto;
+  std::int64_t radix = 0;
+  model::LinearModel machine = model::ibm_sp1();
+  model::RadixSet radix_set = model::RadixSet::kAll;
+  int start_round = 0;
+  /// kReference runs allreduce_reference (ring + canonical local combine).
+  ExecutionPath path = ExecutionPath::kPipelined;
+  int segments = 0;
+};
+
+/// Allreduce: `recv` = ⊕ over all ranks of their `send` (equal byte length
+/// everywhere, a multiple of op.elem_bytes()).  Lowered as reduce-scatter
+/// over ⌈elems/n⌉-element blocks (zero-padded tail) followed by an
+/// allgather of the reduced blocks.  Returns the next free round index.
+/// Blocking, thread-safety, and trace behavior as reduce_scatter.
+int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const ReduceOp& op,
+              const AllreduceOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // The one-to-all / all-to-one primitives of the paper's introduction.

@@ -69,16 +69,20 @@ void Plan::end_round() {
 
 void Plan::add_message(std::int64_t rank, bool is_send, std::int64_t peer,
                        PlanBuffer buffer, const std::vector<PlanCell>& cells,
-                       const std::vector<std::int64_t>& blocks) {
+                       const std::vector<std::int64_t>& blocks, bool combine) {
   BRUCK_REQUIRE(!cells.empty());
   BRUCK_REQUIRE(peer >= 0 && peer < n_ && peer != rank);
   BRUCK_REQUIRE_MSG(irregular_ == !blocks.empty(),
                     "irregular plans record one occupant-block id per cell; "
                     "uniform plans record none");
   BRUCK_REQUIRE(blocks.empty() || blocks.size() == cells.size());
+  BRUCK_REQUIRE_MSG(!combine || !is_send, "only receives may combine");
+  BRUCK_REQUIRE_MSG(!combine || collective_ == PlanCollective::kReduce,
+                    "combine cells belong to reduction plans");
   PlanMessage m;
   m.peer = peer;
   m.buffer = buffer;
+  m.combine = combine;
   m.cells_begin = static_cast<std::uint32_t>(cells_.size());
   cells_.insert(cells_.end(), cells.begin(), cells.end());
   cell_block_.insert(cell_block_.end(), blocks.begin(), blocks.end());
@@ -193,18 +197,23 @@ namespace {
 /// One cell as a byte interval for the round-dependence analysis.  A
 /// kWholeBlock upper bound becomes "rest of the slot", which overlaps any
 /// range of the same slot under every block size — exactly the conservative
-/// reading a block-size-independent plan needs.
+/// reading a block-size-independent plan needs.  `combine` marks a
+/// read-modify-write cell (a reducing receive): two combine-writes commute
+/// under the (commutative, associative) operator contract, so they do not
+/// conflict with each other — but they conflict with every plain read or
+/// write, because a combine both reads and replaces the accumulated value.
 struct CellInterval {
   std::uint8_t buf = 0;
   std::int64_t slot = 0;
   std::int64_t lo = 0;
   std::int64_t hi = 0;
+  bool combine = false;
 
   [[nodiscard]] auto key() const { return std::tie(buf, slot, lo); }
 };
 
-bool intervals_overlap(const std::vector<CellInterval>& a,
-                       const std::vector<CellInterval>& b) {
+bool intervals_conflict(const std::vector<CellInterval>& a,
+                        const std::vector<CellInterval>& b) {
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < a.size() && j < b.size()) {
@@ -218,6 +227,14 @@ bool intervals_overlap(const std::vector<CellInterval>& a,
       ++i;
     } else if (b[j].hi <= a[i].lo) {
       ++j;
+    } else if (a[i].combine && b[j].combine) {
+      // Overlapping combine-combine pair: commutes.  Advance whichever
+      // interval ends first so each can still meet later ones.
+      if (a[i].hi <= b[j].hi) {
+        ++i;
+      } else {
+        ++j;
+      }
     } else {
       return true;
     }
@@ -239,7 +256,8 @@ void Plan::compute_pipeline_safety() {
             static_cast<std::uint8_t>(msg.buffer), cell.slot, cell.lo,
             cell.hi == PlanCell::kWholeBlock
                 ? std::numeric_limits<std::int64_t>::max()
-                : cell.hi});
+                : cell.hi,
+            msg.combine});
       }
     }
     std::sort(out.begin(), out.end(),
@@ -259,8 +277,8 @@ void Plan::compute_pipeline_safety() {
           collect(p, r.recvs_begin, r.recvs_end, /*sends_side=*/false);
       if (i > 0) {
         p.pipeline_safe[static_cast<std::size_t>(i)] =
-            !intervals_overlap(prev_writes, reads) &&
-            !intervals_overlap(prev_writes, writes);
+            !intervals_conflict(prev_writes, reads) &&
+            !intervals_conflict(prev_writes, writes);
       }
       prev_writes = std::move(writes);
     }
@@ -298,6 +316,8 @@ void Plan::check_run_contract(const mps::Communicator& comm,
                               std::int64_t b) const {
   BRUCK_REQUIRE_MSG(!irregular_,
                     "irregular plans execute through the VectorView overloads");
+  BRUCK_REQUIRE_MSG(collective_ != PlanCollective::kReduce,
+                    "reduction plans execute through the ReduceOp overloads");
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(b >= 0);
@@ -309,6 +329,21 @@ void Plan::check_run_contract(const mps::Communicator& comm,
     BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
   }
   BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
+}
+
+void Plan::check_reduce_contract(const mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv, std::int64_t b,
+                                 const ReduceOp& op) const {
+  BRUCK_REQUIRE_MSG(collective_ == PlanCollective::kReduce,
+                    "only reduction plans take a ReduceOp");
+  BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
+  BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
+  BRUCK_REQUIRE(b >= 0);
+  BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 && b % op.elem_bytes() == 0,
+                    "block size must be a whole number of op elements");
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == b);
 }
 
 void Plan::check_vector_contract(const mps::Communicator& comm,
@@ -421,6 +456,13 @@ void Plan::apply_prologue(std::span<const std::byte> send,
       }
       break;
     }
+    case PlanPrologue::kCopyOwnBlockToRecv0:
+      // Reduce: this rank's own contribution seeds the accumulator block.
+      if (b > 0) {
+        std::memcpy(recv.data(), send.data() + rank * b,
+                    static_cast<std::size_t>(b));
+      }
+      break;
   }
 }
 
@@ -463,6 +505,13 @@ void Plan::apply_epilogue(std::span<std::byte> recv,
                                        v->counts, /*rank=*/0);
       } else if (b > 0) {
         std::memcpy(recv.data(), scratch.data(), recv.size());
+      }
+      break;
+    case PlanEpilogue::kScratch0ToRecv:
+      // Reduce Bruck: slot 0 holds the full ⊕-combination for this rank.
+      if (b > 0) {
+        std::memcpy(recv.data(), scratch.data(),
+                    static_cast<std::size_t>(b));
       }
       break;
   }
@@ -529,6 +578,23 @@ std::vector<std::byte> Plan::pack_message(const PlanMessage& m,
 
 void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
                            const std::byte* data, const Extents& ex) const {
+  if (m.combine) {
+    // Reduce-on-receive: ⊕-combine the payload into the cells instead of
+    // overwriting.  Runs on the receiving rank's thread only, so the
+    // read-modify-write needs no synchronization.
+    BRUCK_ENSURE_MSG(ex.op != nullptr,
+                     "reduction plans execute with a ReduceOp");
+    const std::int64_t b = ex.b;
+    std::size_t pos = 0;
+    for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+      const PlanCell& cell = cells_[c];
+      const std::int64_t len =
+          cell.hi == PlanCell::kWholeBlock ? b : cell.hi - cell.lo;
+      ex.op->combine(dst.data() + cell.slot * b + cell.lo, data + pos, len);
+      pos += static_cast<std::size_t>(len);
+    }
+    return;
+  }
   if (ex.view != nullptr) {
     std::vector<ByteExtent> extents;
     extents.reserve(m.cells_end - m.cells_begin);
@@ -593,6 +659,25 @@ PlanExecution Plan::run_pipelined(mps::Communicator& comm,
                             start_round);
 }
 
+PlanExecution Plan::run(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::int64_t block_bytes,
+                        const ReduceOp& op, int start_round) const {
+  check_reduce_contract(comm, send, recv, block_bytes, op);
+  return run_blocking_impl(comm, send, recv,
+                           Extents{block_bytes, nullptr, &op}, start_round);
+}
+
+PlanExecution Plan::run_pipelined(mps::Communicator& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv,
+                                  std::int64_t block_bytes, const ReduceOp& op,
+                                  int start_round) const {
+  check_reduce_contract(comm, send, recv, block_bytes, op);
+  return run_pipelined_impl(comm, send, recv,
+                            Extents{block_bytes, nullptr, &op}, start_round);
+}
+
 PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
                                       std::span<const std::byte> send,
                                       std::span<std::byte> recv,
@@ -647,16 +732,19 @@ PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
       const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;
       std::span<std::byte> landing;
-      if (m.contiguous) {
+      if (m.contiguous && !m.combine) {
         landing = buffers.writable(m.buffer)
                       .subspan(static_cast<std::size_t>(
                                    cell_offset(m.cells_begin, m.buffer, ex)),
                                static_cast<std::size_t>(bytes));
       } else {
+        // Staged: non-contiguous cells, or a combine receive (which must
+        // never land in the accumulator directly).
         std::vector<std::byte>& stage = in_stage[r - round.recvs_begin];
         stage.resize(static_cast<std::size_t>(bytes));
         landing = stage;
         scatters.emplace_back(&m, stage.data());
+        if (m.combine) out.bytes_reduced += bytes;
       }
       recvs.push_back(mps::RecvSpec{m.peer, landing});
     }
@@ -747,7 +835,7 @@ PlanExecution Plan::run_pipelined_impl(mps::Communicator& comm,
       if (bytes == 0) continue;
       mps::PortHandle h = 0;
       bool take_buffer = false;
-      if (m.contiguous) {
+      if (m.contiguous && !m.combine) {
         // Land in place: segments stream straight into the target buffer.
         h = comm.post_recv(start_round + i, m.peer,
                            buffers.writable(m.buffer)
@@ -756,11 +844,14 @@ PlanExecution Plan::run_pipelined_impl(mps::Communicator& comm,
                                         static_cast<std::size_t>(bytes)),
                            segments_for(bytes));
       } else {
-        // Scatter target: consume the wire buffer itself on completion
-        // instead of staging a copy.
+        // Scatter (or combine) target: consume the wire buffer itself on
+        // completion instead of staging a copy.  Combine receives must be
+        // buffered — the ⊕ into the accumulator happens at completion, on
+        // this rank's thread, fused into the eager out-of-order path.
         h = comm.post_recv_buffer(start_round + i, m.peer, bytes,
                                   segments_for(bytes));
         take_buffer = true;
+        if (m.combine) out.bytes_reduced += bytes;
       }
       posted.emplace(h, Posted{&m, i, take_buffer});
       ++open[static_cast<std::size_t>(i)];
@@ -912,6 +1003,131 @@ std::shared_ptr<const Plan> Plan::lower_index_pairwise(std::int64_t n, int k,
       }
     }
     plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Reduction lowering.  Reduce-scatter's communication skeleton is the index
+// pattern with combining: every receive carries the combine flag and the
+// executors ⊕ its payload into the cells instead of overwriting.  Plans are
+// block-size and op independent (cells are whole blocks; the operator
+// arrives at run time through the ReduceOp overloads).
+
+std::shared_ptr<const Plan> Plan::lower_reduce_direct(std::int64_t n, int k,
+                                                      int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kReduce, "direct", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopyOwnBlockToRecv0;
+
+  // Ring-distance steps grouped k per round; every receive combines into
+  // the single accumulator block (recv slot 0).  All rounds are mutually
+  // pipeline-safe: sends read the untouched user send buffer and the
+  // combine-writes commute.
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t dst = pos_mod(rank + j, n);
+        const std::int64_t src = pos_mod(rank - j, n);
+        plan->add_message(rank, true, dst, PlanBuffer::kUserSend,
+                          one_block(dst));
+        plan->add_message(rank, false, src, PlanBuffer::kUserRecv,
+                          one_block(0), {}, /*combine=*/true);
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_reduce_pairwise(std::int64_t n, int k,
+                                                        int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(is_pow2(n), "pairwise exchange requires a power-of-two n");
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kReduce, "pairwise", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopyOwnBlockToRecv0;
+
+  for (std::int64_t j0 = 1; j0 < n; j0 += k) {
+    const std::int64_t j1 = std::min<std::int64_t>(n, j0 + k);
+    plan->begin_round();
+    for (std::int64_t j = j0; j < j1; ++j) {
+      for (std::int64_t rank = 0; rank < n; ++rank) {
+        const std::int64_t peer = rank ^ j;
+        plan->add_message(rank, true, peer, PlanBuffer::kUserSend,
+                          one_block(peer));
+        plan->add_message(rank, false, peer, PlanBuffer::kUserRecv,
+                          one_block(0), {}, /*combine=*/true);
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_reduce_bruck(std::int64_t n, int k,
+                                                     std::int64_t radix,
+                                                     int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE_MSG(radix >= 2 && radix <= std::max<std::int64_t>(2, n),
+                    "radix must be in [2, max(2, n)]");
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kReduce, "bruck(r=" + std::to_string(radix) + ")", n, k,
+      PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kRotateSendToScratch;
+  plan->epilogue_ = PlanEpilogue::kScratch0ToRecv;
+
+  // The index Bruck skeleton run in reverse with combining.  After the
+  // rotation prologue, scratch slot s at rank ρ holds the partial sum of
+  // contributions destined to rank (ρ + s) mod n — the slot index is the
+  // remaining ring distance.  Digits are processed high → low: the digit-x
+  // step z ships the live slots {z·r^x + t : t < min(r^x, n − z·r^x)} to
+  // rank ρ + z·r^x, which combines them into slots {t} (distance shrunk by
+  // z·r^x).  Once every digit is cleared, slot 0 holds the full reduction.
+  // Per-rank volume is exactly n−1 blocks; the round structure (C1) equals
+  // the forward index algorithm's.  Within a subphase the z-steps only
+  // combine-write the shared {t} prefix, so they pipeline; across subphases
+  // the sends read what the previous subphase combined, so the pipeline
+  // drains — mirroring compute_pipeline_safety's verdict.
+  const std::int64_t r = radix;
+  const int w = radix_digit_count(n, r);
+  for (int x = w - 1; x >= 0; --x) {
+    const std::int64_t dist = ipow(r, x);
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      plan->begin_round();
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::int64_t count =
+            std::min<std::int64_t>(dist, n - z * dist);
+        BRUCK_ENSURE(count >= 1);
+        const std::vector<PlanCell> send_cells =
+            whole_blocks(z * dist, count);
+        const std::vector<PlanCell> recv_cells = whole_blocks(0, count);
+        for (std::int64_t rank = 0; rank < n; ++rank) {
+          const std::int64_t dst = pos_mod(rank + z * dist, n);
+          const std::int64_t src = pos_mod(rank - z * dist, n);
+          plan->add_message(rank, /*is_send=*/true, dst, PlanBuffer::kScratch,
+                            send_cells);
+          plan->add_message(rank, /*is_send=*/false, src,
+                            PlanBuffer::kScratch, recv_cells, {},
+                            /*combine=*/true);
+        }
+      }
+      plan->end_round();
+    }
   }
   plan->finalize();
   return plan;
@@ -1449,8 +1665,11 @@ std::shared_ptr<const Plan> Plan::lower_concatv_ring(std::int64_t n, int k,
 
 std::string Plan::describe() const {
   std::ostringstream os;
-  os << "plan " << (collective_ == PlanCollective::kIndex ? "index" : "concat")
-     << "/" << algorithm_ << ": n=" << n_ << " k=" << k_;
+  const char* family = collective_ == PlanCollective::kIndex   ? "index"
+                       : collective_ == PlanCollective::kConcat ? "concat"
+                                                                : "reduce";
+  os << "plan " << family << "/" << algorithm_ << ": n=" << n_
+     << " k=" << k_;
   if (irregular_) {
     os << " (irregular: sizes resolve per shape; per-message figures below "
           "count whole block slots)";
@@ -1487,7 +1706,8 @@ std::string Plan::describe() const {
     for (std::uint32_t r2 = r.recvs_begin; r2 < r.recvs_end; ++r2) {
       const PlanMessage& m = p.recvs[r2];
       os << "  <-" << m.peer << " " << message_bytes(m, b_view)
-         << (block_bytes_ == PlanCell::kWholeBlock ? "blk" : "B");
+         << (block_bytes_ == PlanCell::kWholeBlock ? "blk" : "B")
+         << (m.combine ? " (combine)" : "");
     }
     os << "\n";
   }

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/reduction.hpp"
 #include "model/costs.hpp"
 #include "mps/communicator.hpp"
 #include "sched/schedule.hpp"
@@ -61,8 +62,9 @@ namespace bruck::coll {
 
 /// Which collective a plan realizes; drives the run-time buffer contracts
 /// (index: send = n blocks, recv = n blocks; concat: send = 1 block,
-/// recv = n blocks).
-enum class PlanCollective { kIndex, kConcat };
+/// recv = n blocks; reduce: send = n blocks, recv = 1 block — the
+/// ⊕-combination of every rank's contribution to this rank).
+enum class PlanCollective { kIndex, kConcat, kReduce };
 
 /// The buffer a message's cells live in.
 enum class PlanBuffer : std::uint8_t {
@@ -90,6 +92,11 @@ struct PlanMessage {
   /// Cells form one contiguous byte run in `buffer` (whole consecutive
   /// blocks): the executor skips the pack/unpack staging entirely.
   bool contiguous = false;
+  /// Receive messages only: the payload is ⊕-combined into the cells
+  /// (read-modify-write) instead of overwriting them.  Combine receives
+  /// always land in a staging buffer first — never in place — so partial
+  /// segments can't be observed mid-combine.
+  bool combine = false;
 };
 
 /// One round of one rank's program: index ranges into the rank's message
@@ -109,6 +116,7 @@ enum class PlanPrologue : std::uint8_t {
   kCopyOwnBlock,          ///< direct/pairwise: recv[rank] = send[rank]
   kCopySendToScratch0,    ///< concat Bruck/folklore: scratch[0] = send
   kCopySendToRecvOwnSlot, ///< ring: recv[rank] = send
+  kCopyOwnBlockToRecv0,   ///< reduce direct/pairwise: recv = send[rank]
 };
 
 /// Local data movement after the communication rounds.
@@ -117,12 +125,15 @@ enum class PlanEpilogue : std::uint8_t {
   kUnrotateByRank,         ///< index Bruck Phase 3
   kRotateWindowToOrigin,   ///< concat Bruck final re-indexing
   kScratchToRecvAtRoot,    ///< folklore: rank 0's gather result → recv
+  kScratch0ToRecv,         ///< reduce Bruck: recv = scratch[0] (the full ⊕)
 };
 
 /// Result of one plan execution on one rank.
 struct PlanExecution {
   int next_round = 0;            ///< next free round index
   std::int64_t bytes_sent = 0;   ///< this rank's total payload bytes
+  /// Received bytes combined into accumulators (reduction plans; 0 else).
+  std::int64_t bytes_reduced = 0;
 };
 
 /// Run-time shape of one irregular (vector) plan execution.  Irregular
@@ -186,6 +197,26 @@ class Plan {
                               std::int64_t block_bytes,
                               int start_round = 0) const;
 
+  /// Execute a reduction plan with the blocking executor: `send` holds n
+  /// blocks (block j = this rank's contribution to rank j), `recv` one
+  /// block that ends up ⊕-combined over every rank's contribution to this
+  /// rank.  `block_bytes` must be a multiple of op.elem_bytes(); the op
+  /// must be commutative and associative (reduction.hpp).  Reduction plans
+  /// are block-size independent like index plans.
+  PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, std::int64_t block_bytes,
+                    const ReduceOp& op, int start_round = 0) const;
+
+  /// Execute a reduction plan with the pipelined executor: the combine is
+  /// fused into the eager out-of-order completion path, so arithmetic
+  /// overlaps in-flight rounds.  Same contract and results as the blocking
+  /// overload.
+  PlanExecution run_pipelined(mps::Communicator& comm,
+                              std::span<const std::byte> send,
+                              std::span<std::byte> recv,
+                              std::int64_t block_bytes, const ReduceOp& op,
+                              int start_round = 0) const;
+
   /// Execute an irregular plan with the blocking executor.  For index plans
   /// `send`/`recv` are laid out by view.send_displs/view.recv_displs; for
   /// concat plans `send` is this rank's single block (view.counts[rank]
@@ -236,6 +267,33 @@ class Plan {
   static std::shared_ptr<const Plan> lower_concat_ring(
       std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
 
+  // -- Reduction lowering entry points -------------------------------------
+  //
+  // Reduction plans are block-size *and* op independent: the combine
+  // operator is supplied at run time, so one lowering serves every
+  // (block_bytes, ReduceOp) of a geometry.  All receive messages carry the
+  // combine flag; the pipeline-safety analysis treats their cells as
+  // read-modify-write (two combine-writes commute, everything else
+  // conflicts).
+
+  /// The radix-r Bruck skeleton run in reverse with combining: digits
+  /// processed high → low, the digit-x step z ships the live partial sums
+  /// {z·r^x + t} to rank + z·r^x, which combines them into slots {t}.
+  /// Per-rank wire volume is exactly (n−1) blocks (C2-optimal); C1 equals
+  /// the index Bruck round count.
+  static std::shared_ptr<const Plan> lower_reduce_bruck(std::int64_t n, int k,
+                                                        std::int64_t radix,
+                                                        int segments = 1);
+  /// Direct per-pair exchange with combining: n−1 single-block messages, k
+  /// per round, fully pipeline-safe (all receives combine into the one
+  /// accumulator block).
+  static std::shared_ptr<const Plan> lower_reduce_direct(std::int64_t n, int k,
+                                                         int segments = 1);
+  /// XOR pairwise exchange with combining (power-of-two n only).
+  static std::shared_ptr<const Plan> lower_reduce_pairwise(std::int64_t n,
+                                                           int k,
+                                                           int segments = 1);
+
   // -- Irregular (vector) lowering entry points ----------------------------
   //
   // All irregular plans are shape-free (see the file comment): one lowering
@@ -278,10 +336,12 @@ class Plan {
 
   /// One execution's resolved size/layout context, shared by both
   /// executors: uniform runs carry the block size; irregular runs carry the
-  /// VectorView (and use `b` as the padded scratch stride).
+  /// VectorView (and use `b` as the padded scratch stride); reduction runs
+  /// carry the combine operator.
   struct Extents {
     std::int64_t b = 0;
     const VectorView* view = nullptr;  // null for uniform plans
+    const ReduceOp* op = nullptr;      // null for non-reduction plans
   };
 
   /// Open/close one round across all ranks; messages added in between
@@ -293,9 +353,12 @@ class Plan {
   /// cells.  Irregular plans must pass `blocks` — one occupant-block id per
   /// cell (index plans: src·n + dst into the count matrix; concat plans:
   /// the source rank) — so run time can resolve each cell's true size.
+  /// `combine` marks a receive whose payload is ⊕-combined into its cells
+  /// (reduction plans only; never valid on sends).
   void add_message(std::int64_t rank, bool is_send, std::int64_t peer,
                    PlanBuffer buffer, const std::vector<PlanCell>& cells,
-                   const std::vector<std::int64_t>& blocks = {});
+                   const std::vector<std::int64_t>& blocks = {},
+                   bool combine = false);
 
   /// Validate the lowered pattern against the k-port model and precompute
   /// run-time flags.
@@ -329,6 +392,10 @@ class Plan {
                              std::span<const std::byte> send,
                              std::span<std::byte> recv,
                              const VectorView& view) const;
+  void check_reduce_contract(const mps::Communicator& comm,
+                             std::span<const std::byte> send,
+                             std::span<std::byte> recv, std::int64_t b,
+                             const ReduceOp& op) const;
   void apply_prologue(std::span<const std::byte> send,
                       std::span<std::byte> recv, std::span<std::byte> scratch,
                       std::int64_t rank, const Extents& ex) const;
@@ -339,7 +406,8 @@ class Plan {
   [[nodiscard]] std::vector<std::byte> pack_message(
       const PlanMessage& m, std::span<const std::byte> src,
       const Extents& ex) const;
-  /// Scatter a received non-contiguous message's bytes into its cells.
+  /// Scatter a received message's bytes into its cells — overwriting, or
+  /// ⊕-combining through ex.op when the message carries the combine flag.
   void scatter_message(const PlanMessage& m, std::span<std::byte> dst,
                        const std::byte* data, const Extents& ex) const;
 

@@ -22,6 +22,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   mix(static_cast<std::uint64_t>(key.block_class));
   mix(static_cast<std::uint64_t>(key.segments));
   mix(key.shape_digest);
+  mix(key.reduce_tag);
   return static_cast<std::size_t>(h);
 }
 
@@ -39,7 +40,9 @@ std::uint64_t shape_digest(std::span<const std::int64_t> counts) {
                : static_cast<std::uint64_t>(
                      std::bit_width(static_cast<std::uint64_t>(c))));
   }
-  return h == 0 ? 1 : h;
+  // Never return the uniform-plan sentinel: an unlucky shape whose hash
+  // lands on 0 must not alias a regular plan's key.
+  return reserve_shape_digest_sentinel(h);
 }
 
 PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
@@ -82,6 +85,25 @@ PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
   return key;
 }
 
+PlanKey reduce_plan_key(ReduceAlgorithm algorithm, std::int64_t n, int k,
+                        std::int64_t radix, const ReduceOp& op,
+                        int segments) {
+  BRUCK_REQUIRE_MSG(algorithm != ReduceAlgorithm::kAuto,
+                    "resolve kAuto before keying");
+  BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
+  PlanKey key;
+  key.collective = PlanCollective::kReduce;
+  key.algorithm = static_cast<std::uint8_t>(algorithm);
+  key.n = n;
+  key.k = k;
+  key.radix = algorithm == ReduceAlgorithm::kBruck ? radix : 0;
+  key.strategy = 0;
+  key.block_class = 0;  // reduction plans serve every block size
+  key.segments = segments;
+  key.reduce_tag = op.cache_tag();
+  return key;
+}
+
 PlanKey indexv_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
                         std::int64_t radix, std::uint64_t digest,
                         int segments) {
@@ -107,6 +129,21 @@ PlanKey concatv_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
 namespace {
 
 std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
+  if (key.collective == PlanCollective::kReduce) {
+    switch (static_cast<ReduceAlgorithm>(key.algorithm)) {
+      case ReduceAlgorithm::kBruck:
+        return Plan::lower_reduce_bruck(key.n, key.k, key.radix,
+                                        key.segments);
+      case ReduceAlgorithm::kDirect:
+        return Plan::lower_reduce_direct(key.n, key.k, key.segments);
+      case ReduceAlgorithm::kPairwise:
+        return Plan::lower_reduce_pairwise(key.n, key.k, key.segments);
+      case ReduceAlgorithm::kAuto:
+        break;
+    }
+    BRUCK_ENSURE_MSG(false, "unloweable reduce plan key");
+    return nullptr;
+  }
   if (key.shape_digest != 0) {
     // Irregular plans are shape-free: the digest splits cache entries but
     // never changes the lowering inputs.

@@ -57,6 +57,11 @@ struct PlanKey {
   /// 0 for uniform plans; the bucketed shape digest (never 0) for irregular
   /// (vector) plans.  See the file comment.
   std::uint64_t shape_digest = 0;
+  /// 0 for non-reduction plans; ReduceOp::cache_tag() — (kind << 16) |
+  /// element width — for reduction plans.  The lowered structure is
+  /// op-independent, but keying the op keeps "one key = one complete
+  /// execution recipe".
+  std::uint32_t reduce_tag = 0;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -79,11 +84,29 @@ struct PlanKeyHash {
                                       std::int64_t block_bytes,
                                       int segments = 1);
 
+/// Make the canonical key for a *resolved* reduce-scatter algorithm choice
+/// (`algorithm` must not be kAuto; radix is ignored unless kBruck; `op`
+/// contributes its cache_tag).
+[[nodiscard]] PlanKey reduce_plan_key(ReduceAlgorithm algorithm,
+                                      std::int64_t n, int k,
+                                      std::int64_t radix, const ReduceOp& op,
+                                      int segments = 1);
+
+/// PlanKey::shape_digest == 0 is the reserved "uniform plan" sentinel
+/// (lower_from_key branches on it), so no irregular shape may ever digest
+/// to 0: a raw hash of 0 is remapped to 1.  Exposed so tests can pin the
+/// reservation independently of finding a zero-hash preimage.
+[[nodiscard]] constexpr std::uint64_t reserve_shape_digest_sentinel(
+    std::uint64_t raw) {
+  return raw == 0 ? 1 : raw;
+}
+
 /// Digest of an irregular shape for plan-cache keying: FNV-1a over the
-/// log2 bucket of every count (bit_width(c); 0 stays its own bucket).
-/// Deterministic, never 0.  Two shapes in the same buckets share a plan
-/// (correct for any shape — irregular plans resolve sizes at run time);
-/// shapes in different buckets key separate entries.
+/// log2 bucket of every count (bit_width(c); 0 stays its own bucket),
+/// passed through reserve_shape_digest_sentinel — deterministic, never 0.
+/// Two shapes in the same buckets share a plan (correct for any shape —
+/// irregular plans resolve sizes at run time); shapes in different buckets
+/// key separate entries.
 [[nodiscard]] std::uint64_t shape_digest(
     std::span<const std::int64_t> counts);
 

@@ -1,20 +1,115 @@
-// The Proposition 2.3 reduction, executable: "Any concatenation operation
-// on an array B[i] can be reduced to an index operation on B[i, j] by
-// letting B[i, j] = B[i] for all i and j."
+// Reduction machinery.
 //
-// This is how the paper transfers the concatenation lower bounds to the
-// index operation.  Running the reduction forward gives a (deliberately
-// inefficient) concatenation algorithm whose round count equals the index
-// algorithm's — useful as a living proof of the reduction and as a stress
-// case: it moves n× the volume the direct concatenation needs.
+// Two things live here:
+//
+//  1. `ReduceOp` — the combine-operator table of the reduction collectives
+//     (reduce_scatter / allreduce): sum, min, max, prod over i32/i64/f32/f64
+//     plus a user-function escape hatch.  Operators must be commutative and
+//     associative: both the Bruck-skeleton combining tree and the pipelined
+//     executor's arrival-order completion combine contributions in an
+//     unspecified order (all built-ins qualify; floating-point sum/prod are
+//     order-exact only for data that is, e.g. small integers).
+//
+//  2. The per-pair reduction reference oracles (`reduce_scatter_reference`,
+//     `allreduce_reference`) — direct exchanges that share no code with the
+//     plan engine, the `ExecutionPath::kReference` substrate every compiled
+//     reduction path is tested against.
+//
+//  3. The Proposition 2.3 reduction (`concat_via_index`), kept from the
+//     seed: any concatenation reduces to an index operation.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "mps/communicator.hpp"
 
 namespace bruck::coll {
+
+/// The combining operator kind.
+enum class ReduceKind : std::uint8_t {
+  kSum = 0,
+  kMin,
+  kMax,
+  kProd,
+  kUser,  ///< caller-supplied elementwise function (ReduceOp::user)
+};
+
+/// Element type the built-in operators combine over.
+enum class ReduceElem : std::uint8_t { kI32 = 0, kI64, kF32, kF64 };
+
+[[nodiscard]] std::string to_string(ReduceKind kind);
+[[nodiscard]] std::string to_string(ReduceElem elem);
+
+/// One combining operator: a (kind, element-type) pair from the built-in
+/// table, or a user function over opaque fixed-width elements.
+///
+/// The operator must be commutative and associative (see the file comment);
+/// `combine` is called on the receiving rank's thread only, so the user
+/// function needs no internal synchronization.  Buffers handed to `combine`
+/// are byte buffers with no alignment guarantee — the built-ins memcpy each
+/// element; user functions must do the same.
+struct ReduceOp {
+  ReduceKind kind = ReduceKind::kSum;
+  ReduceElem elem = ReduceElem::kI32;
+
+  /// User escape hatch: acc[i] ⊕= in[i] for `count` elements of
+  /// `user_elem_bytes` bytes each.
+  using UserFn = void (*)(std::byte* acc, const std::byte* in,
+                          std::int64_t count, void* ctx);
+  UserFn user_fn = nullptr;
+  std::int64_t user_elem_bytes = 0;
+  void* user_ctx = nullptr;
+
+  [[nodiscard]] static ReduceOp sum(ReduceElem e);
+  [[nodiscard]] static ReduceOp min(ReduceElem e);
+  [[nodiscard]] static ReduceOp max(ReduceElem e);
+  [[nodiscard]] static ReduceOp prod(ReduceElem e);
+  [[nodiscard]] static ReduceOp user(UserFn fn, std::int64_t elem_bytes,
+                                     void* ctx = nullptr);
+
+  /// Width of one element in bytes (4/8 for the built-ins).
+  [[nodiscard]] std::int64_t elem_bytes() const;
+
+  /// acc[0..bytes) ⊕= in[0..bytes), elementwise.  `bytes` must be a
+  /// multiple of elem_bytes().
+  void combine(std::byte* acc, const std::byte* in, std::int64_t bytes) const;
+
+  /// Cache-key tag: (kind << 16) | element width.  Reduction plans are
+  /// structurally op-independent, but the tag keeps "one PlanCache key =
+  /// one complete execution recipe"; distinct user functions of equal
+  /// element width deliberately share a key (the lowered plan is
+  /// identical — the function itself is supplied at run time).
+  [[nodiscard]] std::uint32_t cache_tag() const;
+
+  [[nodiscard]] std::string name() const;
+};
+
+struct ReduceReferenceOptions {
+  int start_round = 0;
+};
+
+/// Per-pair reduce-scatter oracle: `send` holds n blocks (block j is this
+/// rank's contribution to rank j), `recv` one block — the ⊕-combination of
+/// every rank's contribution to this rank.  Direct ring-distance exchange,
+/// k distances per round, combining in ascending distance order; returns
+/// the next free round index (start_round + ⌈(n−1)/k⌉ for n > 1).
+/// Blocking and trace behavior as index_direct.
+int reduce_scatter_reference(mps::Communicator& comm,
+                             std::span<const std::byte> send,
+                             std::span<std::byte> recv,
+                             std::int64_t block_bytes, const ReduceOp& op,
+                             const ReduceReferenceOptions& options = {});
+
+/// Allreduce oracle: `recv` = ⊕ over all ranks of their `send` (same byte
+/// length everywhere, a multiple of op.elem_bytes()).  Ring-circulates the
+/// full vectors (n−1 one-port rounds) and combines locally in rank order,
+/// so every rank applies the identical association order.
+int allreduce_reference(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, const ReduceOp& op,
+                        const ReduceReferenceOptions& options = {});
 
 struct ConcatViaIndexOptions {
   /// Radix handed to the underlying index algorithm.

@@ -61,6 +61,51 @@ CostMetrics index_direct_cost(std::int64_t n, int k, std::int64_t block_bytes) {
   return m;
 }
 
+CostMetrics reduce_bruck_cost(std::int64_t n, std::int64_t r, int k,
+                              std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  BRUCK_REQUIRE_MSG(r >= 2 && r <= std::max<std::int64_t>(2, n),
+                    "radix must be in [2, max(2, n)]");
+  CostMetrics m;
+  if (n == 1) return m;
+  // Mirrors Plan::lower_reduce_bruck: digits processed high → low, the
+  // digit-x step z carries the live slots {z·r^x + t : t < min(r^x, n −
+  // z·r^x)}, z-steps grouped k per round.
+  const int w = radix_digit_count(n, r);
+  std::int64_t dist = 1;
+  std::vector<std::int64_t> dists(static_cast<std::size_t>(w));
+  for (int x = 0; x < w; ++x) {
+    dists[static_cast<std::size_t>(x)] = dist;
+    dist *= r;
+  }
+  for (int x = w - 1; x >= 0; --x) {
+    const std::int64_t d = dists[static_cast<std::size_t>(x)];
+    const std::int64_t h = radix_subphase_height(n, r, x);
+    for (std::int64_t z0 = 1; z0 < h; z0 += k) {
+      const std::int64_t z1 = std::min<std::int64_t>(h, z0 + k);
+      std::int64_t round_max = 0;
+      for (std::int64_t z = z0; z < z1; ++z) {
+        const std::int64_t msg =
+            block_bytes * std::min<std::int64_t>(d, n - z * d);
+        round_max = std::max(round_max, msg);
+        m.total_bytes += n * msg;
+        m.max_rank_sent += msg;
+        m.max_rank_recv += msg;
+      }
+      m.c1 += 1;
+      m.c2 += round_max;
+    }
+  }
+  return m;
+}
+
+CostMetrics reduce_direct_cost(std::int64_t n, int k,
+                               std::int64_t block_bytes) {
+  // n−1 single-block peer messages, k per round — the same schedule shape
+  // as direct exchange, with the receives combined instead of stored.
+  return index_direct_cost(n, k, block_bytes);
+}
+
 CostMetrics index_pairwise_cost(std::int64_t n, int k,
                                 std::int64_t block_bytes) {
   check_common(n, k, block_bytes);

@@ -45,6 +45,19 @@ enum class ConcatLastRound {
 [[nodiscard]] CostMetrics index_pairwise_cost(std::int64_t n, int k,
                                               std::int64_t block_bytes);
 
+/// Reduce-scatter, radix-r Bruck skeleton run in reverse with combining:
+/// identical round structure (C1) to index_bruck_cost, but each rank ships
+/// only the *live* partial sums — the digit-x step moves min(r^x, n − z·r^x)
+/// blocks, so the total per-rank volume is exactly (n−1)·b instead of the
+/// index operation's digit-census volume.
+[[nodiscard]] CostMetrics reduce_bruck_cost(std::int64_t n, std::int64_t r,
+                                            int k, std::int64_t block_bytes);
+
+/// Reduce-scatter, direct per-pair exchange: identical measures to
+/// index_direct_cost (n−1 single-block messages, k per round).
+[[nodiscard]] CostMetrics reduce_direct_cost(std::int64_t n, int k,
+                                             std::int64_t block_bytes);
+
 /// Concatenation, Section 4 circulant algorithm.
 [[nodiscard]] CostMetrics concat_bruck_cost(std::int64_t n, int k,
                                             std::int64_t block_bytes,

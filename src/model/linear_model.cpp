@@ -10,15 +10,28 @@ double LinearModel::predict_us(const CostMetrics& m) const {
          static_cast<double>(m.c2) * tau_us_per_byte;
 }
 
+double LinearModel::predict_reduce_us(const CostMetrics& m) const {
+  // Combines run serially on the receiving rank even when k ports receive
+  // in parallel: charge γ on the heaviest rank's total received bytes.
+  return predict_us(m) +
+         static_cast<double>(m.max_rank_recv) * gamma_us_per_byte;
+}
+
 double LinearModel::message_us(std::int64_t bytes) const {
   BRUCK_REQUIRE(bytes >= 0);
   return beta_us + static_cast<double>(bytes) * tau_us_per_byte;
 }
 
-LinearModel ibm_sp1() { return {"IBM SP-1 (EUIH)", 29.0, 0.12}; }
+// γ: memory-bandwidth-bound elementwise combine, far cheaper per byte than
+// the wire on every profile (the SP-1 figure is a ~100 MB/s streaming add).
+LinearModel ibm_sp1() { return {"IBM SP-1 (EUIH)", 29.0, 0.12, 0.01}; }
 
-LinearModel startup_dominated() { return {"startup-dominated", 100.0, 0.01}; }
+LinearModel startup_dominated() {
+  return {"startup-dominated", 100.0, 0.01, 0.002};
+}
 
-LinearModel bandwidth_dominated() { return {"bandwidth-dominated", 0.5, 0.25}; }
+LinearModel bandwidth_dominated() {
+  return {"bandwidth-dominated", 0.5, 0.25, 0.02};
+}
 
 }  // namespace bruck::model

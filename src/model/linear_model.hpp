@@ -1,6 +1,11 @@
 // The linear communication-cost model of Section 1.2: sending an m-byte
 // message costs β + m·τ, so an algorithm with measures (C1, C2) costs
-// T = C1·β + C2·τ.
+// T = C1·β + C2·τ.  Reduction collectives add a γ compute term: every
+// received byte is also combined into an accumulator, serially on the
+// receiving rank's thread, so a reducing algorithm costs
+// T = C1·β + C2·τ + γ·max_rank_recv — the combine volume on the critical
+// path is the heaviest rank's *total* received bytes, not the port-summed
+// C2 (k ports receive in parallel but combine on one core).
 #pragma once
 
 #include <string>
@@ -11,11 +16,17 @@ namespace bruck::model {
 
 struct LinearModel {
   std::string name;
-  double beta_us = 0.0;          ///< per-message start-up time (µs)
-  double tau_us_per_byte = 0.0;  ///< per-byte transfer time (µs/byte)
+  double beta_us = 0.0;           ///< per-message start-up time (µs)
+  double tau_us_per_byte = 0.0;   ///< per-byte transfer time (µs/byte)
+  double gamma_us_per_byte = 0.0; ///< per-byte combine (reduction) time (µs/byte)
 
   /// Predicted time (µs) of an algorithm with the given measures.
   [[nodiscard]] double predict_us(const CostMetrics& m) const;
+
+  /// Predicted time (µs) of a *reducing* algorithm with the given measures:
+  /// predict_us plus the γ combine term over the heaviest rank's received
+  /// (= serially combined) bytes, max_rank_recv.
+  [[nodiscard]] double predict_reduce_us(const CostMetrics& m) const;
 
   /// Predicted time (µs) of a single m-byte point-to-point message.
   [[nodiscard]] double message_us(std::int64_t bytes) const;

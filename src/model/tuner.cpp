@@ -71,6 +71,82 @@ RadixChoice pick_index_radix(std::int64_t n, int k, std::int64_t block_bytes,
 
 namespace {
 
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// One tuner memo family, registered so tuner_cache_stats() and
+/// clear_tuner_cache() see every cache without per-family wiring (adding a
+/// tuned collective family used to mean hand-extending both functions).
+class MemoCacheBase {
+ public:
+  virtual void add_stats(TunerCacheStats& out) = 0;
+  virtual void clear() = 0;
+
+ protected:
+  ~MemoCacheBase() = default;
+};
+
+std::mutex& memo_registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<MemoCacheBase*>& memo_registry() {
+  static std::vector<MemoCacheBase*> registry;
+  return registry;
+}
+
+/// Thread-safe compute-once memo: the compute runs outside the lock
+/// (concurrent first callers may both compute, but results are
+/// deterministic so last-writer-wins is harmless).
+template <typename Key, typename Value>
+class MemoCache final : public MemoCacheBase {
+ public:
+  MemoCache() {
+    std::lock_guard<std::mutex> lock(memo_registry_mu());
+    memo_registry().push_back(this);
+  }
+
+  template <typename Compute>
+  Value get_or_compute(const Key& key, const Compute& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    const Value value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    entries_.emplace(key, value);
+    return value;
+  }
+
+  void add_stats(TunerCacheStats& out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.hits += hits_;
+    out.misses += misses_;
+  }
+
+  void clear() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, Value> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 // (n, k, b, set, β bits, τ bits) → choice.  Doubles are compared by bit
 // pattern: two models predicting identical times are the same key, and NaN
 // never reaches here (predict_us is a polynomial of finite inputs).
@@ -78,22 +154,9 @@ using TunerKey =
     std::tuple<std::int64_t, int, std::int64_t, int, std::uint64_t,
                std::uint64_t>;
 
-struct TunerCache {
-  std::mutex mu;
-  std::map<TunerKey, RadixChoice> entries;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-};
-
-TunerCache& tuner_cache() {
-  static TunerCache cache;
+MemoCache<TunerKey, RadixChoice>& tuner_cache() {
+  static MemoCache<TunerKey, RadixChoice> cache;
   return cache;
-}
-
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
 }
 
 }  // namespace
@@ -107,25 +170,9 @@ RadixChoice pick_index_radix_cached(std::int64_t n, int k,
                      static_cast<int>(set),
                      double_bits(machine.beta_us),
                      double_bits(machine.tau_us_per_byte)};
-  TunerCache& cache = tuner_cache();
-  {
-    std::lock_guard<std::mutex> lock(cache.mu);
-    const auto it = cache.entries.find(key);
-    if (it != cache.entries.end()) {
-      ++cache.hits;
-      return it->second;
-    }
-  }
-  // Sweep outside the lock: concurrent first callers may both compute, but
-  // the result is deterministic so last-writer-wins is harmless.
-  const RadixChoice choice =
-      pick_index_radix(n, k, block_bytes, machine, set);
-  {
-    std::lock_guard<std::mutex> lock(cache.mu);
-    ++cache.misses;
-    cache.entries.emplace(key, choice);
-  }
-  return choice;
+  return tuner_cache().get_or_compute(key, [&] {
+    return pick_index_radix(n, k, block_bytes, machine, set);
+  });
 }
 
 VectorIndexChoice pick_indexv(std::int64_t n, int k, std::int64_t total_bytes,
@@ -170,15 +217,8 @@ namespace {
 using VectorTunerKey = std::tuple<std::int64_t, int, int, int, int,
                                   std::uint64_t, std::uint64_t>;
 
-struct VectorTunerCache {
-  std::mutex mu;
-  std::map<VectorTunerKey, VectorIndexChoice> entries;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-};
-
-VectorTunerCache& vector_tuner_cache() {
-  static VectorTunerCache cache;
+MemoCache<VectorTunerKey, VectorIndexChoice>& vector_tuner_cache() {
+  static MemoCache<VectorTunerKey, VectorIndexChoice> cache;
   return cache;
 }
 
@@ -210,59 +250,103 @@ VectorIndexChoice pick_indexv_cached(std::int64_t n, int k,
                            static_cast<int>(set),
                            double_bits(machine.beta_us),
                            double_bits(machine.tau_us_per_byte)};
-  VectorTunerCache& cache = vector_tuner_cache();
-  {
-    std::lock_guard<std::mutex> lock(cache.mu);
-    const auto it = cache.entries.find(key);
-    if (it != cache.entries.end()) {
-      ++cache.hits;
-      return it->second;
-    }
-  }
   // Compute from the bucket ceilings, not the raw inputs, so every caller
   // in a bucket gets the identical (cache-key-stable) decision.
-  const std::int64_t total_rep =
-      std::max(bucket_ceiling(total_bucket), bucket_ceiling(max_bucket));
-  const VectorIndexChoice choice = pick_indexv(
-      n, k, total_rep, bucket_ceiling(max_bucket), machine, set);
-  {
-    std::lock_guard<std::mutex> lock(cache.mu);
-    ++cache.misses;
-    cache.entries.emplace(key, choice);
+  return vector_tuner_cache().get_or_compute(key, [&] {
+    const std::int64_t total_rep =
+        std::max(bucket_ceiling(total_bucket), bucket_ceiling(max_bucket));
+    return pick_indexv(n, k, total_rep, bucket_ceiling(max_bucket), machine,
+                       set);
+  });
+}
+
+RadixChoice pick_reduce_radix(std::int64_t n, int k, std::int64_t block_bytes,
+                              const LinearModel& machine, RadixSet set) {
+  RadixChoice best;
+  bool first = true;
+  for (const std::int64_t r : candidate_radices(n, set, k)) {
+    RadixChoice c;
+    c.radix = r;
+    c.metrics = reduce_bruck_cost(n, r, k, block_bytes);
+    c.predicted_us = machine.predict_reduce_us(c.metrics);
+    if (first || c.predicted_us < best.predicted_us ||
+        (c.predicted_us == best.predicted_us && c.radix < best.radix)) {
+      best = c;
+      first = false;
+    }
   }
-  return choice;
+  return best;
+}
+
+ReduceScatterChoice pick_reduce_scatter(std::int64_t n, int k,
+                                        std::int64_t block_bytes,
+                                        const LinearModel& machine,
+                                        RadixSet set) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  const RadixChoice bruck =
+      pick_reduce_radix(n, k, block_bytes, machine, set);
+  const CostMetrics direct = reduce_direct_cost(n, k, block_bytes);
+  const double direct_us = machine.predict_reduce_us(direct);
+  ReduceScatterChoice out;
+  if (direct_us <= bruck.predicted_us) {
+    out.direct = true;
+    out.radix = std::max<std::int64_t>(2, n);
+    out.predicted = direct;
+    out.predicted_us = direct_us;
+  } else {
+    out.direct = false;
+    out.radix = bruck.radix;
+    out.predicted = bruck.metrics;
+    out.predicted_us = bruck.predicted_us;
+  }
+  return out;
+}
+
+namespace {
+
+// (n, k, b, set, β bits, τ bits, γ bits) → choice.
+using ReduceTunerKey = std::tuple<std::int64_t, int, std::int64_t, int,
+                                  std::uint64_t, std::uint64_t, std::uint64_t>;
+
+MemoCache<ReduceTunerKey, ReduceScatterChoice>& reduce_tuner_cache() {
+  static MemoCache<ReduceTunerKey, ReduceScatterChoice> cache;
+  return cache;
+}
+
+}  // namespace
+
+ReduceScatterChoice pick_reduce_scatter_cached(std::int64_t n, int k,
+                                               std::int64_t block_bytes,
+                                               const LinearModel& machine,
+                                               RadixSet set) {
+  const ReduceTunerKey key{n,
+                           k,
+                           block_bytes,
+                           static_cast<int>(set),
+                           double_bits(machine.beta_us),
+                           double_bits(machine.tau_us_per_byte),
+                           double_bits(machine.gamma_us_per_byte)};
+  return reduce_tuner_cache().get_or_compute(key, [&] {
+    return pick_reduce_scatter(n, k, block_bytes, machine, set);
+  });
 }
 
 TunerCacheStats tuner_cache_stats() {
   TunerCacheStats out;
-  {
-    TunerCache& cache = tuner_cache();
-    std::lock_guard<std::mutex> lock(cache.mu);
-    out.hits = cache.hits;
-    out.misses = cache.misses;
-  }
-  {
-    VectorTunerCache& cache = vector_tuner_cache();
-    std::lock_guard<std::mutex> lock(cache.mu);
-    out.hits += cache.hits;
-    out.misses += cache.misses;
+  std::lock_guard<std::mutex> lock(memo_registry_mu());
+  for (MemoCacheBase* cache : memo_registry()) {
+    cache->add_stats(out);
   }
   return out;
 }
 
 void clear_tuner_cache() {
-  {
-    TunerCache& cache = tuner_cache();
-    std::lock_guard<std::mutex> lock(cache.mu);
-    cache.entries.clear();
-    cache.hits = 0;
-    cache.misses = 0;
+  std::lock_guard<std::mutex> lock(memo_registry_mu());
+  for (MemoCacheBase* cache : memo_registry()) {
+    cache->clear();
   }
-  VectorTunerCache& cache = vector_tuner_cache();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  cache.entries.clear();
-  cache.hits = 0;
-  cache.misses = 0;
 }
 
 double pipelined_round_us(const LinearModel& machine,

@@ -99,6 +99,44 @@ struct VectorIndexChoice {
     std::int64_t max_pair_bytes, const LinearModel& machine,
     RadixSet set = RadixSet::kAll);
 
+// ---------------------------------------------------------------------------
+// Reduce-scatter tuning.  The combine cost enters the model through the
+// machine's γ term (LinearModel::predict_reduce_us): every received byte is
+// also combined serially on the receiving rank, so the objective is
+// C1·β + C2·τ + γ·max_rank_recv.  Every pattern we lower receives exactly
+// (n−1)·b bytes per rank, so γ prices all algorithms' combine work equally
+// and the pick stays driven by the communication terms — γ exists so the
+// *predicted time* is honest (and so future unequal-volume patterns tune
+// correctly).
+
+struct ReduceScatterChoice {
+  /// True: run direct exchange.  False: run the Bruck skeleton with `radix`.
+  bool direct = false;
+  std::int64_t radix = 2;
+  CostMetrics predicted;
+  double predicted_us = 0.0;
+};
+
+/// The radix minimizing predict_reduce_us over reduce_bruck_cost (ties
+/// toward the smaller radix).  Pure function.
+[[nodiscard]] RadixChoice pick_reduce_radix(std::int64_t n, int k,
+                                            std::int64_t block_bytes,
+                                            const LinearModel& machine,
+                                            RadixSet set = RadixSet::kAll);
+
+/// Pick algorithm + radix for a reduce-scatter: the best Bruck radix vs
+/// direct exchange, both under the γ-extended model.  Pure function.
+[[nodiscard]] ReduceScatterChoice pick_reduce_scatter(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const LinearModel& machine, RadixSet set = RadixSet::kAll);
+
+/// Memoized pick_reduce_scatter, keyed on (n, k, b, set, β/τ/γ bits); the
+/// chosen algorithm and radix then key the PlanCache.  Thread-safe; shares
+/// the tuner cache counters.
+[[nodiscard]] ReduceScatterChoice pick_reduce_scatter_cached(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const LinearModel& machine, RadixSet set = RadixSet::kAll);
+
 /// The full modeled trade-off curve: one entry per candidate radix.
 [[nodiscard]] std::vector<RadixChoice> index_radix_curve(
     std::int64_t n, int k, std::int64_t block_bytes, const LinearModel& machine,

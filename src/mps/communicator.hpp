@@ -46,12 +46,14 @@ struct RecvSpec {
 };
 
 /// One compiled-plan execution on one rank, as reported to the trace:
-/// whether the plan came out of the PlanCache hot, how many rounds it spans
-/// and how many payload bytes this rank put on the wire.
+/// whether the plan came out of the PlanCache hot, how many rounds it spans,
+/// how many payload bytes this rank put on the wire, and how many received
+/// bytes it combined into accumulators (reduction plans only; 0 elsewhere).
 struct PlanEvent {
   bool cache_hit = false;
   int rounds = 0;
   std::int64_t bytes_sent = 0;
+  std::int64_t bytes_reduced = 0;
 };
 
 /// Identifies one posted (nonblocking) receive on one communicator.

@@ -1,8 +1,11 @@
 #include "mps/thread_comm.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -29,15 +32,34 @@ int effective_segments(std::int64_t total, int segments) {
 
 }  // namespace
 
+std::optional<std::chrono::milliseconds> parse_recv_timeout_ms(
+    const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;  // junk / trailing junk
+  if (errno == ERANGE) return std::nullopt;  // overflowed, silently saturated
+  if (v <= 0 || v > kMaxRecvTimeoutMs) return std::nullopt;
+  return std::chrono::milliseconds(v);
+}
+
 std::chrono::milliseconds default_recv_timeout() {
-  if (const char* env = std::getenv("BRUCK_RECV_TIMEOUT_MS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return std::chrono::milliseconds(v);
-    }
-  }
-  return std::chrono::milliseconds(30000);
+  constexpr std::chrono::milliseconds kDefault{30000};
+  const char* env = std::getenv("BRUCK_RECV_TIMEOUT_MS");
+  if (env == nullptr) return kDefault;
+  if (const auto parsed = parse_recv_timeout_ms(env)) return *parsed;
+  // Warn once per process: a misconfigured timeout silently changes hang
+  // behavior, but repeating the warning per fabric would drown test output.
+  static std::once_flag warned;
+  const long long default_ms = kDefault.count();
+  std::call_once(warned, [env, default_ms] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_RECV_TIMEOUT_MS=\"%s\" "
+                 "(want a positive integer <= %lld ms); using %lld ms\n",
+                 env, kMaxRecvTimeoutMs, default_ms);
+  });
+  return kDefault;
 }
 
 Fabric::Fabric(const FabricOptions& options)

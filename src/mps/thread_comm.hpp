@@ -18,6 +18,7 @@
 #include <deque>
 #include <list>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,8 +29,23 @@
 
 namespace bruck::mps {
 
+/// Upper bound accepted for a BRUCK_RECV_TIMEOUT_MS override (24 h): a
+/// larger value is far more likely a typo or an overflowed number than a
+/// deliberate deadlock timeout, and silently accepting it would disable the
+/// hang protection entirely.
+inline constexpr long long kMaxRecvTimeoutMs = 24ll * 60 * 60 * 1000;
+
+/// Strictly parse a BRUCK_RECV_TIMEOUT_MS override: the whole string must
+/// be one decimal integer in (0, kMaxRecvTimeoutMs] — no trailing junk, no
+/// overflow (strtol-style silent saturation is rejected).  Returns
+/// std::nullopt for null/empty/invalid input.
+[[nodiscard]] std::optional<std::chrono::milliseconds> parse_recv_timeout_ms(
+    const char* text);
+
 /// The fabric-wide receive timeout default: the BRUCK_RECV_TIMEOUT_MS
-/// environment variable when set to a positive integer, else 30000 ms.
+/// environment variable when it parses strictly (parse_recv_timeout_ms),
+/// else 30000 ms.  A set-but-invalid value warns once on stderr and falls
+/// back to the default instead of silently misconfiguring the timeout.
 /// Read per call, so tests and sanitizer CI jobs (where every operation is
 /// 10-20x slower) can adjust it without touching code.
 [[nodiscard]] std::chrono::milliseconds default_recv_timeout();

@@ -60,6 +60,7 @@ PlanStats Trace::plan_stats() const {
       }
       stats.rounds += e.rounds;
       stats.bytes_sent += e.bytes_sent;
+      stats.bytes_reduced += e.bytes_reduced;
     }
   }
   return stats;

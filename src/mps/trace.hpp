@@ -29,6 +29,8 @@ struct PlanStats {
   std::uint64_t misses = 0;  ///< executions that had to lower a plan
   std::int64_t rounds = 0;   ///< Σ per-execution round counts
   std::int64_t bytes_sent = 0;  ///< Σ per-rank payload bytes
+  /// Σ per-rank bytes combined on receive (reduction collectives; 0 else).
+  std::int64_t bytes_reduced = 0;
 
   friend bool operator==(const PlanStats&, const PlanStats&) = default;
 };

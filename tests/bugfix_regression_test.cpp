@@ -1,0 +1,215 @@
+// Regression tests for the PR 4 bugfix sweep.  Each section pins one
+// formerly-buggy behavior:
+//
+//  1. BRUCK_RECV_TIMEOUT_MS parsing accepted garbage — most dangerously,
+//     an overflowing digit string silently saturated to LONG_MAX ms,
+//     disabling the deadlock timeout entirely.
+//  2. PlanKey::shape_digest == 0 is the "uniform plan" sentinel; an
+//     irregular shape must never digest to it (the reservation is pinned
+//     through the exposed reserve_shape_digest_sentinel seam).
+//  3. Segment tuning: a *forced* segment count that the
+//     model::kMinSegmentBytes per-message floor would collapse anyway used
+//     to key the PlanCache unclamped, caching two plans for one effective
+//     execution (forced-vs-tuned aliasing).
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "coll/plan_cache.hpp"
+#include "gtest/gtest.h"
+#include "mps/runtime.hpp"
+#include "mps/thread_comm.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bruck {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// 1. Strict BRUCK_RECV_TIMEOUT_MS parsing.
+
+TEST(RecvTimeoutParsing, RejectsOverflowingValues) {
+  // The historical bug: strtol saturates to LONG_MAX with errno == ERANGE,
+  // the old check (*end == '\0' && v > 0) passed, and the fabric ran with
+  // a ~292-million-year timeout — i.e. no deadlock protection at all.
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("99999999999999999999999"));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("-99999999999999999999999"));
+}
+
+TEST(RecvTimeoutParsing, RejectsGarbageAndOutOfRange) {
+  EXPECT_FALSE(mps::parse_recv_timeout_ms(nullptr));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms(""));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("not-a-number"));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("123abc"));  // trailing junk
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("1e3"));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("0"));
+  EXPECT_FALSE(mps::parse_recv_timeout_ms("-5"));
+  // Above the 24 h sanity ceiling: almost certainly a typo'd unit.
+  EXPECT_FALSE(mps::parse_recv_timeout_ms(
+      std::to_string(mps::kMaxRecvTimeoutMs + 1).c_str()));
+}
+
+TEST(RecvTimeoutParsing, AcceptsStrictPositiveIntegers) {
+  ASSERT_TRUE(mps::parse_recv_timeout_ms("250"));
+  EXPECT_EQ(*mps::parse_recv_timeout_ms("250"), 250ms);
+  EXPECT_EQ(*mps::parse_recv_timeout_ms(
+                std::to_string(mps::kMaxRecvTimeoutMs).c_str()),
+            std::chrono::milliseconds(mps::kMaxRecvTimeoutMs));
+}
+
+TEST(RecvTimeoutParsing, InvalidEnvFallsBackToDefault) {
+  const char* prior_raw = std::getenv("BRUCK_RECV_TIMEOUT_MS");
+  const std::string prior = prior_raw ? prior_raw : "";
+
+  // The overflow regression, end-to-end through the env var.
+  ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", "99999999999999999999999", 1), 0);
+  EXPECT_EQ(mps::default_recv_timeout(), 30000ms);
+  ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", "5s", 1), 0);
+  EXPECT_EQ(mps::default_recv_timeout(), 30000ms);
+  ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", "4500", 1), 0);
+  EXPECT_EQ(mps::default_recv_timeout(), 4500ms);
+
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", prior.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("BRUCK_RECV_TIMEOUT_MS"), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. The shape-digest sentinel reservation.
+
+TEST(ShapeDigestSentinel, ZeroHashIsRemappedToOne) {
+  // Finding a counts vector whose raw FNV lands on 0 is a 2^64 search, so
+  // the reservation is pinned at the seam shape_digest routes through.
+  EXPECT_EQ(coll::reserve_shape_digest_sentinel(0), 1u);
+  EXPECT_EQ(coll::reserve_shape_digest_sentinel(1), 1u);
+  EXPECT_EQ(coll::reserve_shape_digest_sentinel(0xDEADBEEFull), 0xDEADBEEFull);
+}
+
+TEST(ShapeDigestSentinel, DigestsNeverCollideWithTheUniformSentinel) {
+  SplitMix64 rng(0xD16E57);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = rng.next_below(65);
+    std::vector<std::int64_t> counts(len);
+    for (std::int64_t& c : counts) {
+      // Bias toward the adversarial cases: zeros and tiny buckets.
+      c = static_cast<std::int64_t>(rng.next_below(5));
+    }
+    EXPECT_NE(coll::shape_digest(counts), 0u);
+  }
+  EXPECT_NE(coll::shape_digest({}), 0u);  // empty shape
+  const std::vector<std::int64_t> zeros(64, 0);
+  EXPECT_NE(coll::shape_digest(zeros), 0u);  // all-zero counts
+}
+
+TEST(ShapeDigestSentinel, IrregularKeysNeverAliasUniformKeys) {
+  // Same resolved (algorithm, n, k, radix, segments): the only field
+  // separating the irregular key from the uniform one is the digest, so
+  // digest == 0 would alias them — the keys must differ for every shape.
+  const coll::PlanKey uniform =
+      coll::index_plan_key(coll::IndexAlgorithm::kBruck, 8, 2, 2);
+  const std::vector<std::int64_t> zeros(64, 0);
+  const coll::PlanKey irregular = coll::indexv_plan_key(
+      coll::IndexAlgorithm::kBruck, 8, 2, 2, coll::shape_digest(zeros));
+  EXPECT_FALSE(uniform == irregular);
+  // And the key constructors refuse a zero digest outright.
+  EXPECT_THROW(
+      coll::indexv_plan_key(coll::IndexAlgorithm::kBruck, 8, 2, 2, 0),
+      ContractViolation);
+  EXPECT_THROW(coll::concatv_plan_key(coll::ConcatAlgorithm::kBruck, 8, 2, 0),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Segment floor: forced and tuned counts must resolve — and key the
+// PlanCache — identically whenever the per-message floor collapses them.
+
+TEST(SegmentFloor, PickSegmentCountIsOneBelowTheFloor) {
+  for (const auto& machine :
+       {model::ibm_sp1(), model::startup_dominated(),
+        model::bandwidth_dominated()}) {
+    for (const std::int64_t bytes : {0ll, 1ll, 64ll, 4095ll}) {
+      for (const std::int64_t rounds : {0ll, 1ll, 7ll}) {
+        EXPECT_EQ(model::pick_segment_count(machine, rounds, bytes).segments,
+                  1)
+            << machine.name << " b=" << bytes << " rounds=" << rounds;
+      }
+    }
+  }
+}
+
+/// Run one pipelined alltoall on every rank with the given segments knob.
+void run_tiny_alltoall(std::int64_t n, int k, std::int64_t b, int segments) {
+  mps::run_spmd(n, k, [&](mps::Communicator& comm) {
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                std::byte{1});
+    std::vector<std::byte> recv(send.size());
+    coll::AlltoallOptions options;
+    options.algorithm = coll::IndexAlgorithm::kBruck;
+    options.radix = 2;
+    options.path = coll::ExecutionPath::kPipelined;
+    options.segments = segments;
+    coll::alltoall(comm, send, recv, b, options);
+  });
+}
+
+TEST(SegmentFloor, ForcedAndTunedCountsShareOnePlanAtTinyBlocks) {
+  // The regression: at b = 16 every message is far below
+  // model::kMinSegmentBytes, so the executor ships one segment regardless —
+  // but a forced segments = 8 used to key the cache as S=8 while the tuned
+  // pick keyed S=1, caching two plans for one effective execution.
+  coll::PlanCache::global().clear();
+  const std::int64_t n = 8;
+  const int k = 2;
+  const std::int64_t b = 16;
+  run_tiny_alltoall(n, k, b, /*segments=*/8);   // forced, floor-collapsed
+  run_tiny_alltoall(n, k, b, /*segments=*/0);   // tuned
+  run_tiny_alltoall(n, k, b, /*segments=*/1);   // explicit off
+  const coll::PlanCacheStats stats = coll::PlanCache::global().stats();
+  EXPECT_EQ(stats.entries, 1u)
+      << "forced/tuned/off segment knobs cached distinct plans for one "
+         "geometry";
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SegmentFloor, ForcedCountsSurviveAboveTheFloor) {
+  // Sanity: forcing is still honored when the messages are big enough to
+  // split — the clamp only removes sub-floor segment counts.
+  coll::PlanCache::global().clear();
+  const std::int64_t n = 4;
+  const int k = 1;
+  const std::int64_t b = 1 << 16;
+  run_tiny_alltoall(n, k, b, /*segments=*/4);
+  run_tiny_alltoall(n, k, b, /*segments=*/1);
+  const coll::PlanCacheStats stats = coll::PlanCache::global().stats();
+  EXPECT_EQ(stats.entries, 2u);  // S=4 and S=1 are genuinely different
+}
+
+TEST(SegmentFloor, AllgatherForcedSegmentsAtTinyBlocksNormalize) {
+  // The concat facade used to skip computing predicted metrics on the
+  // forced path; the clamp needs them, and forced-vs-tuned must land on
+  // one key here too.
+  coll::PlanCache::global().clear();
+  const std::int64_t n = 6;
+  const int k = 2;
+  const std::int64_t b = 8;
+  for (const int segments : {6, 0, 1}) {
+    mps::run_spmd(n, k, [&](mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(b), std::byte{2});
+      std::vector<std::byte> recv(static_cast<std::size_t>(n * b));
+      coll::AllgatherOptions options;
+      options.algorithm = coll::ConcatAlgorithm::kBruck;
+      options.path = coll::ExecutionPath::kPipelined;
+      options.segments = segments;
+      coll::allgather(comm, send, recv, b, options);
+    });
+  }
+  EXPECT_EQ(coll::PlanCache::global().stats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace bruck

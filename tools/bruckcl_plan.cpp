@@ -11,7 +11,9 @@
 // bounds; `rounds` prints the round-by-round transfer listing of the index
 // algorithm (handy for eyeballing patterns); `compile` lowers the compiled
 // execution plans the facade's hot path runs (index with the tuned — or
-// given — radix, plus the concat plan) and prints their anatomy.
+// given — radix, the concat plan, and the reduce-scatter plan under the
+// γ-extended model, whose receive messages are tagged "(combine)") and
+// prints their anatomy.
 //
 // When `compile`'s third argument is a file instead of a number, it is read
 // as a whitespace-separated irregular shape: n*n integers make an alltoallv
@@ -140,6 +142,21 @@ int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
   const auto concat_lookup = cache.get_or_lower(
       coll::concat_plan_key(coll::ConcatAlgorithm::kBruck, n, k, strategy, b));
   std::cout << concat_lookup.plan->describe() << '\n';
+
+  // The reduction family: tuned under the γ-extended model (every received
+  // byte is also combined), then lowered like the facade's hot path.
+  const bruck::model::LinearModel machine = bruck::model::ibm_sp1();
+  const bruck::model::ReduceScatterChoice rs =
+      bruck::model::pick_reduce_scatter_cached(n, k, b, machine);
+  std::cout << "reduce tuner pick (gamma " << machine.gamma_us_per_byte
+            << " us/B): "
+            << (rs.direct ? "direct exchange"
+                          : "bruck, r = " + std::to_string(rs.radix))
+            << " (~" << rs.predicted_us << " us modeled)\n";
+  const auto reduce_lookup = cache.get_or_lower(coll::reduce_plan_key(
+      rs.direct ? coll::ReduceAlgorithm::kDirect : coll::ReduceAlgorithm::kBruck,
+      n, k, rs.radix, coll::ReduceOp::sum(coll::ReduceElem::kF64)));
+  std::cout << reduce_lookup.plan->describe() << '\n';
 
   const coll::PlanCacheStats stats = cache.stats();
   std::cout << "plan cache: " << stats.entries << " entries, " << stats.hits
