@@ -6,12 +6,17 @@
 // mid-sized blocks, and Bruck allgather beats ring and folklore.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "coll/api.hpp"
 #include "coll/concat_bruck.hpp"
+#include "coll/progress.hpp"
+#include "coll/request.hpp"
+#include "coll/verify.hpp"
 #include "coll/concat_folklore.hpp"
 #include "coll/concat_ring.hpp"
 #include "coll/index_bruck.hpp"
@@ -201,6 +206,122 @@ void BM_AllreduceFusedVsGatherReduce(benchmark::State& state) {
                           (n - 1) * bytes);
 }
 
+// Multi-tenancy: G same-geometry alltoalls issued together.  "serial" runs
+// G blocking calls back to back; "batched" submits G nonblocking requests
+// and lets the progress engine fuse them into one wire exchange over G·b
+// blocks (one β per message instead of G).  k = 1 so the start-up term
+// dominates — the regime where model::pick_fusion chooses to batch.
+//
+// Timing is manual and barrier-bracketed inside the rank body: both paths
+// pay identical fabric spawn/join costs, which would otherwise dilute the
+// ratio without distinguishing them.  Each iteration runs kReps batches in
+// one fabric so plan caches and tag namespaces are warm, and reports the
+// mean per-batch wall time from rank 0.
+// range = {block bytes, G, batched}.
+void BM_ConcurrentAlltoall(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t b = state.range(0);
+  const int G = static_cast<int>(state.range(1));
+  const bool batched = state.range(2) != 0;
+
+  // One-shot correctness gate (outside the timed loop): the batched
+  // payloads must be bitwise-identical to the kReference oracle's.
+  double fused_groups = 0.0;
+  {
+    std::atomic<bool> ok{true};
+    std::atomic<std::uint64_t> groups{0};
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 1;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      const std::int64_t rank = comm.rank();
+      std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(G));
+      std::vector<std::vector<std::byte>> recv(static_cast<std::size_t>(G));
+      std::vector<bruck::coll::Request> reqs;
+      for (int g = 0; g < G; ++g) {
+        send[static_cast<std::size_t>(g)].resize(
+            static_cast<std::size_t>(n * b));
+        recv[static_cast<std::size_t>(g)].resize(
+            static_cast<std::size_t>(n * b));
+        bruck::coll::fill_index_send(send[static_cast<std::size_t>(g)], n,
+                                     rank, b,
+                                     900 + static_cast<std::uint64_t>(g));
+        reqs.push_back(bruck::coll::ialltoall(
+            comm, send[static_cast<std::size_t>(g)],
+            recv[static_cast<std::size_t>(g)], b));
+      }
+      bruck::coll::wait_all(reqs);
+      groups.store(
+          bruck::coll::ProgressEngine::for_comm(comm).stats().fused_groups);
+      std::vector<std::byte> oracle(static_cast<std::size_t>(n * b));
+      bruck::coll::AlltoallOptions reference;
+      reference.path = bruck::coll::ExecutionPath::kReference;
+      for (int g = 0; g < G; ++g) {
+        reference.start_round =
+            bruck::coll::alltoall(comm, send[static_cast<std::size_t>(g)],
+                                  oracle, b, reference);
+        if (oracle != recv[static_cast<std::size_t>(g)]) ok.store(false);
+      }
+    });
+    if (!ok.load()) {
+      state.SkipWithError("batched payloads diverge from the oracle");
+      return;
+    }
+    fused_groups = static_cast<double>(groups.load());
+  }
+
+  constexpr int kReps = 8;
+  for (auto _ : state) {
+    std::atomic<double> wall_seconds{0.0};
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 1;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(G));
+      std::vector<std::vector<std::byte>> recv(static_cast<std::size_t>(G));
+      for (int g = 0; g < G; ++g) {
+        send[static_cast<std::size_t>(g)].assign(
+            static_cast<std::size_t>(n * b), std::byte{1});
+        recv[static_cast<std::size_t>(g)].resize(
+            static_cast<std::size_t>(n * b));
+      }
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      bruck::coll::AlltoallOptions options;
+      for (int rep = 0; rep < kReps; ++rep) {
+        if (batched) {
+          std::vector<bruck::coll::Request> reqs;
+          for (int g = 0; g < G; ++g) {
+            reqs.push_back(bruck::coll::ialltoall(
+                comm, send[static_cast<std::size_t>(g)],
+                recv[static_cast<std::size_t>(g)], b));
+          }
+          bruck::coll::wait_all(reqs);
+        } else {
+          for (int g = 0; g < G; ++g) {
+            options.start_round = bruck::coll::alltoall(
+                comm, send[static_cast<std::size_t>(g)],
+                recv[static_cast<std::size_t>(g)], b, options);
+          }
+        }
+      }
+      comm.barrier();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (comm.rank() == 0) {
+        wall_seconds.store(std::chrono::duration<double>(t1 - t0).count() /
+                           kReps);
+      }
+    });
+    state.SetIterationTime(wall_seconds.load());
+  }
+  state.SetLabel(batched ? "batched" : "serial");
+  state.counters["fused_groups"] = fused_groups;
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * G *
+                          n * (n - 1) * b);
+}
+
 }  // namespace
 
 namespace {
@@ -209,6 +330,23 @@ constexpr std::int64_t kCompiledPath =
 constexpr std::int64_t kPipelinedPath =
     static_cast<std::int64_t>(bruck::coll::ExecutionPath::kPipelined);
 }  // namespace
+
+// Multi-tenancy (the CI multi-tenant CSV artifact): batched vs serial
+// same-geometry 4 KiB alltoalls (each rank's send buffer is n·b = 4 KiB,
+// b = 512 across n = 8) at k = 1 — the small-message regime batching
+// targets.  The 4096-block rows sit past the BRUCK_FUSE_MAX_BLOCK cap and
+// pin the serial-fallback overhead of routing through the engine instead.
+BENCHMARK(BM_ConcurrentAlltoall)
+    ->Args({512, 4, 0})
+    ->Args({512, 4, 1})
+    ->Args({512, 8, 0})
+    ->Args({512, 8, 1})
+    ->Args({4096, 4, 0})
+    ->Args({4096, 4, 1})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime()
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
 
 // Reduction family (the CI reduction CSV artifact).
 BENCHMARK(BM_ReduceScatterExecutor)

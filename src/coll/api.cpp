@@ -13,6 +13,7 @@
 #include "coll/index_direct.hpp"
 #include "coll/index_pairwise.hpp"
 #include "coll/plan_cache.hpp"
+#include "coll/progress.hpp"
 #include "coll/vector_reference.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -76,34 +77,6 @@ int run_compiled(mps::Communicator& comm, const PlanKey& key,
                                         lookup.plan->round_count(),
                                         ex.bytes_sent});
   return ex.next_round;
-}
-
-/// Resolve the wire-segmentation knob for a compiled execution: 0 means
-/// "tune from the predicted metrics" (per-round message size ≈ C2/C1);
-/// only the pipelined executor segments, so other paths resolve to 1.
-///
-/// Forced counts are clamped against the same model::kMinSegmentBytes
-/// per-message floor the tuner and executor apply: a forced S the floor
-/// would collapse anyway must resolve — and key the PlanCache — exactly
-/// like the tuned pick, or one geometry caches two plans for the same
-/// effective execution (the forced-vs-tuned aliasing bug).
-int resolve_segments(int requested, bool pipelined,
-                     const model::LinearModel& machine,
-                     const model::CostMetrics& predicted) {
-  if (!pipelined) return 1;
-  if (requested != 0) {
-    BRUCK_REQUIRE_MSG(requested >= 1, "segment count must be >= 1");
-  }
-  if (predicted.c1 <= 0) return 1;
-  const std::int64_t per_round =
-      (predicted.c2 + predicted.c1 - 1) / predicted.c1;
-  const std::int64_t floor_cap =
-      std::max<std::int64_t>(1, per_round / model::kMinSegmentBytes);
-  if (requested != 0) {
-    return static_cast<int>(
-        std::min<std::int64_t>(requested, floor_cap));
-  }
-  return model::pick_segment_count(machine, predicted.c1, per_round).segments;
 }
 
 /// run_compiled's irregular twin: fetch/lower the vector plan and execute
@@ -198,7 +171,7 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
   // Compiled hot path: the tuner's radix and segment choices are part of
   // the key.
   const bool pipelined = options.path == ExecutionPath::kPipelined;
-  const int segments = resolve_segments(options.segments, pipelined,
+  const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, plan.predicted);
   return run_compiled(comm,
                       index_plan_key(plan.algorithm, comm.size(), comm.ports(),
@@ -241,7 +214,7 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   model::CostMetrics predicted;
   if (pipelined) {
-    // Needed for forced counts too: resolve_segments clamps them against
+    // Needed for forced counts too: resolve_segment_knob clamps them against
     // the per-message floor derived from these metrics.
     switch (algorithm) {
       case ConcatAlgorithm::kBruck:
@@ -257,7 +230,7 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
         break;
     }
   }
-  const int segments = resolve_segments(options.segments, pipelined,
+  const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, predicted);
   return run_compiled(comm,
                       concat_plan_key(algorithm, comm.size(), comm.ports(),
@@ -346,7 +319,7 @@ int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
   }
 
   const bool pipelined = options.path == ExecutionPath::kPipelined;
-  const int segments = resolve_segments(options.segments, pipelined,
+  const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, predicted);
   const VectorView view{counts, send_displs, recv_displs, max_pair};
   return run_compiled_v(
@@ -393,7 +366,7 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
   if (pipelined) {
     // Segment tuning sees the mean block (wire messages carry trimmed true
     // sizes, so the mean is the honest per-message estimate).  Computed for
-    // forced counts too (resolve_segments clamps them against the floor).
+    // forced counts too (resolve_segment_knob clamps them against the floor).
     const std::int64_t b_eff = n > 0 ? (total + n - 1) / std::max<std::int64_t>(
                                            1, n)
                                      : 0;
@@ -411,7 +384,7 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
         break;
     }
   }
-  const int segments = resolve_segments(options.segments, pipelined,
+  const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, predicted);
   const VectorView view{counts, {}, recv_displs, max_block};
   return run_compiled_v(
@@ -419,15 +392,7 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
       send, recv, view, options.start_round, pipelined);
 }
 
-namespace {
-
-/// Resolved reduce-scatter execution recipe: algorithm, radix, and the
-/// predicted metrics that drive segment tuning.
-struct ReducePlanChoice {
-  ReduceAlgorithm algorithm = ReduceAlgorithm::kBruck;
-  std::int64_t radix = 2;
-  model::CostMetrics predicted;
-};
+namespace detail {
 
 ReducePlanChoice resolve_reduce_algorithm(std::int64_t n, int k,
                                           std::int64_t block_bytes,
@@ -469,6 +434,10 @@ ReducePlanChoice resolve_reduce_algorithm(std::int64_t n, int k,
   return out;
 }
 
+}  // namespace detail
+
+namespace {
+
 /// run_compiled's reduction twin: fetch/lower the reduce plan and execute
 /// it with the combine operator; the PlanEvent additionally reports the
 /// bytes combined on receive.
@@ -506,11 +475,11 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
         ReduceReferenceOptions{options.start_round});
   }
 
-  const ReducePlanChoice choice = resolve_reduce_algorithm(
+  const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, block_bytes, options.algorithm, options.radix, options.machine,
       options.radix_set);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
-  const int segments = resolve_segments(options.segments, pipelined,
+  const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, choice.predicted);
   return run_compiled_reduce(
       comm,
@@ -571,6 +540,260 @@ int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
                 static_cast<std::size_t>(bytes));
   }
   return next;
+}
+
+// -- Nonblocking entry points ----------------------------------------------
+//
+// Each i* twin runs exactly the blocking facade's resolution — tuner, radix,
+// last-round strategy, segment knob — and hands the finished recipe to the
+// communicator's progress engine instead of executing it.  The engine owns
+// scheduling from there (lazy start, tag allocation, fusion); see
+// progress.hpp.
+
+Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, std::int64_t block_bytes,
+                  const AlltoallOptions& options) {
+  const AlltoallPlan plan =
+      plan_alltoall(comm.size(), comm.ports(), block_bytes, options);
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, plan.predicted);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kAlltoall;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = block_bytes;
+  spec.key = index_plan_key(plan.algorithm, comm.size(), comm.ports(),
+                            plan.radix, segments);
+  spec.predicted = plan.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request iallgather(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, std::int64_t block_bytes,
+                   const AllgatherOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const ConcatAlgorithm algorithm =
+      options.algorithm == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
+                                                  : options.algorithm;
+  const model::ConcatLastRound strategy =
+      algorithm == ConcatAlgorithm::kBruck
+          ? model::resolve_concat_last_round(n, k, block_bytes,
+                                             options.last_round)
+          : options.last_round;
+  model::CostMetrics predicted;
+  switch (algorithm) {
+    case ConcatAlgorithm::kBruck:
+    case ConcatAlgorithm::kAuto:
+      predicted = model::concat_bruck_cost(n, k, block_bytes, strategy);
+      break;
+    case ConcatAlgorithm::kFolklore:
+      predicted = model::concat_folklore_cost(n, block_bytes);
+      break;
+    case ConcatAlgorithm::kRing:
+      predicted = model::concat_ring_cost(n, block_bytes);
+      break;
+  }
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, predicted);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kAllgather;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = block_bytes;
+  spec.key = concat_plan_key(algorithm, n, k, strategy, block_bytes, segments);
+  spec.predicted = predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv,
+                   std::span<const std::int64_t> counts,
+                   std::span<const std::int64_t> send_displs,
+                   std::span<const std::int64_t> recv_displs,
+                   const AlltoallvOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t rank = comm.rank();
+  BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(counts.size()) == n * n,
+                    "ialltoallv needs the full n*n count matrix");
+
+  std::int64_t total = 0;
+  std::int64_t max_pair = 0;
+  for (const std::int64_t c : counts) {
+    BRUCK_REQUIRE_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+    max_pair = std::max(max_pair, c);
+  }
+
+  // The engine outlives the caller's tables: own every shape vector
+  // (empty displacements mean the packed canonical layout, as in the
+  // blocking twin).
+  OpSpec spec;
+  spec.counts.assign(counts.begin(), counts.end());
+  if (send_displs.empty()) {
+    spec.send_displs = prefix_displs(counts.subspan(
+        static_cast<std::size_t>(rank * n), static_cast<std::size_t>(n)));
+  } else {
+    spec.send_displs.assign(send_displs.begin(), send_displs.end());
+  }
+  if (recv_displs.empty()) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      col[static_cast<std::size_t>(i)] =
+          counts[static_cast<std::size_t>(i * n + rank)];
+    }
+    spec.recv_displs = prefix_displs(col);
+  } else {
+    spec.recv_displs.assign(recv_displs.begin(), recv_displs.end());
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(spec.send_displs.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(spec.recv_displs.size()) == n);
+
+  const std::int64_t mean =
+      std::max<std::int64_t>(1, (total + n * n - 1) / (n * n));
+  IndexAlgorithm algorithm = options.algorithm;
+  std::int64_t radix = std::max<std::int64_t>(2, n);
+  model::CostMetrics predicted;
+  switch (options.algorithm) {
+    case IndexAlgorithm::kDirect:
+      predicted = model::index_direct_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kPairwise:
+      predicted = model::index_pairwise_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kBruck:
+      radix = options.radix != 0
+                  ? options.radix
+                  : model::pick_index_radix_cached(n, k, mean, options.machine,
+                                                   options.radix_set)
+                        .radix;
+      predicted = model::index_bruck_cost(n, radix, k, mean);
+      break;
+    case IndexAlgorithm::kAuto: {
+      const model::VectorIndexChoice choice = model::pick_indexv_cached(
+          n, k, total, max_pair, options.machine, options.radix_set);
+      algorithm = choice.direct ? IndexAlgorithm::kDirect
+                                : IndexAlgorithm::kBruck;
+      radix = choice.radix;
+      predicted = choice.predicted;
+      break;
+    }
+  }
+
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, predicted);
+  spec.family = OpSpec::Family::kAlltoallv;
+  spec.send = send;
+  spec.recv = recv;
+  spec.key =
+      indexv_plan_key(algorithm, n, k, radix, shape_digest(counts), segments);
+  spec.predicted = predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.pad_bytes = max_pair;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request ireduce_scatter(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::int64_t block_bytes,
+                        const ReduceOp& op,
+                        const ReduceScatterOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  BRUCK_REQUIRE(block_bytes >= 0);
+  BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 && block_bytes % op.elem_bytes() == 0,
+                    "block size must be a whole number of op elements");
+  const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
+      n, k, block_bytes, options.algorithm, options.radix, options.machine,
+      options.radix_set);
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kReduceScatter;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = block_bytes;
+  spec.key =
+      reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments);
+  spec.predicted = choice.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.op = op;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request iallreduce(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const ReduceOp& op,
+                   const AllreduceOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t bytes = static_cast<std::int64_t>(send.size());
+  const std::int64_t ew = op.elem_bytes();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == bytes);
+  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
+                    "payload must be a whole number of op elements");
+
+  // Same two-stage decomposition as the blocking twin, but both stages are
+  // resolved up front: the engine chains the allgather after the
+  // reduce-scatter inside one tag namespace.
+  const std::int64_t elems = bytes / ew;
+  const std::int64_t block_elems = n > 0 ? ceil_div(elems, n) : 0;
+  const std::int64_t b = block_elems * ew;
+
+  const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
+      n, k, b, options.algorithm, options.radix, options.machine,
+      options.radix_set);
+  const int rs_segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+
+  const ConcatAlgorithm concat =
+      options.concat == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
+                                               : options.concat;
+  const model::ConcatLastRound strategy =
+      concat == ConcatAlgorithm::kBruck
+          ? model::resolve_concat_last_round(n, k, b,
+                                             model::ConcatLastRound::kAuto)
+          : model::ConcatLastRound::kAuto;
+  model::CostMetrics concat_predicted;
+  switch (concat) {
+    case ConcatAlgorithm::kBruck:
+    case ConcatAlgorithm::kAuto:
+      concat_predicted = model::concat_bruck_cost(n, k, b, strategy);
+      break;
+    case ConcatAlgorithm::kFolklore:
+      concat_predicted = model::concat_folklore_cost(n, b);
+      break;
+    case ConcatAlgorithm::kRing:
+      concat_predicted = model::concat_ring_cost(n, b);
+      break;
+  }
+  const int ag_segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, concat_predicted);
+
+  OpSpec spec;
+  spec.family = OpSpec::Family::kAllreduce;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = b;
+  spec.key =
+      reduce_plan_key(choice.algorithm, n, k, choice.radix, op, rs_segments);
+  spec.concat_key = concat_plan_key(concat, n, k, strategy, b, ag_segments);
+  spec.predicted = choice.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.op = op;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "coll/reduction.hpp"
+#include "coll/request.hpp"
 #include "model/costs.hpp"
 #include "model/linear_model.hpp"
 #include "model/tuner.hpp"
@@ -275,5 +276,87 @@ int gather(mps::Communicator& comm, std::int64_t root,
 int scatter(mps::Communicator& comm, std::int64_t root,
             std::span<const std::byte> send, std::span<std::byte> recv,
             std::int64_t block_bytes, const RootedOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Nonblocking collectives.  Each i* call resolves the same execution recipe
+// as its blocking twin (tuner, radix, wire segments) but — instead of
+// running it — submits the operation to the communicator's ProgressEngine
+// (progress.hpp) and returns a Request handle immediately.  The operation
+// starts lazily at the first test()/wait() on any request of the
+// communicator, so several submitted-together same-shape operations can be
+// batched into one fused wire exchange (a model::pick_fusion decision).
+//
+// Contracts shared by all i* entry points (see docs/API.md for the full
+// reference):
+//  - Buffers (and, for reductions, nothing else: the ReduceOp is copied)
+//    must stay valid and untouched until the request completes.
+//  - Execution always uses the compiled pipelined path; `options.path` is
+//    ignored (there is no nonblocking reference oracle).
+//  - Each operation runs in its own port-namespace tag on communicators
+//    with a native port engine, so any number of requests may be in flight
+//    concurrently.  On exchange-backed wrappers the engine degrades to a
+//    serial FIFO at tag 0 (test() degrades to wait()).
+//  - While requests are outstanding, do not issue blocking collectives or
+//    raw port-engine operations on the same communicator.
+
+/// Nonblocking alltoall; same buffer contract as alltoall().
+[[nodiscard]] Request ialltoall(mps::Communicator& comm,
+                                std::span<const std::byte> send,
+                                std::span<std::byte> recv,
+                                std::int64_t block_bytes,
+                                const AlltoallOptions& options = {});
+
+/// Nonblocking allgather; same buffer contract as allgather().
+[[nodiscard]] Request iallgather(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 std::int64_t block_bytes,
+                                 const AllgatherOptions& options = {});
+
+/// Nonblocking alltoallv; same buffer contract as alltoallv().  The counts
+/// and displacement tables are copied — only the payload buffers must
+/// outlive the request.
+[[nodiscard]] Request ialltoallv(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 std::span<const std::int64_t> counts,
+                                 std::span<const std::int64_t> send_displs = {},
+                                 std::span<const std::int64_t> recv_displs = {},
+                                 const AlltoallvOptions& options = {});
+
+/// Nonblocking reduce-scatter; same buffer contract as reduce_scatter().
+/// The ReduceOp is copied (user_fn/user_ctx of a kUser op must stay valid).
+[[nodiscard]] Request ireduce_scatter(mps::Communicator& comm,
+                                      std::span<const std::byte> send,
+                                      std::span<std::byte> recv,
+                                      std::int64_t block_bytes,
+                                      const ReduceOp& op,
+                                      const ReduceScatterOptions& options = {});
+
+/// Nonblocking allreduce; same buffer contract as allreduce().  Runs as a
+/// two-stage chained operation (reduce-scatter then allgather) inside one
+/// port-namespace tag.
+[[nodiscard]] Request iallreduce(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv, const ReduceOp& op,
+                                 const AllreduceOptions& options = {});
+
+namespace detail {
+
+/// Resolved reduce-scatter execution recipe: algorithm, radix, and the
+/// predicted metrics that drive segment tuning.  Shared by the blocking
+/// facade and the progress engine's nonblocking submissions.
+struct ReducePlanChoice {
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kBruck;
+  std::int64_t radix = 2;
+  model::CostMetrics predicted;
+};
+
+[[nodiscard]] ReducePlanChoice resolve_reduce_algorithm(
+    std::int64_t n, int k, std::int64_t block_bytes, ReduceAlgorithm algorithm,
+    std::int64_t radix, const model::LinearModel& machine,
+    model::RadixSet set);
+
+}  // namespace detail
 
 }  // namespace bruck::coll

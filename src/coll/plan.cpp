@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "coll/blocks.hpp"
@@ -768,136 +769,206 @@ PlanExecution Plan::run_pipelined_impl(mps::Communicator& comm,
                                        std::span<std::byte> recv,
                                        const Extents& ex,
                                        int start_round) const {
-  const std::int64_t n = n_;
-  const std::int64_t rank = comm.rank();
-
-  std::vector<std::byte> scratch(
-      needs_scratch_ ? static_cast<std::size_t>(n * ex.b) : 0);
-  apply_prologue(send, recv, scratch, rank, ex);
-  const ExecBuffers buffers{send, recv, scratch};
-
-  const RankProgram& prog = programs_[static_cast<std::size_t>(rank)];
-  PlanExecution out;
-  out.next_round = start_round + round_count_;
-  if (round_count_ == 0) {
-    apply_epilogue(recv, scratch, rank, ex);
-    return out;
+  // The blocking pipelined executor is the single-tenant driving loop of
+  // the resumable cursor: post what's postable, block on the engine's
+  // completion stream, feed completions back, repeat.
+  PlanCursor cursor(shared_from_this(), comm, send, recv, ex, start_round,
+                    /*tag=*/0);
+  std::unordered_set<mps::PortHandle> mine;
+  while (!cursor.done()) {
+    for (const mps::PortHandle h : cursor.post_ready()) mine.insert(h);
+    if (cursor.done()) break;
+    BRUCK_ENSURE_MSG(cursor.outstanding() > 0,
+                     "pipelined cursor stalled with nothing in flight");
+    const mps::PortHandle h = comm.wait_any_recv();
+    BRUCK_ENSURE_MSG(mine.erase(h) == 1, "engine reported a foreign handle");
+    cursor.on_complete(h);
   }
+  // Native engines are fully drained here; the deferred fallback may still
+  // hold posted sends of receive-less rounds — flush them.
+  comm.wait_all_recvs();
+  return cursor.result();
+}
 
+// ---------------------------------------------------------------------------
+// PlanCursor: the pipelined executor's state machine, resumable.
+
+PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
+                       mps::Communicator& comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv, const Plan::Extents& ex,
+                       int start_round, int tag)
+    : plan_(std::move(plan)),
+      comm_(&comm),
+      send_(send),
+      recv_(recv),
+      ex_(ex),
+      start_round_(start_round),
+      tag_(tag),
+      rounds_(plan_->round_count_) {
+  BRUCK_REQUIRE(tag >= 0);
+  scratch_.resize(plan_->needs_scratch_
+                      ? static_cast<std::size_t>(plan_->n_ * ex_.b)
+                      : 0);
+  plan_->apply_prologue(send_, recv_, scratch_, comm_->rank(), ex_);
+  open_.assign(static_cast<std::size_t>(rounds_), 0);
+  out_.next_round = start_round_ + rounds_;
+  advance_frontier();  // zero-round plans complete immediately
+}
+
+PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
+                       mps::Communicator& comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv, std::int64_t block_bytes,
+                       int start_round, int tag)
+    : PlanCursor((plan->check_run_contract(comm, send, recv, block_bytes),
+                  std::move(plan)),
+                 comm, send, recv, Plan::Extents{block_bytes, nullptr},
+                 start_round, tag) {}
+
+PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
+                       mps::Communicator& comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv, std::int64_t block_bytes,
+                       const ReduceOp& op, int start_round, int tag)
+    : PlanCursor(
+          (plan->check_reduce_contract(comm, send, recv, block_bytes, op),
+           std::move(plan)),
+          comm, send, recv, Plan::Extents{block_bytes, nullptr, &op},
+          start_round, tag) {}
+
+PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
+                       mps::Communicator& comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv, const VectorView& view,
+                       int start_round, int tag)
+    : PlanCursor((plan->check_vector_contract(comm, send, recv, view),
+                  std::move(plan)),
+                 comm, send, recv, Plan::Extents{view.pad_bytes, &view},
+                 start_round, tag) {}
+
+bool PlanCursor::postable(int i) const {
+  // The double-buffered discipline of the blocking pipelined executor:
+  // round i may overlap round i−1 only when the lowering proved them
+  // independent; otherwise the pipeline drains first (true data dependence
+  // — e.g. concat Bruck re-sends what it just received).  At most two
+  // rounds are ever in flight.
+  if (i == 0) return true;
+  const Plan::RankProgram& prog =
+      plan_->programs_[static_cast<std::size_t>(comm_->rank())];
+  return prog.pipeline_safe[static_cast<std::size_t>(i)] ? drained_ >= i - 1
+                                                         : drained_ >= i;
+}
+
+void PlanCursor::post_round(int i) {
+  const Plan& plan = *plan_;
+  const ExecBuffers buffers{send_, recv_, scratch_};
+  const Plan::RankProgram& prog =
+      plan.programs_[static_cast<std::size_t>(comm_->rank())];
+  const PlanRound& round = prog.rounds[static_cast<std::size_t>(i)];
   // Per-message wire segmentation: the plan-wide knob, floored so no
   // segment drops under model::kMinSegmentBytes (the small early-round
   // messages of a geometrically growing pattern ship whole).  Sender and
   // receiver derive the same count from the same plan and byte size.
   const auto segments_for = [&](std::int64_t bytes) {
     return static_cast<int>(std::min<std::int64_t>(
-        segments_,
+        plan.segments_,
         std::max<std::int64_t>(1, bytes / model::kMinSegmentBytes)));
   };
-
-  // One record per posted receive: which plan message it belongs to (for
-  // the eager scatter of non-contiguous payloads) and which round to credit
-  // its completion to.
-  struct Posted {
-    const PlanMessage* message = nullptr;
-    int round = 0;
-    bool take_buffer = false;
-  };
-  std::unordered_map<mps::PortHandle, Posted> posted;
-  std::vector<int> open(static_cast<std::size_t>(round_count_), 0);
-
-  const auto post_round = [&](int i) {
-    const PlanRound& round = prog.rounds[static_cast<std::size_t>(i)];
-    // Pack and post sends first (reference semantics: a round's sends read
-    // the state before its receives land).  Payloads are captured at post
-    // time — packed messages move their staging buffer onto the wire —
-    // so the source buffers are free for later writes immediately.
-    for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
-      const PlanMessage& m = prog.sends[s];
-      const std::int64_t bytes = resolved_message_bytes(m, ex);
-      if (bytes == 0) continue;
-      if (m.contiguous) {
-        comm.post_send(start_round + i, m.peer,
+  // Pack and post sends first (reference semantics: a round's sends read
+  // the state before its receives land).  Payloads are captured at post
+  // time — packed messages move their staging buffer onto the wire — so
+  // the source buffers are free for later writes immediately.
+  for (std::uint32_t s = round.sends_begin; s < round.sends_end; ++s) {
+    const PlanMessage& m = prog.sends[s];
+    const std::int64_t bytes = plan.resolved_message_bytes(m, ex_);
+    if (bytes == 0) continue;
+    if (m.contiguous) {
+      comm_->post_send(start_round_ + i, m.peer,
                        buffers.readable(m.buffer)
-                           .subspan(static_cast<std::size_t>(cell_offset(
-                                        m.cells_begin, m.buffer, ex)),
+                           .subspan(static_cast<std::size_t>(plan.cell_offset(
+                                        m.cells_begin, m.buffer, ex_)),
                                     static_cast<std::size_t>(bytes)),
-                       segments_for(bytes));
-      } else {
-        comm.post_send(start_round + i, m.peer,
-                       pack_message(m, buffers.readable(m.buffer), ex),
-                       segments_for(bytes));
-      }
-      out.bytes_sent += bytes;
-    }
-    for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
-      const PlanMessage& m = prog.recvs[r];
-      const std::int64_t bytes = resolved_message_bytes(m, ex);
-      if (bytes == 0) continue;
-      mps::PortHandle h = 0;
-      bool take_buffer = false;
-      if (m.contiguous && !m.combine) {
-        // Land in place: segments stream straight into the target buffer.
-        h = comm.post_recv(start_round + i, m.peer,
-                           buffers.writable(m.buffer)
-                               .subspan(static_cast<std::size_t>(cell_offset(
-                                            m.cells_begin, m.buffer, ex)),
-                                        static_cast<std::size_t>(bytes)),
-                           segments_for(bytes));
-      } else {
-        // Scatter (or combine) target: consume the wire buffer itself on
-        // completion instead of staging a copy.  Combine receives must be
-        // buffered — the ⊕ into the accumulator happens at completion, on
-        // this rank's thread, fused into the eager out-of-order path.
-        h = comm.post_recv_buffer(start_round + i, m.peer, bytes,
-                                  segments_for(bytes));
-        take_buffer = true;
-        if (m.combine) out.bytes_reduced += bytes;
-      }
-      posted.emplace(h, Posted{&m, i, take_buffer});
-      ++open[static_cast<std::size_t>(i)];
-    }
-  };
-
-  // Complete whichever receive finishes next — regardless of round or spec
-  // order — and scatter it immediately.
-  const auto complete_one = [&] {
-    const mps::PortHandle h = comm.wait_any_recv();
-    const auto it = posted.find(h);
-    BRUCK_ENSURE_MSG(it != posted.end(), "engine reported a foreign handle");
-    const Posted rec = it->second;
-    posted.erase(it);
-    if (rec.take_buffer) {
-      const std::vector<std::byte> payload = comm.take_payload(h);
-      scatter_message(*rec.message, buffers.writable(rec.message->buffer),
-                      payload.data(), ex);
-    }
-    --open[static_cast<std::size_t>(rec.round)];
-  };
-  const auto complete_round = [&](int i) {
-    while (open[static_cast<std::size_t>(i)] > 0) complete_one();
-  };
-
-  // Double-buffered pipeline: at most two rounds are in flight.  Round i is
-  // posted ahead of round i−1's completion only when the lowering proved
-  // them independent; otherwise the pipeline drains first (true data
-  // dependence — e.g. concat Bruck re-sends what it just received).
-  post_round(0);
-  for (int i = 1; i < round_count_; ++i) {
-    if (prog.pipeline_safe[static_cast<std::size_t>(i)]) {
-      post_round(i);
-      complete_round(i - 1);
+                       segments_for(bytes), tag_);
     } else {
-      complete_round(i - 1);
-      post_round(i);
+      comm_->post_send(start_round_ + i, m.peer,
+                       plan.pack_message(m, buffers.readable(m.buffer), ex_),
+                       segments_for(bytes), tag_);
     }
+    out_.bytes_sent += bytes;
   }
-  complete_round(round_count_ - 1);
-  // Native engines are fully drained here; the deferred fallback may still
-  // hold posted sends of receive-less rounds — flush them.
-  comm.wait_all_recvs();
+  for (std::uint32_t r = round.recvs_begin; r < round.recvs_end; ++r) {
+    const PlanMessage& m = prog.recvs[r];
+    const std::int64_t bytes = plan.resolved_message_bytes(m, ex_);
+    if (bytes == 0) continue;
+    mps::PortHandle h = 0;
+    bool take_buffer = false;
+    if (m.contiguous && !m.combine) {
+      // Land in place: segments stream straight into the target buffer.
+      h = comm_->post_recv(start_round_ + i, m.peer,
+                           buffers.writable(m.buffer)
+                               .subspan(static_cast<std::size_t>(
+                                            plan.cell_offset(m.cells_begin,
+                                                             m.buffer, ex_)),
+                                        static_cast<std::size_t>(bytes)),
+                           segments_for(bytes), tag_);
+    } else {
+      // Scatter (or combine) target: consume the wire buffer itself on
+      // completion instead of staging a copy.  Combine receives must be
+      // buffered — the ⊕ into the accumulator happens at completion, on
+      // this rank's thread, fused into the eager out-of-order path.
+      h = comm_->post_recv_buffer(start_round_ + i, m.peer, bytes,
+                                  segments_for(bytes), tag_);
+      take_buffer = true;
+      if (m.combine) out_.bytes_reduced += bytes;
+    }
+    posted_.emplace(h, Posted{&m, i, take_buffer});
+    ++open_[static_cast<std::size_t>(i)];
+    new_handles_.push_back(h);
+  }
+}
 
-  apply_epilogue(recv, scratch, rank, ex);
-  return out;
+void PlanCursor::advance_frontier() {
+  while (drained_ < next_post_ &&
+         open_[static_cast<std::size_t>(drained_)] == 0) {
+    ++drained_;
+  }
+  if (!done_ && drained_ == rounds_ && next_post_ == rounds_) {
+    plan_->apply_epilogue(recv_, scratch_, comm_->rank(), ex_);
+    done_ = true;
+  }
+}
+
+std::vector<mps::PortHandle> PlanCursor::post_ready() {
+  new_handles_.clear();
+  while (next_post_ < rounds_ && postable(next_post_)) {
+    post_round(next_post_);
+    ++next_post_;
+    advance_frontier();  // receive-less rounds drain at post
+  }
+  return std::move(new_handles_);
+}
+
+void PlanCursor::on_complete(mps::PortHandle h) {
+  const auto it = posted_.find(h);
+  BRUCK_REQUIRE_MSG(it != posted_.end(),
+                    "completion handed to a cursor that does not own it");
+  const Posted rec = it->second;
+  posted_.erase(it);
+  if (rec.take_buffer) {
+    const ExecBuffers buffers{send_, recv_, scratch_};
+    const std::vector<std::byte> payload = comm_->take_payload(h);
+    plan_->scatter_message(*rec.message,
+                           buffers.writable(rec.message->buffer),
+                           payload.data(), ex_);
+  }
+  --open_[static_cast<std::size_t>(rec.round)];
+  advance_frontier();
+}
+
+const PlanExecution& PlanCursor::result() const {
+  BRUCK_REQUIRE_MSG(done_, "cursor result read before completion");
+  return out_;
 }
 
 // ---------------------------------------------------------------------------
@@ -1710,6 +1781,38 @@ std::string Plan::describe() const {
          << (m.combine ? " (combine)" : "");
     }
     os << "\n";
+  }
+  return os.str();
+}
+
+std::string Plan::describe_cursor() const {
+  std::ostringstream os;
+  os << describe();
+  os << "  cursor anatomy (rank 0, nonblocking execution):\n";
+  os << "    posting discipline: round i posts once rounds [0, i-1) have "
+        "drained when pipeline-safe, else once rounds [0, i) have; at most "
+        "two rounds in flight\n";
+  const RankProgram& p = programs_[0];
+  for (int i = 0; i < round_count_; ++i) {
+    const PlanRound& r = p.rounds[static_cast<std::size_t>(i)];
+    const int sends = static_cast<int>(r.sends_end - r.sends_begin);
+    const int recvs = static_cast<int>(r.recvs_end - r.recvs_begin);
+    os << "    round " << i << ": ";
+    if (i == 0) {
+      os << "posts immediately";
+    } else if (p.pipeline_safe[static_cast<std::size_t>(i)]) {
+      os << "overlaps round " << i - 1 << " (pipeline-safe)";
+    } else {
+      os << "waits for round " << i - 1 << " (data dependence)";
+    }
+    os << "; " << sends << " send(s), " << recvs << " recv(s)";
+    if (recvs == 0) os << " — drains at post";
+    os << "\n";
+  }
+  if (segments_ > 1) {
+    os << "    wire segmentation: up to " << segments_
+       << " segments/message (floored at " << model::kMinSegmentBytes
+       << " B/segment)\n";
   }
   return os.str();
 }

@@ -51,6 +51,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "coll/reduction.hpp"
@@ -157,7 +158,9 @@ struct VectorView {
   std::int64_t pad_bytes = 0;
 };
 
-class Plan {
+class PlanCursor;
+
+class Plan : public std::enable_shared_from_this<Plan> {
  public:
   [[nodiscard]] PlanCollective collective() const { return collective_; }
   [[nodiscard]] std::int64_t n() const { return n_; }
@@ -242,6 +245,12 @@ class Plan {
   /// Human-readable anatomy: per-round message counts, peers and sizes of
   /// rank 0, plus totals (the `bruckcl_plan compile` rendering).
   [[nodiscard]] std::string describe() const;
+
+  /// Human-readable anatomy of the *cursor* state machine this plan drives
+  /// under nonblocking execution (the `bruckcl_plan compile --nonblocking`
+  /// rendering): per round, when it becomes postable relative to earlier
+  /// rounds' completions, and what it posts.
+  [[nodiscard]] std::string describe_cursor() const;
 
   // -- Lowering entry points (the compiled counterparts of coll/) ----------
   //
@@ -421,6 +430,8 @@ class Plan {
                                    std::span<std::byte> recv,
                                    const Extents& ex, int start_round) const;
 
+  friend class PlanCursor;
+
   PlanCollective collective_;
   std::string algorithm_;
   std::int64_t n_;
@@ -438,6 +449,108 @@ class Plan {
   /// for uniform plans.
   std::vector<std::int64_t> cell_block_;
   std::vector<RankProgram> programs_;  // one per rank
+};
+
+/// Resumable pipelined execution of one plan on one rank: the state machine
+/// of run_pipelined(), exposed incrementally so several collectives can
+/// share one communicator's completion stream.
+///
+/// The cursor never blocks.  post_ready() posts every round whose
+/// dependence is satisfied — round i is postable once rounds [0, i−1) have
+/// fully drained if the lowering proved it independent of round i−1
+/// (`pipeline_safe`), else once rounds [0, i) have — exactly the
+/// double-buffered posting discipline of the blocking pipelined executor
+/// (at most two rounds in flight).  The owner routes each completed receive
+/// handle back through on_complete(); when the last round drains, the
+/// cursor applies the plan epilogue and becomes done().
+///
+/// All posts go to the cursor's port-namespace `tag`, so concurrent cursors
+/// on one communicator (the coll:: progress engine) can never alias wire
+/// segments.  The referenced plan, communicator, buffers, ReduceOp, and
+/// VectorView must outlive the cursor; construction runs the same buffer
+/// contract checks as the corresponding run_pipelined overload and applies
+/// the prologue.
+class PlanCursor {
+ public:
+  /// Uniform (index/concat) execution; see Plan::run_pipelined.
+  PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
+             std::span<const std::byte> send, std::span<std::byte> recv,
+             std::int64_t block_bytes, int start_round = 0, int tag = 0);
+  /// Reduction execution; `op` must outlive the cursor.
+  PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
+             std::span<const std::byte> send, std::span<std::byte> recv,
+             std::int64_t block_bytes, const ReduceOp& op, int start_round = 0,
+             int tag = 0);
+  /// Irregular (vector) execution; `view` (and the spans inside it) must
+  /// outlive the cursor.
+  PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
+             std::span<const std::byte> send, std::span<std::byte> recv,
+             const VectorView& view, int start_round = 0, int tag = 0);
+
+  PlanCursor(const PlanCursor&) = delete;
+  PlanCursor& operator=(const PlanCursor&) = delete;
+
+  /// Post every round that has become postable (never blocks).  Returns the
+  /// handles of the receives posted by this call; the owner must feed each
+  /// of them back through on_complete() when the engine reports it.  May
+  /// complete the cursor outright (rounds without receives, empty plans).
+  std::vector<mps::PortHandle> post_ready();
+
+  /// Deliver one completed receive handle previously returned by
+  /// post_ready(): consumes the payload (scatter/⊕-combine) and advances
+  /// the drain frontier.  Precondition: `h` belongs to this cursor and was
+  /// not delivered before.
+  void on_complete(mps::PortHandle h);
+
+  /// True once every round has been posted.
+  [[nodiscard]] bool all_posted() const { return next_post_ == rounds_; }
+  /// True once every receive has drained and the epilogue has run.
+  [[nodiscard]] bool done() const { return done_; }
+  /// Receives posted but not yet delivered back through on_complete().
+  [[nodiscard]] int outstanding() const {
+    return static_cast<int>(posted_.size());
+  }
+  [[nodiscard]] int tag() const { return tag_; }
+  /// Execution totals; valid once done().
+  [[nodiscard]] const PlanExecution& result() const;
+
+ private:
+  friend class Plan;
+
+  /// One record per posted receive: the plan message it lands in and the
+  /// round to credit its completion to.
+  struct Posted {
+    const PlanMessage* message = nullptr;
+    int round = 0;
+    bool take_buffer = false;
+  };
+
+  PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
+             std::span<const std::byte> send, std::span<std::byte> recv,
+             const Plan::Extents& ex, int start_round, int tag);
+
+  [[nodiscard]] bool postable(int i) const;
+  void post_round(int i);
+  /// Advance the drained-rounds frontier; apply the epilogue when the last
+  /// round drains.
+  void advance_frontier();
+
+  std::shared_ptr<const Plan> plan_;
+  mps::Communicator* comm_;
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  std::vector<std::byte> scratch_;
+  Plan::Extents ex_;
+  int start_round_ = 0;
+  int tag_ = 0;
+  int rounds_ = 0;     ///< plan_->round_count()
+  int next_post_ = 0;  ///< rounds [0, next_post_) have been posted
+  int drained_ = 0;    ///< rounds [0, drained_) have fully completed
+  std::vector<int> open_;  ///< per-round receives still in flight
+  std::unordered_map<mps::PortHandle, Posted> posted_;
+  std::vector<mps::PortHandle> new_handles_;  ///< post_ready() scratch
+  PlanExecution out_;
+  bool done_ = false;
 };
 
 }  // namespace bruck::coll

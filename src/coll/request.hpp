@@ -1,0 +1,77 @@
+// Nonblocking-collective handles.
+//
+// A `Request` is the move-only completion handle returned by the coll::
+// i* entry points (api.hpp).  It refers to one operation owned by the
+// communicator's ProgressEngine (progress.hpp); completing it — through
+// test()/wait() here or wait_all()/wait_any() below — drives that engine,
+// which multiplexes every outstanding collective of the communicator over
+// one port-engine completion stream.
+//
+// Thread safety: a Request belongs to the rank thread that created it
+// (same single-thread contract as the communicator itself).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bruck::coll {
+
+class ProgressEngine;
+
+/// Completion handle of one nonblocking collective.
+///
+/// Lifecycle: a Request is *active* from creation until wait() returns (or
+/// until it is moved from).  Destroying an active Request waits for the
+/// operation first — dropping a handle must not leak an operation whose
+/// buffers are about to go out of scope — and, because destructors must not
+/// throw, reports any completion error to stderr instead of propagating it.
+/// Call wait() explicitly to observe errors.
+class Request {
+ public:
+  /// An empty (non-active) handle; test() returns true, wait() returns 0.
+  Request() = default;
+  ~Request();
+
+  Request(Request&& other) noexcept;
+  Request& operator=(Request&& other) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True while this handle refers to an operation not yet waited.
+  [[nodiscard]] bool valid() const { return engine_ != nullptr; }
+
+  /// Poll for completion without blocking (on communicators with a native
+  /// port engine; on exchange-backed wrappers this degrades to wait() and
+  /// always returns true).  Starts the operation — and every operation
+  /// submitted before it — if not yet started.  A true result is sticky:
+  /// the handle stays valid until wait() collects the result.
+  [[nodiscard]] bool test();
+
+  /// Block until the operation completes; returns the next free round
+  /// index of its port namespace (the nonblocking analogue of the blocking
+  /// calls' return value) and invalidates the handle.
+  int wait();
+
+ private:
+  friend class ProgressEngine;
+  friend std::size_t wait_any(std::span<Request> requests);
+
+  Request(ProgressEngine* engine, std::uint64_t id)
+      : engine_(engine), id_(id) {}
+
+  ProgressEngine* engine_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Complete every valid request (in index order).  Equivalent to calling
+/// wait() on each, but reads as the MPI_Waitall it mirrors.
+void wait_all(std::span<Request> requests);
+
+/// Block until some valid request completes; waits it and returns its
+/// index.  All valid requests must belong to one communicator.  Completion
+/// order is arrival order, not submission order — a later-submitted
+/// operation whose rounds drain first is returned first.
+std::size_t wait_any(std::span<Request> requests);
+
+}  // namespace bruck::coll

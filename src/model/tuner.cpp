@@ -383,6 +383,40 @@ SegmentChoice pick_segment_count(const LinearModel& machine,
   return best;
 }
 
+int resolve_segment_knob(int requested, bool pipelined,
+                         const LinearModel& machine,
+                         const CostMetrics& predicted) {
+  if (!pipelined) return 1;
+  if (requested != 0) {
+    BRUCK_REQUIRE_MSG(requested >= 1, "segment count must be >= 1");
+  }
+  if (predicted.c1 <= 0) return 1;
+  const std::int64_t per_round =
+      (predicted.c2 + predicted.c1 - 1) / predicted.c1;
+  const std::int64_t floor_cap =
+      std::max<std::int64_t>(1, per_round / kMinSegmentBytes);
+  if (requested != 0) {
+    return static_cast<int>(std::min<std::int64_t>(requested, floor_cap));
+  }
+  return pick_segment_count(machine, predicted.c1, per_round).segments;
+}
+
+FusionChoice pick_fusion(int group, const LinearModel& machine,
+                         const CostMetrics& per_op, const CostMetrics& fused,
+                         std::int64_t user_bytes) {
+  BRUCK_REQUIRE(group >= 1);
+  BRUCK_REQUIRE(user_bytes >= 0);
+  FusionChoice out;
+  out.serial_us = group * machine.predict_us(per_op);
+  // Each member's user buffer crosses the fused staging area twice: once
+  // gathered in before the exchange, once scattered out after.
+  out.fused_us = machine.predict_us(fused) +
+                 kPackUsPerByte * 2.0 * group *
+                     static_cast<double>(user_bytes);
+  out.fuse = group > 1 && out.fused_us < out.serial_us;
+  return out;
+}
+
 std::int64_t crossover_block_bytes(std::int64_t n, int k, std::int64_t radix_a,
                                    std::int64_t radix_b,
                                    const LinearModel& machine,

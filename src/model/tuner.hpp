@@ -189,4 +189,49 @@ inline constexpr std::int64_t kMinSegmentBytes = 4096;
     std::int64_t message_bytes, int max_segments = 16,
     std::int64_t min_segment_bytes = kMinSegmentBytes);
 
+/// Resolve a user-facing segment knob to the count that keys the PlanCache:
+/// 0 means "tune from the predicted metrics" (per-round message size
+/// ≈ C2/C1), an explicit S is clamped against the kMinSegmentBytes
+/// per-message floor the tuner and executor both apply.  A forced S the
+/// floor would collapse anyway must resolve — and key the cache — exactly
+/// like the tuned pick, or one geometry caches two plans for the same
+/// effective execution.  Only the pipelined executor segments, so
+/// `pipelined = false` resolves to 1.
+[[nodiscard]] int resolve_segment_knob(int requested, bool pipelined,
+                                       const LinearModel& machine,
+                                       const CostMetrics& predicted);
+
+// ---------------------------------------------------------------------------
+// Nonblocking fusion (the progress engine's batching knob).  G pending
+// same-geometry collectives can run as one wire exchange over blocks of
+// G·b — the start-up term β is paid once per round instead of G times — at
+// the price of a local gather into the fused layout before posting and a
+// scatter back on completion.
+
+/// Local pack/unpack cost per byte (µs) of the fusion gather/scatter
+/// memcpys (≈5 GB/s, conservative).  Priced separately from the wire τ:
+/// these copies never touch the fabric, and a memcpy byte is orders of
+/// magnitude cheaper than a wire byte on every profile we model.
+inline constexpr double kPackUsPerByte = 0.0002;
+
+struct FusionChoice {
+  /// True: run the G members as one fused exchange at block G·b.
+  bool fuse = false;
+  /// Modeled time of running the G members back-to-back, unfused.
+  double serial_us = 0.0;
+  /// Modeled time of the fused exchange plus both pack/unpack passes.
+  double fused_us = 0.0;
+};
+
+/// Decide whether G pending same-shape collectives should fuse.
+/// `per_op` is the modeled measures of one member at its own block size;
+/// `fused` the measures of the same pattern at block G·b; `user_bytes` the
+/// mean of one member's send and recv buffer lengths (each buffer crosses
+/// the fused staging area once, on every member).  Deterministic pure
+/// function: every rank of an SPMD group makes the identical decision.
+[[nodiscard]] FusionChoice pick_fusion(int group, const LinearModel& machine,
+                                       const CostMetrics& per_op,
+                                       const CostMetrics& fused,
+                                       std::int64_t user_bytes);
+
 }  // namespace bruck::model

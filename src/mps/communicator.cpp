@@ -9,13 +9,25 @@
 // loud ContractViolation out of the recursion guard below.
 #include "mps/communicator.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
+#include "mps/thread_comm.hpp"  // default_recv_timeout
 #include "util/assert.hpp"
 
 namespace bruck::mps {
+
+DrainDeadline::DrainDeadline(std::chrono::milliseconds budget)
+    : deadline_(std::chrono::steady_clock::now() + budget), budget_(budget) {}
+
+std::chrono::milliseconds DrainDeadline::remaining() const {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline_ - std::chrono::steady_clock::now());
+  return std::max(left, std::chrono::milliseconds{0});
+}
 
 namespace detail {
 
@@ -64,9 +76,11 @@ class DeferredEngine {
   }
 
   void wait_recv(PortHandle h) {
+    const DrainDeadline deadline(default_recv_timeout());
     while (!completed_.contains(h)) {
       BRUCK_REQUIRE_MSG(!rounds_.empty(),
                         "wait on an unknown or already-consumed receive");
+      check_deadline(deadline, "wait_recv");
       flush_front();
     }
     erase_unreported(h);
@@ -74,9 +88,11 @@ class DeferredEngine {
   }
 
   PortHandle wait_any_recv() {
+    const DrainDeadline deadline(default_recv_timeout());
     while (unreported_.empty()) {
       BRUCK_REQUIRE_MSG(!rounds_.empty(),
                         "wait_any_recv with no outstanding receive");
+      check_deadline(deadline, "wait_any_recv");
       flush_front();
     }
     const PortHandle h = unreported_.front();
@@ -86,9 +102,23 @@ class DeferredEngine {
   }
 
   void wait_all() {
-    while (!rounds_.empty()) flush_front();
+    const DrainDeadline deadline(default_recv_timeout());
+    while (!rounds_.empty()) {
+      check_deadline(deadline, "wait_all_recvs");
+      flush_front();
+    }
     for (const PortHandle h : unreported_) retire_if_landing(h);
     unreported_.clear();
+  }
+
+  [[nodiscard]] std::optional<PortHandle> poll_any_recv() {
+    // Cannot make progress without blocking in `exchange`: report only
+    // already-flushed completions.
+    if (unreported_.empty()) return std::nullopt;
+    const PortHandle h = unreported_.front();
+    unreported_.pop_front();
+    retire_if_landing(h);
+    return h;
   }
 
   /// True while a flush is re-entering owner_->exchange: the engine
@@ -113,6 +143,21 @@ class DeferredEngine {
     std::vector<DeferredSend> sends;
     std::vector<DeferredRecv> recvs;
   };
+
+  /// One total BRUCK_RECV_TIMEOUT_MS budget per drain call.  Each flushed
+  /// round blocks inside the wrapper's `exchange` under that comm's own
+  /// per-round timeout, so before this check a many-round drain could take
+  /// rounds x timeout — and a wrapper whose exchange returns without
+  /// completing anything could extend the loop with no deadline at all.
+  static void check_deadline(const DrainDeadline& deadline, const char* what) {
+    if (!deadline.expired()) return;
+    std::ostringstream os;
+    os << "deferred port engine: " << what
+       << " exceeded the receive deadline (" << deadline.budget().count()
+       << " ms, BRUCK_RECV_TIMEOUT_MS) with rounds still queued "
+          "(deadlock, or a wrapper exchange making no progress?)";
+    throw ContractViolation(os.str());
+  }
 
   Round& round_for_post(int round) {
     BRUCK_REQUIRE_MSG(!in_flush_,
@@ -187,28 +232,50 @@ detail::DeferredEngine& Communicator::deferred() {
   return *deferred_;
 }
 
+namespace {
+
+/// The deferred fallback flushes through a wrapper's `exchange`, which has
+/// no tag concept: only the default namespace is representable.  Callers
+/// that want tags must check native_port_engine() first (the coll::
+/// progress engine degrades to serial tag-0 execution on wrappers).
+void require_default_tag(int tag) {
+  BRUCK_REQUIRE_MSG(tag == 0,
+                    "the deferred (exchange-backed) port engine supports "
+                    "only tag 0");
+}
+
+}  // namespace
+
 void Communicator::post_send(int round, std::int64_t dst,
-                             std::span<const std::byte> data, int segments) {
+                             std::span<const std::byte> data, int segments,
+                             int tag) {
   (void)segments;  // the deferred fallback ships unsegmented (symmetrically)
+  require_default_tag(tag);
   deferred().post_send(round, dst,
                        std::vector<std::byte>(data.begin(), data.end()));
 }
 
 void Communicator::post_send(int round, std::int64_t dst,
-                             std::vector<std::byte>&& data, int segments) {
+                             std::vector<std::byte>&& data, int segments,
+                             int tag) {
   (void)segments;
+  require_default_tag(tag);
   deferred().post_send(round, dst, std::move(data));
 }
 
 PortHandle Communicator::post_recv(int round, std::int64_t src,
-                                   std::span<std::byte> data, int segments) {
+                                   std::span<std::byte> data, int segments,
+                                   int tag) {
   (void)segments;
+  require_default_tag(tag);
   return deferred().post_recv(round, src, data);
 }
 
 PortHandle Communicator::post_recv_buffer(int round, std::int64_t src,
-                                          std::int64_t bytes, int segments) {
+                                          std::int64_t bytes, int segments,
+                                          int tag) {
   (void)segments;
+  require_default_tag(tag);
   return deferred().post_recv_buffer(round, src, bytes);
 }
 
@@ -224,6 +291,13 @@ PortHandle Communicator::wait_any_recv() { return deferred().wait_any_recv(); }
 
 void Communicator::wait_all_recvs() {
   if (deferred_) deferred_->wait_all();
+}
+
+std::optional<PortHandle> Communicator::poll_any_recv() {
+  // Do not lazily create the engine: with nothing ever posted there is
+  // nothing to report.
+  if (!deferred_) return std::nullopt;
+  return deferred_->poll_any_recv();
 }
 
 void Communicator::exchange(int round, std::span<const SendSpec> sends,

@@ -25,13 +25,45 @@
 // old interface keep working under the pipelined executor.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 namespace bruck::mps {
+
+/// One total deadline for a multi-step drain loop.
+///
+/// Every blocking wait in the port engine must finish (or throw) within a
+/// single BRUCK_RECV_TIMEOUT_MS-style budget.  Before this helper the drain
+/// loops applied their timeout *per step* — each arriving message or each
+/// flushed round reset the clock — so a slow trickle of traffic (or a
+/// wrapper whose `exchange` makes no progress) could extend one wait call
+/// far past the configured deadline, or indefinitely.  Constructing one
+/// DrainDeadline at the top of a wait and consulting it on every iteration
+/// restores the intended contract: one call, one budget.
+class DrainDeadline {
+ public:
+  /// Starts the clock: the deadline is now + `budget`.
+  explicit DrainDeadline(std::chrono::milliseconds budget);
+
+  /// The full budget this deadline was created with.
+  [[nodiscard]] std::chrono::milliseconds budget() const { return budget_; }
+
+  /// Time left before the deadline, clamped to >= 0 (usable directly as a
+  /// condition-variable wait bound).
+  [[nodiscard]] std::chrono::milliseconds remaining() const;
+
+  /// True once the budget is exhausted.
+  [[nodiscard]] bool expired() const { return remaining().count() == 0; }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+  std::chrono::milliseconds budget_;
+};
 
 struct SendSpec {
   std::int64_t dst = 0;
@@ -54,6 +86,9 @@ struct PlanEvent {
   int rounds = 0;
   std::int64_t bytes_sent = 0;
   std::int64_t bytes_reduced = 0;
+  /// Port-namespace tag the execution ran in (0 = blocking/default path;
+  /// nonblocking collectives report the tag their progress engine assigned).
+  int tag = 0;
 };
 
 /// Identifies one posted (nonblocking) receive on one communicator.
@@ -88,28 +123,42 @@ class Communicator {
   // sizes are derived from the total identically on both sides.  The
   // deferred fallback engine ignores segmentation (symmetrically, so a
   // fabric of wrapper communicators stays wire-consistent).
+  //
+  // `tag` names an independent *port namespace*: round monotonicity, the
+  // per-round port budget, and wire sequencing are all scoped per tag, and
+  // a message only ever matches a receive posted with its tag.  This is
+  // what lets several collectives (each in its own tag) interleave on one
+  // communicator without their rounds or segments aliasing.  Tag 0 is the
+  // default/blocking namespace; nonzero tags come from
+  // allocate_collective_tag() and are released with release_tag() once
+  // drained.  The deferred fallback engine supports only tag 0 (a
+  // wrapper's `exchange` has no tag concept); native engines support all.
 
   /// Post one logical send.  The payload is captured before returning (the
   /// caller's buffer may be reused immediately).  Never blocks.
   virtual void post_send(int round, std::int64_t dst,
-                         std::span<const std::byte> data, int segments = 1);
+                         std::span<const std::byte> data, int segments = 1,
+                         int tag = 0);
 
   /// Move-in overload: a packed staging buffer becomes the wire payload
   /// without a copy.
   virtual void post_send(int round, std::int64_t dst,
-                         std::vector<std::byte>&& data, int segments = 1);
+                         std::vector<std::byte>&& data, int segments = 1,
+                         int tag = 0);
 
   /// Post one logical receive landing into `data` (written by the time the
   /// handle completes).
   virtual PortHandle post_recv(int round, std::int64_t src,
-                               std::span<std::byte> data, int segments = 1);
+                               std::span<std::byte> data, int segments = 1,
+                               int tag = 0);
 
   /// Post one logical receive of `bytes` bytes into an engine-owned buffer;
   /// retrieve it with take_payload() once complete.  Lets a non-contiguous
   /// (scatter) receive consume the wire buffer directly instead of staging
   /// a copy.
   virtual PortHandle post_recv_buffer(int round, std::int64_t src,
-                                      std::int64_t bytes, int segments = 1);
+                                      std::int64_t bytes, int segments = 1,
+                                      int tag = 0);
 
   /// The completed payload of a post_recv_buffer receive (moved out; the
   /// handle is retired).  Precondition: `h` is complete and buffer-mode.
@@ -135,6 +184,36 @@ class Communicator {
   /// Complete every outstanding receive (and, in the deferred fallback,
   /// flush any posted-but-unsent sends).
   virtual void wait_all_recvs();
+
+  /// Truly nonblocking any-completion probe: complete and report one
+  /// posted receive if its wire messages have already arrived, else return
+  /// std::nullopt *without blocking*.  The deferred fallback engine cannot
+  /// make progress without blocking in `exchange`, so its default reports
+  /// only already-flushed completions; native engines drain arrived
+  /// messages.  Each completed handle is reported exactly once across
+  /// poll_any_recv/wait_any_recv calls.
+  virtual std::optional<PortHandle> poll_any_recv();
+
+  /// Allocate a fresh nonzero port-namespace tag.  Tags are handed out
+  /// monotonically and never reused within a communicator's lifetime:
+  /// SPMD ranks allocate in the same program order but may complete in
+  /// different orders, so reuse could alias a new collective's wire
+  /// sequence space with a peer's still-draining old one.
+  [[nodiscard]] virtual int allocate_collective_tag() {
+    return next_collective_tag_++;
+  }
+
+  /// Release the per-tag engine state (round counters, wire sequence
+  /// numbers) of a fully drained nonzero tag.  Precondition: no receive
+  /// posted under `tag` is still outstanding and no stashed message for it
+  /// remains.  A no-op on engines without tag state (deferred fallback).
+  virtual void release_tag(int tag) { (void)tag; }
+
+  /// True when the engine primitives are implemented natively (posts are
+  /// nonblocking, tags are supported, poll_any_recv makes real progress).
+  /// False for the deferred exchange-backed fallback — callers that need
+  /// concurrency (the coll:: progress engine) degrade to serial execution.
+  [[nodiscard]] virtual bool native_port_engine() const { return false; }
 
   // ------------------------------------------------------------------------
 
@@ -170,6 +249,14 @@ class Communicator {
     (void)event;
   }
 
+  /// Opaque per-communicator extension slot.  The coll:: progress engine
+  /// parks its per-communicator scheduler here so that state's lifetime
+  /// tracks the communicator's exactly (a process-global registry keyed by
+  /// address would outlive the communicator and could be resurrected by
+  /// heap address reuse).  Same single-thread contract as the rest of the
+  /// communicator.
+  [[nodiscard]] std::shared_ptr<void>& extension_slot() { return extension_; }
+
  private:
   /// Lazily created state of the deferred (exchange-backed) fallback
   /// engine; null for subclasses that override the primitives natively.
@@ -177,6 +264,11 @@ class Communicator {
   std::unique_ptr<detail::DeferredEngine> deferred_;
   /// Round of the last default-shim exchange (strict monotonicity check).
   int last_exchange_round_ = -1;
+  /// Next tag allocate_collective_tag hands out (0 is reserved for the
+  /// default/blocking namespace).
+  int next_collective_tag_ = 1;
+  /// See extension_slot().
+  std::shared_ptr<void> extension_;
 };
 
 }  // namespace bruck::mps

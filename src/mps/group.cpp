@@ -50,23 +50,27 @@ void GroupComm::exchange(int round, std::span<const SendSpec> sends,
 }
 
 void GroupComm::post_send(int round, std::int64_t dst,
-                          std::span<const std::byte> data, int segments) {
-  parent_->post_send(round, member(dst), data, segments);
+                          std::span<const std::byte> data, int segments,
+                          int tag) {
+  parent_->post_send(round, member(dst), data, segments, tag);
 }
 
 void GroupComm::post_send(int round, std::int64_t dst,
-                          std::vector<std::byte>&& data, int segments) {
-  parent_->post_send(round, member(dst), std::move(data), segments);
+                          std::vector<std::byte>&& data, int segments,
+                          int tag) {
+  parent_->post_send(round, member(dst), std::move(data), segments, tag);
 }
 
 PortHandle GroupComm::post_recv(int round, std::int64_t src,
-                                std::span<std::byte> data, int segments) {
-  return parent_->post_recv(round, member(src), data, segments);
+                                std::span<std::byte> data, int segments,
+                                int tag) {
+  return parent_->post_recv(round, member(src), data, segments, tag);
 }
 
 PortHandle GroupComm::post_recv_buffer(int round, std::int64_t src,
-                                       std::int64_t bytes, int segments) {
-  return parent_->post_recv_buffer(round, member(src), bytes, segments);
+                                       std::int64_t bytes, int segments,
+                                       int tag) {
+  return parent_->post_recv_buffer(round, member(src), bytes, segments, tag);
 }
 
 std::vector<std::byte> GroupComm::take_payload(PortHandle h) {
@@ -80,6 +84,10 @@ void GroupComm::wait_recv(PortHandle h) { parent_->wait_recv(h); }
 PortHandle GroupComm::wait_any_recv() { return parent_->wait_any_recv(); }
 
 void GroupComm::wait_all_recvs() { parent_->wait_all_recvs(); }
+
+std::optional<PortHandle> GroupComm::poll_any_recv() {
+  return parent_->poll_any_recv();
+}
 
 void GroupComm::barrier() {
   BRUCK_REQUIRE_MSG(false,

@@ -47,18 +47,30 @@ class GroupComm final : public Communicator {
   // executors always drain before returning, so sequential collectives
   // compose fine; a foreign handle in flight fails loudly.
   void post_send(int round, std::int64_t dst, std::span<const std::byte> data,
-                 int segments = 1) override;
+                 int segments = 1, int tag = 0) override;
   void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data,
-                 int segments = 1) override;
+                 int segments = 1, int tag = 0) override;
   PortHandle post_recv(int round, std::int64_t src, std::span<std::byte> data,
-                       int segments = 1) override;
+                       int segments = 1, int tag = 0) override;
   PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes,
-                              int segments = 1) override;
+                              int segments = 1, int tag = 0) override;
   std::vector<std::byte> take_payload(PortHandle h) override;
   bool test_recv(PortHandle h) override;
   void wait_recv(PortHandle h) override;
   PortHandle wait_any_recv() override;
   void wait_all_recvs() override;
+  std::optional<PortHandle> poll_any_recv() override;
+
+  // Tag namespaces are the parent's: tags allocated through any group view
+  // draw from the parent's monotone counter, so sibling groups on one
+  // parent can never collide in a tag.
+  [[nodiscard]] int allocate_collective_tag() override {
+    return parent_->allocate_collective_tag();
+  }
+  void release_tag(int tag) override { parent_->release_tag(tag); }
+  [[nodiscard]] bool native_port_engine() const override {
+    return parent_->native_port_engine();
+  }
 
   /// Plan statistics flow to the parent's sink (the group has no trace of
   /// its own).

@@ -12,10 +12,15 @@ namespace bruck::mps {
 struct Message {
   std::int64_t src = 0;
   std::int64_t dst = 0;
-  /// Per-(src, dst) sequence number assigned by the sender; receivers check
-  /// it to assert FIFO channel order was preserved.  Segmented payloads
-  /// consume one sequence number per segment.
+  /// Per-(src, dst, tag) sequence number assigned by the sender; receivers
+  /// check it to assert FIFO channel order was preserved within the tag
+  /// namespace.  Segmented payloads consume one sequence number per segment.
   std::int64_t seq = 0;
+  /// Port-namespace tag (0 = the default/blocking namespace).  Concurrent
+  /// collectives on one communicator each run in their own tag, so their
+  /// wire segments can never alias: matching, sequencing, and the per-round
+  /// port budget are all tag-scoped.
+  int tag = 0;
   /// Global communication-round index supplied by the algorithm; carried for
   /// trace/bookkeeping only (matching is FIFO per channel).
   int round = 0;

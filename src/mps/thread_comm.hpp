@@ -87,11 +87,19 @@ class Fabric {
 
 /// Blocking/thread-safety/trace contract: a ThreadComm belongs to exactly
 /// one rank thread — only that thread may call it.  post_send/post_recv
-/// never block; test_recv is truly nonblocking here; wait_* block up to
-/// the fabric's recv_timeout and then throw ContractViolation naming the
-/// still-awaited sources.  The trace records each logical send once at
-/// post time (one event regardless of wire segmentation) into this rank's
-/// private sink.
+/// never block; test_recv is truly nonblocking here; each wait_* call as a
+/// whole is bounded by ONE fabric recv_timeout budget (a DrainDeadline —
+/// the timeout does not reset per arriving message) and throws
+/// ContractViolation naming the still-awaited sources on expiry.  The
+/// trace records each logical send once at post time (one event regardless
+/// of wire segmentation) into this rank's private sink.
+///
+/// Tag namespaces are implemented natively: round monotonicity, per-round
+/// port budgets, and wire sequence numbers are all kept per tag, and a
+/// message matches only receives posted with its tag.  Because the mailbox
+/// pop filter is per *source*, a message for a tag whose receive has not
+/// been posted yet can surface while another tag drains; such early
+/// arrivals are stashed and delivered when their receive is posted.
 class ThreadComm final : public Communicator {
  public:
   ThreadComm(Fabric& fabric, std::int64_t rank);
@@ -101,30 +109,35 @@ class ThreadComm final : public Communicator {
   [[nodiscard]] int ports() const override { return fabric_->k(); }
 
   void post_send(int round, std::int64_t dst, std::span<const std::byte> data,
-                 int segments = 1) override;
+                 int segments = 1, int tag = 0) override;
   void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data,
-                 int segments = 1) override;
+                 int segments = 1, int tag = 0) override;
   PortHandle post_recv(int round, std::int64_t src, std::span<std::byte> data,
-                       int segments = 1) override;
+                       int segments = 1, int tag = 0) override;
   PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes,
-                              int segments = 1) override;
+                              int segments = 1, int tag = 0) override;
   std::vector<std::byte> take_payload(PortHandle h) override;
   bool test_recv(PortHandle h) override;
   void wait_recv(PortHandle h) override;
   PortHandle wait_any_recv() override;
   void wait_all_recvs() override;
+  std::optional<PortHandle> poll_any_recv() override;
+  void release_tag(int tag) override;
+  [[nodiscard]] bool native_port_engine() const override { return true; }
 
   void barrier() override;
   void record_plan_event(const PlanEvent& event) override;
 
-  /// Highest round index this rank has posted in, or −1.
-  [[nodiscard]] int last_round() const { return last_round_; }
+  /// Highest round index this rank has posted in the default (tag-0)
+  /// namespace, or −1.  Tagged namespaces keep their own counters.
+  [[nodiscard]] int last_round() const { return tag0_rounds_.last_round; }
 
  private:
   /// One posted logical receive.
   struct RecvOp {
     PortHandle handle = 0;
     std::int64_t src = 0;
+    int tag = 0;
     int round = 0;
     std::span<std::byte> landing;  ///< copy-into mode target
     std::vector<std::byte> owned;  ///< buffer mode storage
@@ -135,33 +148,62 @@ class ThreadComm final : public Communicator {
     std::int64_t offset = 0;  ///< next segment's write offset
   };
 
-  /// Shared post-side contract checks; advances the round/port counters.
+  /// Round/port-budget counters of one tag namespace.
+  struct TagRoundState {
+    int last_round = -1;
+    int sends_in_round = 0;
+    int recvs_in_round = 0;
+  };
+
+  /// Composite key for per-(tag, peer) state maps.
+  [[nodiscard]] static std::uint64_t tag_peer_key(int tag, std::int64_t peer) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) |
+           static_cast<std::uint32_t>(peer);
+  }
+
+  [[nodiscard]] TagRoundState& round_state(int tag);
+  [[nodiscard]] std::int64_t& send_seq(int tag, std::int64_t dst);
+  [[nodiscard]] std::int64_t& recv_seq(int tag, std::int64_t src);
+
+  /// Shared post-side contract checks; advances the tag's round counters.
   void check_post(int round, std::int64_t peer, std::int64_t bytes,
-                  bool is_send);
+                  bool is_send, int tag);
   /// Split `payload` into wire segments and deposit them (records the
   /// logical send in the trace).
   void wire_send(int round, std::int64_t dst, std::vector<std::byte>&& payload,
-                 int segments);
+                 int segments, int tag);
   PortHandle add_recv_op(RecvOp&& op);
-  /// Match one arrived wire message to the oldest pending receive from its
-  /// source; write its bytes; complete the op on its last segment.
+  /// Write `m`'s bytes into the matched pending receive (FIFO seq and
+  /// segment length checked); complete the op on its last segment.
+  void deliver(std::list<RecvOp>::iterator it, Message&& m);
+  /// Match one arrived wire message to the oldest pending (source, tag)
+  /// receive, or stash it if its tag's receive is not posted yet.
   void apply_message(Message&& m);
+  /// Deliver stashed (tag, src) messages that now have a pending receive.
+  void drain_stash(int tag, std::int64_t src);
   /// Pop-and-apply one available message without blocking; false if none.
   bool try_progress();
-  /// Pop-and-apply one message, blocking up to the fabric's recv timeout
-  /// (timeout ⇒ ContractViolation naming the sources still awaited).
-  void progress_blocking();
+  /// Pop-and-apply one message, blocking up to `deadline.remaining()`
+  /// (expiry ⇒ ContractViolation naming the sources still awaited).
+  void progress_blocking(const DrainDeadline& deadline);
   /// Report h as consumed: drop landing-mode bookkeeping.
   void retire_if_landing(PortHandle h);
 
   Fabric* fabric_;
   std::int64_t rank_;
-  int last_round_ = -1;
-  int sends_in_round_ = 0;
-  int recvs_in_round_ = 0;
-  std::vector<std::int64_t> send_seq_;  // per-destination next sequence
-  std::vector<std::int64_t> recv_seq_;  // per-source next expected sequence
-  std::list<RecvOp> recv_ops_;          // incomplete, in post order
+  TagRoundState tag0_rounds_;                         // tag-0 hot path
+  std::unordered_map<int, TagRoundState> tag_rounds_;  // tags > 0
+  // Wire sequencing is per (tag, peer) channel; tag 0 keeps the dense
+  // per-rank vectors of the untagged engine as its hot path.
+  std::vector<std::int64_t> send_seq0_;  // per-destination next sequence
+  std::vector<std::int64_t> recv_seq0_;  // per-source next expected sequence
+  std::unordered_map<std::uint64_t, std::int64_t> send_seq_tagged_;
+  std::unordered_map<std::uint64_t, std::int64_t> recv_seq_tagged_;
+  // Early arrivals: wire messages popped for a (tag, src) with no pending
+  // receive yet, in arrival (= per-channel FIFO) order.
+  std::unordered_map<std::uint64_t, std::deque<Message>> stash_;
+  std::size_t stashed_count_ = 0;
+  std::list<RecvOp> recv_ops_;  // incomplete, in post order
   // Distinct sources with ≥1 incomplete receive, maintained incrementally
   // (the receive hot path consults this once per arriving wire message).
   std::vector<std::int64_t> waiting_srcs_;

@@ -1,6 +1,7 @@
 #include "mps/trace.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -17,23 +18,74 @@ TraceSink& Trace::sink(std::int64_t rank) {
   return sinks_[static_cast<std::size_t>(rank)];
 }
 
-sched::Schedule Trace::to_schedule() const {
-  int max_round = -1;
+std::vector<int> Trace::tags() const {
+  std::vector<int> out;
   for (const TraceSink& s : sinks_) {
-    for (const SendEvent& e : s.sends()) max_round = std::max(max_round, e.round);
+    for (const SendEvent& e : s.sends()) {
+      if (std::find(out.begin(), out.end(), e.tag) == out.end()) {
+        out.push_back(e.tag);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+sched::Schedule Trace::to_schedule() const {
+  // Round indices are per tag: stack each tag's round space after the
+  // previous one so the merged schedule validates each namespace's k-port
+  // structure independently (see the header comment).
+  const std::vector<int> all_tags = tags();
+  std::unordered_map<int, int> base;    // tag -> first merged round
+  std::unordered_map<int, int> extent;  // tag -> max round within the tag
+  for (const TraceSink& s : sinks_) {
+    for (const SendEvent& e : s.sends()) {
+      BRUCK_ENSURE_MSG(e.round >= 0, "negative round index recorded");
+      auto [it, inserted] = extent.try_emplace(e.tag, e.round);
+      if (!inserted) it->second = std::max(it->second, e.round);
+    }
+  }
+  int next_base = 0;
+  for (const int tag : all_tags) {
+    base[tag] = next_base;
+    next_base += extent.at(tag) + 1;
   }
   sched::Schedule schedule(n_, k_);
-  for (int r = 0; r <= max_round; ++r) schedule.add_round();
+  for (int r = 0; r < next_base; ++r) schedule.add_round();
   for (std::int64_t rank = 0; rank < n_; ++rank) {
     for (const SendEvent& e : sinks_[static_cast<std::size_t>(rank)].sends()) {
-      BRUCK_ENSURE_MSG(e.round >= 0, "negative round index recorded");
-      schedule.add_transfer(static_cast<std::size_t>(e.round),
+      schedule.add_transfer(static_cast<std::size_t>(base.at(e.tag) + e.round),
                             sched::Transfer{rank, e.dst, e.bytes});
     }
   }
   schedule.normalize();
   const std::string err = schedule.validate();
   BRUCK_ENSURE_MSG(err.empty(), "executed trace violates the k-port model: " + err);
+  return schedule;
+}
+
+sched::Schedule Trace::to_schedule_for_tag(int tag) const {
+  int max_round = -1;
+  for (const TraceSink& s : sinks_) {
+    for (const SendEvent& e : s.sends()) {
+      if (e.tag != tag) continue;
+      BRUCK_ENSURE_MSG(e.round >= 0, "negative round index recorded");
+      max_round = std::max(max_round, e.round);
+    }
+  }
+  sched::Schedule schedule(n_, k_);
+  for (int r = 0; r <= max_round; ++r) schedule.add_round();
+  for (std::int64_t rank = 0; rank < n_; ++rank) {
+    for (const SendEvent& e : sinks_[static_cast<std::size_t>(rank)].sends()) {
+      if (e.tag != tag) continue;
+      schedule.add_transfer(static_cast<std::size_t>(e.round),
+                            sched::Transfer{rank, e.dst, e.bytes});
+    }
+  }
+  schedule.normalize();
+  const std::string err = schedule.validate();
+  BRUCK_ENSURE_MSG(err.empty(),
+                   "executed trace (one tag) violates the k-port model: " + err);
   return schedule;
 }
 

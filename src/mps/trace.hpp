@@ -20,6 +20,9 @@ struct SendEvent {
   int round = 0;
   std::int64_t dst = 0;
   std::int64_t bytes = 0;
+  /// Port-namespace tag the send ran in (0 = blocking/default namespace).
+  /// Round indices are only comparable within one tag.
+  int tag = 0;
 };
 
 /// Aggregate view of the compiled-plan executions recorded in a trace.
@@ -38,8 +41,9 @@ struct PlanStats {
 /// One rank's append-only event log.
 class TraceSink {
  public:
-  void record_send(int round, std::int64_t dst, std::int64_t bytes) {
-    sends_.push_back(SendEvent{round, dst, bytes});
+  void record_send(int round, std::int64_t dst, std::int64_t bytes,
+                   int tag = 0) {
+    sends_.push_back(SendEvent{round, dst, bytes, tag});
   }
   void record_plan(const PlanEvent& event) { plans_.push_back(event); }
   [[nodiscard]] const std::vector<SendEvent>& sends() const { return sends_; }
@@ -67,7 +71,23 @@ class Trace {
 
   /// Rebuild the global round structure from all sinks.  Only valid after
   /// the rank threads joined.  Validates the k-port constraints.
+  ///
+  /// Tag namespaces have independent round indices, so events from
+  /// different tags must not be merged round-by-round: each tag's rounds
+  /// are *stacked* after the previous tag's (ascending tag order), keeping
+  /// the per-tag k-port validation exact.  Concurrent collectives thus
+  /// appear sequentially in the combined schedule — C2 stays exact, and C1
+  /// is the sum of per-tag round counts (an upper bound on the interleaved
+  /// execution's rounds).
   [[nodiscard]] sched::Schedule to_schedule() const;
+
+  /// The distinct tags with at least one recorded send, ascending.
+  [[nodiscard]] std::vector<int> tags() const;
+
+  /// The round structure of one tag namespace alone (rounds renumbered from
+  /// that tag's own indices).  Lets tests compare a nonblocking
+  /// collective's executed pattern against its blocking twin's.
+  [[nodiscard]] sched::Schedule to_schedule_for_tag(int tag) const;
 
   /// The paper's measures of the executed pattern.
   [[nodiscard]] model::CostMetrics metrics() const;

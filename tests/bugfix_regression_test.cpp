@@ -11,8 +11,14 @@
 //     model::kMinSegmentBytes per-message floor would collapse anyway used
 //     to key the PlanCache unclamped, caching two plans for one effective
 //     execution (forced-vs-tuned aliasing).
+//  4. Drain loops applied BRUCK_RECV_TIMEOUT_MS per *step*, not per call:
+//     each flushed round (or arriving message) reset the clock, so a slow
+//     trickle could stretch one wait far past the configured deadline.
+//     Every wait now runs under one DrainDeadline for its whole drain.
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "coll/api.hpp"
@@ -209,6 +215,74 @@ TEST(SegmentFloor, AllgatherForcedSegmentsAtTinyBlocksNormalize) {
     });
   }
   EXPECT_EQ(coll::PlanCache::global().stats().entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. One total drain budget per wait call.
+
+/// A wrapper-style communicator whose every exchange() takes `step` of wall
+/// time and "completes" its receives locally (zero fill).  Posted through
+/// the base class, receives queue in the deferred engine and drain
+/// round-by-round through this exchange on wait — each round individually
+/// fast enough to slip under a per-step deadline.
+class SlowExchangeComm final : public mps::Communicator {
+ public:
+  explicit SlowExchangeComm(std::chrono::milliseconds step) : step_(step) {}
+  [[nodiscard]] std::int64_t rank() const override { return 0; }
+  [[nodiscard]] std::int64_t size() const override { return 4; }
+  [[nodiscard]] int ports() const override { return 1; }
+  void barrier() override {}
+  void exchange(int round, std::span<const mps::SendSpec> sends,
+                std::span<const mps::RecvSpec> recvs) override {
+    (void)round;
+    (void)sends;
+    std::this_thread::sleep_for(step_);
+    for (const mps::RecvSpec& r : recvs) {
+      std::fill(r.data.begin(), r.data.end(), std::byte{0});
+    }
+  }
+
+ private:
+  std::chrono::milliseconds step_;
+};
+
+TEST(DrainDeadline, WaitAllRecvsIsBoundedByOneTotalBudget) {
+  // The regression: six queued rounds at ~120 ms each drained in ~720 ms
+  // under a 250 ms timeout, because the old loop re-armed the clock every
+  // flushed round (each step made "progress").  One DrainDeadline per wait
+  // call means the drain must now throw shortly after 250 ms instead.
+  const char* prior_raw = std::getenv("BRUCK_RECV_TIMEOUT_MS");
+  const std::string prior = prior_raw ? prior_raw : "";
+  ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", "250", 1), 0);
+
+  SlowExchangeComm comm(std::chrono::milliseconds(120));
+  std::vector<std::vector<std::byte>> bufs(6);
+  for (int round = 0; round < 6; ++round) {
+    bufs[static_cast<std::size_t>(round)].resize(8);
+    (void)comm.post_recv(round, /*src=*/1, bufs[static_cast<std::size_t>(round)]);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  bool threw = false;
+  try {
+    comm.wait_all_recvs();
+  } catch (const ContractViolation& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("exceeded the receive deadline"),
+              std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(threw) << "drain ran all queued rounds past the deadline";
+  // Budget (250) + at most one in-flight round (120), with slack for slow
+  // CI — but far below the ~720 ms the pre-fix loop took.
+  EXPECT_LT(elapsed.count(), 600);
+
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", prior.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("BRUCK_RECV_TIMEOUT_MS"), 0);
+  }
 }
 
 }  // namespace

@@ -325,5 +325,89 @@ TEST(Runtime, WallTimeIsMeasured) {
   EXPECT_LT(rr.wall_seconds, 30.0);
 }
 
+// ---------------------------------------------------------------------------
+// Port-namespace tags: round monotonicity, port budgets, and wire
+// sequencing are all scoped per tag (the substrate of the nonblocking
+// collectives' concurrency).
+
+TEST(Runtime, TagNamespacesInterleaveIndependently) {
+  // Two tags, each running its own "round 0" with a full port budget, and
+  // completed in the opposite order from posting: neither namespace may
+  // see the other's rounds, budgets, or sequence numbers.
+  run_spmd(2, 1, [&](Communicator& comm) {
+    const std::int64_t peer = 1 - comm.rank();
+    const int t1 = comm.allocate_collective_tag();
+    const int t2 = comm.allocate_collective_tag();
+    BRUCK_ENSURE(t1 == 1 && t2 == 2);  // monotonic, never reused
+
+    const std::vector<std::byte> out1 = bytes_of({10, 11});
+    const std::vector<std::byte> out2 = bytes_of({20, 21, 22});
+    comm.post_send(/*round=*/0, peer, std::span<const std::byte>(out1),
+                   /*segments=*/1, t1);
+    comm.post_send(/*round=*/0, peer, std::span<const std::byte>(out2),
+                   /*segments=*/1, t2);
+    std::vector<std::byte> in1(out1.size());
+    std::vector<std::byte> in2(out2.size());
+    const PortHandle h1 = comm.post_recv(0, peer, in1, 1, t1);
+    const PortHandle h2 = comm.post_recv(0, peer, in2, 1, t2);
+    comm.wait_recv(h2);  // reverse completion order
+    comm.wait_recv(h1);
+    BRUCK_ENSURE(in1 == out1);
+    BRUCK_ENSURE(in2 == out2);
+    comm.release_tag(t1);
+    comm.release_tag(t2);
+  });
+}
+
+TEST(Runtime, EarlyArrivalForUnpostedTagIsStashed) {
+  // Rank 0 sends tag 2 *before* tag 1; rank 1 waits on tag 1 first.  The
+  // mailbox pops per source, so the tag-2 message surfaces while tag 1
+  // drains — it must be stashed and delivered when its receive is finally
+  // posted, not dropped or misdelivered.
+  run_spmd(2, 1, [&](Communicator& comm) {
+    const int t1 = comm.allocate_collective_tag();
+    const int t2 = comm.allocate_collective_tag();
+    const std::vector<std::byte> first = bytes_of({2, 2, 2});   // tag 2
+    const std::vector<std::byte> second = bytes_of({1, 1});     // tag 1
+    if (comm.rank() == 0) {
+      comm.post_send(0, 1, std::span<const std::byte>(first), 1, t2);
+      comm.post_send(0, 1, std::span<const std::byte>(second), 1, t1);
+      comm.barrier();
+    } else {
+      comm.barrier();  // both sends are already in the mailbox
+      std::vector<std::byte> in1(second.size());
+      const PortHandle h1 = comm.post_recv(0, 0, in1, 1, t1);
+      comm.wait_recv(h1);  // pops (and stashes) the earlier tag-2 message
+      BRUCK_ENSURE(in1 == second);
+      std::vector<std::byte> in2(first.size());
+      const PortHandle h2 = comm.post_recv(0, 0, in2, 1, t2);
+      BRUCK_ENSURE(comm.test_recv(h2));  // served from the stash: no wait
+      BRUCK_ENSURE(in2 == first);
+    }
+    comm.release_tag(t1);
+    comm.release_tag(t2);
+  });
+}
+
+TEST(Runtime, ReleaseTagResetsNamespaceState) {
+  // After release_tag, the tag's round counters and wire sequence numbers
+  // are gone: a (hypothetical) fresh user of the same tag value may start
+  // again at round 0 without tripping the monotonicity check.
+  run_spmd(2, 1, [&](Communicator& comm) {
+    const std::int64_t peer = 1 - comm.rank();
+    const int tag = comm.allocate_collective_tag();
+    const std::vector<std::byte> out = bytes_of({7});
+    std::vector<std::byte> in(1);
+    comm.post_send(/*round=*/5, peer, std::span<const std::byte>(out), 1, tag);
+    comm.wait_recv(comm.post_recv(5, peer, in, 1, tag));
+    BRUCK_ENSURE(in == out);
+    comm.release_tag(tag);
+    comm.barrier();  // both ranks fully drained before the tag is reborn
+    comm.post_send(/*round=*/0, peer, std::span<const std::byte>(out), 1, tag);
+    comm.wait_recv(comm.post_recv(0, peer, in, 1, tag));
+    BRUCK_ENSURE(in == out);
+  });
+}
+
 }  // namespace
 }  // namespace bruck::mps

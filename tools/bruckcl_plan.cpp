@@ -5,6 +5,7 @@
 //   bruckcl_plan rounds  <n> <k> <block_bytes> <radix>
 //   bruckcl_plan compile <n> <k> <block_bytes> [radix]
 //   bruckcl_plan compile <n> <k> <counts_file> [radix]
+//   bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
@@ -13,7 +14,11 @@
 // execution plans the facade's hot path runs (index with the tuned — or
 // given — radix, the concat plan, and the reduce-scatter plan under the
 // γ-extended model, whose receive messages are tagged "(combine)") and
-// prints their anatomy.
+// prints their anatomy.  With `--nonblocking`, `compile` instead prints the
+// *cursor* anatomy those plans drive under the progress engine (the i*
+// entry points of coll/api.hpp): per round, when it becomes postable
+// relative to earlier rounds' completions, with the tuned wire-segment
+// knob resolved exactly like the nonblocking facade.
 //
 // When `compile`'s third argument is a file instead of a number, it is read
 // as a whitespace-separated irregular shape: n*n integers make an alltoallv
@@ -49,6 +54,7 @@ int usage() {
             << "  bruckcl_plan rounds  <n> <k> <block_bytes> <radix>\n"
             << "  bruckcl_plan compile <n> <k> <block_bytes> [radix]\n"
             << "  bruckcl_plan compile <n> <k> <counts_file> [radix]\n"
+            << "  bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]\n"
             << "    counts_file: n*n whitespace-separated integers (alltoallv\n"
             << "    matrix) or n integers (allgatherv per-rank counts)\n";
   return 2;
@@ -164,6 +170,66 @@ int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
   return 0;
 }
 
+int cmd_compile_nonblocking(std::int64_t n, int k, std::int64_t b,
+                            std::int64_t radix) {
+  namespace coll = bruck::coll;
+  const bruck::model::LinearModel machine = bruck::model::ibm_sp1();
+  if (radix == 0) {
+    radix = bruck::model::pick_index_radix_cached(n, k, b, machine).radix;
+    std::cout << "tuner pick for the index plan: r = " << radix << "\n\n";
+  }
+  coll::PlanCache& cache = coll::PlanCache::global();
+
+  // Resolve the wire-segment knob exactly like the nonblocking facade
+  // (ialltoall → index plan, iallgather → concat plan, ireduce_scatter →
+  // reduce plan), then print each plan's cursor state machine.
+  const bruck::model::CostMetrics index_m =
+      bruck::model::index_bruck_cost(n, radix, k, b);
+  const int index_segments =
+      bruck::model::resolve_segment_knob(0, true, machine, index_m);
+  const auto index_lookup = cache.get_or_lower(coll::index_plan_key(
+      coll::IndexAlgorithm::kBruck, n, k, radix, index_segments));
+  std::cout << index_lookup.plan->describe_cursor() << '\n';
+
+  const bruck::model::ConcatLastRound strategy =
+      bruck::model::resolve_concat_last_round(
+          n, k, b, bruck::model::ConcatLastRound::kAuto);
+  const bruck::model::CostMetrics concat_m =
+      bruck::model::concat_bruck_cost(n, k, b, strategy);
+  const int concat_segments =
+      bruck::model::resolve_segment_knob(0, true, machine, concat_m);
+  const auto concat_lookup = cache.get_or_lower(coll::concat_plan_key(
+      coll::ConcatAlgorithm::kBruck, n, k, strategy, b, concat_segments));
+  std::cout << concat_lookup.plan->describe_cursor() << '\n';
+
+  const bruck::model::ReduceScatterChoice rs =
+      bruck::model::pick_reduce_scatter_cached(n, k, b, machine);
+  const int reduce_segments =
+      bruck::model::resolve_segment_knob(0, true, machine, rs.predicted);
+  const auto reduce_lookup = cache.get_or_lower(coll::reduce_plan_key(
+      rs.direct ? coll::ReduceAlgorithm::kDirect : coll::ReduceAlgorithm::kBruck,
+      n, k, rs.radix, coll::ReduceOp::sum(coll::ReduceElem::kF64),
+      reduce_segments));
+  std::cout << reduce_lookup.plan->describe_cursor() << '\n';
+
+  // What a same-geometry batch of G pending alltoalls would do: the
+  // progress engine's fusion break-even under this machine.
+  std::cout << "fusion break-even (alltoall, b = " << b << "):\n";
+  for (const int group : {2, 4, 8}) {
+    bruck::model::CostMetrics fused = index_m;
+    fused.c2 *= group;
+    fused.total_bytes *= group;
+    fused.max_rank_sent *= group;
+    fused.max_rank_recv *= group;
+    const bruck::model::FusionChoice choice =
+        bruck::model::pick_fusion(group, machine, index_m, fused, n * b);
+    std::cout << "  G = " << group << ": serial ~" << choice.serial_us
+              << " us, fused ~" << choice.fused_us << " us -> "
+              << (choice.fuse ? "fuse" : "stay serial") << '\n';
+  }
+  return 0;
+}
+
 int cmd_compile_counts(std::int64_t n, int k, const std::string& path,
                        std::int64_t radix) {
   namespace coll = bruck::coll;
@@ -238,8 +304,16 @@ int cmd_compile_counts(std::int64_t n, int k, const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `compile --nonblocking ...`: note the flag and parse the rest as usual.
+  bool nonblocking = false;
+  if (argc >= 3 && std::string(argv[2]) == "--nonblocking") {
+    nonblocking = true;
+    for (int i = 2; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+  }
   if (argc < 5) return usage();
   const std::string cmd = argv[1];
+  if (nonblocking && cmd != "compile") return usage();
   const std::int64_t n = std::atoll(argv[2]);
   const int k = std::atoi(argv[3]);
   const std::string arg4 = argv[4];
@@ -259,6 +333,10 @@ int main(int argc, char** argv) {
     }
     if (cmd == "compile") {
       const std::int64_t radix = argc > 5 ? std::atoll(argv[5]) : 0;
+      if (nonblocking) {
+        if (!arg4_numeric) return usage();
+        return cmd_compile_nonblocking(n, k, b, radix);
+      }
       if (!arg4_numeric) return cmd_compile_counts(n, k, arg4, radix);
       return cmd_compile(n, k, b, radix);
     }

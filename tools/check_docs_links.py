@@ -5,8 +5,12 @@ Scans every tracked *.md file (skipping build trees and third_party) for
 inline markdown links ``[text](target)`` and reference definitions
 ``[label]: target``, and verifies that every *relative* target resolves to
 an existing file or directory.  Anchors (``path#heading`` or ``#heading``)
-are checked against a GitHub-style slugging of the target file's headings.
-External links (http/https/mailto) are not fetched.
+are checked against a GitHub-style slugging of the target file's headings,
+including GitHub's ``-1``/``-2`` numbering of duplicate headings — so the
+README's deep links into docs/ sections break the build when a heading is
+renamed.  Fenced blocks and inline code spans are stripped before both the
+link scan and the heading scan.  External links (http/https/mailto) are
+not fetched.
 
 Usage: python3 tools/check_docs_links.py [repo_root]
 Exit status: 0 when all links resolve, 1 otherwise (each failure printed).
@@ -23,6 +27,12 @@ IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans before scanning."""
+    return INLINE_CODE.sub("", CODE_FENCE.sub("", text))
 
 
 def slugify(heading: str) -> str:
@@ -42,8 +52,16 @@ def md_files(root: str):
 
 def anchors_of(path: str) -> set:
     with open(path, encoding="utf-8") as f:
-        text = CODE_FENCE.sub("", f.read())
-    return {slugify(h) for h in HEADING.findall(text)}
+        text = strip_code(f.read())
+    anchors = set()
+    seen = {}
+    for heading in HEADING.findall(text):
+        slug = slugify(heading)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        # GitHub numbers repeated headings: #slug, #slug-1, #slug-2, ...
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
 
 
 def main() -> int:
@@ -52,7 +70,7 @@ def main() -> int:
     checked = 0
     for md in md_files(root):
         with open(md, encoding="utf-8") as f:
-            text = CODE_FENCE.sub("", f.read())
+            text = strip_code(f.read())
         targets = (
             INLINE_LINK.findall(text)
             + IMAGE_LINK.findall(text)
