@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "coll/api.hpp"
+#include "coll/layout.hpp"
+#include "coll/reduction.hpp"
 #include "coll/concat_bruck.hpp"
 #include "coll/progress.hpp"
 #include "coll/request.hpp"
@@ -322,6 +324,78 @@ void BM_ConcurrentAlltoall(benchmark::State& state) {
                           n * (n - 1) * b);
 }
 
+// Strided datatypes on the hot path: the distributed-transpose geometry
+// (an n_dim×n_dim f64 matrix row-block distributed over n = 8 ranks, send
+// and receive sides both column-sliced) exchanged either zero-copy through
+// `coll::Layout` pack/unpack maps or via the user-side staging idiom the
+// layouts replace (gather into a packed buffer, contiguous alltoall,
+// scatter back out).  Wire traffic is identical; the difference is purely
+// the two local copies of every byte.  range = {n_dim, staged}.
+void BM_StridedAlltoall(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t n_dim = state.range(0);
+  const bool staged = state.range(1) != 0;
+  const std::int64_t rows = n_dim / n;
+  const std::int64_t kD = static_cast<std::int64_t>(sizeof(double));
+  const std::int64_t tile_bytes = rows * rows * kD;
+  const std::int64_t slab_bytes = rows * n_dim * kD;
+  const bruck::coll::Layout lay =
+      bruck::coll::Layout::vector(rows, rows * kD, n_dim * kD)
+          .with_block_stride(rows * kD);
+  bruck::coll::AlltoallOptions options;
+  options.algorithm = bruck::coll::IndexAlgorithm::kBruck;
+  options.radix = 2;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(slab_bytes),
+                                  std::byte{1});
+      std::vector<std::byte> recv(send.size());
+      if (staged) {
+        bruck::coll::alltoall_staged(comm, send, recv, lay, lay, options);
+      } else {
+        bruck::coll::alltoall(comm, send, recv, lay, lay, options);
+      }
+    });
+  }
+  state.SetLabel(staged ? "staged" : "zero-copy");
+  state.counters["per_rank_bytes"] = static_cast<double>(slab_bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * tile_bytes);
+}
+
+// Combine kernels: the typed vectorizable loops (kAlignedVector dispatch)
+// vs the preserved pre-SIMD per-element memcpy round trip
+// (combine_elementwise_reference) on contiguous f32/f64 sums.
+// range = {bytes, elem (0 = f32, 1 = f64), reference}.
+void BM_CombineKernels(benchmark::State& state) {
+  const std::int64_t bytes = state.range(0);
+  const bruck::coll::ReduceElem elem = state.range(1) == 0
+                                           ? bruck::coll::ReduceElem::kF32
+                                           : bruck::coll::ReduceElem::kF64;
+  const bool reference = state.range(2) != 0;
+  const bruck::coll::ReduceOp op = bruck::coll::ReduceOp::sum(elem);
+  std::vector<std::byte> acc(static_cast<std::size_t>(bytes), std::byte{1});
+  std::vector<std::byte> in(acc.size(), std::byte{2});
+  for (auto _ : state) {
+    if (reference) {
+      bruck::coll::combine_elementwise_reference(op, acc.data(), in.data(),
+                                                 bytes);
+    } else {
+      op.combine(acc.data(), in.data(), bytes);
+    }
+    benchmark::DoNotOptimize(acc.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::string(op.name()) +
+                 (reference ? "/reference" : "/simd"));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+}
+
 }  // namespace
 
 namespace {
@@ -345,6 +419,29 @@ BENCHMARK(BM_ConcurrentAlltoall)
     ->Args({4096, 4, 1})
     ->Unit(benchmark::kMicrosecond)
     ->UseManualTime()
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+// Datatype family (the CI datatype CSV artifact): zero-copy strided
+// layouts vs user-side staging on the transpose geometry (n_dim = 512 is
+// the acceptance point — 256 KiB per rank), and the SIMD combine kernels
+// vs the pre-SIMD reference loop at 64 KiB and 256 KiB.
+BENCHMARK(BM_StridedAlltoall)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+BENCHMARK(BM_CombineKernels)
+    ->Args({1 << 16, 0, 0})
+    ->Args({1 << 16, 0, 1})
+    ->Args({1 << 16, 1, 0})
+    ->Args({1 << 16, 1, 1})
+    ->Args({1 << 18, 1, 0})
+    ->Args({1 << 18, 1, 1})
     ->MinWarmUpTime(0.05)
     ->MinTime(0.25);
 

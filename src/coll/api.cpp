@@ -66,13 +66,15 @@ namespace {
 /// the cache/round/byte statistics.
 int run_compiled(mps::Communicator& comm, const PlanKey& key,
                  std::span<const std::byte> send, std::span<std::byte> recv,
-                 std::int64_t block_bytes, int start_round, bool pipelined) {
+                 std::int64_t block_bytes, int start_round, bool pipelined,
+                 const LayoutPair& layouts = {}) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
   const PlanExecution ex =
       pipelined
           ? lookup.plan->run_pipelined(comm, send, recv, block_bytes,
-                                       start_round)
-          : lookup.plan->run(comm, send, recv, block_bytes, start_round);
+                                       start_round, layouts)
+          : lookup.plan->run(comm, send, recv, block_bytes, start_round,
+                             layouts);
   comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                         lookup.plan->round_count(),
                                         ex.bytes_sent});
@@ -83,12 +85,14 @@ int run_compiled(mps::Communicator& comm, const PlanKey& key,
 /// it against the VectorView.
 int run_compiled_v(mps::Communicator& comm, const PlanKey& key,
                    std::span<const std::byte> send, std::span<std::byte> recv,
-                   const VectorView& view, int start_round, bool pipelined) {
+                   const VectorView& view, int start_round, bool pipelined,
+                   const LayoutPair& layouts = {}) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
   const PlanExecution ex =
       pipelined
-          ? lookup.plan->run_pipelined(comm, send, recv, view, start_round)
-          : lookup.plan->run(comm, send, recv, view, start_round);
+          ? lookup.plan->run_pipelined(comm, send, recv, view, start_round,
+                                       layouts)
+          : lookup.plan->run(comm, send, recv, view, start_round, layouts);
   comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                         lookup.plan->round_count(),
                                         ex.bytes_sent});
@@ -104,6 +108,112 @@ std::vector<std::int64_t> prefix_displs(std::span<const std::int64_t> sizes) {
     pos += sizes[i];
   }
   return displs;
+}
+
+/// prefix_displs in layout space: block i's origin at the prefix sum of
+/// the *physical* footprints span_of(count) — degenerates to prefix_displs
+/// for contiguous layouts.
+std::vector<std::int64_t> layout_prefix_displs(
+    const Layout& layout, std::span<const std::int64_t> counts) {
+  std::vector<std::int64_t> displs(counts.size());
+  std::int64_t pos = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    displs[i] = pos;
+    pos += layout.span_of(counts[i]);
+  }
+  return displs;
+}
+
+/// The resolved execution recipe of an allgather call (shared by the plain
+/// and layout overloads): canonicalized algorithm and last-round strategy
+/// (so equal geometries share a key) plus the resolved segment knob.
+struct ConcatRecipe {
+  ConcatAlgorithm algorithm = ConcatAlgorithm::kBruck;
+  model::ConcatLastRound strategy = model::ConcatLastRound::kAuto;
+  int segments = 1;
+  /// Modeled measures behind the choice (zero unless pipelined — only the
+  /// segment tuner and the progress engine read them).
+  model::CostMetrics predicted;
+};
+
+ConcatRecipe resolve_concat_recipe(std::int64_t n, int k,
+                                   std::int64_t block_bytes,
+                                   const AllgatherOptions& options,
+                                   bool pipelined) {
+  ConcatRecipe recipe;
+  recipe.algorithm = options.algorithm == ConcatAlgorithm::kAuto
+                         ? ConcatAlgorithm::kBruck
+                         : options.algorithm;
+  recipe.strategy =
+      recipe.algorithm == ConcatAlgorithm::kBruck
+          ? model::resolve_concat_last_round(n, k, block_bytes,
+                                             options.last_round)
+          : options.last_round;
+  if (pipelined) {
+    // Needed for forced counts too: resolve_segment_knob clamps them against
+    // the per-message floor derived from these metrics.
+    switch (recipe.algorithm) {
+      case ConcatAlgorithm::kBruck:
+      case ConcatAlgorithm::kAuto:
+        recipe.predicted =
+            model::concat_bruck_cost(n, k, block_bytes, recipe.strategy);
+        break;
+      case ConcatAlgorithm::kFolklore:
+        recipe.predicted = model::concat_folklore_cost(n, block_bytes);
+        break;
+      case ConcatAlgorithm::kRing:
+        recipe.predicted = model::concat_ring_cost(n, block_bytes);
+        break;
+    }
+  }
+  recipe.segments = model::resolve_segment_knob(options.segments, pipelined,
+                                                options.machine,
+                                                recipe.predicted);
+  return recipe;
+}
+
+/// The resolved algorithm/radix/measures of an alltoallv call's shape
+/// statistics (shared by the blocking, layout, and nonblocking overloads).
+struct IndexvRecipe {
+  IndexAlgorithm algorithm = IndexAlgorithm::kBruck;
+  std::int64_t radix = 2;
+  model::CostMetrics predicted;
+};
+
+IndexvRecipe resolve_indexv_recipe(std::int64_t n, int k, std::int64_t total,
+                                   std::int64_t max_pair,
+                                   const AlltoallvOptions& options) {
+  const std::int64_t mean =
+      std::max<std::int64_t>(1, (total + n * n - 1) / (n * n));
+  IndexvRecipe recipe;
+  recipe.algorithm = options.algorithm;
+  recipe.radix = std::max<std::int64_t>(2, n);
+  switch (options.algorithm) {
+    case IndexAlgorithm::kDirect:
+      recipe.predicted = model::index_direct_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kPairwise:
+      recipe.predicted = model::index_pairwise_cost(n, k, max_pair);
+      break;
+    case IndexAlgorithm::kBruck:
+      recipe.radix = options.radix != 0
+                         ? options.radix
+                         : model::pick_index_radix_cached(
+                               n, k, mean, options.machine, options.radix_set)
+                               .radix;
+      recipe.predicted = model::index_bruck_cost(n, recipe.radix, k, mean);
+      break;
+    case IndexAlgorithm::kAuto: {
+      const model::VectorIndexChoice choice = model::pick_indexv_cached(
+          n, k, total, max_pair, options.machine, options.radix_set);
+      recipe.algorithm = choice.direct ? IndexAlgorithm::kDirect
+                                       : IndexAlgorithm::kBruck;
+      recipe.radix = choice.radix;
+      recipe.predicted = choice.predicted;
+      break;
+    }
+  }
+  return recipe;
 }
 
 }  // namespace
@@ -179,6 +289,59 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
                       send, recv, block_bytes, options.start_round, pipelined);
 }
 
+int alltoall_staged(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, const Layout& send_layout,
+                    const Layout& recv_layout,
+                    const AlltoallOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  std::vector<std::byte> s(static_cast<std::size_t>(n * b));
+  std::vector<std::byte> r(s.size());
+  layout_gather_all(send, send_layout, n, s);
+  const int next = alltoall(comm, s, r, b, options);
+  layout_scatter_all(recv, recv_layout, n, r);
+  return next;
+}
+
+int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
+             std::span<std::byte> recv, const Layout& send_layout,
+             const Layout& recv_layout, const AlltoallOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(n) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(n),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    // The degenerate case is the plain call: same plan, same cache key,
+    // same zero-copy fast path.
+    return alltoall(comm, send.first(static_cast<std::size_t>(n * b)),
+                    recv.first(static_cast<std::size_t>(n * b)), b, options);
+  }
+  if (options.path == ExecutionPath::kReference) {
+    // The inline oracles predate layouts: stage through packed copies so
+    // kReference stays the bitwise cross-check of the zero-copy paths.
+    return alltoall_staged(comm, send, recv, send_layout, recv_layout,
+                           options);
+  }
+  const AlltoallPlan plan = plan_alltoall(n, comm.ports(), b, options);
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = model::resolve_segment_knob(
+      options.segments, pipelined, options.machine, plan.predicted);
+  return run_compiled(
+      comm,
+      index_plan_key(plan.algorithm, n, comm.ports(), plan.radix, segments,
+                     layout_digest(&send_layout, &recv_layout)),
+      send, recv, b, options.start_round, pipelined,
+      LayoutPair{&send_layout, &recv_layout});
+}
+
 int allgather(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, std::int64_t block_bytes,
               const AllgatherOptions& options) {
@@ -206,36 +369,50 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
 
   // Canonicalize the last-round strategy so equal geometries share a key
   // (the same resolution concat_bruck performs internally).
-  const model::ConcatLastRound strategy =
-      algorithm == ConcatAlgorithm::kBruck
-          ? model::resolve_concat_last_round(comm.size(), comm.ports(),
-                                             block_bytes, options.last_round)
-          : options.last_round;
   const bool pipelined = options.path == ExecutionPath::kPipelined;
-  model::CostMetrics predicted;
-  if (pipelined) {
-    // Needed for forced counts too: resolve_segment_knob clamps them against
-    // the per-message floor derived from these metrics.
-    switch (algorithm) {
-      case ConcatAlgorithm::kBruck:
-      case ConcatAlgorithm::kAuto:
-        predicted = model::concat_bruck_cost(comm.size(), comm.ports(),
-                                             block_bytes, strategy);
-        break;
-      case ConcatAlgorithm::kFolklore:
-        predicted = model::concat_folklore_cost(comm.size(), block_bytes);
-        break;
-      case ConcatAlgorithm::kRing:
-        predicted = model::concat_ring_cost(comm.size(), block_bytes);
-        break;
-    }
-  }
-  const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, predicted);
+  const ConcatRecipe recipe = resolve_concat_recipe(
+      comm.size(), comm.ports(), block_bytes, options, pipelined);
   return run_compiled(comm,
-                      concat_plan_key(algorithm, comm.size(), comm.ports(),
-                                      strategy, block_bytes, segments),
+                      concat_plan_key(recipe.algorithm, comm.size(),
+                                      comm.ports(), recipe.strategy,
+                                      block_bytes, recipe.segments),
                       send, recv, block_bytes, options.start_round, pipelined);
+}
+
+int allgather(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const Layout& send_layout,
+              const Layout& recv_layout, const AllgatherOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(1) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(n),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return allgather(comm, send.first(static_cast<std::size_t>(b)),
+                     recv.first(static_cast<std::size_t>(n * b)), b, options);
+  }
+  if (options.path == ExecutionPath::kReference) {
+    std::vector<std::byte> s(static_cast<std::size_t>(b));
+    std::vector<std::byte> r(static_cast<std::size_t>(n * b));
+    layout_gather(send, send_layout, 0, 0, b, s);
+    const int next = allgather(comm, s, r, b, options);
+    layout_scatter_all(recv, recv_layout, n, r);
+    return next;
+  }
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const ConcatRecipe recipe =
+      resolve_concat_recipe(n, comm.ports(), b, options, pipelined);
+  return run_compiled(
+      comm,
+      concat_plan_key(recipe.algorithm, n, comm.ports(), recipe.strategy, b,
+                      recipe.segments,
+                      layout_digest(&send_layout, &recv_layout)),
+      send, recv, b, options.start_round, pipelined,
+      LayoutPair{&send_layout, &recv_layout});
 }
 
 int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
@@ -287,45 +464,119 @@ int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
 
   // Resolve the algorithm, radix, and predicted measures (the segment
   // tuner's input) from the shape statistics.
-  const std::int64_t mean = std::max<std::int64_t>(
-      1, (total + n * n - 1) / (n * n));
-  IndexAlgorithm algorithm = options.algorithm;
-  std::int64_t radix = std::max<std::int64_t>(2, n);
-  model::CostMetrics predicted;
-  switch (options.algorithm) {
-    case IndexAlgorithm::kDirect:
-      predicted = model::index_direct_cost(n, k, max_pair);
-      break;
-    case IndexAlgorithm::kPairwise:
-      predicted = model::index_pairwise_cost(n, k, max_pair);
-      break;
-    case IndexAlgorithm::kBruck:
-      radix = options.radix != 0
-                  ? options.radix
-                  : model::pick_index_radix_cached(n, k, mean, options.machine,
-                                                   options.radix_set)
-                        .radix;
-      predicted = model::index_bruck_cost(n, radix, k, mean);
-      break;
-    case IndexAlgorithm::kAuto: {
-      const model::VectorIndexChoice choice = model::pick_indexv_cached(
-          n, k, total, max_pair, options.machine, options.radix_set);
-      algorithm = choice.direct ? IndexAlgorithm::kDirect
-                                : IndexAlgorithm::kBruck;
-      radix = choice.radix;
-      predicted = choice.predicted;
-      break;
-    }
-  }
-
+  const IndexvRecipe recipe =
+      resolve_indexv_recipe(n, k, total, max_pair, options);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, predicted);
+                                        options.machine, recipe.predicted);
   const VectorView view{counts, send_displs, recv_displs, max_pair};
-  return run_compiled_v(
-      comm,
-      indexv_plan_key(algorithm, n, k, radix, shape_digest(counts), segments),
-      send, recv, view, options.start_round, pipelined);
+  return run_compiled_v(comm,
+                        indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
+                                        shape_digest(counts), segments),
+                        send, recv, view, options.start_round, pipelined);
+}
+
+int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv,
+              std::span<const std::int64_t> counts,
+              std::span<const std::int64_t> send_displs,
+              std::span<const std::int64_t> recv_displs,
+              const Layout& send_layout, const Layout& recv_layout,
+              const AlltoallvOptions& options) {
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return alltoallv(comm, send, recv, counts, send_displs, recv_displs,
+                     options);
+  }
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t rank = comm.rank();
+  BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(counts.size()) == n * n,
+                    "alltoallv needs the full n*n count matrix");
+
+  std::int64_t total = 0;
+  std::int64_t max_pair = 0;
+  for (const std::int64_t c : counts) {
+    BRUCK_REQUIRE_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+    max_pair = std::max(max_pair, c);
+  }
+  BRUCK_REQUIRE_MSG(send_layout.block_bytes() >= max_pair &&
+                        recv_layout.block_bytes() >= max_pair,
+                    "layouts must cover the largest pair count");
+
+  // Empty displacements mean the packed canonical layout in layout space.
+  std::vector<std::int64_t> sd_storage;
+  std::vector<std::int64_t> rd_storage;
+  if (send_displs.empty()) {
+    sd_storage = layout_prefix_displs(
+        send_layout,
+        counts.subspan(static_cast<std::size_t>(rank * n),
+                       static_cast<std::size_t>(n)));
+    send_displs = sd_storage;
+  }
+  std::vector<std::int64_t> col(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    col[static_cast<std::size_t>(i)] =
+        counts[static_cast<std::size_t>(i * n + rank)];
+  }
+  if (recv_displs.empty()) {
+    rd_storage = layout_prefix_displs(recv_layout, col);
+    recv_displs = rd_storage;
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(send_displs.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv_displs.size()) == n);
+
+  if (options.path == ExecutionPath::kReference) {
+    // Stage through packed copies around the per-pair oracle.
+    const std::span<const std::int64_t> row = counts.subspan(
+        static_cast<std::size_t>(rank * n), static_cast<std::size_t>(n));
+    const std::vector<std::int64_t> packed_sd = prefix_displs(row);
+    const std::vector<std::int64_t> packed_rd = prefix_displs(col);
+    const std::int64_t row_total =
+        packed_sd.back() + row[static_cast<std::size_t>(n - 1)];
+    const std::int64_t col_total =
+        packed_rd.back() + col[static_cast<std::size_t>(n - 1)];
+    std::vector<std::byte> s(static_cast<std::size_t>(row_total));
+    std::vector<std::byte> r(static_cast<std::size_t>(col_total));
+    for (std::int64_t j = 0; j < n; ++j) {
+      layout_gather(send, send_layout,
+                    send_displs[static_cast<std::size_t>(j)], 0,
+                    row[static_cast<std::size_t>(j)],
+                    std::span<std::byte>(s).subspan(
+                        static_cast<std::size_t>(
+                            packed_sd[static_cast<std::size_t>(j)]),
+                        static_cast<std::size_t>(
+                            row[static_cast<std::size_t>(j)])));
+    }
+    const int next =
+        alltoallv_reference(comm, s, r, counts, packed_sd, packed_rd,
+                            VectorReferenceOptions{options.start_round});
+    for (std::int64_t i = 0; i < n; ++i) {
+      layout_scatter(recv, recv_layout,
+                     recv_displs[static_cast<std::size_t>(i)], 0,
+                     col[static_cast<std::size_t>(i)],
+                     std::span<const std::byte>(r).subspan(
+                         static_cast<std::size_t>(
+                             packed_rd[static_cast<std::size_t>(i)]),
+                         static_cast<std::size_t>(
+                             col[static_cast<std::size_t>(i)])));
+    }
+    return next;
+  }
+
+  const IndexvRecipe recipe =
+      resolve_indexv_recipe(n, k, total, max_pair, options);
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = model::resolve_segment_knob(
+      options.segments, pipelined, options.machine, recipe.predicted);
+  const VectorView view{counts, send_displs, recv_displs, max_pair};
+  return run_compiled_v(comm,
+                        indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
+                                        shape_digest(counts), segments,
+                                        layout_digest(&send_layout,
+                                                      &recv_layout)),
+                        send, recv, view, options.start_round, pipelined,
+                        LayoutPair{&send_layout, &recv_layout});
 }
 
 int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
@@ -444,13 +695,15 @@ namespace {
 int run_compiled_reduce(mps::Communicator& comm, const PlanKey& key,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, std::int64_t block_bytes,
-                        const ReduceOp& op, int start_round, bool pipelined) {
+                        const ReduceOp& op, int start_round, bool pipelined,
+                        const LayoutPair& layouts = {}) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
   const PlanExecution ex =
       pipelined
           ? lookup.plan->run_pipelined(comm, send, recv, block_bytes, op,
-                                       start_round)
-          : lookup.plan->run(comm, send, recv, block_bytes, op, start_round);
+                                       start_round, layouts)
+          : lookup.plan->run(comm, send, recv, block_bytes, op, start_round,
+                             layouts);
   comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                         lookup.plan->round_count(),
                                         ex.bytes_sent, ex.bytes_reduced});
@@ -485,6 +738,49 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
       comm,
       reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments),
       send, recv, block_bytes, op, options.start_round, pipelined);
+}
+
+int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const Layout& send_layout,
+                   const Layout& recv_layout, const ReduceOp& op,
+                   const ReduceScatterOptions& options) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 && b % op.elem_bytes() == 0,
+                    "block size must be a whole number of op elements");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(n) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(1),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return reduce_scatter(comm, send.first(static_cast<std::size_t>(n * b)),
+                          recv.first(static_cast<std::size_t>(b)), b, op,
+                          options);
+  }
+  if (options.path == ExecutionPath::kReference) {
+    std::vector<std::byte> s(static_cast<std::size_t>(n * b));
+    std::vector<std::byte> r(static_cast<std::size_t>(b));
+    layout_gather_all(send, send_layout, n, s);
+    const int next = reduce_scatter(comm, s, r, b, op, options);
+    layout_scatter(recv, recv_layout, 0, 0, b, r);
+    return next;
+  }
+  const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
+      n, k, b, options.algorithm, options.radix, options.machine,
+      options.radix_set);
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+  const int segments = model::resolve_segment_knob(
+      options.segments, pipelined, options.machine, choice.predicted);
+  return run_compiled_reduce(
+      comm,
+      reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments,
+                      layout_digest(&send_layout, &recv_layout)),
+      send, recv, b, op, options.start_round, pipelined,
+      LayoutPair{&send_layout, &recv_layout});
 }
 
 int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
@@ -542,6 +838,79 @@ int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
   return next;
 }
 
+int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const Layout& send_layout,
+              const Layout& recv_layout, const ReduceOp& op,
+              const AllreduceOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t bytes = send_layout.block_bytes();
+  const std::int64_t ew = op.elem_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == bytes,
+                    "send and recv layouts must carry the same logical "
+                    "payload size");
+  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
+                    "payload must be a whole number of op elements");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(1) &&
+          static_cast<std::int64_t>(recv.size()) >=
+              recv_layout.span_bytes(1),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return allreduce(comm, send.first(static_cast<std::size_t>(bytes)),
+                     recv.first(static_cast<std::size_t>(bytes)), op,
+                     options);
+  }
+  if (options.path == ExecutionPath::kReference) {
+    std::vector<std::byte> s(static_cast<std::size_t>(bytes));
+    std::vector<std::byte> r(static_cast<std::size_t>(bytes));
+    layout_gather(send, send_layout, 0, 0, bytes, s);
+    const int next = allreduce_reference(
+        comm, s, r, op, ReduceReferenceOptions{options.start_round});
+    layout_scatter(recv, recv_layout, 0, 0, bytes, r);
+    return next;
+  }
+
+  // The padded block decomposition inherently stages the payload; the
+  // layouts replace the staging memcpys rather than adding copies — the
+  // gather into the padded scratch walks send_layout, the final scatter
+  // walks recv_layout, and the wire stages run contiguous (no layout
+  // digest in their keys).
+  const std::int64_t elems = bytes / ew;
+  const std::int64_t block_elems = n > 0 ? ceil_div(elems, n) : 0;
+  const std::int64_t b = block_elems * ew;
+
+  std::vector<std::byte> padded(static_cast<std::size_t>(n * b),
+                                std::byte{0});
+  layout_gather(send, send_layout, 0, 0, bytes,
+                std::span<std::byte>(padded).first(
+                    static_cast<std::size_t>(bytes)));
+  std::vector<std::byte> reduced(static_cast<std::size_t>(b));
+
+  ReduceScatterOptions rs;
+  rs.algorithm = options.algorithm;
+  rs.radix = options.radix;
+  rs.machine = options.machine;
+  rs.radix_set = options.radix_set;
+  rs.start_round = options.start_round;
+  rs.path = options.path;
+  rs.segments = options.segments;
+  const int after_reduce = reduce_scatter(comm, padded, reduced, b, op, rs);
+
+  std::vector<std::byte> gathered(static_cast<std::size_t>(n * b));
+  AllgatherOptions ag;
+  ag.algorithm = options.concat;
+  ag.machine = options.machine;
+  ag.start_round = after_reduce;
+  ag.path = options.path;
+  ag.segments = options.segments;
+  const int next = allgather(comm, reduced, gathered, b, ag);
+
+  layout_scatter(recv, recv_layout, 0, 0, bytes,
+                 std::span<const std::byte>(gathered).first(
+                     static_cast<std::size_t>(bytes)));
+  return next;
+}
+
 // -- Nonblocking entry points ----------------------------------------------
 //
 // Each i* twin runs exactly the blocking facade's resolution — tuner, radix,
@@ -571,44 +940,100 @@ Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
 }
 
+Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, const Layout& send_layout,
+                  const Layout& recv_layout,
+                  const AlltoallOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(n) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(n),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return ialltoall(comm, send.first(static_cast<std::size_t>(n * b)),
+                     recv.first(static_cast<std::size_t>(n * b)), b, options);
+  }
+  const AlltoallPlan plan = plan_alltoall(n, comm.ports(), b, options);
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, plan.predicted);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kAlltoall;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = b;
+  spec.key = index_plan_key(plan.algorithm, n, comm.ports(), plan.radix,
+                            segments,
+                            layout_digest(&send_layout, &recv_layout));
+  spec.predicted = plan.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.send_layout = send_layout;
+  spec.recv_layout = recv_layout;
+  spec.has_layout = true;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
 Request iallgather(mps::Communicator& comm, std::span<const std::byte> send,
                    std::span<std::byte> recv, std::int64_t block_bytes,
                    const AllgatherOptions& options) {
   const std::int64_t n = comm.size();
   const int k = comm.ports();
-  const ConcatAlgorithm algorithm =
-      options.algorithm == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
-                                                  : options.algorithm;
-  const model::ConcatLastRound strategy =
-      algorithm == ConcatAlgorithm::kBruck
-          ? model::resolve_concat_last_round(n, k, block_bytes,
-                                             options.last_round)
-          : options.last_round;
-  model::CostMetrics predicted;
-  switch (algorithm) {
-    case ConcatAlgorithm::kBruck:
-    case ConcatAlgorithm::kAuto:
-      predicted = model::concat_bruck_cost(n, k, block_bytes, strategy);
-      break;
-    case ConcatAlgorithm::kFolklore:
-      predicted = model::concat_folklore_cost(n, block_bytes);
-      break;
-    case ConcatAlgorithm::kRing:
-      predicted = model::concat_ring_cost(n, block_bytes);
-      break;
-  }
-  const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, predicted);
+  const ConcatRecipe recipe =
+      resolve_concat_recipe(n, k, block_bytes, options, /*pipelined=*/true);
   OpSpec spec;
   spec.family = OpSpec::Family::kAllgather;
   spec.send = send;
   spec.recv = recv;
   spec.block_bytes = block_bytes;
-  spec.key = concat_plan_key(algorithm, n, k, strategy, block_bytes, segments);
-  spec.predicted = predicted;
+  spec.key = concat_plan_key(recipe.algorithm, n, k, recipe.strategy,
+                             block_bytes, recipe.segments);
+  spec.predicted = recipe.predicted;
   spec.machine = options.machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request iallgather(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const Layout& send_layout,
+                   const Layout& recv_layout,
+                   const AllgatherOptions& options) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(1) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(n),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return iallgather(comm, send.first(static_cast<std::size_t>(b)),
+                      recv.first(static_cast<std::size_t>(n * b)), b,
+                      options);
+  }
+  const ConcatRecipe recipe =
+      resolve_concat_recipe(n, comm.ports(), b, options, /*pipelined=*/true);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kAllgather;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = b;
+  spec.key = concat_plan_key(recipe.algorithm, n, comm.ports(),
+                             recipe.strategy, b, recipe.segments,
+                             layout_digest(&send_layout, &recv_layout));
+  spec.predicted = recipe.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.send_layout = send_layout;
+  spec.recv_layout = recv_layout;
+  spec.has_layout = true;
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
 }
 
@@ -656,49 +1081,94 @@ Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
   BRUCK_REQUIRE(static_cast<std::int64_t>(spec.send_displs.size()) == n);
   BRUCK_REQUIRE(static_cast<std::int64_t>(spec.recv_displs.size()) == n);
 
-  const std::int64_t mean =
-      std::max<std::int64_t>(1, (total + n * n - 1) / (n * n));
-  IndexAlgorithm algorithm = options.algorithm;
-  std::int64_t radix = std::max<std::int64_t>(2, n);
-  model::CostMetrics predicted;
-  switch (options.algorithm) {
-    case IndexAlgorithm::kDirect:
-      predicted = model::index_direct_cost(n, k, max_pair);
-      break;
-    case IndexAlgorithm::kPairwise:
-      predicted = model::index_pairwise_cost(n, k, max_pair);
-      break;
-    case IndexAlgorithm::kBruck:
-      radix = options.radix != 0
-                  ? options.radix
-                  : model::pick_index_radix_cached(n, k, mean, options.machine,
-                                                   options.radix_set)
-                        .radix;
-      predicted = model::index_bruck_cost(n, radix, k, mean);
-      break;
-    case IndexAlgorithm::kAuto: {
-      const model::VectorIndexChoice choice = model::pick_indexv_cached(
-          n, k, total, max_pair, options.machine, options.radix_set);
-      algorithm = choice.direct ? IndexAlgorithm::kDirect
-                                : IndexAlgorithm::kBruck;
-      radix = choice.radix;
-      predicted = choice.predicted;
-      break;
-    }
-  }
-
+  const IndexvRecipe recipe =
+      resolve_indexv_recipe(n, k, total, max_pair, options);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, predicted);
+      options.segments, /*pipelined=*/true, options.machine,
+      recipe.predicted);
   spec.family = OpSpec::Family::kAlltoallv;
   spec.send = send;
   spec.recv = recv;
-  spec.key =
-      indexv_plan_key(algorithm, n, k, radix, shape_digest(counts), segments);
-  spec.predicted = predicted;
+  spec.key = indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
+                             shape_digest(counts), segments);
+  spec.predicted = recipe.predicted;
   spec.machine = options.machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.pad_bytes = max_pair;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv,
+                   std::span<const std::int64_t> counts,
+                   std::span<const std::int64_t> send_displs,
+                   std::span<const std::int64_t> recv_displs,
+                   const Layout& send_layout, const Layout& recv_layout,
+                   const AlltoallvOptions& options) {
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return ialltoallv(comm, send, recv, counts, send_displs, recv_displs,
+                      options);
+  }
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
+  const std::int64_t rank = comm.rank();
+  BRUCK_REQUIRE_MSG(static_cast<std::int64_t>(counts.size()) == n * n,
+                    "ialltoallv needs the full n*n count matrix");
+
+  std::int64_t total = 0;
+  std::int64_t max_pair = 0;
+  for (const std::int64_t c : counts) {
+    BRUCK_REQUIRE_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+    max_pair = std::max(max_pair, c);
+  }
+  BRUCK_REQUIRE_MSG(send_layout.block_bytes() >= max_pair &&
+                        recv_layout.block_bytes() >= max_pair,
+                    "layouts must cover the largest pair count");
+
+  OpSpec spec;
+  spec.counts.assign(counts.begin(), counts.end());
+  if (send_displs.empty()) {
+    spec.send_displs = layout_prefix_displs(
+        send_layout,
+        counts.subspan(static_cast<std::size_t>(rank * n),
+                       static_cast<std::size_t>(n)));
+  } else {
+    spec.send_displs.assign(send_displs.begin(), send_displs.end());
+  }
+  if (recv_displs.empty()) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      col[static_cast<std::size_t>(i)] =
+          counts[static_cast<std::size_t>(i * n + rank)];
+    }
+    spec.recv_displs = layout_prefix_displs(recv_layout, col);
+  } else {
+    spec.recv_displs.assign(recv_displs.begin(), recv_displs.end());
+  }
+  BRUCK_REQUIRE(static_cast<std::int64_t>(spec.send_displs.size()) == n);
+  BRUCK_REQUIRE(static_cast<std::int64_t>(spec.recv_displs.size()) == n);
+
+  const IndexvRecipe recipe =
+      resolve_indexv_recipe(n, k, total, max_pair, options);
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine,
+      recipe.predicted);
+  spec.family = OpSpec::Family::kAlltoallv;
+  spec.send = send;
+  spec.recv = recv;
+  spec.key = indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
+                             shape_digest(counts), segments,
+                             layout_digest(&send_layout, &recv_layout));
+  spec.predicted = recipe.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.pad_bytes = max_pair;
+  spec.send_layout = send_layout;
+  spec.recv_layout = recv_layout;
+  spec.has_layout = true;
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
 }
 
@@ -732,16 +1202,67 @@ Request ireduce_scatter(mps::Communicator& comm,
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
 }
 
-Request iallreduce(mps::Communicator& comm, std::span<const std::byte> send,
-                   std::span<std::byte> recv, const ReduceOp& op,
-                   const AllreduceOptions& options) {
+Request ireduce_scatter(mps::Communicator& comm,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv, const Layout& send_layout,
+                        const Layout& recv_layout, const ReduceOp& op,
+                        const ReduceScatterOptions& options) {
   const std::int64_t n = comm.size();
   const int k = comm.ports();
-  const std::int64_t bytes = static_cast<std::int64_t>(send.size());
+  const std::int64_t b = send_layout.block_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == b,
+                    "send and recv layouts must carry the same logical "
+                    "block size");
+  BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 && b % op.elem_bytes() == 0,
+                    "block size must be a whole number of op elements");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(n) &&
+          static_cast<std::int64_t>(recv.size()) >= recv_layout.span_bytes(1),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return ireduce_scatter(comm, send.first(static_cast<std::size_t>(n * b)),
+                           recv.first(static_cast<std::size_t>(b)), b, op,
+                           options);
+  }
+  const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
+      n, k, b, options.algorithm, options.radix, options.machine,
+      options.radix_set);
+  const int segments = model::resolve_segment_knob(
+      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+  OpSpec spec;
+  spec.family = OpSpec::Family::kReduceScatter;
+  spec.send = send;
+  spec.recv = recv;
+  spec.block_bytes = b;
+  spec.key = reduce_plan_key(choice.algorithm, n, k, choice.radix, op,
+                             segments,
+                             layout_digest(&send_layout, &recv_layout));
+  spec.predicted = choice.predicted;
+  spec.machine = options.machine;
+  spec.requested_segments = options.segments;
+  spec.start_round = options.start_round;
+  spec.op = op;
+  spec.send_layout = send_layout;
+  spec.recv_layout = recv_layout;
+  spec.has_layout = true;
+  return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+namespace {
+
+/// The shared tail of both iallreduce overloads: resolve the two-stage
+/// recipe for a `bytes`-byte logical payload and submit the spec (layouts,
+/// when present, only steer the engine's staging copies — the wire stages
+/// run contiguous, so neither stage key carries a layout digest).
+Request submit_iallreduce(mps::Communicator& comm,
+                          std::span<const std::byte> send,
+                          std::span<std::byte> recv, std::int64_t bytes,
+                          const ReduceOp& op, const AllreduceOptions& options,
+                          const Layout* send_layout,
+                          const Layout* recv_layout) {
+  const std::int64_t n = comm.size();
+  const int k = comm.ports();
   const std::int64_t ew = op.elem_bytes();
-  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == bytes);
-  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
-                    "payload must be a whole number of op elements");
 
   // Same two-stage decomposition as the blocking twin, but both stages are
   // resolved up front: the engine chains the allgather after the
@@ -793,7 +1314,51 @@ Request iallreduce(mps::Communicator& comm, std::span<const std::byte> send,
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.op = op;
+  if (send_layout != nullptr) {
+    spec.send_layout = *send_layout;
+    spec.recv_layout = *recv_layout;
+    spec.has_layout = true;
+  }
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
+}
+
+}  // namespace
+
+Request iallreduce(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const ReduceOp& op,
+                   const AllreduceOptions& options) {
+  const std::int64_t bytes = static_cast<std::int64_t>(send.size());
+  const std::int64_t ew = op.elem_bytes();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == bytes);
+  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
+                    "payload must be a whole number of op elements");
+  return submit_iallreduce(comm, send, recv, bytes, op, options, nullptr,
+                           nullptr);
+}
+
+Request iallreduce(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const Layout& send_layout,
+                   const Layout& recv_layout, const ReduceOp& op,
+                   const AllreduceOptions& options) {
+  const std::int64_t bytes = send_layout.block_bytes();
+  const std::int64_t ew = op.elem_bytes();
+  BRUCK_REQUIRE_MSG(recv_layout.block_bytes() == bytes,
+                    "send and recv layouts must carry the same logical "
+                    "payload size");
+  BRUCK_REQUIRE_MSG(ew >= 1 && bytes % ew == 0,
+                    "payload must be a whole number of op elements");
+  BRUCK_REQUIRE_MSG(
+      static_cast<std::int64_t>(send.size()) >= send_layout.span_bytes(1) &&
+          static_cast<std::int64_t>(recv.size()) >=
+              recv_layout.span_bytes(1),
+      "buffers must cover the layouts' physical span");
+  if (send_layout.is_contiguous() && recv_layout.is_contiguous()) {
+    return iallreduce(comm, send.first(static_cast<std::size_t>(bytes)),
+                      recv.first(static_cast<std::size_t>(bytes)), op,
+                      options);
+  }
+  return submit_iallreduce(comm, send, recv, bytes, op, options,
+                           &send_layout, &recv_layout);
 }
 
 int broadcast(mps::Communicator& comm, std::int64_t root,

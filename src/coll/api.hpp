@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 
+#include "coll/layout.hpp"
 #include "coll/reduction.hpp"
 #include "coll/request.hpp"
 #include "model/costs.hpp"
@@ -104,12 +105,45 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
              std::span<std::byte> recv, std::int64_t block_bytes,
              const AlltoallOptions& options = {});
 
+/// Strided-datatype alltoall.  Each logical block (block size =
+/// send_layout.block_bytes(), which must equal recv_layout's) maps onto the
+/// caller buffer through its layout; block j's origin is
+/// j · layout.block_stride().  The compiled executors walk the layout's
+/// byte extents directly between the user buffers and the wire — no
+/// staging copy in either direction — and an is_contiguous() layout
+/// behaves (and caches) exactly like the plain overload.  Buffers must
+/// cover layout.span_bytes(n); bytes outside the layout's extents are
+/// never read or written.  The layouts are read during the call only.
+/// Under kReference the facade stages through packed copies (the inline
+/// oracles predate layouts), so it remains the bitwise cross-check.
+int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
+             std::span<std::byte> recv, const Layout& send_layout,
+             const Layout& recv_layout, const AlltoallOptions& options = {});
+
+/// The user-side staging idiom the layout overload replaces, as one call:
+/// layout_gather_all → plain alltoall → layout_scatter_all.  Bitwise
+/// identical to the zero-copy overload; kept as the measuring-stick
+/// baseline of the staged-vs-zero-copy comparisons in the examples and
+/// bench_wallclock.
+int alltoall_staged(mps::Communicator& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, const Layout& send_layout,
+                    const Layout& recv_layout,
+                    const AlltoallOptions& options = {});
+
 /// Concatenation operation (MPI_Allgather).  `send`: this rank's block.
 /// `recv`: n blocks in rank order.  Returns the next free round index.
 /// Blocking, thread-safety, and trace behavior as alltoall.
 int allgather(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, std::int64_t block_bytes,
               const AllgatherOptions& options = {});
+
+/// Strided-datatype allgather: `send` holds this rank's one layout-mapped
+/// block (must cover send_layout.span_bytes(1)), `recv` n layout-mapped
+/// blocks in rank order (recv_layout.span_bytes(n)).  Same layout
+/// semantics and zero-copy behavior as the alltoall layout overload.
+int allgather(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const Layout& send_layout,
+              const Layout& recv_layout, const AllgatherOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Irregular (vector) collectives: per-rank byte counts and displacements,
@@ -148,6 +182,21 @@ int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<const std::int64_t> counts,
               std::span<const std::int64_t> send_displs = {},
               std::span<const std::int64_t> recv_displs = {},
+              const AlltoallvOptions& options = {});
+
+/// Strided-datatype alltoallv.  Each block's displacement is its *origin*;
+/// its counts[i·n+j] logical bytes walk the layout's piece pattern from
+/// there (so they physically end at origin + layout.span_of(count)).
+/// layout.block_bytes() must cover the largest pair count on both sides.
+/// Empty displacements mean the packed canonical layout *in layout space*:
+/// prefix sums of span_of(count) — identical to the plain overload for
+/// contiguous layouts.  Blocks must not overlap.
+int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv,
+              std::span<const std::int64_t> counts,
+              std::span<const std::int64_t> send_displs,
+              std::span<const std::int64_t> recv_displs,
+              const Layout& send_layout, const Layout& recv_layout,
               const AlltoallvOptions& options = {});
 
 struct AllgathervOptions {
@@ -220,6 +269,17 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
                    const ReduceOp& op,
                    const ReduceScatterOptions& options = {});
 
+/// Strided-datatype reduce-scatter: `send` holds n layout-mapped blocks,
+/// `recv` one.  recv_layout's pieces must be whole multiples of
+/// op.elem_bytes() (combines trim at piece edges and must never split an
+/// element).  Same layout semantics and zero-copy behavior as the alltoall
+/// layout overload — receive-side combining runs extent-by-extent straight
+/// into the strided user buffer.
+int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, const Layout& send_layout,
+                   const Layout& recv_layout, const ReduceOp& op,
+                   const ReduceScatterOptions& options = {});
+
 struct AllreduceOptions {
   /// Reduce-scatter stage algorithm.
   ReduceAlgorithm algorithm = ReduceAlgorithm::kAuto;
@@ -241,6 +301,17 @@ struct AllreduceOptions {
 /// Blocking, thread-safety, and trace behavior as reduce_scatter.
 int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, const ReduceOp& op,
+              const AllreduceOptions& options = {});
+
+/// Strided-datatype allreduce.  The layouts describe the *whole* payload
+/// (block_bytes() = total logical bytes, a multiple of op.elem_bytes()).
+/// Allreduce's padded block decomposition inherently stages the payload,
+/// so here the layouts replace — not add to — the staging copies: the
+/// gather into the padded scratch walks send_layout, the final scatter
+/// walks recv_layout; the wire stages themselves run contiguous.
+int allreduce(mps::Communicator& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, const Layout& send_layout,
+              const Layout& recv_layout, const ReduceOp& op,
               const AllreduceOptions& options = {});
 
 // ---------------------------------------------------------------------------
@@ -306,11 +377,31 @@ int scatter(mps::Communicator& comm, std::int64_t root,
                                 std::int64_t block_bytes,
                                 const AlltoallOptions& options = {});
 
+/// Nonblocking strided-datatype alltoall; layout semantics as the blocking
+/// layout overload (the layouts are copied into the operation — only the
+/// payload buffers must outlive the request).  Layout operations never
+/// fuse: fusion interleaves contiguous blocks.
+[[nodiscard]] Request ialltoall(mps::Communicator& comm,
+                                std::span<const std::byte> send,
+                                std::span<std::byte> recv,
+                                const Layout& send_layout,
+                                const Layout& recv_layout,
+                                const AlltoallOptions& options = {});
+
 /// Nonblocking allgather; same buffer contract as allgather().
 [[nodiscard]] Request iallgather(mps::Communicator& comm,
                                  std::span<const std::byte> send,
                                  std::span<std::byte> recv,
                                  std::int64_t block_bytes,
+                                 const AllgatherOptions& options = {});
+
+/// Nonblocking strided-datatype allgather; layout and copy semantics as
+/// ialltoall's layout overload.
+[[nodiscard]] Request iallgather(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 const Layout& send_layout,
+                                 const Layout& recv_layout,
                                  const AllgatherOptions& options = {});
 
 /// Nonblocking alltoallv; same buffer contract as alltoallv().  The counts
@@ -324,6 +415,18 @@ int scatter(mps::Communicator& comm, std::int64_t root,
                                  std::span<const std::int64_t> recv_displs = {},
                                  const AlltoallvOptions& options = {});
 
+/// Nonblocking strided-datatype alltoallv; layout semantics as the
+/// blocking layout overload (layouts and shape tables are copied).
+[[nodiscard]] Request ialltoallv(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 std::span<const std::int64_t> counts,
+                                 std::span<const std::int64_t> send_displs,
+                                 std::span<const std::int64_t> recv_displs,
+                                 const Layout& send_layout,
+                                 const Layout& recv_layout,
+                                 const AlltoallvOptions& options = {});
+
 /// Nonblocking reduce-scatter; same buffer contract as reduce_scatter().
 /// The ReduceOp is copied (user_fn/user_ctx of a kUser op must stay valid).
 [[nodiscard]] Request ireduce_scatter(mps::Communicator& comm,
@@ -333,12 +436,32 @@ int scatter(mps::Communicator& comm, std::int64_t root,
                                       const ReduceOp& op,
                                       const ReduceScatterOptions& options = {});
 
+/// Nonblocking strided-datatype reduce-scatter; layout and copy semantics
+/// as ialltoall's layout overload.
+[[nodiscard]] Request ireduce_scatter(mps::Communicator& comm,
+                                      std::span<const std::byte> send,
+                                      std::span<std::byte> recv,
+                                      const Layout& send_layout,
+                                      const Layout& recv_layout,
+                                      const ReduceOp& op,
+                                      const ReduceScatterOptions& options = {});
+
 /// Nonblocking allreduce; same buffer contract as allreduce().  Runs as a
 /// two-stage chained operation (reduce-scatter then allgather) inside one
 /// port-namespace tag.
 [[nodiscard]] Request iallreduce(mps::Communicator& comm,
                                  std::span<const std::byte> send,
                                  std::span<std::byte> recv, const ReduceOp& op,
+                                 const AllreduceOptions& options = {});
+
+/// Nonblocking strided-datatype allreduce; layout semantics as the
+/// blocking layout overload (the staging copies walk the layouts).
+[[nodiscard]] Request iallreduce(mps::Communicator& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv,
+                                 const Layout& send_layout,
+                                 const Layout& recv_layout,
+                                 const ReduceOp& op,
                                  const AllreduceOptions& options = {});
 
 namespace detail {

@@ -1,0 +1,236 @@
+#include "coll/layout.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bruck::coll {
+namespace {
+
+// FNV-1a, matching the PlanKey hash family in plan_cache.cpp.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// log2 bucket (0 for 0) — the same coarsening shape_digest applies to
+// irregular counts, so jittered values of one magnitude class collide.
+std::uint64_t log2_bucket(std::int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<std::uint64_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+Layout Layout::contiguous(std::int64_t bytes) {
+  BRUCK_REQUIRE(bytes >= 0);
+  Layout l;
+  l.kind_ = Kind::kContiguous;
+  l.count_ = 1;
+  l.blocklen_ = bytes;
+  l.stride_ = bytes;
+  l.tiles_ = 1;
+  l.tile_stride_ = bytes;
+  return l;
+}
+
+Layout Layout::vector(std::int64_t count, std::int64_t blocklen,
+                      std::int64_t stride) {
+  BRUCK_REQUIRE(count >= 1);
+  BRUCK_REQUIRE(blocklen >= 0);
+  BRUCK_REQUIRE_MSG(stride >= blocklen, "vector pieces must not overlap");
+  Layout l;
+  l.kind_ = Kind::kVector;
+  l.count_ = count;
+  l.blocklen_ = blocklen;
+  l.stride_ = stride;
+  l.tiles_ = 1;
+  l.tile_stride_ = l.block_span();
+  return l;
+}
+
+Layout Layout::tiled(std::int64_t tiles, std::int64_t tile_stride,
+                     std::int64_t count, std::int64_t blocklen,
+                     std::int64_t stride) {
+  BRUCK_REQUIRE(tiles >= 1);
+  Layout l = Layout::vector(count, blocklen, stride);
+  l.kind_ = Kind::kTiled;
+  l.tiles_ = tiles;
+  l.tile_stride_ = tile_stride;
+  if (tiles > 1) {
+    const std::int64_t tile_span = (count - 1) * stride + blocklen;
+    BRUCK_REQUIRE_MSG(tile_stride >= tile_span, "tiles must not overlap");
+  }
+  return l;
+}
+
+Layout Layout::with_block_stride(std::int64_t bytes) const {
+  BRUCK_REQUIRE(bytes >= 0);
+  Layout l = *this;
+  l.block_stride_ = bytes;
+  return l;
+}
+
+std::int64_t Layout::block_span() const {
+  if (block_bytes() == 0) return 0;
+  return (tiles_ - 1) * tile_stride_ + (count_ - 1) * stride_ + blocklen_;
+}
+
+std::int64_t Layout::block_stride() const {
+  return block_stride_ > 0 ? block_stride_ : block_span();
+}
+
+std::int64_t Layout::span_of(std::int64_t logical_bytes) const {
+  BRUCK_REQUIRE(logical_bytes >= 0 && logical_bytes <= block_bytes());
+  if (logical_bytes == 0) return 0;
+  // Locate the piece holding the last logical byte; physical end = that
+  // piece's origin + bytes used of it.
+  const std::int64_t g = (logical_bytes - 1) / blocklen_;  // global piece
+  const std::int64_t used = logical_bytes - g * blocklen_;
+  const std::int64_t t = g / count_;
+  const std::int64_t p = g % count_;
+  return t * tile_stride_ + p * stride_ + used;
+}
+
+std::int64_t Layout::span_bytes(std::int64_t nblocks) const {
+  BRUCK_REQUIRE(nblocks >= 0);
+  if (nblocks == 0 || block_bytes() == 0) return 0;
+  return (nblocks - 1) * block_stride() + block_span();
+}
+
+bool Layout::is_contiguous() const {
+  if (block_bytes() == 0) return true;
+  const bool piece_dense = count_ <= 1 || stride_ == blocklen_;
+  const bool tile_dense =
+      tiles_ <= 1 || (piece_dense && tile_stride_ == count_ * blocklen_);
+  const bool packed = block_stride_ == 0 || block_stride_ == block_bytes();
+  return piece_dense && tile_dense && packed;
+}
+
+bool Layout::elem_aligned(std::int64_t elem_bytes) const {
+  BRUCK_REQUIRE(elem_bytes >= 1);
+  return blocklen_ % elem_bytes == 0;
+}
+
+std::uint64_t Layout::digest() const {
+  if (is_contiguous()) return 0;
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, static_cast<std::uint64_t>(kind_));
+  h = fnv_mix(h, log2_bucket(count_));
+  h = fnv_mix(h, log2_bucket(blocklen_));
+  h = fnv_mix(h, log2_bucket(tiles_));
+  // Denseness flags, not exact strides: jittered strides of one shape
+  // class must collide (plans are layout-free; this is cache policy only).
+  const std::uint64_t flags =
+      (count_ > 1 && stride_ == blocklen_ ? 1ULL : 0) |
+      (tiles_ > 1 && tile_stride_ == count_ * blocklen_ ? 2ULL : 0) |
+      (block_stride_ != 0 && block_stride_ != block_span() ? 4ULL : 0);
+  h = fnv_mix(h, flags);
+  return h == 0 ? 1 : h;
+}
+
+void Layout::append_extents(std::int64_t origin, std::int64_t lo,
+                            std::int64_t hi,
+                            std::vector<ByteExtent>& out) const {
+  BRUCK_REQUIRE(lo >= 0 && lo <= hi && hi <= block_bytes());
+  if (lo == hi) return;
+  const std::int64_t g_first = lo / blocklen_;
+  const std::int64_t g_last = (hi - 1) / blocklen_;
+  for (std::int64_t g = g_first; g <= g_last; ++g) {
+    const std::int64_t t = g / count_;
+    const std::int64_t p = g % count_;
+    const std::int64_t piece_lo = g * blocklen_;        // logical
+    const std::int64_t phys = origin + t * tile_stride_ + p * stride_;
+    const std::int64_t from = std::max(lo, piece_lo) - piece_lo;
+    const std::int64_t to = std::min(hi, piece_lo + blocklen_) - piece_lo;
+    const std::int64_t off = phys + from;
+    const std::int64_t len = to - from;
+    if (len <= 0) continue;
+    if (!out.empty() && out.back().offset + out.back().bytes == off) {
+      out.back().bytes += len;  // merge physically adjacent runs
+    } else {
+      out.push_back(ByteExtent{off, len});
+    }
+  }
+}
+
+std::string Layout::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kContiguous:
+      os << "contig(" << block_bytes() << ")";
+      break;
+    case Kind::kVector:
+      os << "vector{count=" << count_ << ", blocklen=" << blocklen_
+         << ", stride=" << stride_ << "}";
+      break;
+    case Kind::kTiled:
+      os << "tiled{tiles=" << tiles_ << ", tile_stride=" << tile_stride_
+         << ", count=" << count_ << ", blocklen=" << blocklen_
+         << ", stride=" << stride_ << "}";
+      break;
+  }
+  if (block_stride_ > 0) os << "@block_stride=" << block_stride_;
+  return os.str();
+}
+
+void layout_gather(std::span<const std::byte> src, const Layout& layout,
+                   std::int64_t origin, std::int64_t lo, std::int64_t hi,
+                   std::span<std::byte> dst) {
+  std::vector<ByteExtent> extents;
+  layout.append_extents(origin, lo, hi, extents);
+  const std::int64_t packed = gather_extents(src, extents, dst);
+  BRUCK_ENSURE(packed == hi - lo);
+}
+
+void layout_scatter(std::span<std::byte> dst, const Layout& layout,
+                    std::int64_t origin, std::int64_t lo, std::int64_t hi,
+                    std::span<const std::byte> src) {
+  std::vector<ByteExtent> extents;
+  layout.append_extents(origin, lo, hi, extents);
+  const std::int64_t scattered = scatter_extents(dst, extents, src);
+  BRUCK_ENSURE(scattered == hi - lo);
+}
+
+void layout_gather_all(std::span<const std::byte> src, const Layout& layout,
+                       std::int64_t nblocks, std::span<std::byte> packed) {
+  const std::int64_t b = layout.block_bytes();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(packed.size()) >= nblocks * b);
+  for (std::int64_t j = 0; j < nblocks; ++j) {
+    layout_gather(src, layout, j * layout.block_stride(), 0, b,
+                  packed.subspan(static_cast<std::size_t>(j * b),
+                                 static_cast<std::size_t>(b)));
+  }
+}
+
+void layout_scatter_all(std::span<std::byte> dst, const Layout& layout,
+                        std::int64_t nblocks,
+                        std::span<const std::byte> packed) {
+  const std::int64_t b = layout.block_bytes();
+  BRUCK_REQUIRE(static_cast<std::int64_t>(packed.size()) >= nblocks * b);
+  for (std::int64_t j = 0; j < nblocks; ++j) {
+    layout_scatter(dst, layout, j * layout.block_stride(), 0, b,
+                   packed.subspan(static_cast<std::size_t>(j * b),
+                                  static_cast<std::size_t>(b)));
+  }
+}
+
+std::uint64_t layout_digest(const Layout* send, const Layout* recv) {
+  const std::uint64_t s = send != nullptr ? send->digest() : 0;
+  const std::uint64_t r = recv != nullptr ? recv->digest() : 0;
+  if (s == 0 && r == 0) return 0;
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, s);
+  h = fnv_mix(h, r);  // position-aware: send-strided ≠ recv-strided
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace bruck::coll

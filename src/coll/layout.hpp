@@ -1,0 +1,173 @@
+// User-visible strided datatype descriptors — the library's MPI-vector
+// analogue (Träff, "Effective MPI: User-defined Datatypes … Zero-copy
+// All-to-all").
+//
+// A `Layout` describes how one logical *block* of a collective maps onto a
+// caller buffer: a single contiguous run, a strided vector of equal pieces
+// ({count, blocklen, stride}), or one level of nesting for 2-D tiles (the
+// vector pattern repeated `tiles` times at `tile_stride`).  Consecutive
+// blocks start `block_stride()` bytes apart (defaults to the block's
+// physical span, i.e. non-overlapping back-to-back blocks; transpose-style
+// interleaved blocks override it).
+//
+// Layouts flow from the api.hpp overloads into the plan executors'
+// pack/unpack cell maps, which walk the layout's byte extents directly
+// between the caller buffer and the wire — no user-side staging copy in
+// either direction.  A layout whose pieces are dense (`is_contiguous()`)
+// is indistinguishable from today's contiguous calls: same plans, same
+// cache keys, same zero-copy contiguous-run fast path.
+//
+// Everything here is pure local bookkeeping/memory movement: never
+// blocking, no fabric or trace side effects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/pack.hpp"
+
+namespace bruck::coll {
+
+class Layout {
+ public:
+  /// The descriptor's shape class.  Factories normalize all three kinds
+  /// onto one piece walk (kContiguous = one piece, kVector = one tile).
+  enum class Kind : std::uint8_t { kContiguous = 0, kVector, kTiled };
+
+  /// An empty contiguous layout — contiguous(0).  A usable value-type
+  /// default (OpSpec stores layouts by value); build real descriptors with
+  /// the factories below.
+  Layout() = default;
+
+  /// One contiguous run of `bytes` bytes per block.
+  [[nodiscard]] static Layout contiguous(std::int64_t bytes);
+
+  /// `count` pieces of `blocklen` bytes whose starts are `stride` bytes
+  /// apart (stride ≥ blocklen; stride == blocklen degenerates to
+  /// contiguous).  Logical block payload is count·blocklen bytes.
+  [[nodiscard]] static Layout vector(std::int64_t count, std::int64_t blocklen,
+                                     std::int64_t stride);
+
+  /// The vector pattern repeated `tiles` times, repetition origins
+  /// `tile_stride` bytes apart (one level of nesting — enough for 2-D
+  /// tiles of a 3-D volume).  Logical payload is tiles·count·blocklen.
+  [[nodiscard]] static Layout tiled(std::int64_t tiles,
+                                    std::int64_t tile_stride,
+                                    std::int64_t count, std::int64_t blocklen,
+                                    std::int64_t stride);
+
+  /// Same pattern with consecutive block origins `bytes` apart instead of
+  /// the default physical span.  Blocks may interleave (bytes < span) on
+  /// the send side; receive blocks must not overlap.
+  [[nodiscard]] Layout with_block_stride(std::int64_t bytes) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t blocklen() const { return blocklen_; }
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+  [[nodiscard]] std::int64_t tiles() const { return tiles_; }
+  [[nodiscard]] std::int64_t tile_stride() const { return tile_stride_; }
+
+  /// Logical payload bytes of one block (what travels on the wire).
+  [[nodiscard]] std::int64_t block_bytes() const {
+    return tiles_ * count_ * blocklen_;
+  }
+
+  /// Physical bytes one block touches in the caller buffer, first to last.
+  [[nodiscard]] std::int64_t block_span() const;
+
+  /// Byte distance between consecutive block origins (the explicit
+  /// override, else block_span()).
+  [[nodiscard]] std::int64_t block_stride() const;
+
+  /// Physical end offset (relative to a block's origin) of its first
+  /// `logical_bytes` logical bytes; 0 for an empty prefix.
+  [[nodiscard]] std::int64_t span_of(std::int64_t logical_bytes) const;
+
+  /// Minimum caller-buffer bytes for `nblocks` blocks starting at offset 0.
+  [[nodiscard]] std::int64_t span_bytes(std::int64_t nblocks) const;
+
+  /// True when every block is one dense byte run and blocks are packed
+  /// back-to-back — the degenerate case the executors treat exactly like a
+  /// plain contiguous call (zero-copy fast path, unchanged cache key).
+  [[nodiscard]] bool is_contiguous() const;
+
+  /// True when every piece boundary is a multiple of `elem_bytes` (a
+  /// reduction layout requirement: combine trims at piece edges).
+  [[nodiscard]] bool elem_aligned(std::int64_t elem_bytes) const;
+
+  /// Plan-cache digest of the layout's *contiguity class*: 0 for
+  /// is_contiguous() layouts (they key identically to no layout at all),
+  /// else a hash of the kind and the log2 buckets of count/blocklen/tiles —
+  /// deliberately *not* of the exact strides, so jittered strides of one
+  /// shape class keep hitting one cached plan (plans are layout-free; the
+  /// digest is pure cache policy).  Never 0 for non-contiguous layouts.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Append the byte extents of logical bytes [lo, hi) of the block whose
+  /// origin byte is `origin`, in logical order, merging physically adjacent
+  /// runs.  This is the walk the plan executors pack/scatter through.
+  void append_extents(std::int64_t origin, std::int64_t lo, std::int64_t hi,
+                      std::vector<ByteExtent>& out) const;
+
+  /// "contig(4096)" / "vector{count,blocklen,stride}" / … for tooling.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Layout&, const Layout&) = default;
+
+ private:
+  Kind kind_ = Kind::kContiguous;
+  std::int64_t count_ = 1;        // pieces per tile
+  std::int64_t blocklen_ = 0;     // bytes per piece
+  std::int64_t stride_ = 0;       // bytes between piece starts
+  std::int64_t tiles_ = 1;        // tile repetitions
+  std::int64_t tile_stride_ = 0;  // bytes between tile origins
+  std::int64_t block_stride_ = 0;  // 0 = block_span()
+};
+
+/// The send/recv layouts of one collective call.  Null means contiguous
+/// (today's behavior); the pair is passed through the facade to the
+/// executors by pointer — the layouts must outlive the call.
+struct LayoutPair {
+  const Layout* send = nullptr;
+  const Layout* recv = nullptr;
+
+  [[nodiscard]] bool active() const {
+    return send != nullptr || recv != nullptr;
+  }
+};
+
+/// Gather logical bytes [lo, hi) of the block at `origin` of `src` (as laid
+/// out by `layout`) into `dst`, back-to-back.  Bounds-checked through
+/// gather_extents.  This is the user-side staging helper the examples and
+/// tests compare the in-engine zero-copy path against.
+void layout_gather(std::span<const std::byte> src, const Layout& layout,
+                   std::int64_t origin, std::int64_t lo, std::int64_t hi,
+                   std::span<std::byte> dst);
+
+/// Inverse of layout_gather: scatter `src` into logical bytes [lo, hi) of
+/// the block at `origin` of `dst`.
+void layout_scatter(std::span<std::byte> dst, const Layout& layout,
+                    std::int64_t origin, std::int64_t lo, std::int64_t hi,
+                    std::span<const std::byte> src);
+
+/// Pack blocks [0, nblocks) of a layout-mapped buffer into `packed`
+/// back-to-back (block j's block_bytes() land at j·block_bytes()) — the
+/// whole user-side staging pass the layout collectives replace, as one
+/// call.  `layout_scatter_all` is the inverse.  Used by the kReference
+/// facade paths and the examples' staged-vs-zero-copy comparisons.
+void layout_gather_all(std::span<const std::byte> src, const Layout& layout,
+                       std::int64_t nblocks, std::span<std::byte> packed);
+void layout_scatter_all(std::span<std::byte> dst, const Layout& layout,
+                        std::int64_t nblocks,
+                        std::span<const std::byte> packed);
+
+/// Combined plan-cache digest of a call's layout pair: 0 when both sides
+/// are absent-or-contiguous (the key is then byte-identical to today's),
+/// else a position-aware mix of the two digests, never 0.
+[[nodiscard]] std::uint64_t layout_digest(const Layout* send,
+                                          const Layout* recv);
+
+}  // namespace bruck::coll

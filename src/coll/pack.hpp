@@ -1,7 +1,9 @@
 // Appendix A's pack/unpack routines: gather the blocks whose block-id has
 // radix-r digit x equal to z into a contiguous message, and scatter a
 // received message back into the same slots — plus the variable-extent
-// generalization the irregular (vector) plan executor packs through.
+// generalization the irregular (vector) plan executor packs through and
+// the strided `coll::Layout` datatypes resolve their cells into (a
+// layout-mapped cell is just a ByteExtent walk over user memory).
 //
 // All routines here are pure local memory movement: they never block, never
 // touch the fabric, and record nothing in the trace.  They are safe to call

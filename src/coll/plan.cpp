@@ -170,6 +170,44 @@ std::int64_t Plan::resolved_message_bytes(const PlanMessage& m,
   return total;
 }
 
+const Layout* Plan::active_layout(PlanBuffer buffer, const Extents& ex) {
+  const Layout* lay = nullptr;
+  switch (buffer) {
+    case PlanBuffer::kUserSend: lay = ex.send_layout; break;
+    case PlanBuffer::kUserRecv: lay = ex.recv_layout; break;
+    case PlanBuffer::kScratch: return nullptr;
+  }
+  // A dense layout degenerates to null: the executors then take exactly the
+  // pre-layout code paths (zero-copy subspans, bulk memcpy walks).
+  return lay != nullptr && !lay->is_contiguous() ? lay : nullptr;
+}
+
+void Plan::append_cell_extents(std::uint32_t ci, PlanBuffer buffer,
+                               const Extents& ex,
+                               std::vector<ByteExtent>& out) const {
+  const std::int64_t len = cell_len(ci, ex);
+  const Layout* lay = active_layout(buffer, ex);
+  if (lay == nullptr) {
+    out.push_back(ByteExtent{cell_offset(ci, buffer, ex), len});
+    return;
+  }
+  const PlanCell& c = cells_[ci];
+  // The block's origin byte in the caller buffer: displacement-table for
+  // irregular plans, layout-strided for uniform ones.  Cell [lo, hi) byte
+  // ranges are *logical* and map through the layout's piece walk.
+  std::int64_t origin = 0;
+  if (ex.view != nullptr) {
+    const std::span<const std::int64_t> displs =
+        buffer == PlanBuffer::kUserSend ? ex.view->send_displs
+                                        : ex.view->recv_displs;
+    origin = displs.empty() ? c.slot * lay->block_stride()
+                            : displs[static_cast<std::size_t>(c.slot)];
+  } else {
+    origin = c.slot * lay->block_stride();
+  }
+  lay->append_extents(origin, c.lo, c.lo + len, out);
+}
+
 void Plan::finalize() {
   BRUCK_REQUIRE_MSG(segments_ >= 1, "segment count must be at least 1");
   needs_scratch_ = prologue_ == PlanPrologue::kRotateSendToScratch ||
@@ -311,10 +349,27 @@ sched::Schedule Plan::to_schedule(std::int64_t block_bytes) const {
 // ---------------------------------------------------------------------------
 // Execution.
 
+namespace {
+
+/// Layout-side buffer check: a buffer holding `nblocks` layout-mapped
+/// blocks of logical size `b` must cover the layout's physical span (≥, not
+/// ==: strided layouts legitimately live inside larger arrays), and the
+/// layout's logical size must match the plan's block size exactly.
+void check_layout_buffer(const Layout* lay, std::int64_t buffer_size,
+                         std::int64_t nblocks, std::int64_t b) {
+  if (lay == nullptr) return;
+  BRUCK_REQUIRE_MSG(lay->block_bytes() == b,
+                    "layout logical size must equal the block size");
+  BRUCK_REQUIRE_MSG(buffer_size >= lay->span_bytes(nblocks),
+                    "buffer too small for the layout's physical span");
+}
+
+}  // namespace
+
 void Plan::check_run_contract(const mps::Communicator& comm,
                               std::span<const std::byte> send,
-                              std::span<std::byte> recv,
-                              std::int64_t b) const {
+                              std::span<std::byte> recv, std::int64_t b,
+                              const LayoutPair& layouts) const {
   BRUCK_REQUIRE_MSG(!irregular_,
                     "irregular plans execute through the VectorView overloads");
   BRUCK_REQUIRE_MSG(collective_ != PlanCollective::kReduce,
@@ -322,20 +377,33 @@ void Plan::check_run_contract(const mps::Communicator& comm,
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(b >= 0);
-  if (collective_ == PlanCollective::kIndex) {
+  const std::int64_t send_blocks =
+      collective_ == PlanCollective::kIndex ? n_ : 1;
+  if (layouts.send != nullptr) {
+    check_layout_buffer(layouts.send, static_cast<std::int64_t>(send.size()),
+                        send_blocks, b);
+  } else if (collective_ == PlanCollective::kIndex) {
     BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
   } else {
-    BRUCK_REQUIRE_MSG(b == block_bytes_,
-                      "concat plans are lowered per block size");
     BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
   }
-  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
+  if (collective_ != PlanCollective::kIndex) {
+    BRUCK_REQUIRE_MSG(b == block_bytes_,
+                      "concat plans are lowered per block size");
+  }
+  if (layouts.recv != nullptr) {
+    check_layout_buffer(layouts.recv, static_cast<std::int64_t>(recv.size()),
+                        n_, b);
+  } else {
+    BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
+  }
 }
 
 void Plan::check_reduce_contract(const mps::Communicator& comm,
                                  std::span<const std::byte> send,
                                  std::span<std::byte> recv, std::int64_t b,
-                                 const ReduceOp& op) const {
+                                 const ReduceOp& op,
+                                 const LayoutPair& layouts) const {
   BRUCK_REQUIRE_MSG(collective_ == PlanCollective::kReduce,
                     "only reduction plans take a ReduceOp");
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
@@ -343,22 +411,56 @@ void Plan::check_reduce_contract(const mps::Communicator& comm,
   BRUCK_REQUIRE(b >= 0);
   BRUCK_REQUIRE_MSG(op.elem_bytes() >= 1 && b % op.elem_bytes() == 0,
                     "block size must be a whole number of op elements");
-  BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
-  BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == b);
+  if (layouts.send != nullptr) {
+    check_layout_buffer(layouts.send, static_cast<std::int64_t>(send.size()),
+                        n_, b);
+  } else {
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
+  }
+  if (layouts.recv != nullptr) {
+    check_layout_buffer(layouts.recv, static_cast<std::int64_t>(recv.size()),
+                        1, b);
+    // Combines trim at layout piece edges; every piece must be a whole
+    // number of op elements so the ⊕ never splits an element.
+    BRUCK_REQUIRE_MSG(layouts.recv->elem_aligned(op.elem_bytes()),
+                      "recv layout blocklen must be a multiple of the op's "
+                      "element size");
+  } else {
+    BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == b);
+  }
 }
 
 void Plan::check_vector_contract(const mps::Communicator& comm,
                                  std::span<const std::byte> send,
                                  std::span<std::byte> recv,
-                                 const VectorView& view) const {
+                                 const VectorView& view,
+                                 const LayoutPair& layouts) const {
   BRUCK_REQUIRE_MSG(irregular_,
                     "uniform plans execute through the block_bytes overloads");
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(view.pad_bytes >= 0);
+  BRUCK_REQUIRE_MSG(
+      !layouts.active() || collective_ == PlanCollective::kIndex,
+      "layouts on irregular plans are supported for index (alltoallv) only");
+  if (layouts.send != nullptr) {
+    BRUCK_REQUIRE_MSG(layouts.send->block_bytes() >= view.pad_bytes,
+                      "send layout must cover the largest block count");
+  }
+  if (layouts.recv != nullptr) {
+    BRUCK_REQUIRE_MSG(layouts.recv->block_bytes() >= view.pad_bytes,
+                      "recv layout must cover the largest block count");
+  }
   const std::int64_t rank = comm.rank();
-  const auto fits = [](std::span<const std::byte> buf, std::int64_t off,
-                       std::int64_t len) {
+  // Under a (non-degenerate) layout a block's displacement is its *origin*
+  // and its `len` logical bytes physically end at origin + span_of(len).
+  const auto fits = [&](std::span<const std::byte> buf, std::int64_t off,
+                        std::int64_t len, const Layout* lay) {
+    if (lay != nullptr && !lay->is_contiguous()) {
+      return off >= 0 && len >= 0 &&
+             off + lay->span_of(len) <=
+                 static_cast<std::int64_t>(buf.size());
+    }
     return off >= 0 && len >= 0 &&
            off + len <= static_cast<std::int64_t>(buf.size());
   };
@@ -376,10 +478,12 @@ void Plan::check_vector_contract(const mps::Communicator& comm,
       BRUCK_REQUIRE(out >= 0 && out <= view.pad_bytes);
       BRUCK_REQUIRE(in >= 0 && in <= view.pad_bytes);
       BRUCK_REQUIRE_MSG(fits(send, view.send_displs[
-                                 static_cast<std::size_t>(j)], out),
+                                 static_cast<std::size_t>(j)], out,
+                             layouts.send),
                         "send block exceeds the send buffer");
       BRUCK_REQUIRE_MSG(fits(recv, view.recv_displs[
-                                 static_cast<std::size_t>(j)], in),
+                                 static_cast<std::size_t>(j)], in,
+                             layouts.recv),
                         "recv block exceeds the recv buffer");
     }
   } else {
@@ -392,7 +496,8 @@ void Plan::check_vector_contract(const mps::Communicator& comm,
       const std::int64_t len = view.counts[static_cast<std::size_t>(i)];
       BRUCK_REQUIRE(len >= 0 && len <= view.pad_bytes);
       BRUCK_REQUIRE_MSG(fits(recv, view.recv_displs[
-                                 static_cast<std::size_t>(i)], len),
+                                 static_cast<std::size_t>(i)], len,
+                             layouts.recv),
                         "recv block exceeds the recv buffer");
     }
   }
@@ -404,11 +509,55 @@ void Plan::apply_prologue(std::span<const std::byte> send,
                           const Extents& ex) const {
   const std::int64_t b = ex.b;
   const VectorView* v = ex.view;
+  const Layout* sl = active_layout(PlanBuffer::kUserSend, ex);
+  const Layout* rl = active_layout(PlanBuffer::kUserRecv, ex);
+  // Block-granular copy through the layouts: gather `len` logical bytes of
+  // send block at src_off and land them at recv block at dst_off, strided
+  // on whichever sides carry a layout.  The null/null case is the plain
+  // memcpy every pre-layout prologue compiled to.
+  const auto copy_block = [&](std::int64_t src_off, std::int64_t dst_off,
+                              std::int64_t len) {
+    if (len <= 0) return;
+    if (sl == nullptr && rl == nullptr) {
+      std::memcpy(recv.data() + dst_off, send.data() + src_off,
+                  static_cast<std::size_t>(len));
+    } else if (sl != nullptr && rl == nullptr) {
+      layout_gather(send, *sl, src_off, 0, len,
+                    recv.subspan(static_cast<std::size_t>(dst_off),
+                                 static_cast<std::size_t>(len)));
+    } else if (sl == nullptr) {
+      layout_scatter(recv, *rl, dst_off, 0, len,
+                     send.subspan(static_cast<std::size_t>(src_off),
+                                  static_cast<std::size_t>(len)));
+    } else {
+      std::vector<std::byte> tmp(static_cast<std::size_t>(len));
+      layout_gather(send, *sl, src_off, 0, len, tmp);
+      layout_scatter(recv, *rl, dst_off, 0, len, tmp);
+    }
+  };
   switch (prologue_) {
     case PlanPrologue::kNone:
       break;
     case PlanPrologue::kRotateSendToScratch:
-      if (v != nullptr) {
+      if (sl != nullptr) {
+        // Phase 1 through the layout: gather each rotated send block
+        // straight from its strided home into its packed scratch slot —
+        // this is where transpose-style geometries shed the staging copy.
+        for (std::int64_t s = 0; s < n_; ++s) {
+          const std::int64_t j = pos_mod(s + rank, n_);
+          const std::int64_t len =
+              v != nullptr ? v->counts[static_cast<std::size_t>(rank * n_ + j)]
+                           : b;
+          const std::int64_t origin =
+              v != nullptr ? v->send_displs[static_cast<std::size_t>(j)]
+                           : j * sl->block_stride();
+          if (len > 0) {
+            layout_gather(send, *sl, origin, 0, len,
+                          scratch.subspan(static_cast<std::size_t>(s * b),
+                                          static_cast<std::size_t>(len)));
+          }
+        }
+      } else if (v != nullptr) {
         // Irregular Phase 1: variable send blocks into max-padded slots.
         std::vector<std::int64_t> row(
             v->counts.begin() + static_cast<std::ptrdiff_t>(rank * n_),
@@ -422,47 +571,48 @@ void Plan::apply_prologue(std::span<const std::byte> send,
       break;
     case PlanPrologue::kCopyOwnBlock: {
       std::int64_t len = b;
-      std::int64_t src_off = rank * b;
-      std::int64_t dst_off = rank * b;
+      std::int64_t src_off = sl != nullptr ? rank * sl->block_stride()
+                                           : rank * b;
+      std::int64_t dst_off = rl != nullptr ? rank * rl->block_stride()
+                                           : rank * b;
       if (v != nullptr) {
         len = v->counts[static_cast<std::size_t>(rank * n_ + rank)];
         src_off = v->send_displs[static_cast<std::size_t>(rank)];
         dst_off = v->recv_displs[static_cast<std::size_t>(rank)];
       }
-      if (len > 0) {
-        std::memcpy(recv.data() + dst_off, send.data() + src_off,
-                    static_cast<std::size_t>(len));
-      }
+      copy_block(src_off, dst_off, len);
       break;
     }
     case PlanPrologue::kCopySendToScratch0: {
       const std::int64_t len =
           v != nullptr ? v->counts[static_cast<std::size_t>(rank)] : b;
       if (len > 0) {
-        std::memcpy(scratch.data(), send.data(),
-                    static_cast<std::size_t>(len));
+        if (sl != nullptr) {
+          layout_gather(send, *sl, 0, 0, len,
+                        scratch.subspan(0, static_cast<std::size_t>(len)));
+        } else {
+          std::memcpy(scratch.data(), send.data(),
+                      static_cast<std::size_t>(len));
+        }
       }
       break;
     }
     case PlanPrologue::kCopySendToRecvOwnSlot: {
       std::int64_t len = b;
-      std::int64_t dst_off = rank * b;
+      std::int64_t dst_off = rl != nullptr ? rank * rl->block_stride()
+                                           : rank * b;
       if (v != nullptr) {
         len = v->counts[static_cast<std::size_t>(rank)];
         dst_off = v->recv_displs[static_cast<std::size_t>(rank)];
       }
-      if (len > 0) {
-        std::memcpy(recv.data() + dst_off, send.data(),
-                    static_cast<std::size_t>(len));
-      }
+      // The send buffer is this rank's single block at origin 0.
+      copy_block(0, dst_off, len);
       break;
     }
     case PlanPrologue::kCopyOwnBlockToRecv0:
       // Reduce: this rank's own contribution seeds the accumulator block.
-      if (b > 0) {
-        std::memcpy(recv.data(), send.data() + rank * b,
-                    static_cast<std::size_t>(b));
-      }
+      copy_block(sl != nullptr ? rank * sl->block_stride() : rank * b,
+                 /*dst_off=*/0, b);
       break;
   }
 }
@@ -472,11 +622,35 @@ void Plan::apply_epilogue(std::span<std::byte> recv,
                           std::int64_t rank, const Extents& ex) const {
   const std::int64_t b = ex.b;
   const VectorView* v = ex.view;
+  const Layout* rl = active_layout(PlanBuffer::kUserRecv, ex);
+  // Scatter `len` bytes of packed scratch slot `slot` into the recv block
+  // at `dst_off` through the recv layout (the layout-path counterpart of
+  // the block copies below).
+  const auto slot_to_recv = [&](std::int64_t slot, std::int64_t dst_off,
+                                std::int64_t len) {
+    if (len <= 0) return;
+    layout_scatter(recv, *rl, dst_off, 0, len,
+                   scratch.subspan(static_cast<std::size_t>(slot * b),
+                                   static_cast<std::size_t>(len)));
+  };
   switch (epilogue_) {
     case PlanEpilogue::kNone:
       break;
     case PlanEpilogue::kUnrotateByRank:
-      if (v != nullptr) {
+      if (rl != nullptr) {
+        // Phase 3 through the layout: recv block i = scratch slot
+        // (rank − i) mod n, landing strided — the inverse of the Phase 1
+        // gather, again with no staging copy.
+        for (std::int64_t i = 0; i < n_; ++i) {
+          const std::int64_t len =
+              v != nullptr ? v->counts[static_cast<std::size_t>(i * n_ + rank)]
+                           : b;
+          const std::int64_t dst_off =
+              v != nullptr ? v->recv_displs[static_cast<std::size_t>(i)]
+                           : i * rl->block_stride();
+          slot_to_recv(pos_mod(rank - i, n_), dst_off, len);
+        }
+      } else if (v != nullptr) {
         // sizes[i] = bytes rank i sent to this rank (the matrix column).
         std::vector<std::int64_t> col(static_cast<std::size_t>(n_));
         for (std::int64_t i = 0; i < n_; ++i) {
@@ -490,7 +664,12 @@ void Plan::apply_epilogue(std::span<std::byte> recv,
       }
       break;
     case PlanEpilogue::kRotateWindowToOrigin:
-      if (v != nullptr) {
+      if (rl != nullptr) {
+        for (std::int64_t t = 0; t < n_; ++t) {
+          const std::int64_t i = pos_mod(rank + t, n_);
+          slot_to_recv(t, i * rl->block_stride(), b);
+        }
+      } else if (v != nullptr) {
         rotate_padded_window_to_origin(scratch, b, recv, v->recv_displs,
                                        v->counts, rank);
       } else {
@@ -500,8 +679,12 @@ void Plan::apply_epilogue(std::span<std::byte> recv,
       break;
     case PlanEpilogue::kScratchToRecvAtRoot:
       if (rank != 0) break;
-      if (v != nullptr) {
+      if (rl != nullptr) {
         // Rank 0's gather window is the identity: slot t holds block t.
+        for (std::int64_t t = 0; t < n_; ++t) {
+          slot_to_recv(t, t * rl->block_stride(), b);
+        }
+      } else if (v != nullptr) {
         rotate_padded_window_to_origin(scratch, b, recv, v->recv_displs,
                                        v->counts, /*rank=*/0);
       } else if (b > 0) {
@@ -510,7 +693,9 @@ void Plan::apply_epilogue(std::span<std::byte> recv,
       break;
     case PlanEpilogue::kScratch0ToRecv:
       // Reduce Bruck: slot 0 holds the full ⊕-combination for this rank.
-      if (b > 0) {
+      if (rl != nullptr) {
+        slot_to_recv(/*slot=*/0, /*dst_off=*/0, b);
+      } else if (b > 0) {
         std::memcpy(recv.data(), scratch.data(),
                     static_cast<std::size_t>(b));
       }
@@ -545,18 +730,19 @@ struct ExecBuffers {
 std::vector<std::byte> Plan::pack_message(const PlanMessage& m,
                                           std::span<const std::byte> src,
                                           const Extents& ex) const {
-  if (ex.view != nullptr) {
-    // Irregular: materialize the variable-extent cell map and gather
-    // through pack.hpp — its bounds checks guard the run-time-resolved
-    // offsets and trimmed lengths.  Only irregular messages pay for the
-    // extent list; these are new traffic, not the uniform hot path.
+  if (ex.view != nullptr || active_layout(m.buffer, ex) != nullptr) {
+    // Irregular and/or layout-mapped: materialize the variable-extent cell
+    // map and gather through pack.hpp — its bounds checks guard the
+    // run-time-resolved offsets and trimmed lengths.  Layout cells expand
+    // to the layout's piece walk, so the strided user buffer feeds the
+    // wire directly with no staging copy.  Only these messages pay for the
+    // extent list; the uniform-contiguous hot path is below.
     std::vector<ByteExtent> extents;
     extents.reserve(m.cells_end - m.cells_begin);
     std::int64_t total = 0;
     for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
-      const std::int64_t len = cell_len(c, ex);
-      extents.push_back(ByteExtent{cell_offset(c, m.buffer, ex), len});
-      total += len;
+      total += cell_len(c, ex);
+      append_cell_extents(c, m.buffer, ex, extents);
     }
     std::vector<std::byte> out(static_cast<std::size_t>(total));
     gather_extents(src, extents, out);
@@ -585,6 +771,21 @@ void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
     // read-modify-write needs no synchronization.
     BRUCK_ENSURE_MSG(ex.op != nullptr,
                      "reduction plans execute with a ReduceOp");
+    if (active_layout(m.buffer, ex) != nullptr) {
+      // Combine straight into the strided accumulator, one layout piece at
+      // a time (each a whole number of op elements per the reduce
+      // contract) — no contiguous shadow accumulator.
+      std::vector<ByteExtent> extents;
+      for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
+        append_cell_extents(c, m.buffer, ex, extents);
+      }
+      std::int64_t pos = 0;
+      for (const ByteExtent& e : extents) {
+        ex.op->combine(dst.data() + e.offset, data + pos, e.bytes);
+        pos += e.bytes;
+      }
+      return;
+    }
     const std::int64_t b = ex.b;
     std::size_t pos = 0;
     for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
@@ -596,14 +797,13 @@ void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
     }
     return;
   }
-  if (ex.view != nullptr) {
+  if (ex.view != nullptr || active_layout(m.buffer, ex) != nullptr) {
     std::vector<ByteExtent> extents;
     extents.reserve(m.cells_end - m.cells_begin);
     std::int64_t total = 0;
     for (std::uint32_t c = m.cells_begin; c < m.cells_end; ++c) {
-      const std::int64_t len = cell_len(c, ex);
-      extents.push_back(ByteExtent{cell_offset(c, m.buffer, ex), len});
-      total += len;
+      total += cell_len(c, ex);
+      append_cell_extents(c, m.buffer, ex, extents);
     }
     scatter_extents(dst, extents,
                     std::span<const std::byte>(
@@ -625,58 +825,72 @@ void Plan::scatter_message(const PlanMessage& m, std::span<std::byte> dst,
 PlanExecution Plan::run(mps::Communicator& comm,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, std::int64_t block_bytes,
-                        int start_round) const {
-  check_run_contract(comm, send, recv, block_bytes);
-  return run_blocking_impl(comm, send, recv, Extents{block_bytes, nullptr},
+                        int start_round, const LayoutPair& layouts) const {
+  check_run_contract(comm, send, recv, block_bytes, layouts);
+  return run_blocking_impl(comm, send, recv,
+                           Extents{block_bytes, nullptr, nullptr,
+                                   layouts.send, layouts.recv},
                            start_round);
 }
 
 PlanExecution Plan::run(mps::Communicator& comm,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, const VectorView& view,
-                        int start_round) const {
-  check_vector_contract(comm, send, recv, view);
-  return run_blocking_impl(comm, send, recv, Extents{view.pad_bytes, &view},
+                        int start_round, const LayoutPair& layouts) const {
+  check_vector_contract(comm, send, recv, view, layouts);
+  return run_blocking_impl(comm, send, recv,
+                           Extents{view.pad_bytes, &view, nullptr,
+                                   layouts.send, layouts.recv},
                            start_round);
 }
 
 PlanExecution Plan::run_pipelined(mps::Communicator& comm,
                                   std::span<const std::byte> send,
                                   std::span<std::byte> recv,
-                                  std::int64_t block_bytes,
-                                  int start_round) const {
-  check_run_contract(comm, send, recv, block_bytes);
-  return run_pipelined_impl(comm, send, recv, Extents{block_bytes, nullptr},
+                                  std::int64_t block_bytes, int start_round,
+                                  const LayoutPair& layouts) const {
+  check_run_contract(comm, send, recv, block_bytes, layouts);
+  return run_pipelined_impl(comm, send, recv,
+                            Extents{block_bytes, nullptr, nullptr,
+                                    layouts.send, layouts.recv},
                             start_round);
 }
 
 PlanExecution Plan::run_pipelined(mps::Communicator& comm,
                                   std::span<const std::byte> send,
                                   std::span<std::byte> recv,
-                                  const VectorView& view,
-                                  int start_round) const {
-  check_vector_contract(comm, send, recv, view);
-  return run_pipelined_impl(comm, send, recv, Extents{view.pad_bytes, &view},
+                                  const VectorView& view, int start_round,
+                                  const LayoutPair& layouts) const {
+  check_vector_contract(comm, send, recv, view, layouts);
+  return run_pipelined_impl(comm, send, recv,
+                            Extents{view.pad_bytes, &view, nullptr,
+                                    layouts.send, layouts.recv},
                             start_round);
 }
 
 PlanExecution Plan::run(mps::Communicator& comm,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, std::int64_t block_bytes,
-                        const ReduceOp& op, int start_round) const {
-  check_reduce_contract(comm, send, recv, block_bytes, op);
+                        const ReduceOp& op, int start_round,
+                        const LayoutPair& layouts) const {
+  check_reduce_contract(comm, send, recv, block_bytes, op, layouts);
   return run_blocking_impl(comm, send, recv,
-                           Extents{block_bytes, nullptr, &op}, start_round);
+                           Extents{block_bytes, nullptr, &op, layouts.send,
+                                   layouts.recv},
+                           start_round);
 }
 
 PlanExecution Plan::run_pipelined(mps::Communicator& comm,
                                   std::span<const std::byte> send,
                                   std::span<std::byte> recv,
                                   std::int64_t block_bytes, const ReduceOp& op,
-                                  int start_round) const {
-  check_reduce_contract(comm, send, recv, block_bytes, op);
+                                  int start_round,
+                                  const LayoutPair& layouts) const {
+  check_reduce_contract(comm, send, recv, block_bytes, op, layouts);
   return run_pipelined_impl(comm, send, recv,
-                            Extents{block_bytes, nullptr, &op}, start_round);
+                            Extents{block_bytes, nullptr, &op, layouts.send,
+                                    layouts.recv},
+                            start_round);
 }
 
 PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
@@ -713,7 +927,7 @@ PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
       const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;  // zero-size: pure round counting, off the fabric
       std::span<const std::byte> payload;
-      if (m.contiguous) {
+      if (m.contiguous && active_layout(m.buffer, ex) == nullptr) {
         // Zero-copy: the message is one byte run of the source buffer.
         payload = buffers.readable(m.buffer)
                       .subspan(static_cast<std::size_t>(
@@ -733,7 +947,8 @@ PlanExecution Plan::run_blocking_impl(mps::Communicator& comm,
       const std::int64_t bytes = resolved_message_bytes(m, ex);
       if (bytes == 0) continue;
       std::span<std::byte> landing;
-      if (m.contiguous && !m.combine) {
+      if (m.contiguous && !m.combine &&
+          active_layout(m.buffer, ex) == nullptr) {
         landing = buffers.writable(m.buffer)
                       .subspan(static_cast<std::size_t>(
                                    cell_offset(m.cells_begin, m.buffer, ex)),
@@ -820,31 +1035,40 @@ PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
                        mps::Communicator& comm,
                        std::span<const std::byte> send,
                        std::span<std::byte> recv, std::int64_t block_bytes,
-                       int start_round, int tag)
-    : PlanCursor((plan->check_run_contract(comm, send, recv, block_bytes),
-                  std::move(plan)),
-                 comm, send, recv, Plan::Extents{block_bytes, nullptr},
-                 start_round, tag) {}
-
-PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
-                       mps::Communicator& comm,
-                       std::span<const std::byte> send,
-                       std::span<std::byte> recv, std::int64_t block_bytes,
-                       const ReduceOp& op, int start_round, int tag)
+                       int start_round, int tag, const LayoutPair& layouts)
     : PlanCursor(
-          (plan->check_reduce_contract(comm, send, recv, block_bytes, op),
+          (plan->check_run_contract(comm, send, recv, block_bytes, layouts),
            std::move(plan)),
-          comm, send, recv, Plan::Extents{block_bytes, nullptr, &op},
+          comm, send, recv,
+          Plan::Extents{block_bytes, nullptr, nullptr, layouts.send,
+                        layouts.recv},
           start_round, tag) {}
 
 PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
                        mps::Communicator& comm,
                        std::span<const std::byte> send,
-                       std::span<std::byte> recv, const VectorView& view,
-                       int start_round, int tag)
-    : PlanCursor((plan->check_vector_contract(comm, send, recv, view),
+                       std::span<std::byte> recv, std::int64_t block_bytes,
+                       const ReduceOp& op, int start_round, int tag,
+                       const LayoutPair& layouts)
+    : PlanCursor((plan->check_reduce_contract(comm, send, recv, block_bytes,
+                                              op, layouts),
                   std::move(plan)),
-                 comm, send, recv, Plan::Extents{view.pad_bytes, &view},
+                 comm, send, recv,
+                 Plan::Extents{block_bytes, nullptr, &op, layouts.send,
+                               layouts.recv},
+                 start_round, tag) {}
+
+PlanCursor::PlanCursor(std::shared_ptr<const Plan> plan,
+                       mps::Communicator& comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv, const VectorView& view,
+                       int start_round, int tag, const LayoutPair& layouts)
+    : PlanCursor((plan->check_vector_contract(comm, send, recv, view,
+                                              layouts),
+                  std::move(plan)),
+                 comm, send, recv,
+                 Plan::Extents{view.pad_bytes, &view, nullptr, layouts.send,
+                               layouts.recv},
                  start_round, tag) {}
 
 bool PlanCursor::postable(int i) const {
@@ -883,7 +1107,7 @@ void PlanCursor::post_round(int i) {
     const PlanMessage& m = prog.sends[s];
     const std::int64_t bytes = plan.resolved_message_bytes(m, ex_);
     if (bytes == 0) continue;
-    if (m.contiguous) {
+    if (m.contiguous && Plan::active_layout(m.buffer, ex_) == nullptr) {
       comm_->post_send(start_round_ + i, m.peer,
                        buffers.readable(m.buffer)
                            .subspan(static_cast<std::size_t>(plan.cell_offset(
@@ -903,7 +1127,8 @@ void PlanCursor::post_round(int i) {
     if (bytes == 0) continue;
     mps::PortHandle h = 0;
     bool take_buffer = false;
-    if (m.contiguous && !m.combine) {
+    if (m.contiguous && !m.combine &&
+        Plan::active_layout(m.buffer, ex_) == nullptr) {
       // Land in place: segments stream straight into the target buffer.
       h = comm_->post_recv(start_round_ + i, m.peer,
                            buffers.writable(m.buffer)

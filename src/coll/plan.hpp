@@ -54,6 +54,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coll/layout.hpp"
 #include "coll/reduction.hpp"
 #include "model/costs.hpp"
 #include "mps/communicator.hpp"
@@ -186,9 +187,17 @@ class Plan : public std::enable_shared_from_this<Plan> {
   /// Thread safety: Plan is immutable after lowering — any number of rank
   /// threads may execute one shared plan concurrently.  Trace: one send
   /// event per nonzero message at its round (segmentation invisible).
+  ///
+  /// `layouts` (all run flavors) optionally describes how each block of the
+  /// user buffers is laid out (layout.hpp): cells gather from / scatter to
+  /// the strided layout directly — no staging copy.  Null or contiguous
+  /// layouts reproduce today's behavior bit for bit, including the
+  /// zero-copy contiguous-run fast path.  The layouts must outlive the
+  /// call; wire bytes and trace accounting are layout-independent.
   PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, std::int64_t block_bytes,
-                    int start_round = 0) const;
+                    int start_round = 0,
+                    const LayoutPair& layouts = {}) const;
 
   /// Execute this rank's program with the pipelined executor: nonblocking
   /// posts, eager out-of-order receive completion, cross-round overlap
@@ -197,8 +206,8 @@ class Plan : public std::enable_shared_from_this<Plan> {
   PlanExecution run_pipelined(mps::Communicator& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv,
-                              std::int64_t block_bytes,
-                              int start_round = 0) const;
+                              std::int64_t block_bytes, int start_round = 0,
+                              const LayoutPair& layouts = {}) const;
 
   /// Execute a reduction plan with the blocking executor: `send` holds n
   /// blocks (block j = this rank's contribution to rank j), `recv` one
@@ -208,17 +217,20 @@ class Plan : public std::enable_shared_from_this<Plan> {
   /// are block-size independent like index plans.
   PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, std::int64_t block_bytes,
-                    const ReduceOp& op, int start_round = 0) const;
+                    const ReduceOp& op, int start_round = 0,
+                    const LayoutPair& layouts = {}) const;
 
   /// Execute a reduction plan with the pipelined executor: the combine is
   /// fused into the eager out-of-order completion path, so arithmetic
   /// overlaps in-flight rounds.  Same contract and results as the blocking
-  /// overload.
+  /// overload.  A recv layout's blocklen must be a multiple of
+  /// op.elem_bytes() (combines trim at piece edges).
   PlanExecution run_pipelined(mps::Communicator& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv,
                               std::int64_t block_bytes, const ReduceOp& op,
-                              int start_round = 0) const;
+                              int start_round = 0,
+                              const LayoutPair& layouts = {}) const;
 
   /// Execute an irregular plan with the blocking executor.  For index plans
   /// `send`/`recv` are laid out by view.send_displs/view.recv_displs; for
@@ -227,15 +239,17 @@ class Plan : public std::enable_shared_from_this<Plan> {
   /// count never touch the fabric (the round is still counted).
   PlanExecution run(mps::Communicator& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, const VectorView& view,
-                    int start_round = 0) const;
+                    int start_round = 0, const LayoutPair& layouts = {}) const;
 
   /// Execute an irregular plan with the pipelined executor.  Same contract,
-  /// results, and trace accounting as the blocking overload.
+  /// results, and trace accounting as the blocking overload.  With layouts,
+  /// each block's displacement is the block *origin* and the layout maps
+  /// its counts[·] logical bytes from there.
   PlanExecution run_pipelined(mps::Communicator& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv,
-                              const VectorView& view,
-                              int start_round = 0) const;
+                              const VectorView& view, int start_round = 0,
+                              const LayoutPair& layouts = {}) const;
 
   /// Data-free view of the whole pattern (all ranks), for cross-checking
   /// against sched/ builders and for cost metrics.  Index plans render with
@@ -351,6 +365,11 @@ class Plan : public std::enable_shared_from_this<Plan> {
     std::int64_t b = 0;
     const VectorView* view = nullptr;  // null for uniform plans
     const ReduceOp* op = nullptr;      // null for non-reduction plans
+    /// User-buffer datatype layouts (layout.hpp); null = contiguous.
+    /// Resolved per buffer through active_layout() — scratch is always
+    /// contiguous, and a contiguous layout degenerates to null.
+    const Layout* send_layout = nullptr;
+    const Layout* recv_layout = nullptr;
   };
 
   /// Open/close one round across all ranks; messages added in between
@@ -390,21 +409,37 @@ class Plan : public std::enable_shared_from_this<Plan> {
   [[nodiscard]] std::int64_t resolved_message_bytes(const PlanMessage& m,
                                                     const Extents& ex) const;
 
+  /// The layout governing `buffer` under `ex`, or null when the buffer is
+  /// plain contiguous — scratch always, user buffers when no layout (or a
+  /// degenerate contiguous one) was supplied.  Null ⇒ the executors take
+  /// exactly the pre-layout code paths, including zero-copy.
+  [[nodiscard]] static const Layout* active_layout(PlanBuffer buffer,
+                                                   const Extents& ex);
+
+  /// Append cell `ci`'s byte extents in `buffer` under `ex` — one extent on
+  /// the contiguous path, the layout's piece walk otherwise.  The unit both
+  /// pack_message and scatter_message address user buffers through.
+  void append_cell_extents(std::uint32_t ci, PlanBuffer buffer,
+                           const Extents& ex,
+                           std::vector<ByteExtent>& out) const;
+
   /// Compute every rank's pipeline_safe vector (part of finalize()).
   void compute_pipeline_safety();
 
   // Shared pieces of the two executors.
   void check_run_contract(const mps::Communicator& comm,
                           std::span<const std::byte> send,
-                          std::span<std::byte> recv, std::int64_t b) const;
+                          std::span<std::byte> recv, std::int64_t b,
+                          const LayoutPair& layouts) const;
   void check_vector_contract(const mps::Communicator& comm,
                              std::span<const std::byte> send,
-                             std::span<std::byte> recv,
-                             const VectorView& view) const;
+                             std::span<std::byte> recv, const VectorView& view,
+                             const LayoutPair& layouts) const;
   void check_reduce_contract(const mps::Communicator& comm,
                              std::span<const std::byte> send,
                              std::span<std::byte> recv, std::int64_t b,
-                             const ReduceOp& op) const;
+                             const ReduceOp& op,
+                             const LayoutPair& layouts) const;
   void apply_prologue(std::span<const std::byte> send,
                       std::span<std::byte> recv, std::span<std::byte> scratch,
                       std::int64_t rank, const Extents& ex) const;
@@ -472,20 +507,24 @@ class Plan : public std::enable_shared_from_this<Plan> {
 /// the prologue.
 class PlanCursor {
  public:
-  /// Uniform (index/concat) execution; see Plan::run_pipelined.
+  /// Uniform (index/concat) execution; see Plan::run_pipelined.  `layouts`
+  /// (all flavors; optional) are the user-buffer datatype layouts and must
+  /// outlive the cursor, like the plan and buffers.
   PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
              std::span<const std::byte> send, std::span<std::byte> recv,
-             std::int64_t block_bytes, int start_round = 0, int tag = 0);
+             std::int64_t block_bytes, int start_round = 0, int tag = 0,
+             const LayoutPair& layouts = {});
   /// Reduction execution; `op` must outlive the cursor.
   PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
              std::span<const std::byte> send, std::span<std::byte> recv,
              std::int64_t block_bytes, const ReduceOp& op, int start_round = 0,
-             int tag = 0);
+             int tag = 0, const LayoutPair& layouts = {});
   /// Irregular (vector) execution; `view` (and the spans inside it) must
   /// outlive the cursor.
   PlanCursor(std::shared_ptr<const Plan> plan, mps::Communicator& comm,
              std::span<const std::byte> send, std::span<std::byte> recv,
-             const VectorView& view, int start_round = 0, int tag = 0);
+             const VectorView& view, int start_round = 0, int tag = 0,
+             const LayoutPair& layouts = {});
 
   PlanCursor(const PlanCursor&) = delete;
   PlanCursor& operator=(const PlanCursor&) = delete;

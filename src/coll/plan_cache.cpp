@@ -23,6 +23,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   mix(static_cast<std::uint64_t>(key.segments));
   mix(key.shape_digest);
   mix(key.reduce_tag);
+  mix(key.layout_digest);
   return static_cast<std::size_t>(h);
 }
 
@@ -46,7 +47,8 @@ std::uint64_t shape_digest(std::span<const std::int64_t> counts) {
 }
 
 PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
-                       std::int64_t radix, int segments) {
+                       std::int64_t radix, int segments,
+                       std::uint64_t layout) {
   BRUCK_REQUIRE_MSG(algorithm != IndexAlgorithm::kAuto,
                     "resolve kAuto before keying");
   BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
@@ -59,12 +61,14 @@ PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
   key.strategy = 0;
   key.block_class = 0;  // index plans serve every block size
   key.segments = segments;
+  key.layout_digest = layout;
   return key;
 }
 
 PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
                         model::ConcatLastRound strategy,
-                        std::int64_t block_bytes, int segments) {
+                        std::int64_t block_bytes, int segments,
+                        std::uint64_t layout) {
   BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kAuto,
                     "resolve kAuto before keying");
   BRUCK_REQUIRE_MSG(algorithm != ConcatAlgorithm::kBruck ||
@@ -82,12 +86,13 @@ PlanKey concat_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
                      : 0;
   key.block_class = block_bytes;
   key.segments = segments;
+  key.layout_digest = layout;
   return key;
 }
 
 PlanKey reduce_plan_key(ReduceAlgorithm algorithm, std::int64_t n, int k,
                         std::int64_t radix, const ReduceOp& op,
-                        int segments) {
+                        int segments, std::uint64_t layout) {
   BRUCK_REQUIRE_MSG(algorithm != ReduceAlgorithm::kAuto,
                     "resolve kAuto before keying");
   BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
@@ -101,13 +106,14 @@ PlanKey reduce_plan_key(ReduceAlgorithm algorithm, std::int64_t n, int k,
   key.block_class = 0;  // reduction plans serve every block size
   key.segments = segments;
   key.reduce_tag = op.cache_tag();
+  key.layout_digest = layout;
   return key;
 }
 
 PlanKey indexv_plan_key(IndexAlgorithm algorithm, std::int64_t n, int k,
                         std::int64_t radix, std::uint64_t digest,
-                        int segments) {
-  PlanKey key = index_plan_key(algorithm, n, k, radix, segments);
+                        int segments, std::uint64_t layout) {
+  PlanKey key = index_plan_key(algorithm, n, k, radix, segments, layout);
   BRUCK_REQUIRE_MSG(digest != 0, "vector keys need a nonzero shape digest");
   key.shape_digest = digest;
   return key;

@@ -62,6 +62,14 @@ struct PlanKey {
   /// op-independent, but keying the op keeps "one key = one complete
   /// execution recipe".
   std::uint32_t reduce_tag = 0;
+  /// 0 when both user-buffer layouts are absent or contiguous — a
+  /// contiguous-layout call keys *identically* to today's plain calls (no
+  /// cache blow-up) — else coll::layout_digest(send, recv): a
+  /// contiguity-class bucket hash, never 0.  Like shape_digest this is
+  /// pure cache policy: plans are layout-free (layouts resolve at run
+  /// time), so the digest only groups entries; jittered strides of one
+  /// shape class keep hitting one plan.
+  std::uint64_t layout_digest = 0;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -72,9 +80,13 @@ struct PlanKeyHash {
 
 /// Make the canonical key for a *resolved* index algorithm choice
 /// (`algorithm` must not be kAuto; radix is ignored unless kBruck).
+/// Every key ctor takes a trailing `layout` digest (from
+/// coll::layout_digest; default 0 = contiguous) — lower_from_key ignores
+/// it, the cache does not.
 [[nodiscard]] PlanKey index_plan_key(IndexAlgorithm algorithm, std::int64_t n,
                                      int k, std::int64_t radix,
-                                     int segments = 1);
+                                     int segments = 1,
+                                     std::uint64_t layout = 0);
 
 /// Make the canonical key for a *resolved* concat algorithm choice
 /// (`strategy` must not be kAuto when algorithm is kBruck).
@@ -82,7 +94,8 @@ struct PlanKeyHash {
                                       std::int64_t n, int k,
                                       model::ConcatLastRound strategy,
                                       std::int64_t block_bytes,
-                                      int segments = 1);
+                                      int segments = 1,
+                                      std::uint64_t layout = 0);
 
 /// Make the canonical key for a *resolved* reduce-scatter algorithm choice
 /// (`algorithm` must not be kAuto; radix is ignored unless kBruck; `op`
@@ -90,7 +103,8 @@ struct PlanKeyHash {
 [[nodiscard]] PlanKey reduce_plan_key(ReduceAlgorithm algorithm,
                                       std::int64_t n, int k,
                                       std::int64_t radix, const ReduceOp& op,
-                                      int segments = 1);
+                                      int segments = 1,
+                                      std::uint64_t layout = 0);
 
 /// PlanKey::shape_digest == 0 is the reserved "uniform plan" sentinel
 /// (lower_from_key branches on it), so no irregular shape may ever digest
@@ -114,7 +128,8 @@ struct PlanKeyHash {
 /// `digest` from shape_digest over the n×n count matrix).
 [[nodiscard]] PlanKey indexv_plan_key(IndexAlgorithm algorithm, std::int64_t n,
                                       int k, std::int64_t radix,
-                                      std::uint64_t digest, int segments = 1);
+                                      std::uint64_t digest, int segments = 1,
+                                      std::uint64_t layout = 0);
 
 /// Make the key of an irregular concat plan (`digest` from shape_digest
 /// over the n per-rank counts).  Irregular concat Bruck always lowers the

@@ -108,9 +108,19 @@ namespace {
 /// Only block-size-independent plans fuse: a fused execution reuses the
 /// member plan structure at block G·b, which concat (per-exact-b lowering,
 /// last-round strategy re-resolution) and irregular plans cannot do.
+/// Layout operations never fuse either — the fused staging interleaves
+/// members' blocks contiguously.
 bool fusable(const OpSpec& spec) {
-  return spec.family == OpSpec::Family::kAlltoall ||
-         spec.family == OpSpec::Family::kReduceScatter;
+  return (spec.family == OpSpec::Family::kAlltoall ||
+          spec.family == OpSpec::Family::kReduceScatter) &&
+         !spec.has_layout;
+}
+
+/// The cursor-facing view of a spec's layouts.  Points into the Op's own
+/// spec storage (heap-allocated, never moves), so it outlives the cursor.
+LayoutPair spec_layouts(const OpSpec& spec) {
+  return spec.has_layout ? LayoutPair{&spec.send_layout, &spec.recv_layout}
+                         : LayoutPair{};
 }
 
 /// Modeled measures of the fused exchange: every cost we lower is linear
@@ -247,24 +257,31 @@ void ProgressEngine::start_solo(Op* op) {
     case OpSpec::Family::kAllgather:
       exec->cursor = std::make_unique<PlanCursor>(
           lookup.plan, *comm_, spec.send, spec.recv, spec.block_bytes,
-          spec.start_round, op->tag);
+          spec.start_round, op->tag, spec_layouts(spec));
       break;
     case OpSpec::Family::kAlltoallv:
-      exec->cursor = std::make_unique<PlanCursor>(lookup.plan, *comm_,
-                                                  spec.send, spec.recv,
-                                                  op->view, spec.start_round,
-                                                  op->tag);
+      exec->cursor = std::make_unique<PlanCursor>(
+          lookup.plan, *comm_, spec.send, spec.recv, op->view,
+          spec.start_round, op->tag, spec_layouts(spec));
       break;
     case OpSpec::Family::kReduceScatter:
       exec->cursor = std::make_unique<PlanCursor>(
           lookup.plan, *comm_, spec.send, spec.recv, spec.block_bytes,
-          spec.op, spec.start_round, op->tag);
+          spec.op, spec.start_round, op->tag, spec_layouts(spec));
       break;
     case OpSpec::Family::kAllreduce: {
       const std::int64_t n = spec.key.n;
       const std::int64_t b = spec.block_bytes;
       op->padded.assign(static_cast<std::size_t>(n * b), std::byte{0});
-      if (!spec.send.empty()) {
+      if (spec.has_layout) {
+        // The layouts replace the staging copies: gather the strided user
+        // payload straight into the padded scratch (the wire stages run
+        // contiguous).
+        const std::int64_t logical = spec.send_layout.block_bytes();
+        layout_gather(spec.send, spec.send_layout, 0, 0, logical,
+                      std::span<std::byte>(op->padded).first(
+                          static_cast<std::size_t>(logical)));
+      } else if (!spec.send.empty()) {
         std::memcpy(op->padded.data(), spec.send.data(), spec.send.size());
       }
       op->reduced.resize(static_cast<std::size_t>(b));
@@ -424,7 +441,12 @@ void ProgressEngine::retire(Exec& exec) {
                                      r.bytes_reduced / group_size};
     }
   } else if (lead->spec.family == OpSpec::Family::kAllreduce) {
-    if (!lead->spec.recv.empty()) {
+    if (lead->spec.has_layout) {
+      const std::int64_t logical = lead->spec.recv_layout.block_bytes();
+      layout_scatter(lead->spec.recv, lead->spec.recv_layout, 0, 0, logical,
+                     std::span<const std::byte>(lead->gathered).first(
+                         static_cast<std::size_t>(logical)));
+    } else if (!lead->spec.recv.empty()) {
       std::memcpy(lead->spec.recv.data(), lead->gathered.data(),
                   lead->spec.recv.size());
     }
@@ -524,7 +546,8 @@ void ProgressEngine::run_serial_op(Op& op) {
     case OpSpec::Family::kAlltoall:
     case OpSpec::Family::kAllgather: {
       PlanCursor cursor(lookup.plan, *comm_, spec.send, spec.recv,
-                        spec.block_bytes, start, /*tag=*/0);
+                        spec.block_bytes, start, /*tag=*/0,
+                        spec_layouts(spec));
       op.result = drive_blocking(cursor);
       comm_->record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                               lookup.plan->round_count(),
@@ -533,7 +556,7 @@ void ProgressEngine::run_serial_op(Op& op) {
     }
     case OpSpec::Family::kAlltoallv: {
       PlanCursor cursor(lookup.plan, *comm_, spec.send, spec.recv, op.view,
-                        start, /*tag=*/0);
+                        start, /*tag=*/0, spec_layouts(spec));
       op.result = drive_blocking(cursor);
       comm_->record_plan_event(mps::PlanEvent{lookup.cache_hit,
                                               lookup.plan->round_count(),
@@ -542,7 +565,8 @@ void ProgressEngine::run_serial_op(Op& op) {
     }
     case OpSpec::Family::kReduceScatter: {
       PlanCursor cursor(lookup.plan, *comm_, spec.send, spec.recv,
-                        spec.block_bytes, spec.op, start, /*tag=*/0);
+                        spec.block_bytes, spec.op, start, /*tag=*/0,
+                        spec_layouts(spec));
       op.result = drive_blocking(cursor);
       comm_->record_plan_event(
           mps::PlanEvent{lookup.cache_hit, lookup.plan->round_count(),
@@ -553,7 +577,12 @@ void ProgressEngine::run_serial_op(Op& op) {
       const std::int64_t n = spec.key.n;
       const std::int64_t b = spec.block_bytes;
       op.padded.assign(static_cast<std::size_t>(n * b), std::byte{0});
-      if (!spec.send.empty()) {
+      if (spec.has_layout) {
+        const std::int64_t logical = spec.send_layout.block_bytes();
+        layout_gather(spec.send, spec.send_layout, 0, 0, logical,
+                      std::span<std::byte>(op.padded).first(
+                          static_cast<std::size_t>(logical)));
+      } else if (!spec.send.empty()) {
         std::memcpy(op.padded.data(), spec.send.data(), spec.send.size());
       }
       op.reduced.resize(static_cast<std::size_t>(b));
@@ -579,7 +608,12 @@ void ProgressEngine::run_serial_op(Op& op) {
       comm_->record_plan_event(mps::PlanEvent{concat_lookup.cache_hit,
                                               concat_lookup.plan->round_count(),
                                               rc.bytes_sent});
-      if (!spec.recv.empty()) {
+      if (spec.has_layout) {
+        const std::int64_t logical = spec.recv_layout.block_bytes();
+        layout_scatter(spec.recv, spec.recv_layout, 0, 0, logical,
+                       std::span<const std::byte>(op.gathered).first(
+                           static_cast<std::size_t>(logical)));
+      } else if (!spec.recv.empty()) {
         std::memcpy(spec.recv.data(), op.gathered.data(), spec.recv.size());
       }
       op.result.next_round = rc.next_round;

@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "coll/layout.hpp"
 #include "coll/plan_cache.hpp"
 #include "coll/reduction.hpp"
 #include "coll/request.hpp"
@@ -88,6 +89,14 @@ struct OpSpec {
   std::vector<std::int64_t> recv_displs;
   /// Irregular scratch stride (max pair bytes over `counts`).
   std::int64_t pad_bytes = 0;
+  /// Strided user-buffer layouts (value-stored: the engine outlives the
+  /// caller's stack; the Op never moves, so cursors can point into these).
+  /// has_layout marks a layout-overload submission — the facade only sets
+  /// it for genuinely non-contiguous layouts, and it disables fusion
+  /// (fusion interleaves contiguous blocks).
+  Layout send_layout;
+  Layout recv_layout;
+  bool has_layout = false;
 };
 
 /// Counters of one communicator's progress engine since construction.

@@ -86,6 +86,30 @@ struct ReduceOp {
   [[nodiscard]] std::string name() const;
 };
 
+/// Which kernel ReduceOp::combine dispatches to for a given buffer pair.
+/// Built-in ops run a typed loop the compiler vectorizes: directly over the
+/// buffers when both are element-aligned (`kAlignedVector` — the common
+/// case: accumulator blocks and wire payloads are allocation-aligned), or
+/// chunked through small aligned stack arrays otherwise
+/// (`kChunkedVector` — unaligned-safe, still vectorized per chunk).  User
+/// ops always take the escape hatch (`kUser`).
+enum class CombinePath : std::uint8_t {
+  kAlignedVector = 0,
+  kChunkedVector,
+  kUser,
+};
+
+/// The kernel `op.combine(acc, in, …)` would run for these pointers.
+/// Exposed so tests can pin the dispatch and benches can label rows.
+[[nodiscard]] CombinePath combine_path(const ReduceOp& op, const void* acc,
+                                       const void* in);
+
+/// The pre-SIMD per-element memcpy combine loop, kept verbatim as the
+/// bitwise oracle the vectorized kernels are tested and benchmarked
+/// against.  Same contract as ReduceOp::combine.
+void combine_elementwise_reference(const ReduceOp& op, std::byte* acc,
+                                   const std::byte* in, std::int64_t bytes);
+
 struct ReduceReferenceOptions {
   int start_round = 0;
 };

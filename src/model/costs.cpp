@@ -396,4 +396,9 @@ CostMetrics scatter_binomial_cost(std::int64_t n, std::int64_t block_bytes) {
   return m;
 }
 
+double layout_pack_us(std::int64_t noncontig_bytes) {
+  BRUCK_REQUIRE(noncontig_bytes >= 0);
+  return kPackUsPerByte * static_cast<double>(noncontig_bytes);
+}
+
 }  // namespace bruck::model

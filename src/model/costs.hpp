@@ -113,4 +113,24 @@ enum class ConcatLastRound {
 [[nodiscard]] CostMetrics scatter_binomial_cost(std::int64_t n,
                                                 std::int64_t block_bytes);
 
+// ---------------------------------------------------------------------------
+// Local pack/unpack term.  The C1/C2 measures above are pure wire measures;
+// local memory movement (strided-layout gather/scatter, fusion staging) is
+// priced separately because it never touches the fabric.
+
+/// Local pack/unpack cost per byte (µs) of a gather/scatter memcpy pass
+/// (≈5 GB/s, conservative).  Priced separately from the wire τ: a memcpy
+/// byte is orders of magnitude cheaper than a wire byte on every profile we
+/// model.  Shared by the fusion decision (model::pick_fusion) and the
+/// strided-layout pack term (layout_pack_us).
+inline constexpr double kPackUsPerByte = 0.0002;
+
+/// Modeled local cost (µs) of packing/unpacking `noncontig_bytes` bytes of
+/// genuinely non-contiguous layout cells on one side of a collective.
+/// Charge this only for bytes whose pack/unpack cells actually walk a
+/// strided layout: contiguous layouts (and the contiguous-run zero-copy
+/// fast path) move no extra bytes and must cost exactly 0, or the model
+/// would steer contiguous calls away from plans they execute for free.
+[[nodiscard]] double layout_pack_us(std::int64_t noncontig_bytes);
+
 }  // namespace bruck::model

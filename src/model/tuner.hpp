@@ -208,11 +208,9 @@ inline constexpr std::int64_t kMinSegmentBytes = 4096;
 // the price of a local gather into the fused layout before posting and a
 // scatter back on completion.
 
-/// Local pack/unpack cost per byte (µs) of the fusion gather/scatter
-/// memcpys (≈5 GB/s, conservative).  Priced separately from the wire τ:
-/// these copies never touch the fabric, and a memcpy byte is orders of
-/// magnitude cheaper than a wire byte on every profile we model.
-inline constexpr double kPackUsPerByte = 0.0002;
+// The per-byte price of those local gather/scatter passes is
+// model::kPackUsPerByte (costs.hpp) — shared with the strided-layout pack
+// term so one constant governs all modeled local memory movement.
 
 struct FusionChoice {
   /// True: run the G members as one fused exchange at block G·b.

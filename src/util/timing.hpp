@@ -1,0 +1,24 @@
+// Minimal wall-clock probe for examples and tools: best-of-N milliseconds
+// of a callable — the usual defense against scheduler noise when printing
+// a single comparison line.  (Benchmarks proper use google-benchmark.)
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace bruck {
+
+template <typename F>
+double best_of_ms(int reps, F&& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace bruck

@@ -1,0 +1,158 @@
+// The SIMD combine kernels: dispatch pinning and bitwise oracle checks.
+//
+// Before the kernels landed, ReduceOp::combine ran one memcpy-in /
+// memcpy-out round trip *per element* even for contiguous same-type runs —
+// the regression this file pins is that built-in operators now dispatch to
+// the typed vectorizable loops (kAlignedVector on element-aligned buffer
+// pairs, kChunkedVector otherwise) and that both produce bit-identical
+// results to the preserved pre-SIMD loop (combine_elementwise_reference)
+// for every (kind, element) pair and every misalignment.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "coll/reduction.hpp"
+#include "util/rng.hpp"
+
+namespace bruck::coll {
+namespace {
+
+/// Fill `bytes` worth of elements with exact small values (prod stays in
+/// ±2^20, float sums stay integer-exact) so every kernel and association
+/// order must agree bitwise.
+void fill_elems(std::byte* p, std::int64_t bytes, ReduceElem elem,
+                std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::int64_t w = (elem == ReduceElem::kI32 || elem == ReduceElem::kF32)
+                             ? 4
+                             : 8;
+  for (std::int64_t i = 0; i + w <= bytes; i += w) {
+    // Values in {-2, -1, 1, 2}: safe under sum/min/max *and* prod.
+    const std::int64_t vals[] = {-2, -1, 1, 2};
+    const std::int64_t v = vals[rng.next_below(4)];
+    switch (elem) {
+      case ReduceElem::kI32: {
+        const std::int32_t x = static_cast<std::int32_t>(v);
+        std::memcpy(p + i, &x, 4);
+        break;
+      }
+      case ReduceElem::kI64:
+        std::memcpy(p + i, &v, 8);
+        break;
+      case ReduceElem::kF32: {
+        const float x = static_cast<float>(v);
+        std::memcpy(p + i, &x, 4);
+        break;
+      }
+      case ReduceElem::kF64: {
+        const double x = static_cast<double>(v);
+        std::memcpy(p + i, &x, 8);
+        break;
+      }
+    }
+  }
+}
+
+TEST(CombineKernels, DispatchPinning) {
+  // 16-byte-aligned backing store so we control the offsets exactly.
+  alignas(16) std::byte acc[64];
+  alignas(16) std::byte in[64];
+  const ReduceOp f64 = ReduceOp::sum(ReduceElem::kF64);
+  EXPECT_EQ(combine_path(f64, acc, in), CombinePath::kAlignedVector);
+  // Either side off its element width falls back to the chunked kernel.
+  EXPECT_EQ(combine_path(f64, acc + 1, in), CombinePath::kChunkedVector);
+  EXPECT_EQ(combine_path(f64, acc, in + 4), CombinePath::kChunkedVector);
+  // 4-byte types only need 4-byte alignment.
+  const ReduceOp f32 = ReduceOp::sum(ReduceElem::kF32);
+  EXPECT_EQ(combine_path(f32, acc + 4, in + 4), CombinePath::kAlignedVector);
+  // User operators always take the escape hatch.
+  const ReduceOp user = ReduceOp::user(
+      [](std::byte* a, const std::byte* b, std::int64_t count, void*) {
+        for (std::int64_t i = 0; i < count; ++i) a[i] ^= b[i];
+      },
+      1);
+  EXPECT_EQ(combine_path(user, acc, in), CombinePath::kUser);
+}
+
+TEST(CombineKernels, BuiltinsMatchReferenceBitwise) {
+  const ReduceKind kinds[] = {ReduceKind::kSum, ReduceKind::kMin,
+                              ReduceKind::kMax, ReduceKind::kProd};
+  const ReduceElem elems[] = {ReduceElem::kI32, ReduceElem::kI64,
+                              ReduceElem::kF32, ReduceElem::kF64};
+  const std::int64_t bytes = 4096;
+  std::uint64_t seed = 0xC031;
+  for (const ReduceKind kind : kinds) {
+    for (const ReduceElem elem : elems) {
+      ReduceOp op;
+      switch (kind) {
+        case ReduceKind::kSum: op = ReduceOp::sum(elem); break;
+        case ReduceKind::kMin: op = ReduceOp::min(elem); break;
+        case ReduceKind::kMax: op = ReduceOp::max(elem); break;
+        case ReduceKind::kProd: op = ReduceOp::prod(elem); break;
+        case ReduceKind::kUser: break;
+      }
+      SCOPED_TRACE(op.name());
+      std::vector<std::byte> acc(static_cast<std::size_t>(bytes));
+      std::vector<std::byte> in(static_cast<std::size_t>(bytes));
+      fill_elems(acc.data(), bytes, elem, ++seed);
+      fill_elems(in.data(), bytes, elem, ++seed);
+      std::vector<std::byte> want = acc;
+      combine_elementwise_reference(op, want.data(), in.data(), bytes);
+      ASSERT_EQ(combine_path(op, acc.data(), in.data()),
+                CombinePath::kAlignedVector);
+      op.combine(acc.data(), in.data(), bytes);
+      EXPECT_EQ(std::memcmp(acc.data(), want.data(),
+                            static_cast<std::size_t>(bytes)),
+                0);
+    }
+  }
+}
+
+TEST(CombineKernels, ChunkedKernelMatchesReferenceAtEveryMisalignment) {
+  // Slide both buffers across a 16-byte window: every offset pair that is
+  // not element-aligned must route through kChunkedVector and still agree
+  // with the reference loop bitwise.
+  const std::int64_t bytes = 1024;
+  const ReduceOp op = ReduceOp::sum(ReduceElem::kF64);
+  std::vector<std::byte> acc_store(static_cast<std::size_t>(bytes) + 16);
+  std::vector<std::byte> in_store(static_cast<std::size_t>(bytes) + 16);
+  for (std::int64_t a_off = 0; a_off < 8; ++a_off) {
+    for (std::int64_t i_off : {0, 1, 7}) {
+      fill_elems(acc_store.data() + a_off, bytes, ReduceElem::kF64, 5);
+      fill_elems(in_store.data() + i_off, bytes, ReduceElem::kF64, 6);
+      std::vector<std::byte> want(static_cast<std::size_t>(bytes));
+      std::memcpy(want.data(), acc_store.data() + a_off,
+                  static_cast<std::size_t>(bytes));
+      combine_elementwise_reference(op, want.data(),
+                                    in_store.data() + i_off, bytes);
+      op.combine(acc_store.data() + a_off, in_store.data() + i_off, bytes);
+      EXPECT_EQ(std::memcmp(acc_store.data() + a_off, want.data(),
+                            static_cast<std::size_t>(bytes)),
+                0)
+          << "a_off=" << a_off << " i_off=" << i_off;
+    }
+  }
+}
+
+TEST(CombineKernels, UserOperatorRoundTrip) {
+  // Odd element width (3 bytes) through the escape hatch: the kernel work
+  // must be byte-exact and the path pinned to kUser.
+  const ReduceOp op = ReduceOp::user(
+      [](std::byte* a, const std::byte* b, std::int64_t count, void*) {
+        for (std::int64_t i = 0; i < count * 3; ++i) a[i] ^= b[i];
+      },
+      3);
+  std::vector<std::byte> acc(300);
+  std::vector<std::byte> in(300);
+  fill_random_bytes(acc, 21);
+  fill_random_bytes(in, 22);
+  std::vector<std::byte> want = acc;
+  combine_elementwise_reference(op, want.data(), in.data(), 300);
+  EXPECT_EQ(combine_path(op, acc.data(), in.data()), CombinePath::kUser);
+  op.combine(acc.data(), in.data(), 300);
+  EXPECT_EQ(std::memcmp(acc.data(), want.data(), 300), 0);
+}
+
+}  // namespace
+}  // namespace bruck::coll

@@ -6,6 +6,7 @@
 //   bruckcl_plan compile <n> <k> <block_bytes> [radix]
 //   bruckcl_plan compile <n> <k> <counts_file> [radix]
 //   bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]
+//   bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
@@ -19,6 +20,13 @@
 // entry points of coll/api.hpp): per round, when it becomes postable
 // relative to earlier rounds' completions, with the tuned wire-segment
 // knob resolved exactly like the nonblocking facade.
+//
+// With `--layout count,blocklen,stride`, `compile` treats both user buffers
+// as that strided vector datatype (the coll::Layout the api.hpp overloads
+// take): it prints the layout's plan-cache digest, the modeled pack term
+// the cost model charges for walking it, and whether its pack cells still
+// ride the zero-copy contiguous-run fast path — and keys the lowered plans
+// with the digest, exactly like the facade.
 //
 // When `compile`'s third argument is a file instead of a number, it is read
 // as a whitespace-separated irregular shape: n*n integers make an alltoallv
@@ -35,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/layout.hpp"
 #include "coll/plan.hpp"
 #include "coll/plan_cache.hpp"
 #include "model/costs.hpp"
@@ -55,8 +64,11 @@ int usage() {
             << "  bruckcl_plan compile <n> <k> <block_bytes> [radix]\n"
             << "  bruckcl_plan compile <n> <k> <counts_file> [radix]\n"
             << "  bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]\n"
+            << "  bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]\n"
             << "    counts_file: n*n whitespace-separated integers (alltoallv\n"
-            << "    matrix) or n integers (allgatherv per-rank counts)\n";
+            << "    matrix) or n integers (allgatherv per-rank counts)\n"
+            << "    --layout: strided user-buffer datatype; count*blocklen\n"
+            << "    must equal block_bytes\n";
   return 2;
 }
 
@@ -127,8 +139,36 @@ int cmd_rounds(std::int64_t n, int k, std::int64_t b, std::int64_t r) {
   return 0;
 }
 
-int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
+int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix,
+                const bruck::coll::Layout* layout) {
   namespace coll = bruck::coll;
+  std::uint64_t ld = 0;
+  if (layout != nullptr) {
+    if (layout->block_bytes() != b) {
+      std::cerr << "error: --layout payload (" << layout->block_bytes()
+                << " bytes) must equal block_bytes (" << b << ")\n";
+      return 1;
+    }
+    ld = coll::layout_digest(layout, layout);
+    std::cout << "layout: " << layout->describe()
+              << "; plan-cache digest (contiguity class): 0x" << std::hex << ld
+              << std::dec << '\n';
+    if (layout->is_contiguous()) {
+      std::cout << "pack cells: zero-copy contiguous fast path (digest 0 — "
+                   "keys and plans identical to the plain call)\n"
+                << "modeled pack term: 0 us (no strided bytes)\n\n";
+    } else {
+      // Both user buffers of the index exchange walk n blocks of b bytes
+      // through the layout's extent map (send pack + receive scatter).
+      const std::int64_t strided = 2 * n * b;
+      std::cout << "pack cells: strided extent walk (no staging copy; "
+                   "extents stream straight between user buffer and wire)\n"
+                << "modeled pack term: "
+                << bruck::model::layout_pack_us(strided) << " us (" << strided
+                << " strided bytes at " << bruck::model::kPackUsPerByte
+                << " us/B)\n\n";
+    }
+  }
   if (radix == 0) {
     const bruck::model::RadixChoice choice =
         bruck::model::pick_index_radix_cached(n, k, b, bruck::model::ibm_sp1());
@@ -139,14 +179,14 @@ int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
   // the real hit/miss machinery.
   coll::PlanCache& cache = coll::PlanCache::global();
   const auto index_lookup = cache.get_or_lower(
-      coll::index_plan_key(coll::IndexAlgorithm::kBruck, n, k, radix));
+      coll::index_plan_key(coll::IndexAlgorithm::kBruck, n, k, radix, 1, ld));
   std::cout << index_lookup.plan->describe() << '\n';
 
   const bruck::model::ConcatLastRound strategy =
       bruck::model::resolve_concat_last_round(
           n, k, b, bruck::model::ConcatLastRound::kAuto);
-  const auto concat_lookup = cache.get_or_lower(
-      coll::concat_plan_key(coll::ConcatAlgorithm::kBruck, n, k, strategy, b));
+  const auto concat_lookup = cache.get_or_lower(coll::concat_plan_key(
+      coll::ConcatAlgorithm::kBruck, n, k, strategy, b, 1, ld));
   std::cout << concat_lookup.plan->describe() << '\n';
 
   // The reduction family: tuned under the γ-extended model (every received
@@ -161,7 +201,7 @@ int cmd_compile(std::int64_t n, int k, std::int64_t b, std::int64_t radix) {
             << " (~" << rs.predicted_us << " us modeled)\n";
   const auto reduce_lookup = cache.get_or_lower(coll::reduce_plan_key(
       rs.direct ? coll::ReduceAlgorithm::kDirect : coll::ReduceAlgorithm::kBruck,
-      n, k, rs.radix, coll::ReduceOp::sum(coll::ReduceElem::kF64)));
+      n, k, rs.radix, coll::ReduceOp::sum(coll::ReduceElem::kF64), 1, ld));
   std::cout << reduce_lookup.plan->describe() << '\n';
 
   const coll::PlanCacheStats stats = cache.stats();
@@ -311,9 +351,31 @@ int main(int argc, char** argv) {
     for (int i = 2; i + 1 < argc; ++i) argv[i] = argv[i + 1];
     --argc;
   }
+  // `compile --layout c,b,s ...`: parse the datatype, strip both tokens.
+  bool has_layout = false;
+  bruck::coll::Layout layout;
+  if (argc >= 4 && std::string(argv[2]) == "--layout") {
+    const std::string spec = argv[3];
+    std::int64_t count = 0, blocklen = 0, stride = 0;
+    const auto c1 = spec.find(','), c2 = spec.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) return usage();
+    count = std::atoll(spec.substr(0, c1).c_str());
+    blocklen = std::atoll(spec.substr(c1 + 1, c2 - c1 - 1).c_str());
+    stride = std::atoll(spec.substr(c2 + 1).c_str());
+    if (count < 1 || blocklen < 1 || stride < blocklen) {
+      std::cerr << "error: --layout needs count >= 1, blocklen >= 1, "
+                   "stride >= blocklen\n";
+      return 2;
+    }
+    layout = bruck::coll::Layout::vector(count, blocklen, stride);
+    has_layout = true;
+    for (int i = 2; i + 2 < argc; ++i) argv[i] = argv[i + 2];
+    argc -= 2;
+  }
   if (argc < 5) return usage();
   const std::string cmd = argv[1];
-  if (nonblocking && cmd != "compile") return usage();
+  if ((nonblocking || has_layout) && cmd != "compile") return usage();
+  if (nonblocking && has_layout) return usage();
   const std::int64_t n = std::atoll(argv[2]);
   const int k = std::atoi(argv[3]);
   const std::string arg4 = argv[4];
@@ -337,8 +399,11 @@ int main(int argc, char** argv) {
         if (!arg4_numeric) return usage();
         return cmd_compile_nonblocking(n, k, b, radix);
       }
-      if (!arg4_numeric) return cmd_compile_counts(n, k, arg4, radix);
-      return cmd_compile(n, k, b, radix);
+      if (!arg4_numeric) {
+        if (has_layout) return usage();
+        return cmd_compile_counts(n, k, arg4, radix);
+      }
+      return cmd_compile(n, k, b, radix, has_layout ? &layout : nullptr);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
