@@ -1,0 +1,140 @@
+// Transport-backend wall-clock comparison: the same collectives, the same
+// pipelined execution path, run over all three fabrics — in-process rank
+// threads (the oracle substrate), forked processes over shared-memory MPSC
+// rings, and forked processes over loopback TCP + epoll.
+//
+// This is a *wall-clock* benchmark (unlike the closed-form model sweeps):
+// numbers vary with the host.  The interesting shape is relative — the shm
+// fabric's lock-free rings should track the thread fabric within a small
+// factor, while the socket fabric pays per-message syscall + copy costs
+// that the paper's C2 term models as β.
+//
+//   bench_fabric [--smoke] [--csv <path>]
+//
+// CSV columns: backend, collective, n, k, block_bytes, reps, wall_seconds,
+// mb_per_s (aggregate payload through one rank per second).
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "coll/api.hpp"
+#include "mps/bootstrap.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using bruck::coll::ReduceElem;
+using bruck::coll::ReduceOp;
+
+/// One timed configuration: `reps` back-to-back collectives inside one
+/// fabric launch (so bootstrap cost — fork, connect, shm init — is
+/// excluded from the per-call figure but visible in wall_seconds).
+struct Workload {
+  const char* collective;
+  std::int64_t n;
+  int k;
+  std::int64_t block_bytes;
+  int reps;
+};
+
+double run_workload(bruck::mps::FabricBackend backend, const Workload& w) {
+  bruck::mps::SpawnOptions so;
+  so.n = w.n;
+  so.k = w.k;
+  so.backend = backend;
+  so.record_trace = false;  // timing run: no event logging
+  const auto body = [w](bruck::mps::Communicator& comm)
+      -> std::vector<std::byte> {
+    const std::int64_t n = comm.size();
+    const std::int64_t b = w.block_bytes;
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                std::byte{0x5A});
+    std::vector<std::byte> recv(send.size());
+    comm.barrier();  // start the clock with everyone bootstrapped
+    int round = 0;
+    for (int rep = 0; rep < w.reps; ++rep) {
+      if (std::strcmp(w.collective, "alltoall") == 0) {
+        bruck::coll::AlltoallOptions o;
+        o.start_round = round;
+        round = bruck::coll::alltoall(comm, send, recv, b, o);
+      } else if (std::strcmp(w.collective, "allgather") == 0) {
+        bruck::coll::AllgatherOptions o;
+        o.start_round = round;
+        round = bruck::coll::allgather(
+            comm, std::span<const std::byte>(send.data(),
+                                             static_cast<std::size_t>(b)),
+            recv, b, o);
+      } else {
+        bruck::coll::AllreduceOptions o;
+        o.start_round = round;
+        round = bruck::coll::allreduce(comm, send, recv,
+                                       ReduceOp::sum(ReduceElem::kI64), o);
+      }
+    }
+    return {};
+  };
+  const bruck::mps::SpawnResult r = bruck::mps::spawn_local(so, body);
+  return r.wall_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bruck::bench::BenchArgs args = bruck::bench::parse_bench_args(argc, argv);
+  std::ofstream csv_file = bruck::bench::open_csv(args);
+  std::unique_ptr<bruck::CsvWriter> csv;
+  if (csv_file.is_open()) {
+    csv = std::make_unique<bruck::CsvWriter>(
+        csv_file,
+        std::vector<std::string>{"backend", "collective", "n", "k",
+                                 "block_bytes", "reps", "wall_seconds",
+                                 "mb_per_s"});
+  }
+
+  const std::int64_t n = args.smoke ? 4 : 8;
+  const int reps = args.smoke ? 20 : 200;
+  std::vector<Workload> workloads;
+  for (const char* coll : {"alltoall", "allgather", "allreduce"}) {
+    for (const std::int64_t b : args.smoke
+                                    ? std::vector<std::int64_t>{256, 4096}
+                                    : std::vector<std::int64_t>{64, 1024,
+                                                                16384}) {
+      workloads.push_back(Workload{coll, n, 2, b, reps});
+    }
+  }
+
+  const bruck::mps::FabricBackend backends[] = {
+      bruck::mps::FabricBackend::kThread, bruck::mps::FabricBackend::kShm,
+      bruck::mps::FabricBackend::kSocket};
+
+  std::cout << "transport backends, wall clock (n = " << n << ", k = 2, "
+            << reps << " reps per cell)\n\n";
+  bruck::TextTable t({"collective", "b bytes", "thread s", "shm s",
+                      "socket s"});
+  for (const Workload& w : workloads) {
+    std::vector<std::string> row{w.collective, std::to_string(w.block_bytes)};
+    for (const auto backend : backends) {
+      const double secs = run_workload(backend, w);
+      row.push_back(std::to_string(secs));
+      if (csv) {
+        const double payload_mb =
+            static_cast<double>(w.n * w.block_bytes) * w.reps / 1.0e6;
+        csv->row({bruck::mps::to_string(backend), w.collective,
+                  std::to_string(w.n), std::to_string(w.k),
+                  std::to_string(w.block_bytes), std::to_string(w.reps),
+                  std::to_string(secs),
+                  std::to_string(secs > 0 ? payload_mb / secs : 0.0)});
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\nwall_seconds includes fabric bootstrap (fork/connect/shm "
+               "init); per-call cost differences dominate at high reps.\n";
+  return 0;
+}

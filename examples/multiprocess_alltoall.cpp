@@ -1,0 +1,98 @@
+// Multi-process quickstart: the same index operation (MPI_Alltoall) as
+// examples/quickstart.cpp, but each rank is a real forked OS process and
+// the blocks travel over a real transport — shared-memory MPSC rings by
+// default, or loopback TCP sockets.
+//
+//   $ ./multiprocess_alltoall [backend] [n] [k] [block_bytes]
+//
+// `backend` is one of thread | shm | socket (default: the BRUCK_FABRIC
+// environment variable, falling back to shm here).  Whatever the fabric,
+// the plan engine, pipelined executor and trace machinery are identical —
+// only the wire differs — so the executed C1/C2 measures printed at the
+// end match the in-process oracle bit for bit.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "coll/verify.hpp"
+#include "mps/bootstrap.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::int64_t arg_or(char** argv, int argc, int i, std::int64_t fallback) {
+  return argc > i ? std::atoll(argv[i]) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bruck::mps::FabricBackend backend = bruck::mps::FabricBackend::kShm;
+  if (argc > 1) {
+    if (const auto parsed = bruck::mps::parse_fabric_backend(argv[1])) {
+      backend = *parsed;
+    } else {
+      std::cerr << "unknown backend '" << argv[1]
+                << "' (expected thread | shm | socket)\n";
+      return 2;
+    }
+  } else if (std::getenv("BRUCK_FABRIC") != nullptr) {
+    backend = bruck::mps::default_fabric_backend();
+  }
+  const std::int64_t n = arg_or(argv, argc, 2, 4);
+  const int k = static_cast<int>(arg_or(argv, argc, 3, 2));
+  const std::int64_t b = arg_or(argv, argc, 4, 256);
+  const std::uint64_t seed = 2026;
+
+  std::cout << "multiprocess alltoall: backend = "
+            << bruck::mps::to_string(backend) << ", n = " << n
+            << " ranks, k = " << k << " ports, blocks of " << b
+            << " bytes\n\n";
+
+  bruck::mps::SpawnOptions so;
+  so.n = n;
+  so.k = k;
+  so.backend = backend;
+  so.record_trace = true;
+
+  // Each rank returns its verification verdict as the payload: an empty
+  // blob means success, anything else is the error text.  spawn_local
+  // ships these back over a pipe from the forked children.
+  const bruck::mps::SpawnResult run = bruck::mps::spawn_local(
+      so, [&](bruck::mps::Communicator& comm) -> std::vector<std::byte> {
+        const std::int64_t rank = comm.rank();
+        std::vector<std::byte> send(static_cast<std::size_t>(n * b));
+        std::vector<std::byte> recv(send.size());
+        bruck::coll::fill_index_send(send, n, rank, b, seed);
+        bruck::coll::alltoall(comm, send, recv, b);
+        const std::string err =
+            bruck::coll::check_index_recv(recv, n, rank, b, seed);
+        std::vector<std::byte> out(err.size());
+        std::memcpy(out.data(), err.data(), err.size());
+        return out;
+      });
+
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto& verdict = run.rank_payloads[static_cast<std::size_t>(r)];
+    if (!verdict.empty()) {
+      std::cerr << "rank " << r << " verification FAILED: "
+                << std::string(reinterpret_cast<const char*>(verdict.data()),
+                               verdict.size())
+                << '\n';
+      return 1;
+    }
+  }
+
+  const bruck::model::CostMetrics m = run.trace->metrics();
+  bruck::TextTable t({"backend", "C1 (rounds)", "C2 (bytes)", "total bytes",
+                      "wall ms (incl. fork + connect)"});
+  t.add(bruck::mps::to_string(backend), m.c1, m.c2, m.total_bytes,
+        run.wall_seconds * 1e3);
+  t.print(std::cout);
+  std::cout << "\nall " << n << " processes verified: every block reached "
+               "the right process with the right contents\n";
+  return 0;
+}

@@ -496,11 +496,17 @@ int ProgressEngine::wait(std::uint64_t id) {
       run_serial_until(id);
     } else {
       seal();
+      // One drain budget for the whole completion loop: waiting out a
+      // multi-round collective must not reset the receive timeout per
+      // arriving message (the mps::DrainDeadline rule — on a real fabric a
+      // trickling peer could otherwise stretch one wait() to rounds ×
+      // budget before a stall is diagnosed).
+      const mps::DrainDeadline deadline(comm_->recv_timeout());
       while (!op->done) {
         BRUCK_ENSURE_MSG(!route_.empty(),
                          "progress engine stalled: operation incomplete "
                          "with no receive in flight");
-        deliver(comm_->wait_any_recv());
+        deliver(comm_->wait_any_recv_within(deadline));
       }
     }
   }
@@ -629,12 +635,14 @@ void ProgressEngine::run_serial_op(Op& op) {
 }
 
 PlanExecution ProgressEngine::drive_blocking(PlanCursor& cursor) {
+  // Same one-budget-per-drive rule as ProgressEngine::wait.
+  const mps::DrainDeadline deadline(comm_->recv_timeout());
   while (!cursor.done()) {
     (void)cursor.post_ready();
     if (cursor.done()) break;
     BRUCK_ENSURE_MSG(cursor.outstanding() > 0,
                      "fallback cursor stalled with nothing in flight");
-    cursor.on_complete(comm_->wait_any_recv());
+    cursor.on_complete(comm_->wait_any_recv_within(deadline));
   }
   // Flush receive-less trailing rounds the deferred engine still queues.
   comm_->wait_all_recvs();

@@ -1,0 +1,411 @@
+#include "mps/bootstrap.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "mps/runtime.hpp"
+#include "mps/shm_comm.hpp"
+#include "mps/socket_comm.hpp"
+#include "mps/thread_comm.hpp"
+#include "util/assert.hpp"
+
+namespace bruck::mps {
+
+const char* to_string(FabricBackend backend) {
+  switch (backend) {
+    case FabricBackend::kThread:
+      return "thread";
+    case FabricBackend::kShm:
+      return "shm";
+    case FabricBackend::kSocket:
+      return "socket";
+  }
+  return "?";
+}
+
+std::optional<FabricBackend> parse_fabric_backend(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  const std::string_view s(text);
+  if (s == "thread") return FabricBackend::kThread;
+  if (s == "shm") return FabricBackend::kShm;
+  if (s == "socket") return FabricBackend::kSocket;
+  return std::nullopt;
+}
+
+FabricBackend default_fabric_backend() {
+  const char* env = std::getenv("BRUCK_FABRIC");
+  if (env == nullptr) return FabricBackend::kThread;
+  if (const auto parsed = parse_fabric_backend(env)) return *parsed;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_FABRIC=\"%s\" "
+                 "(want thread|shm|socket); using thread\n",
+                 env);
+  });
+  return FabricBackend::kThread;
+}
+
+std::optional<std::size_t> parse_byte_count(const char* text,
+                                            std::size_t min_bytes,
+                                            std::size_t max_bytes) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;  // junk / trailing junk
+  if (errno == ERANGE) return std::nullopt;
+  if (v < 0) return std::nullopt;
+  const auto u = static_cast<unsigned long long>(v);
+  if (u < min_bytes || u > max_bytes) return std::nullopt;
+  return static_cast<std::size_t>(u);
+}
+
+namespace {
+
+std::size_t byte_env(const char* name, std::size_t min_bytes,
+                     std::size_t max_bytes, std::size_t fallback,
+                     std::once_flag& warned) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  if (const auto parsed = parse_byte_count(env, min_bytes, max_bytes)) {
+    return *parsed;
+  }
+  std::call_once(warned, [&] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid %s=\"%s\" (want an integer in "
+                 "[%zu, %zu]); using %zu\n",
+                 name, env, min_bytes, max_bytes, fallback);
+  });
+  return fallback;
+}
+
+}  // namespace
+
+std::size_t default_shm_ring_bytes() {
+  static std::once_flag warned;
+  return byte_env("BRUCK_SHM_RING_BYTES", std::size_t{4} << 10,
+                  std::size_t{1} << 30, std::size_t{1} << 20, warned);
+}
+
+std::size_t default_socket_max_write_bytes() {
+  static std::once_flag warned;
+  return byte_env("BRUCK_SOCKET_MAX_WRITE_BYTES", 1, std::size_t{16} << 20,
+                  std::size_t{64} << 10, warned);
+}
+
+// ---------------------------------------------------------------------------
+// spawn_local
+
+namespace {
+
+/// Child→parent result-pipe records, length-prefixed raw bytes (both ends
+/// are the same binary image, so trivially copyable event structs ship as
+/// memcpy'd arrays).
+void write_all(int fd, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (bytes > 0) {
+    const ssize_t w = ::write(fd, p, bytes);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return;  // parent gone: nothing useful left to do
+    p += w;
+    bytes -= static_cast<std::size_t>(w);
+  }
+}
+
+void put_u64(int fd, std::uint64_t v) { write_all(fd, &v, sizeof(v)); }
+
+void put_blob(int fd, const void* data, std::size_t bytes) {
+  put_u64(fd, bytes);
+  write_all(fd, data, bytes);
+}
+
+/// Serialize one rank's outcome onto its result pipe.
+void ship_result(int fd, bool ok, const std::string& error,
+                 const std::vector<std::byte>& payload,
+                 const TraceSink& sink) {
+  const std::uint64_t flag = ok ? 1 : 0;
+  put_u64(fd, flag);
+  if (!ok) {
+    put_blob(fd, error.data(), error.size());
+    return;
+  }
+  put_blob(fd, payload.data(), payload.size());
+  const auto& sends = sink.sends();
+  put_blob(fd, sends.data(), sends.size() * sizeof(SendEvent));
+  const auto& plans = sink.plans();
+  put_blob(fd, plans.data(), plans.size() * sizeof(PlanEvent));
+}
+
+/// Cursor over one rank's fully buffered pipe bytes.
+struct PipeReader {
+  const std::vector<std::byte>* buf;
+  std::size_t off = 0;
+
+  std::uint64_t u64() {
+    BRUCK_REQUIRE_MSG(buf->size() - off >= sizeof(std::uint64_t),
+                      "truncated result pipe from a rank process");
+    std::uint64_t v = 0;
+    std::memcpy(&v, buf->data() + off, sizeof(v));
+    off += sizeof(v);
+    return v;
+  }
+  std::vector<std::byte> blob() {
+    const std::uint64_t len = u64();
+    BRUCK_REQUIRE_MSG(buf->size() - off >= len,
+                      "truncated result pipe from a rank process");
+    std::vector<std::byte> out(buf->data() + off, buf->data() + off + len);
+    off += len;
+    return out;
+  }
+};
+
+/// The child side of one forked rank: attach, run, ship, _exit.  Never
+/// returns.  `comm_factory` builds the rank's communicator (the fabric
+/// resources were prepared pre-fork and inherited).
+[[noreturn]] void run_child_rank(
+    int result_fd,
+    const std::function<std::unique_ptr<Communicator>()>& comm_factory,
+    const std::function<std::vector<std::byte>(Communicator&)>& body) {
+  bool ok = false;
+  std::string error;
+  std::vector<std::byte> payload;
+  TraceSink events;
+  try {
+    {
+      std::unique_ptr<Communicator> comm = comm_factory();
+      payload = body(*comm);
+      if (auto* shm = dynamic_cast<ShmComm*>(comm.get())) {
+        events = shm->trace_sink();
+      } else if (auto* sock = dynamic_cast<SocketComm*>(comm.get())) {
+        events = sock->trace_sink();
+      }
+    }  // communicator teardown (socket outbox flush) before reporting
+    ok = true;
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown exception in rank process";
+  }
+  ship_result(result_fd, ok, error, payload, events);
+  ::close(result_fd);
+  ::_exit(0);
+}
+
+}  // namespace
+
+SpawnResult spawn_local(
+    const SpawnOptions& options,
+    const std::function<std::vector<std::byte>(Communicator&)>& body) {
+  BRUCK_REQUIRE(options.n >= 1);
+  BRUCK_REQUIRE(options.k >= 1);
+  const std::int64_t n = options.n;
+  const std::chrono::milliseconds timeout = options.recv_timeout.count() > 0
+                                                ? options.recv_timeout
+                                                : default_recv_timeout();
+
+  if (options.backend == FabricBackend::kThread) {
+    FabricOptions fo;
+    fo.n = n;
+    fo.k = options.k;
+    fo.record_trace = options.record_trace;
+    fo.recv_timeout = timeout;
+    SpawnResult out;
+    out.rank_payloads.resize(static_cast<std::size_t>(n));
+    const RunResult run = run_spmd(fo, [&](Communicator& comm) {
+      // Each rank writes only its own slot: no synchronization needed.
+      out.rank_payloads[static_cast<std::size_t>(comm.rank())] = body(comm);
+    });
+    out.trace = run.trace;
+    out.wall_seconds = run.wall_seconds;
+    return out;
+  }
+
+  // -- Process backends: prepare inheritable fabric resources pre-fork. ----
+  ShmSegment shm_region;
+  SocketListeners listeners;
+  if (options.backend == FabricBackend::kShm) {
+    ShmFabricOptions so;
+    so.n = n;
+    so.k = options.k;
+    so.ring_bytes = options.shm_ring_bytes > 0 ? options.shm_ring_bytes
+                                               : default_shm_ring_bytes();
+    so.record_trace = options.record_trace;
+    so.recv_timeout = timeout;
+    shm_region = ShmSegment::create_anonymous(ShmComm::region_bytes(so));
+    ShmComm::init_region(shm_region.data(), so);
+  } else {
+    listeners = create_loopback_listeners(n);
+  }
+
+  std::vector<std::array<int, 2>> pipes(static_cast<std::size_t>(n));
+  for (auto& p : pipes) {
+    BRUCK_REQUIRE_MSG(::pipe(p.data()) == 0, "pipe() failed");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids(static_cast<std::size_t>(n), -1);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    BRUCK_REQUIRE_MSG(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      // Child: keep only this rank's resources.
+      for (std::int64_t s = 0; s < n; ++s) {
+        ::close(pipes[static_cast<std::size_t>(s)][0]);
+        if (s != r) ::close(pipes[static_cast<std::size_t>(s)][1]);
+      }
+      if (options.backend == FabricBackend::kSocket) {
+        for (std::int64_t s = 0; s < n; ++s) {
+          if (s != r) ::close(listeners.fds[static_cast<std::size_t>(s)]);
+        }
+      }
+      auto factory = [&]() -> std::unique_ptr<Communicator> {
+        if (options.backend == FabricBackend::kShm) {
+          return std::make_unique<ShmComm>(shm_region.data(), r);
+        }
+        SocketFabricOptions so;
+        so.n = n;
+        so.rank = r;
+        so.k = options.k;
+        so.listen_fd = listeners.fds[static_cast<std::size_t>(r)];
+        so.ports = listeners.ports;
+        so.record_trace = options.record_trace;
+        so.recv_timeout = timeout;
+        return std::make_unique<SocketComm>(std::move(so));
+      };
+      run_child_rank(pipes[static_cast<std::size_t>(r)][1], factory, body);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Parent: drop the child-side fds, then supervise — drain result pipes
+  // (so no child blocks writing a large payload) while reaping exits.  An
+  // abnormal exit raises the shm abort flag immediately so surviving ranks
+  // fail fast instead of spinning out their whole drain deadline; socket
+  // ranks see the death as EOF on their own.
+  for (std::int64_t r = 0; r < n; ++r) {
+    ::close(pipes[static_cast<std::size_t>(r)][1]);
+  }
+  if (options.backend == FabricBackend::kSocket) {
+    for (const int fd : listeners.fds) ::close(fd);
+  }
+
+  std::vector<std::vector<std::byte>> raw(static_cast<std::size_t>(n));
+  std::vector<bool> pipe_open(static_cast<std::size_t>(n), true);
+  std::vector<int> exit_status(static_cast<std::size_t>(n), -1);
+  std::vector<bool> reaped(static_cast<std::size_t>(n), false);
+  std::int64_t open_pipes = n;
+  std::int64_t live_children = n;
+  while (open_pipes > 0 || live_children > 0) {
+    std::vector<pollfd> pfds;
+    for (std::int64_t r = 0; r < n; ++r) {
+      if (pipe_open[static_cast<std::size_t>(r)]) {
+        pfds.push_back(pollfd{pipes[static_cast<std::size_t>(r)][0], POLLIN, 0});
+      }
+    }
+    if (!pfds.empty()) {
+      ::poll(pfds.data(), pfds.size(), 20);
+      std::size_t i = 0;
+      for (std::int64_t r = 0; r < n; ++r) {
+        if (!pipe_open[static_cast<std::size_t>(r)]) continue;
+        const pollfd& pfd = pfds[i++];
+        if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        std::byte chunk[64 * 1024];
+        const ssize_t got = ::read(pfd.fd, chunk, sizeof(chunk));
+        if (got > 0) {
+          auto& buf = raw[static_cast<std::size_t>(r)];
+          buf.insert(buf.end(), chunk, chunk + got);
+        } else if (got == 0 || (got < 0 && errno != EINTR)) {
+          ::close(pfd.fd);
+          pipe_open[static_cast<std::size_t>(r)] = false;
+          --open_pipes;
+        }
+      }
+    }
+    while (live_children > 0) {
+      int status = 0;
+      const pid_t done = ::waitpid(-1, &status, WNOHANG);
+      if (done <= 0) break;
+      for (std::int64_t r = 0; r < n; ++r) {
+        if (pids[static_cast<std::size_t>(r)] != done) continue;
+        reaped[static_cast<std::size_t>(r)] = true;
+        exit_status[static_cast<std::size_t>(r)] = status;
+        --live_children;
+        if (options.backend == FabricBackend::kShm &&
+            (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+          ShmComm::abort_region(shm_region.data());
+        }
+      }
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Assemble results; surface the lowest failing rank's story.
+  SpawnResult out;
+  out.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  out.rank_payloads.resize(static_cast<std::size_t>(n));
+  auto trace = options.record_trace
+                   ? std::make_shared<Trace>(n, options.k)
+                   : std::shared_ptr<Trace>();
+  std::string first_error;
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const int status = exit_status[ri];
+    const bool crashed =
+        !reaped[ri] || !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+    if (crashed) {
+      if (first_error.empty()) {
+        first_error = "rank " + std::to_string(r) +
+                      (reaped[ri] && WIFSIGNALED(status)
+                           ? " killed by signal " +
+                                 std::to_string(WTERMSIG(status))
+                           : " exited abnormally");
+      }
+      continue;
+    }
+    PipeReader reader{&raw[ri]};
+    const std::uint64_t ok = reader.u64();
+    if (ok == 0) {
+      const auto msg = reader.blob();
+      if (first_error.empty()) {
+        first_error = "rank " + std::to_string(r) + ": " +
+                      std::string(reinterpret_cast<const char*>(msg.data()),
+                                  msg.size());
+      }
+      continue;
+    }
+    out.rank_payloads[ri] = reader.blob();
+    const auto send_bytes = reader.blob();
+    const auto plan_bytes = reader.blob();
+    if (trace) {
+      TraceSink& sink = trace->sink(r);
+      const auto* se = reinterpret_cast<const SendEvent*>(send_bytes.data());
+      for (std::size_t i = 0; i < send_bytes.size() / sizeof(SendEvent); ++i) {
+        sink.record_send(se[i].round, se[i].dst, se[i].bytes, se[i].tag);
+      }
+      const auto* pe = reinterpret_cast<const PlanEvent*>(plan_bytes.data());
+      for (std::size_t i = 0; i < plan_bytes.size() / sizeof(PlanEvent); ++i) {
+        sink.record_plan(pe[i]);
+      }
+    }
+  }
+  BRUCK_REQUIRE_MSG(first_error.empty(),
+                    "spawn_local(" + std::string(to_string(options.backend)) +
+                        ") failed: " + first_error);
+  out.trace = std::move(trace);
+  return out;
+}
+
+}  // namespace bruck::mps

@@ -20,6 +20,10 @@
 
 namespace bruck::mps {
 
+std::chrono::milliseconds Communicator::recv_timeout() const {
+  return default_recv_timeout();
+}
+
 DrainDeadline::DrainDeadline(std::chrono::milliseconds budget)
     : deadline_(std::chrono::steady_clock::now() + budget), budget_(budget) {}
 

@@ -181,6 +181,23 @@ class Communicator {
   /// outstanding or completed-but-unreported.
   virtual PortHandle wait_any_recv();
 
+  /// wait_any_recv bounded by a *caller-owned* deadline: a multi-completion
+  /// drain loop (the coll:: progress engine waiting out a whole collective)
+  /// constructs ONE DrainDeadline and passes it to every completion wait,
+  /// so the entire loop shares a single receive-timeout budget instead of
+  /// resetting the clock per completed message.  Native engines honor the
+  /// deadline exactly; the default forwards to wait_any_recv() (one budget
+  /// per call — the pre-existing behavior, kept for wrappers).
+  virtual PortHandle wait_any_recv_within(const DrainDeadline& deadline) {
+    (void)deadline;
+    return wait_any_recv();
+  }
+
+  /// The receive/deadlock timeout every blocking wait on this communicator
+  /// is bounded by.  Fabrics override it with their configured budget; the
+  /// default is the process-wide BRUCK_RECV_TIMEOUT_MS-derived value.
+  [[nodiscard]] virtual std::chrono::milliseconds recv_timeout() const;
+
   /// Complete every outstanding receive (and, in the deferred fallback,
   /// flush any posted-but-unsent sends).
   virtual void wait_all_recvs();

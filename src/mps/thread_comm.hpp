@@ -1,30 +1,27 @@
-// The substrate implementation: a Fabric owns the shared state (mailboxes,
+// The in-process substrate: a Fabric owns the shared state (mailboxes,
 // trace, barrier) of one simulated machine; each rank thread drives a
 // ThreadComm facade bound to its rank.
 //
-// ThreadComm implements the nonblocking port engine natively: post_send
-// deposits (optionally segmented) wire messages into the destination
-// mailbox immediately and never blocks; post_recv registers a pending
-// operation that is completed — in *arrival* order across sources — by the
-// rank's own thread inside test/wait calls.  All buffer writes therefore
-// happen on the owning rank's thread; the engine needs no locking beyond
-// the mailboxes.  `exchange` is the Communicator base-class shim over these
-// primitives.
+// ThreadComm is the WirePortEngine instantiated over mutex/condvar
+// mailboxes: wire_push deposits (optionally segmented) wire messages into
+// the destination mailbox immediately and never blocks; wire_pop pulls from
+// this rank's own mailbox, filtered to the sources the engine is waiting
+// on.  All the matching/ordering machinery (arrival-order completion, tag
+// namespaces, early-arrival stash, seq checks) lives in the shared engine —
+// ThreadComm stays the bitwise *oracle* substrate the process-spanning
+// backends (shm_comm.hpp, socket_comm.hpp) are differentially tested
+// against.
 #pragma once
 
 #include <barrier>
 #include <chrono>
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "mps/communicator.hpp"
 #include "mps/mailbox.hpp"
+#include "mps/port_engine.hpp"
 #include "mps/trace.hpp"
 
 namespace bruck::mps {
@@ -94,124 +91,37 @@ class Fabric {
 /// trace records each logical send once at post time (one event regardless
 /// of wire segmentation) into this rank's private sink.
 ///
-/// Tag namespaces are implemented natively: round monotonicity, per-round
-/// port budgets, and wire sequence numbers are all kept per tag, and a
-/// message matches only receives posted with its tag.  Because the mailbox
-/// pop filter is per *source*, a message for a tag whose receive has not
-/// been posted yet can surface while another tag drains; such early
-/// arrivals are stashed and delivered when their receive is posted.
-class ThreadComm final : public Communicator {
+/// Tag namespaces are implemented natively by the shared engine: round
+/// monotonicity, per-round port budgets, and wire sequence numbers are all
+/// kept per tag, and a message matches only receives posted with its tag.
+/// Because the mailbox pop filter is per *source*, a message for a tag
+/// whose receive has not been posted yet can surface while another tag
+/// drains; such early arrivals are stashed and delivered when their receive
+/// is posted.
+class ThreadComm final : public WirePortEngine {
  public:
   ThreadComm(Fabric& fabric, std::int64_t rank);
 
   [[nodiscard]] std::int64_t rank() const override { return rank_; }
   [[nodiscard]] std::int64_t size() const override { return fabric_->n(); }
   [[nodiscard]] int ports() const override { return fabric_->k(); }
-
-  void post_send(int round, std::int64_t dst, std::span<const std::byte> data,
-                 int segments = 1, int tag = 0) override;
-  void post_send(int round, std::int64_t dst, std::vector<std::byte>&& data,
-                 int segments = 1, int tag = 0) override;
-  PortHandle post_recv(int round, std::int64_t src, std::span<std::byte> data,
-                       int segments = 1, int tag = 0) override;
-  PortHandle post_recv_buffer(int round, std::int64_t src, std::int64_t bytes,
-                              int segments = 1, int tag = 0) override;
-  std::vector<std::byte> take_payload(PortHandle h) override;
-  bool test_recv(PortHandle h) override;
-  void wait_recv(PortHandle h) override;
-  PortHandle wait_any_recv() override;
-  void wait_all_recvs() override;
-  std::optional<PortHandle> poll_any_recv() override;
-  void release_tag(int tag) override;
-  [[nodiscard]] bool native_port_engine() const override { return true; }
+  [[nodiscard]] std::chrono::milliseconds recv_timeout() const override {
+    return fabric_->options().recv_timeout;
+  }
 
   void barrier() override;
   void record_plan_event(const PlanEvent& event) override;
 
-  /// Highest round index this rank has posted in the default (tag-0)
-  /// namespace, or −1.  Tagged namespaces keep their own counters.
-  [[nodiscard]] int last_round() const { return tag0_rounds_.last_round; }
+ protected:
+  void wire_push(Message&& m) override;
+  std::optional<Message> wire_pop(std::span<const std::int64_t> waiting_srcs,
+                                  std::chrono::milliseconds timeout) override;
+  void record_send_event(int round, std::int64_t dst, std::int64_t bytes,
+                         int tag) override;
 
  private:
-  /// One posted logical receive.
-  struct RecvOp {
-    PortHandle handle = 0;
-    std::int64_t src = 0;
-    int tag = 0;
-    int round = 0;
-    std::span<std::byte> landing;  ///< copy-into mode target
-    std::vector<std::byte> owned;  ///< buffer mode storage
-    bool take_buffer = false;
-    std::int64_t total = 0;  ///< logical message bytes
-    int segments = 1;
-    int seg_done = 0;
-    std::int64_t offset = 0;  ///< next segment's write offset
-  };
-
-  /// Round/port-budget counters of one tag namespace.
-  struct TagRoundState {
-    int last_round = -1;
-    int sends_in_round = 0;
-    int recvs_in_round = 0;
-  };
-
-  /// Composite key for per-(tag, peer) state maps.
-  [[nodiscard]] static std::uint64_t tag_peer_key(int tag, std::int64_t peer) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) |
-           static_cast<std::uint32_t>(peer);
-  }
-
-  [[nodiscard]] TagRoundState& round_state(int tag);
-  [[nodiscard]] std::int64_t& send_seq(int tag, std::int64_t dst);
-  [[nodiscard]] std::int64_t& recv_seq(int tag, std::int64_t src);
-
-  /// Shared post-side contract checks; advances the tag's round counters.
-  void check_post(int round, std::int64_t peer, std::int64_t bytes,
-                  bool is_send, int tag);
-  /// Split `payload` into wire segments and deposit them (records the
-  /// logical send in the trace).
-  void wire_send(int round, std::int64_t dst, std::vector<std::byte>&& payload,
-                 int segments, int tag);
-  PortHandle add_recv_op(RecvOp&& op);
-  /// Write `m`'s bytes into the matched pending receive (FIFO seq and
-  /// segment length checked); complete the op on its last segment.
-  void deliver(std::list<RecvOp>::iterator it, Message&& m);
-  /// Match one arrived wire message to the oldest pending (source, tag)
-  /// receive, or stash it if its tag's receive is not posted yet.
-  void apply_message(Message&& m);
-  /// Deliver stashed (tag, src) messages that now have a pending receive.
-  void drain_stash(int tag, std::int64_t src);
-  /// Pop-and-apply one available message without blocking; false if none.
-  bool try_progress();
-  /// Pop-and-apply one message, blocking up to `deadline.remaining()`
-  /// (expiry ⇒ ContractViolation naming the sources still awaited).
-  void progress_blocking(const DrainDeadline& deadline);
-  /// Report h as consumed: drop landing-mode bookkeeping.
-  void retire_if_landing(PortHandle h);
-
   Fabric* fabric_;
   std::int64_t rank_;
-  TagRoundState tag0_rounds_;                         // tag-0 hot path
-  std::unordered_map<int, TagRoundState> tag_rounds_;  // tags > 0
-  // Wire sequencing is per (tag, peer) channel; tag 0 keeps the dense
-  // per-rank vectors of the untagged engine as its hot path.
-  std::vector<std::int64_t> send_seq0_;  // per-destination next sequence
-  std::vector<std::int64_t> recv_seq0_;  // per-source next expected sequence
-  std::unordered_map<std::uint64_t, std::int64_t> send_seq_tagged_;
-  std::unordered_map<std::uint64_t, std::int64_t> recv_seq_tagged_;
-  // Early arrivals: wire messages popped for a (tag, src) with no pending
-  // receive yet, in arrival (= per-channel FIFO) order.
-  std::unordered_map<std::uint64_t, std::deque<Message>> stash_;
-  std::size_t stashed_count_ = 0;
-  std::list<RecvOp> recv_ops_;  // incomplete, in post order
-  // Distinct sources with ≥1 incomplete receive, maintained incrementally
-  // (the receive hot path consults this once per arriving wire message).
-  std::vector<std::int64_t> waiting_srcs_;
-  std::unordered_map<std::int64_t, int> pending_per_src_;
-  std::unordered_set<PortHandle> incomplete_;
-  std::unordered_map<PortHandle, RecvOp> completed_;
-  std::deque<PortHandle> unreported_;  // completed, not yet handed out
-  PortHandle next_handle_ = 1;
 };
 
 }  // namespace bruck::mps

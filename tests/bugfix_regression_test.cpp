@@ -24,6 +24,7 @@
 #include "coll/api.hpp"
 #include "coll/plan_cache.hpp"
 #include "gtest/gtest.h"
+#include "mps/bootstrap.hpp"
 #include "mps/runtime.hpp"
 #include "mps/thread_comm.hpp"
 #include "util/assert.hpp"
@@ -82,6 +83,70 @@ TEST(RecvTimeoutParsing, InvalidEnvFallsBackToDefault) {
     ASSERT_EQ(setenv("BRUCK_RECV_TIMEOUT_MS", prior.c_str(), 1), 0);
   } else {
     ASSERT_EQ(unsetenv("BRUCK_RECV_TIMEOUT_MS"), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Strict BRUCK_FABRIC / fabric-sizing parsing (same seam discipline as
+// the timeout knob: whole-string match or rejection + warn-once fallback).
+
+TEST(FabricEnvParsing, BackendAcceptsExactNamesOnly) {
+  EXPECT_EQ(mps::parse_fabric_backend("thread"), mps::FabricBackend::kThread);
+  EXPECT_EQ(mps::parse_fabric_backend("shm"), mps::FabricBackend::kShm);
+  EXPECT_EQ(mps::parse_fabric_backend("socket"), mps::FabricBackend::kSocket);
+  EXPECT_FALSE(mps::parse_fabric_backend(nullptr));
+  EXPECT_FALSE(mps::parse_fabric_backend(""));
+  EXPECT_FALSE(mps::parse_fabric_backend("tcp"));
+  EXPECT_FALSE(mps::parse_fabric_backend("Thread"));   // no case folding
+  EXPECT_FALSE(mps::parse_fabric_backend("shm "));     // trailing junk
+  EXPECT_FALSE(mps::parse_fabric_backend("shm,socket"));
+}
+
+TEST(FabricEnvParsing, InvalidBackendFallsBackToThread) {
+  const char* prior_raw = std::getenv("BRUCK_FABRIC");
+  const std::string prior = prior_raw ? prior_raw : "";
+
+  ASSERT_EQ(setenv("BRUCK_FABRIC", "smh", 1), 0);  // typo'd value
+  EXPECT_EQ(mps::default_fabric_backend(), mps::FabricBackend::kThread);
+  ASSERT_EQ(setenv("BRUCK_FABRIC", "shm", 1), 0);
+  EXPECT_EQ(mps::default_fabric_backend(), mps::FabricBackend::kShm);
+  ASSERT_EQ(unsetenv("BRUCK_FABRIC"), 0);
+  EXPECT_EQ(mps::default_fabric_backend(), mps::FabricBackend::kThread);
+
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_FABRIC", prior.c_str(), 1), 0);
+  }
+}
+
+TEST(FabricEnvParsing, ByteCountKnobsRejectOverflowJunkAndOutOfRange) {
+  // Same overflow hazard as the timeout knob: strtol saturation must not
+  // turn a fat-fingered ring size into "whatever LONG_MAX truncates to".
+  EXPECT_FALSE(mps::parse_byte_count("99999999999999999999999", 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count("-99999999999999999999999", 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count(nullptr, 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count("", 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count("1MB", 1, 1 << 30));  // no unit suffixes
+  EXPECT_FALSE(mps::parse_byte_count("0x1000", 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count("-1", 1, 1 << 30));
+  EXPECT_FALSE(mps::parse_byte_count("4095", 4096, 1 << 30));  // below floor
+  EXPECT_FALSE(mps::parse_byte_count("1073741825", 1, 1 << 30));  // above cap
+  ASSERT_TRUE(mps::parse_byte_count("65536", 4096, 1 << 30));
+  EXPECT_EQ(*mps::parse_byte_count("65536", 4096, 1 << 30), 65536u);
+}
+
+TEST(FabricEnvParsing, InvalidRingBytesFallsBackToDefault) {
+  const char* prior_raw = std::getenv("BRUCK_SHM_RING_BYTES");
+  const std::string prior = prior_raw ? prior_raw : "";
+
+  ASSERT_EQ(setenv("BRUCK_SHM_RING_BYTES", "lots", 1), 0);
+  EXPECT_EQ(mps::default_shm_ring_bytes(), std::size_t{1} << 20);
+  ASSERT_EQ(setenv("BRUCK_SHM_RING_BYTES", "8192", 1), 0);
+  EXPECT_EQ(mps::default_shm_ring_bytes(), 8192u);
+  ASSERT_EQ(unsetenv("BRUCK_SHM_RING_BYTES"), 0);
+  EXPECT_EQ(mps::default_shm_ring_bytes(), std::size_t{1} << 20);
+
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_SHM_RING_BYTES", prior.c_str(), 1), 0);
   }
 }
 

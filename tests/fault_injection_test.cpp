@@ -5,11 +5,18 @@
 // could not slip past the content checks the rest of the suite relies on.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
+#include "coll/api.hpp"
 #include "coll/concat_bruck.hpp"
 #include "coll/index_bruck.hpp"
 #include "coll/verify.hpp"
+#include "mps/bootstrap.hpp"
 #include "mps/runtime.hpp"
 #include "util/assert.hpp"
 
@@ -133,6 +140,150 @@ TEST(FaultInjection, DroppedMessageSurfacesAsTimeoutOrMismatch) {
   // check.  Either way: a loud ContractViolation, never silent corruption.
   EXPECT_THROW((void)run_with_fault(Fault::kDropMessage, 0),
                ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Process-fabric faults: real rank processes dying, real sockets stalling.
+// The contract is always the same — a *clean, prompt* ContractViolation in
+// the survivors (propagated out of spawn_local), never a hang to the ctest
+// timeout and never silent corruption.
+
+/// A deliberately generous bound that is still far below the fabric's
+/// receive deadline: failing it means the survivors sat out (part of) the
+/// drain budget instead of reacting to the death signal.
+constexpr auto kPromptness = std::chrono::seconds(20);
+
+std::chrono::milliseconds timed_expect_spawn_failure(
+    const SpawnOptions& options,
+    const std::function<std::vector<std::byte>(Communicator&)>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)spawn_local(options, body), ContractViolation);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+}
+
+/// Body where rank 1 dies abruptly mid-collective while everyone else is
+/// blocked waiting on its traffic.
+std::vector<std::byte> die_mid_round_body(Communicator& comm) {
+  const std::int64_t n = comm.size();
+  const std::int64_t b = 64;
+  std::vector<std::byte> send(static_cast<std::size_t>(n * b));
+  std::vector<std::byte> recv(send.size());
+  coll::fill_index_send(send, n, comm.rank(), b, 7);
+  if (comm.rank() == 1) {
+    ::_exit(3);  // no result record, no socket teardown, no shm unwind
+  }
+  coll::alltoall(comm, send, recv, b, {});
+  return recv;
+}
+
+TEST(FaultInjection, ShmPeerDeathMidRoundFailsFastNotHangs) {
+  SpawnOptions so;
+  so.n = 4;
+  so.k = 2;
+  so.backend = FabricBackend::kShm;
+  // A deadline far beyond the promptness bound: surviving ranks must be
+  // unblocked by the launcher's abort flag, not by waiting this out.
+  so.recv_timeout = std::chrono::milliseconds(120000);
+  const auto elapsed = timed_expect_spawn_failure(so, die_mid_round_body);
+  EXPECT_LT(elapsed, kPromptness)
+      << "shm survivors waited out the deadline instead of aborting";
+}
+
+TEST(FaultInjection, SocketPeerDeathMidRoundFailsFastNotHangs) {
+  SpawnOptions so;
+  so.n = 4;
+  so.k = 2;
+  so.backend = FabricBackend::kSocket;
+  so.recv_timeout = std::chrono::milliseconds(120000);
+  const auto elapsed = timed_expect_spawn_failure(so, die_mid_round_body);
+  EXPECT_LT(elapsed, kPromptness)
+      << "socket survivors ignored the EOF from the dead peer";
+}
+
+TEST(FaultInjection, ShortSocketWritesStayBitwiseCorrect) {
+  // Cap every ::send at 3 bytes: each 40-byte frame header crosses many
+  // partial writes, so the outbox/reassembly paths run constantly.  The
+  // run must still complete and match the thread oracle bitwise.
+  const std::int64_t n = 3;
+  const std::int64_t b = 96;
+  const auto body = [n, b](Communicator& comm) {
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b));
+    std::vector<std::byte> recv(send.size());
+    coll::fill_index_send(send, n, comm.rank(), b, 23);
+    coll::alltoall(comm, send, recv, b, {});
+    return recv;
+  };
+  SpawnOptions oracle_opts;
+  oracle_opts.n = n;
+  oracle_opts.k = 2;
+  oracle_opts.backend = FabricBackend::kThread;
+  const SpawnResult oracle = spawn_local(oracle_opts, body);
+
+  ASSERT_EQ(::setenv("BRUCK_SOCKET_MAX_WRITE_BYTES", "3", 1), 0);
+  SpawnOptions so = oracle_opts;
+  so.backend = FabricBackend::kSocket;
+  so.recv_timeout = std::chrono::milliseconds(60000);
+  const SpawnResult got = spawn_local(so, body);
+  ::unsetenv("BRUCK_SOCKET_MAX_WRITE_BYTES");
+  for (std::int64_t r = 0; r < n; ++r) {
+    EXPECT_EQ(got.rank_payloads[static_cast<std::size_t>(r)],
+              oracle.rank_payloads[static_cast<std::size_t>(r)])
+        << "rank " << r << " diverged under forced short writes";
+  }
+}
+
+TEST(FaultInjection, SocketDrainDeadlineExpiryIsCleanError) {
+  // Rank 1 stays alive (no EOF, so peer-death detection cannot fire) but
+  // never sends the message rank 0 is waiting on: the ONE-deadline drain
+  // contract must surface a ContractViolation at ~the configured budget.
+  SpawnOptions so;
+  so.n = 2;
+  so.k = 1;
+  so.backend = FabricBackend::kSocket;
+  so.recv_timeout = std::chrono::milliseconds(1200);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      (void)spawn_local(
+          so,
+          [](Communicator& comm) -> std::vector<std::byte> {
+            if (comm.rank() == 0) {
+              const PortHandle h = comm.post_recv_buffer(0, 1, 16);
+              comm.wait_recv(h);  // never satisfied
+              return comm.take_payload(h);
+            }
+            // Outlive rank 0's deadline without closing the connection.
+            std::this_thread::sleep_for(std::chrono::milliseconds(4000));
+            return {};
+          }),
+      ContractViolation);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // One budget for the whole wait: well past 1.2 s, well short of 2×-plus
+  // (per-step deadline resets would stretch this arbitrarily).
+  EXPECT_GE(elapsed, std::chrono::milliseconds(1100));
+  EXPECT_LT(elapsed, std::chrono::milliseconds(15000));
+}
+
+TEST(FaultInjection, ShmDrainDeadlineExpiryIsCleanError) {
+  SpawnOptions so;
+  so.n = 2;
+  so.k = 1;
+  so.backend = FabricBackend::kShm;
+  so.recv_timeout = std::chrono::milliseconds(1200);
+  EXPECT_THROW(
+      (void)spawn_local(
+          so,
+          [](Communicator& comm) -> std::vector<std::byte> {
+            if (comm.rank() == 0) {
+              const PortHandle h = comm.post_recv_buffer(0, 1, 16);
+              comm.wait_recv(h);
+              return comm.take_payload(h);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(4000));
+            return {};
+          }),
+      ContractViolation);
 }
 
 TEST(FaultInjection, ConcatContentCheckCatchesCorruption) {
