@@ -40,6 +40,10 @@ struct Workload {
   int k;
   std::int64_t block_bytes;
   int reps;
+  /// Forced leader-model group size (alltoall only; 0 = flat).  The
+  /// group-geometry rows show what the two-level composite costs on each
+  /// real fabric relative to the flat exchange.
+  std::int64_t hier_group = 0;
 };
 
 double run_workload(bruck::mps::FabricBackend backend, const Workload& w) {
@@ -61,6 +65,10 @@ double run_workload(bruck::mps::FabricBackend backend, const Workload& w) {
       if (std::strcmp(w.collective, "alltoall") == 0) {
         bruck::coll::AlltoallOptions o;
         o.start_round = round;
+        if (w.hier_group > 0) {
+          o.hier = bruck::coll::HierMode::kOn;
+          o.hier_group = w.hier_group;
+        }
         round = bruck::coll::alltoall(comm, send, recv, b, o);
       } else if (std::strcmp(w.collective, "allgather") == 0) {
         bruck::coll::AllgatherOptions o;
@@ -92,8 +100,8 @@ int main(int argc, char** argv) {
     csv = std::make_unique<bruck::CsvWriter>(
         csv_file,
         std::vector<std::string>{"backend", "collective", "n", "k",
-                                 "block_bytes", "reps", "wall_seconds",
-                                 "mb_per_s"});
+                                 "block_bytes", "reps", "group",
+                                 "wall_seconds", "mb_per_s"});
   }
 
   const std::int64_t n = args.smoke ? 4 : 8;
@@ -107,6 +115,17 @@ int main(int argc, char** argv) {
       workloads.push_back(Workload{coll, n, 2, b, reps});
     }
   }
+  // Group-geometry rows: the same alltoall forced through the two-level
+  // leader model at nominal groups of 2 and 4 (flat rows above are the
+  // baseline).
+  for (const std::int64_t g : {std::int64_t{2}, std::int64_t{4}}) {
+    for (const std::int64_t b : args.smoke
+                                    ? std::vector<std::int64_t>{1024}
+                                    : std::vector<std::int64_t>{1024,
+                                                                16384}) {
+      workloads.push_back(Workload{"alltoall", n, 2, b, reps, g});
+    }
+  }
 
   const bruck::mps::FabricBackend backends[] = {
       bruck::mps::FabricBackend::kThread, bruck::mps::FabricBackend::kShm,
@@ -117,7 +136,11 @@ int main(int argc, char** argv) {
   bruck::TextTable t({"collective", "b bytes", "thread s", "shm s",
                       "socket s"});
   for (const Workload& w : workloads) {
-    std::vector<std::string> row{w.collective, std::to_string(w.block_bytes)};
+    const std::string name =
+        w.hier_group > 0
+            ? std::string(w.collective) + " g=" + std::to_string(w.hier_group)
+            : std::string(w.collective);
+    std::vector<std::string> row{name, std::to_string(w.block_bytes)};
     for (const auto backend : backends) {
       const double secs = run_workload(backend, w);
       row.push_back(std::to_string(secs));
@@ -127,7 +150,7 @@ int main(int argc, char** argv) {
         csv->row({bruck::mps::to_string(backend), w.collective,
                   std::to_string(w.n), std::to_string(w.k),
                   std::to_string(w.block_bytes), std::to_string(w.reps),
-                  std::to_string(secs),
+                  std::to_string(w.hier_group), std::to_string(secs),
                   std::to_string(secs > 0 ? payload_mb / secs : 0.0)});
       }
     }

@@ -22,6 +22,7 @@
 #include "coll/concat_folklore.hpp"
 #include "coll/concat_ring.hpp"
 #include "coll/index_bruck.hpp"
+#include "model/tuner.hpp"
 #include "mps/runtime.hpp"
 
 namespace {
@@ -371,6 +372,43 @@ void BM_StridedAlltoall(benchmark::State& state) {
 // vs the preserved pre-SIMD per-element memcpy round trip
 // (combine_elementwise_reference) on contiguous f32/f64 sums.
 // range = {bytes, elem (0 = f32, 1 = f64), reference}.
+// Hierarchical leader model (the CI hier CSV artifact): the same alltoall
+// geometry flat vs forced two-level at several group sizes.  The threaded
+// substrate's links are uniform, so wall-clock favors flat here; the
+// counters carry the skewed-machine (shm-like intra over socket-like
+// inter) model prediction next to the measured time, so the CSV shows
+// both sides of the tuner's trade.  range = {b, group (0 = flat)}.
+void BM_HierAlltoall(benchmark::State& state) {
+  const std::int64_t n = 8;
+  const std::int64_t b = state.range(0);
+  const std::int64_t group = state.range(1);
+  bruck::coll::AlltoallOptions options;
+  options.path = bruck::coll::ExecutionPath::kCompiled;
+  options.hier =
+      group > 0 ? bruck::coll::HierMode::kOn : bruck::coll::HierMode::kOff;
+  options.hier_group = group;
+  for (auto _ : state) {
+    bruck::mps::FabricOptions fabric;
+    fabric.n = n;
+    fabric.k = 2;
+    fabric.record_trace = false;
+    bruck::mps::run_spmd(fabric, [&](bruck::mps::Communicator& comm) {
+      std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                  std::byte{1});
+      std::vector<std::byte> recv(send.size());
+      bruck::coll::alltoall(comm, send, recv, b, options);
+    });
+  }
+  state.SetLabel(group > 0 ? "hier/g=" + std::to_string(group) : "flat");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * b);
+  const bruck::model::HierChoice skewed = bruck::model::pick_index_plan(
+      n, 2, b, bruck::model::shm_socket_two_level(),
+      bruck::model::RadixSet::kAll, group);
+  state.counters["model_flat_us"] = skewed.flat_us;
+  state.counters["model_hier_us"] = skewed.hier_us;
+}
+
 void BM_CombineKernels(benchmark::State& state) {
   const std::int64_t bytes = state.range(0);
   const bruck::coll::ReduceElem elem = state.range(1) == 0
@@ -442,6 +480,18 @@ BENCHMARK(BM_CombineKernels)
     ->Args({1 << 16, 1, 1})
     ->Args({1 << 18, 1, 0})
     ->Args({1 << 18, 1, 1})
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.25);
+
+// Hierarchical family (the CI hier CSV artifact): flat vs leader-model at
+// skewed intra/inter model costs, small and large blocks.
+BENCHMARK(BM_HierAlltoall)
+    ->Args({512, 0})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMicrosecond)
     ->MinWarmUpTime(0.05)
     ->MinTime(0.25);
 

@@ -1,10 +1,16 @@
 #include "coll/api.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "coll/bcast.hpp"
+#include "coll/composite.hpp"
 #include "coll/concat_bruck.hpp"
 #include "coll/concat_folklore.hpp"
 #include "coll/concat_ring.hpp"
@@ -59,7 +65,84 @@ std::string to_string(ReduceAlgorithm a) {
   return "?";
 }
 
+std::string to_string(HierMode m) {
+  switch (m) {
+    case HierMode::kDefault: return "default";
+    case HierMode::kOff: return "off";
+    case HierMode::kOn: return "on";
+    case HierMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<HierMode> parse_hier_mode(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  const std::string_view s(text);
+  if (s == "off") return HierMode::kOff;
+  if (s == "on") return HierMode::kOn;
+  if (s == "auto") return HierMode::kAuto;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_hier_group(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;  // junk / trailing junk
+  if (errno == ERANGE) return std::nullopt;
+  if (v < 0 || v > (1 << 20)) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+HierMode default_hier_mode() {
+  const char* env = std::getenv("BRUCK_HIER");
+  if (env == nullptr) return HierMode::kOff;
+  if (const auto parsed = parse_hier_mode(env)) return *parsed;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_HIER=\"%s\" "
+                 "(want off|on|auto); using off\n",
+                 env);
+  });
+  return HierMode::kOff;
+}
+
+std::int64_t default_hier_group() {
+  const char* env = std::getenv("BRUCK_HIER_GROUP_SIZE");
+  if (env == nullptr) return 0;
+  if (const auto parsed = parse_hier_group(env)) return *parsed;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_HIER_GROUP_SIZE=\"%s\" "
+                 "(want an integer in [0, 1048576]); using 0\n",
+                 env);
+  });
+  return 0;
+}
+
 namespace {
+
+/// Option-level hier knobs resolved against the environment: kDefault
+/// defers to BRUCK_HIER, a zero group to BRUCK_HIER_GROUP_SIZE.
+HierMode resolve_hier_mode(HierMode mode) {
+  return mode == HierMode::kDefault ? default_hier_mode() : mode;
+}
+
+std::int64_t resolve_hier_group(std::int64_t group) {
+  return group != 0 ? group : default_hier_group();
+}
+
+/// Whether the plain-overload compiled path should run the hierarchical
+/// composite: the knob resolves past kOff, the geometry is non-degenerate,
+/// and the caller didn't force a non-Bruck flat algorithm (`bruck_family`).
+bool hier_eligible(HierMode resolved, std::int64_t n, std::int64_t block_bytes,
+                   bool bruck_family) {
+  return resolved != HierMode::kOff && n > 1 && block_bytes > 0 &&
+         bruck_family;
+}
 
 /// The shared compiled tail of both collectives: fetch (or lower once) the
 /// plan for `key`, execute it through the requested executor, and report
@@ -278,9 +361,33 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
     return options.start_round;
   }
 
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+
+  // Hierarchical dispatch: when the knob engages, lower this rank's
+  // leader-model composite and run it stage by stage (the composite records
+  // its own per-stage PlanEvents).
+  const HierMode hmode = resolve_hier_mode(options.hier);
+  if (hier_eligible(hmode, comm.size(), block_bytes,
+                    options.algorithm == IndexAlgorithm::kAuto ||
+                        options.algorithm == IndexAlgorithm::kBruck)) {
+    const model::HierChoice choice = model::pick_index_plan_cached(
+        comm.size(), comm.ports(), block_bytes, options.hier_machine,
+        options.radix_set, resolve_hier_group(options.hier_group));
+    if (hmode == HierMode::kOn || choice.hier) {
+      HierShape shape;
+      shape.group = choice.group;
+      shape.inter_radix = choice.inter_radix;
+      const CompositePlan cp = CompositePlan::lower_index_hier(
+          comm.size(), comm.ports(), comm.rank(), block_bytes, shape);
+      return cp
+          .run(comm, send, recv, /*op=*/nullptr, options.start_round,
+               pipelined)
+          .next_round;
+    }
+  }
+
   // Compiled hot path: the tuner's radix and segment choices are part of
   // the key.
-  const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, plan.predicted);
   return run_compiled(comm,
@@ -367,9 +474,31 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
     return options.start_round;
   }
 
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+
+  // Hierarchical dispatch (see alltoall).
+  const HierMode hmode = resolve_hier_mode(options.hier);
+  if (hier_eligible(hmode, comm.size(), block_bytes,
+                    options.algorithm == ConcatAlgorithm::kAuto ||
+                        options.algorithm == ConcatAlgorithm::kBruck)) {
+    const model::HierChoice choice = model::pick_concat_plan_cached(
+        comm.size(), comm.ports(), block_bytes, options.hier_machine,
+        options.last_round, resolve_hier_group(options.hier_group));
+    if (hmode == HierMode::kOn || choice.hier) {
+      HierShape shape;
+      shape.group = choice.group;
+      shape.strategy = options.last_round;
+      const CompositePlan cp = CompositePlan::lower_concat_hier(
+          comm.size(), comm.ports(), comm.rank(), block_bytes, shape);
+      return cp
+          .run(comm, send, recv, /*op=*/nullptr, options.start_round,
+               pipelined)
+          .next_round;
+    }
+  }
+
   // Canonicalize the last-round strategy so equal geometries share a key
   // (the same resolution concat_bruck performs internally).
-  const bool pipelined = options.path == ExecutionPath::kPipelined;
   const ConcatRecipe recipe = resolve_concat_recipe(
       comm.size(), comm.ports(), block_bytes, options, pipelined);
   return run_compiled(comm,
@@ -728,10 +857,30 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
         ReduceReferenceOptions{options.start_round});
   }
 
+  const bool pipelined = options.path == ExecutionPath::kPipelined;
+
+  // Hierarchical dispatch (see alltoall).
+  const HierMode hmode = resolve_hier_mode(options.hier);
+  if (hier_eligible(hmode, n, block_bytes,
+                    options.algorithm == ReduceAlgorithm::kAuto ||
+                        options.algorithm == ReduceAlgorithm::kBruck)) {
+    const model::HierChoice hier_choice = model::pick_reduce_plan_cached(
+        n, k, block_bytes, options.hier_machine, options.radix_set,
+        resolve_hier_group(options.hier_group));
+    if (hmode == HierMode::kOn || hier_choice.hier) {
+      HierShape shape;
+      shape.group = hier_choice.group;
+      shape.inter_radix = hier_choice.inter_radix;
+      const CompositePlan cp = CompositePlan::lower_reduce_hier(
+          n, k, comm.rank(), block_bytes, op, shape);
+      return cp.run(comm, send, recv, &op, options.start_round, pipelined)
+          .next_round;
+    }
+  }
+
   const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, block_bytes, options.algorithm, options.radix, options.machine,
       options.radix_set);
-  const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(options.segments, pipelined,
                                         options.machine, choice.predicted);
   return run_compiled_reduce(

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -47,9 +48,39 @@ enum class ExecutionPath {
   kPipelined,
 };
 
+/// Whether a collective may run the hierarchical (two-level leader-model)
+/// lowering: intra-group gather to a leader → inter-leader exchange →
+/// intra-group scatter/broadcast (coll/composite.hpp).  Honored by the
+/// plain contiguous blocking overloads of alltoall/allgather/reduce_scatter
+/// with n > 1 and block_bytes > 0 when the algorithm resolves to Bruck;
+/// kReference (the flat oracle), strided layouts, and the i* twins always
+/// run flat.
+enum class HierMode {
+  kDefault,  ///< follow the BRUCK_HIER environment knob (unset = kOff)
+  kOff,      ///< always flat
+  kOn,       ///< force the best modeled hierarchical shape, even if flat wins
+  kAuto,     ///< hierarchical iff the two-level model prices it under flat
+};
+
 [[nodiscard]] std::string to_string(IndexAlgorithm a);
 [[nodiscard]] std::string to_string(ConcatAlgorithm a);
 [[nodiscard]] std::string to_string(ExecutionPath p);
+[[nodiscard]] std::string to_string(HierMode m);
+
+/// Strict parse seams of the hierarchy env knobs (the mps::parse_* idiom:
+/// pure functions over the raw text, the whole string must parse, anything
+/// else is std::nullopt).  BRUCK_HIER wants off|on|auto;
+/// BRUCK_HIER_GROUP_SIZE wants an integer in [0, 1048576] (0 = tuner pick).
+[[nodiscard]] std::optional<HierMode> parse_hier_mode(const char* text);
+[[nodiscard]] std::optional<std::int64_t> parse_hier_group(const char* text);
+
+/// BRUCK_HIER resolved: unset = kOff; invalid text warns once to stderr and
+/// falls back to kOff.  Re-reads the environment on every call (cheap), so
+/// tests may flip the variable between calls.
+[[nodiscard]] HierMode default_hier_mode();
+/// BRUCK_HIER_GROUP_SIZE resolved: unset = 0 (tuner's group-size sweep);
+/// invalid text warns once and falls back to 0.
+[[nodiscard]] std::int64_t default_hier_group();
 
 struct AlltoallOptions {
   IndexAlgorithm algorithm = IndexAlgorithm::kAuto;
@@ -66,6 +97,15 @@ struct AlltoallOptions {
   /// (model::pick_segment_count), 1 disables segmentation, S > 1 forces S.
   /// Ignored by the other paths.
   int segments = 0;
+  /// Hierarchical (two-level leader-model) execution; see HierMode.
+  HierMode hier = HierMode::kDefault;
+  /// Forced nominal group size for hierarchical execution; 0 defers to
+  /// BRUCK_HIER_GROUP_SIZE, then the tuner's group-size sweep.
+  std::int64_t hier_group = 0;
+  /// Two-level machine profile (intra-group vs inter-group links) driving
+  /// the flat-vs-hierarchical decision and the shape sweep.
+  model::TwoLevelModel hier_machine =
+      model::uniform_two_level(model::ibm_sp1());
 };
 
 struct AllgatherOptions {
@@ -77,6 +117,11 @@ struct AllgatherOptions {
   ExecutionPath path = ExecutionPath::kPipelined;
   /// Same contract as AlltoallOptions::segments.
   int segments = 0;
+  /// Same contract as AlltoallOptions::hier / hier_group / hier_machine.
+  HierMode hier = HierMode::kDefault;
+  std::int64_t hier_group = 0;
+  model::TwoLevelModel hier_machine =
+      model::uniform_two_level(model::ibm_sp1());
 };
 
 /// The decision kAuto (or radix = 0) would make, without running anything.
@@ -251,6 +296,11 @@ struct ReduceScatterOptions {
   ExecutionPath path = ExecutionPath::kPipelined;
   /// Same contract as AlltoallOptions::segments.
   int segments = 0;
+  /// Same contract as AlltoallOptions::hier / hier_group / hier_machine.
+  HierMode hier = HierMode::kDefault;
+  std::int64_t hier_group = 0;
+  model::TwoLevelModel hier_machine =
+      model::uniform_two_level(model::ibm_sp1());
 };
 
 /// Reduce-scatter (MPI_Reduce_scatter_block).  `send`: n blocks of

@@ -377,25 +377,33 @@ void Plan::check_run_contract(const mps::Communicator& comm,
   BRUCK_REQUIRE_MSG(comm.size() == n_, "plan lowered for a different n");
   BRUCK_REQUIRE_MSG(comm.ports() == k_, "plan lowered for a different k");
   BRUCK_REQUIRE(b >= 0);
-  const std::int64_t send_blocks =
-      collective_ == PlanCollective::kIndex ? n_ : 1;
+  const std::int64_t send_blocks = collective_ == PlanCollective::kIndex ||
+                                           collective_ == PlanCollective::kScatter
+                                       ? n_
+                                       : 1;
+  const std::int64_t recv_blocks = collective_ == PlanCollective::kScatter ||
+                                           collective_ == PlanCollective::kBcast
+                                       ? 1
+                                       : n_;
+  BRUCK_REQUIRE_MSG(!layouts.active() ||
+                        collective_ == PlanCollective::kIndex ||
+                        collective_ == PlanCollective::kConcat,
+                    "layouts are supported for index and concat plans only");
   if (layouts.send != nullptr) {
     check_layout_buffer(layouts.send, static_cast<std::int64_t>(send.size()),
                         send_blocks, b);
-  } else if (collective_ == PlanCollective::kIndex) {
-    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == n_ * b);
   } else {
-    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == b);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(send.size()) == send_blocks * b);
   }
-  if (collective_ != PlanCollective::kIndex) {
+  if (collective_ == PlanCollective::kConcat) {
     BRUCK_REQUIRE_MSG(b == block_bytes_,
                       "concat plans are lowered per block size");
   }
   if (layouts.recv != nullptr) {
     check_layout_buffer(layouts.recv, static_cast<std::int64_t>(recv.size()),
-                        n_, b);
+                        recv_blocks, b);
   } else {
-    BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == n_ * b);
+    BRUCK_REQUIRE(static_cast<std::int64_t>(recv.size()) == recv_blocks * b);
   }
 }
 
@@ -613,6 +621,11 @@ void Plan::apply_prologue(std::span<const std::byte> send,
       // Reduce: this rank's own contribution seeds the accumulator block.
       copy_block(sl != nullptr ? rank * sl->block_stride() : rank * b,
                  /*dst_off=*/0, b);
+      break;
+    case PlanPrologue::kCopySendToRecv0AtRoot:
+      // Bcast: the root's payload seeds its recv buffer; everyone else
+      // receives theirs over the wire.
+      if (rank == 0) copy_block(/*src_off=*/0, /*dst_off=*/0, b);
       break;
   }
 }
@@ -1642,6 +1655,146 @@ std::shared_ptr<const Plan> Plan::lower_concat_ring(std::int64_t n, int k,
 }
 
 // ---------------------------------------------------------------------------
+// Rooted lowering.  The intra-group stages of the hierarchical composite
+// plans.  Root is always rank 0 (group leaders sit at sub-communicator rank
+// 0), so none of the relative-rank rotations of the inline primitives
+// (gather_scatter.cpp, bcast.cpp) are needed — but the round/peer/segment
+// structure mirrors them exactly, so the existing cost formulas price these
+// plans without change.
+
+std::shared_ptr<const Plan> Plan::lower_gather_binomial(std::int64_t n, int k,
+                                                        int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kGather, "binomial", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopySendToScratch0;
+  plan->epilogue_ = PlanEpilogue::kScratchToRecvAtRoot;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+  // The folklore concat's gather phase verbatim: scratch at rank v
+  // accumulates the contiguous segment [v, v + have).
+  const int d = ceil_log(n, 2);
+  for (int i = 0; i < d; ++i) {
+    const std::int64_t stride = ipow(2, i);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == stride) {
+        const std::int64_t seg = topo::binomial_gather_segment(n, rank, i);
+        plan->add_message(rank, true, rank - stride, PlanBuffer::kScratch,
+                          whole_blocks(0, seg));
+      } else if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        const std::int64_t seg =
+            topo::binomial_gather_segment(n, rank + stride, i);
+        plan->add_message(rank, false, rank + stride, PlanBuffer::kScratch,
+                          whole_blocks(stride, seg));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_scatter_binomial(std::int64_t n, int k,
+                                                         int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kScatter, "binomial", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  // The rotation is the identity at rank 0 — the only rank whose prologue
+  // output is ever read: every other rank overwrites its scratch prefix
+  // from the wire before sending any of it onward.
+  plan->prologue_ = PlanPrologue::kRotateSendToScratch;
+  plan->epilogue_ = PlanEpilogue::kScratch0ToRecv;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+  // The reversed binomial gather: in round j (strides halving) the holder
+  // of segment [v, v + len) ships its upper half [v + stride, v + len).
+  const int d = ceil_log(n, 2);
+  for (int j = 0; j < d; ++j) {
+    const std::int64_t stride = ipow(2, d - 1 - j);
+    plan->begin_round();
+    for (std::int64_t rank = 0; rank < n; ++rank) {
+      if (pos_mod(rank, 2 * stride) == 0 && rank + stride < n) {
+        const std::int64_t len = std::min<std::int64_t>(2 * stride, n - rank);
+        plan->add_message(rank, true, rank + stride, PlanBuffer::kScratch,
+                          whole_blocks(stride, len - stride));
+      } else if (pos_mod(rank, 2 * stride) == stride) {
+        const std::int64_t mine = std::min<std::int64_t>(stride, n - rank);
+        plan->add_message(rank, false, rank - stride, PlanBuffer::kScratch,
+                          whole_blocks(0, mine));
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::lower_bcast_circulant(std::int64_t n, int k,
+                                                        int segments) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  auto plan = std::shared_ptr<Plan>(new Plan(
+      PlanCollective::kBcast, "circulant", n, k, PlanCell::kWholeBlock));
+  plan->segments_ = segments;
+  plan->prologue_ = PlanPrologue::kCopySendToRecv0AtRoot;
+  if (n == 1) {
+    plan->finalize();
+    return plan;
+  }
+  // The circulant (k+1)-ary broadcast tree of bcast.cpp with root 0: node v
+  // joins in the round of its most significant nonzero base-(k+1) digit
+  // (partial-layer nodes v ≥ n1 join in the final round), then fans out to
+  // up to k children per round, forwarding from its recv buffer.
+  const int d = ceil_log(n, k + 1);
+  const std::int64_t n1 = ipow(k + 1, d - 1);
+  const std::int64_t n2 = n - n1;
+  const auto join_round = [&](std::int64_t v) {
+    if (v == 0) return -1;  // the root has the data from the start
+    if (v >= n1) return d - 1;
+    return floor_log(v, k + 1);
+  };
+  for (int i = 0; i < d; ++i) {
+    plan->begin_round();
+    for (std::int64_t v = 0; v < n; ++v) {
+      const int joined = join_round(v);
+      const PlanBuffer src =
+          v == 0 ? PlanBuffer::kUserSend : PlanBuffer::kUserRecv;
+      if (joined == i) {
+        const std::int64_t parent =
+            v >= n1 ? pos_mod(v - n1, n1) : v % ipow(k + 1, i);
+        plan->add_message(v, false, parent, PlanBuffer::kUserRecv,
+                          one_block(0));
+      } else if (joined < i) {
+        if (i < d - 1) {
+          const std::int64_t base = ipow(k + 1, i);
+          if (v < base) {
+            for (int j = 1; j <= k; ++j) {
+              plan->add_message(v, true, v + j * base, src, one_block(0));
+            }
+          }
+        } else if (v < n1) {
+          for (std::int64_t c = v; c < n2; c += n1) {
+            plan->add_message(v, true, n1 + c, src, one_block(0));
+          }
+        }
+      }
+    }
+    plan->end_round();
+  }
+  plan->finalize();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
 // Irregular (vector) lowering.  All irregular plans are shape-free: the
 // round/peer/slot structure depends only on (algorithm, n, k, radix), and
 // every cell records its occupant block's identity so the executors can
@@ -1961,9 +2114,15 @@ std::shared_ptr<const Plan> Plan::lower_concatv_ring(std::int64_t n, int k,
 
 std::string Plan::describe() const {
   std::ostringstream os;
-  const char* family = collective_ == PlanCollective::kIndex   ? "index"
-                       : collective_ == PlanCollective::kConcat ? "concat"
-                                                                : "reduce";
+  const char* family = "?";
+  switch (collective_) {
+    case PlanCollective::kIndex: family = "index"; break;
+    case PlanCollective::kConcat: family = "concat"; break;
+    case PlanCollective::kReduce: family = "reduce"; break;
+    case PlanCollective::kGather: family = "gather"; break;
+    case PlanCollective::kScatter: family = "scatter"; break;
+    case PlanCollective::kBcast: family = "bcast"; break;
+  }
   os << "plan " << family << "/" << algorithm_ << ": n=" << n_
      << " k=" << k_;
   if (irregular_) {

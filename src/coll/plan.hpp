@@ -66,7 +66,15 @@ namespace bruck::coll {
 /// (index: send = n blocks, recv = n blocks; concat: send = 1 block,
 /// recv = n blocks; reduce: send = n blocks, recv = 1 block — the
 /// ⊕-combination of every rank's contribution to this rank).
-enum class PlanCollective { kIndex, kConcat, kReduce };
+///
+/// The rooted kinds (root is always rank 0; the hierarchical composite
+/// stages put the group leader at sub-communicator rank 0) are SPMD like
+/// everything else — every rank passes full-size buffers:
+/// gather: send = 1 block, recv = n blocks (meaningful at the root only);
+/// scatter: send = n blocks (read at the root only), recv = 1 block;
+/// bcast: send = 1 block (read at the root only), recv = 1 block.
+enum class PlanCollective { kIndex, kConcat, kReduce, kGather, kScatter,
+                            kBcast };
 
 /// The buffer a message's cells live in.
 enum class PlanBuffer : std::uint8_t {
@@ -119,6 +127,7 @@ enum class PlanPrologue : std::uint8_t {
   kCopySendToScratch0,    ///< concat Bruck/folklore: scratch[0] = send
   kCopySendToRecvOwnSlot, ///< ring: recv[rank] = send
   kCopyOwnBlockToRecv0,   ///< reduce direct/pairwise: recv = send[rank]
+  kCopySendToRecv0AtRoot, ///< bcast: rank 0 seeds recv = send
 };
 
 /// Local data movement after the communication rounds.
@@ -289,6 +298,33 @@ class Plan : public std::enable_shared_from_this<Plan> {
       std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
   static std::shared_ptr<const Plan> lower_concat_ring(
       std::int64_t n, int k, std::int64_t block_bytes, int segments = 1);
+
+  // -- Rooted lowering entry points ----------------------------------------
+  //
+  // The intra-group stages of the hierarchical two-level collectives: a
+  // binomial gather to rank 0, a reversed binomial scatter from rank 0, and
+  // the paper's circulant (k+1)-ary broadcast tree from rank 0.  All three
+  // are block-size independent and mirror the inline primitives in
+  // gather_scatter.cpp / bcast.cpp round for round, so the existing
+  // gather_binomial_cost / scatter_binomial_cost / bcast_circulant_cost
+  // formulas price them exactly.
+
+  /// Binomial gather to rank 0: ⌈log2 n⌉ rounds; rank v with
+  /// v mod 2^{i+1} = 2^i ships its accumulated segment in round i.
+  static std::shared_ptr<const Plan> lower_gather_binomial(std::int64_t n,
+                                                           int k,
+                                                           int segments = 1);
+  /// Reversed binomial scatter from rank 0: strides halve, a segment
+  /// holder ships its upper half each round.
+  static std::shared_ptr<const Plan> lower_scatter_binomial(std::int64_t n,
+                                                            int k,
+                                                            int segments = 1);
+  /// Circulant (k+1)-ary broadcast tree from rank 0 (Section 2's optimal
+  /// ⌈log_{k+1} n⌉-round broadcast); non-roots forward from the recv
+  /// buffer once joined.
+  static std::shared_ptr<const Plan> lower_bcast_circulant(std::int64_t n,
+                                                           int k,
+                                                           int segments = 1);
 
   // -- Reduction lowering entry points -------------------------------------
   //

@@ -132,9 +132,35 @@ PlanKey concatv_plan_key(ConcatAlgorithm algorithm, std::int64_t n, int k,
   return key;
 }
 
+PlanKey rooted_plan_key(PlanCollective collective, std::int64_t n, int k,
+                        int segments) {
+  BRUCK_REQUIRE_MSG(collective == PlanCollective::kGather ||
+                        collective == PlanCollective::kScatter ||
+                        collective == PlanCollective::kBcast,
+                    "rooted keys cover gather/scatter/bcast only");
+  BRUCK_REQUIRE_MSG(segments >= 1, "resolve the segment count before keying");
+  PlanKey key;
+  key.collective = collective;
+  key.algorithm = 0;  // one algorithm per rooted kind
+  key.n = n;
+  key.k = k;
+  key.segments = segments;
+  return key;
+}
+
 namespace {
 
 std::shared_ptr<const Plan> lower_from_key(const PlanKey& key) {
+  switch (key.collective) {
+    case PlanCollective::kGather:
+      return Plan::lower_gather_binomial(key.n, key.k, key.segments);
+    case PlanCollective::kScatter:
+      return Plan::lower_scatter_binomial(key.n, key.k, key.segments);
+    case PlanCollective::kBcast:
+      return Plan::lower_bcast_circulant(key.n, key.k, key.segments);
+    default:
+      break;
+  }
   if (key.collective == PlanCollective::kReduce) {
     switch (static_cast<ReduceAlgorithm>(key.algorithm)) {
       case ReduceAlgorithm::kBruck:

@@ -106,6 +106,14 @@ struct PlanKeyHash {
                                       int segments = 1,
                                       std::uint64_t layout = 0);
 
+/// Make the key of a rooted intra-group stage plan (root = rank 0; all
+/// three are block-size independent, so block_class stays 0).  `collective`
+/// must be kGather, kScatter, or kBcast; the algorithm is implied (binomial
+/// gather/scatter, circulant bcast).
+[[nodiscard]] PlanKey rooted_plan_key(PlanCollective collective,
+                                      std::int64_t n, int k,
+                                      int segments = 1);
+
 /// PlanKey::shape_digest == 0 is the reserved "uniform plan" sentinel
 /// (lower_from_key branches on it), so no irregular shape may ever digest
 /// to 0: a raw hash of 0 is remapped to 1.  Exposed so tests can pin the

@@ -1,14 +1,14 @@
 // ProgressEngine implementation, plus the Request methods (kept here so
 // request.hpp stays dependency-free).
 //
-// Execution model: every started operation is an `Exec` — one live
-// PlanCursor plus the bookkeeping to retire it.  A solo exec serves one
-// operation; a fused exec serves G same-signature operations through one
-// cursor over interleaved staging buffers; an allreduce exec replaces its
-// cursor once, chaining the concat stage after the reduce stage inside the
-// same tag namespace.  `route_` maps every in-flight receive handle to its
-// exec, so one wait_any_recv() loop drives all tenants regardless of which
-// request the caller holds.
+// Execution model: every started operation is an `Exec` — one live cursor
+// plus the bookkeeping to retire it.  A solo exec serves one operation; a
+// fused exec serves G same-signature operations through one cursor over
+// interleaved staging buffers; a multi-stage operation (allreduce) drives a
+// CompositeCursor, which chains its stages inside the same tag namespace
+// and records the per-stage PlanEvents itself.  `route_` maps every
+// in-flight receive handle to its exec, so one wait_any_recv() loop drives
+// all tenants regardless of which request the caller holds.
 #include "coll/progress.hpp"
 
 #include <algorithm>
@@ -19,6 +19,7 @@
 #include <exception>
 #include <utility>
 
+#include "coll/composite.hpp"
 #include "coll/plan.hpp"
 #include "util/assert.hpp"
 
@@ -62,22 +63,24 @@ struct ProgressEngine::Op {
   PlanExecution result;
   /// Irregular runs: spans into spec's owned count/displacement storage.
   VectorView view;
-  /// Allreduce staging: zero-padded input, the reduced block, and the
-  /// gathered result (copied back to the user buffer at retirement).
+  /// Allreduce staging: zero-padded input and the gathered result (copied
+  /// back to the user buffer at retirement); the inter-stage block lives
+  /// inside the CompositeCursor.
   std::vector<std::byte> padded;
-  std::vector<std::byte> reduced;
   std::vector<std::byte> gathered;
 };
 
-/// One live cursor and how to retire it (see the file comment).
+/// One live cursor and how to retire it (see the file comment).  Exactly
+/// one of `cursor` (single-schedule) and `chain` (multi-stage composite)
+/// is set.
 struct ProgressEngine::Exec {
   std::vector<Op*> members;
   std::shared_ptr<const Plan> plan;
   std::unique_ptr<PlanCursor> cursor;
+  std::unique_ptr<CompositeCursor> chain;
   int tag = 0;
   bool fused = false;
   bool cache_hit = false;
-  int stage = 0;  ///< allreduce: 0 = reduce stage, 1 = concat stage
   std::int64_t member_block = 0;  ///< fused: one member's block size
   std::vector<std::byte> fused_send;
   std::vector<std::byte> fused_recv;
@@ -284,11 +287,14 @@ void ProgressEngine::start_solo(Op* op) {
       } else if (!spec.send.empty()) {
         std::memcpy(op->padded.data(), spec.send.data(), spec.send.size());
       }
-      op->reduced.resize(static_cast<std::size_t>(b));
-      exec->cursor = std::make_unique<PlanCursor>(lookup.plan, *comm_,
-                                                  op->padded, op->reduced, b,
-                                                  spec.op, spec.start_round,
-                                                  op->tag);
+      op->gathered.resize(static_cast<std::size_t>(n * b));
+      // The generic stage chain: reduce-scatter feeding allgather through
+      // an identity splice, one tag namespace, per-stage events recorded by
+      // the composite cursor itself.
+      exec->chain = std::make_unique<CompositeCursor>(
+          CompositePlan::allreduce_chain(spec.key, spec.concat_key, n, b),
+          *comm_, op->padded, op->gathered, &spec.op, spec.start_round,
+          op->tag);
       break;
     }
   }
@@ -370,10 +376,12 @@ void ProgressEngine::start_fused(const std::vector<Op*>& members) {
 }
 
 void ProgressEngine::pump_posts(Exec& exec) {
-  for (const mps::PortHandle h : exec.cursor->post_ready()) {
+  const std::vector<mps::PortHandle> handles =
+      exec.chain ? exec.chain->post_ready() : exec.cursor->post_ready();
+  for (const mps::PortHandle h : handles) {
     route_.emplace(h, &exec);
   }
-  if (exec.cursor->done()) retire(exec);
+  if (exec.chain ? exec.chain->done() : exec.cursor->done()) retire(exec);
 }
 
 void ProgressEngine::deliver(mps::PortHandle h) {
@@ -384,36 +392,27 @@ void ProgressEngine::deliver(mps::PortHandle h) {
                     "allowed while nonblocking requests are outstanding");
   Exec& exec = *it->second;
   route_.erase(it);
-  exec.cursor->on_complete(h);
+  if (exec.chain) {
+    exec.chain->on_complete(h);
+  } else {
+    exec.cursor->on_complete(h);
+  }
   pump_posts(exec);
 }
 
 void ProgressEngine::retire(Exec& exec) {
-  const PlanExecution r = exec.cursor->result();
   Op* lead = exec.members.front();
-  comm_->record_plan_event(mps::PlanEvent{exec.cache_hit,
-                                          exec.plan->round_count(),
-                                          r.bytes_sent, r.bytes_reduced,
-                                          exec.tag});
-
-  if (lead->spec.family == OpSpec::Family::kAllreduce && exec.stage == 0) {
-    // Reduce stage drained: chain the concat stage in the same tag
-    // namespace, continuing its round numbering.
-    OpSpec& spec = lead->spec;
-    lead->result.bytes_sent += r.bytes_sent;
-    lead->result.bytes_reduced += r.bytes_reduced;
-    lead->gathered.resize(
-        static_cast<std::size_t>(spec.key.n * spec.block_bytes));
-    const PlanCache::Lookup lookup =
-        PlanCache::global().get_or_lower(spec.concat_key);
-    exec.plan = lookup.plan;
-    exec.cache_hit = lookup.cache_hit;
-    exec.stage = 1;
-    exec.cursor = std::make_unique<PlanCursor>(
-        lookup.plan, *comm_, lead->reduced, lead->gathered, spec.block_bytes,
-        r.next_round, exec.tag);
-    pump_posts(exec);
-    return;
+  PlanExecution r;
+  if (exec.chain) {
+    // The composite cursor recorded one PlanEvent per stage as it drained;
+    // its result already aggregates the stages.
+    r = exec.chain->result();
+  } else {
+    r = exec.cursor->result();
+    comm_->record_plan_event(mps::PlanEvent{exec.cache_hit,
+                                            exec.plan->round_count(),
+                                            r.bytes_sent, r.bytes_reduced,
+                                            exec.tag});
   }
 
   if (exec.fused) {
@@ -450,8 +449,7 @@ void ProgressEngine::retire(Exec& exec) {
       std::memcpy(lead->spec.recv.data(), lead->gathered.data(),
                   lead->spec.recv.size());
     }
-    lead->result.next_round = r.next_round;
-    lead->result.bytes_sent += r.bytes_sent;
+    lead->result = r;
   } else {
     lead->result = r;
   }
@@ -580,6 +578,8 @@ void ProgressEngine::run_serial_op(Op& op) {
       break;
     }
     case OpSpec::Family::kAllreduce: {
+      // Same generic stage chain as the native path, driven by the
+      // blocking composite runner (which records the per-stage events).
       const std::int64_t n = spec.key.n;
       const std::int64_t b = spec.block_bytes;
       op.padded.assign(static_cast<std::size_t>(n * b), std::byte{0});
@@ -591,29 +591,10 @@ void ProgressEngine::run_serial_op(Op& op) {
       } else if (!spec.send.empty()) {
         std::memcpy(op.padded.data(), spec.send.data(), spec.send.size());
       }
-      op.reduced.resize(static_cast<std::size_t>(b));
-      PlanExecution ra;
-      {
-        PlanCursor cursor(lookup.plan, *comm_, op.padded, op.reduced, b,
-                          spec.op, start, /*tag=*/0);
-        ra = drive_blocking(cursor);
-      }
-      comm_->record_plan_event(mps::PlanEvent{lookup.cache_hit,
-                                              lookup.plan->round_count(),
-                                              ra.bytes_sent,
-                                              ra.bytes_reduced});
       op.gathered.resize(static_cast<std::size_t>(n * b));
-      const PlanCache::Lookup concat_lookup =
-          PlanCache::global().get_or_lower(spec.concat_key);
-      PlanExecution rc;
-      {
-        PlanCursor cursor(concat_lookup.plan, *comm_, op.reduced, op.gathered,
-                          b, ra.next_round, /*tag=*/0);
-        rc = drive_blocking(cursor);
-      }
-      comm_->record_plan_event(mps::PlanEvent{concat_lookup.cache_hit,
-                                              concat_lookup.plan->round_count(),
-                                              rc.bytes_sent});
+      const CompositePlan chain =
+          CompositePlan::allreduce_chain(spec.key, spec.concat_key, n, b);
+      op.result = chain.run(*comm_, op.padded, op.gathered, &spec.op, start);
       if (spec.has_layout) {
         const std::int64_t logical = spec.recv_layout.block_bytes();
         layout_scatter(spec.recv, spec.recv_layout, 0, 0, logical,
@@ -622,9 +603,6 @@ void ProgressEngine::run_serial_op(Op& op) {
       } else if (!spec.recv.empty()) {
         std::memcpy(spec.recv.data(), op.gathered.data(), spec.recv.size());
       }
-      op.result.next_round = rc.next_round;
-      op.result.bytes_sent = ra.bytes_sent + rc.bytes_sent;
-      op.result.bytes_reduced = ra.bytes_reduced;
       break;
     }
   }

@@ -165,8 +165,9 @@ class ProgressEngine {
   void pump_posts(Exec& exec);
   /// Route one completed receive handle to its cursor.
   void deliver(mps::PortHandle h);
-  /// Finish one exec: chain the allreduce concat stage, or scatter fused
-  /// payloads back, record plan events, release the tag, mark members done.
+  /// Finish one exec: scatter fused payloads back, record plan events
+  /// (composite chains record their own per-stage events), release the
+  /// tag, mark members done.
   void retire(Exec& exec);
   /// Serial FIFO fallback: run queued operations (oldest first) to
   /// completion, through `id` inclusive.

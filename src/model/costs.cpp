@@ -401,4 +401,72 @@ double layout_pack_us(std::int64_t noncontig_bytes) {
   return kPackUsPerByte * static_cast<double>(noncontig_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// Two-level formulas.  Each composes the existing single-level formulas at
+// the stage block sizes of the composite lowering; the intra stages are
+// priced at the nominal group size g (the critical-path group) and the
+// inter stage over G leaders at the padded super-block size.
+
+namespace {
+
+void check_hier(std::int64_t n, int k, std::int64_t group,
+                std::int64_t block_bytes) {
+  check_common(n, k, block_bytes);
+  BRUCK_REQUIRE(group >= 1);
+}
+
+}  // namespace
+
+HierCost hier_index_cost(std::int64_t n, int k, std::int64_t group,
+                         std::int64_t inter_radix, std::int64_t block_bytes) {
+  check_hier(n, k, group, block_bytes);
+  HierCost h;
+  h.group = std::min(group, n);
+  h.groups = ceil_div(n, h.group);
+  h.up = gather_binomial_cost(h.group, n * block_bytes);
+  if (h.groups > 1) {
+    h.inter = index_bruck_cost(h.groups, inter_radix, k,
+                               h.group * h.group * block_bytes);
+  }
+  h.down = scatter_binomial_cost(h.group, n * block_bytes);
+  return h;
+}
+
+HierCost hier_concat_cost(std::int64_t n, int k, std::int64_t group,
+                          std::int64_t block_bytes,
+                          ConcatLastRound strategy) {
+  check_hier(n, k, group, block_bytes);
+  HierCost h;
+  h.group = std::min(group, n);
+  h.groups = ceil_div(n, h.group);
+  h.up = gather_binomial_cost(h.group, block_bytes);
+  if (h.groups > 1) {
+    const std::int64_t super = h.group * block_bytes;
+    h.inter = concat_bruck_cost(
+        h.groups, k, super,
+        resolve_concat_last_round(h.groups, k, super, strategy));
+  }
+  h.down = bcast_circulant_cost(h.group, k, n * block_bytes);
+  return h;
+}
+
+HierCost hier_reduce_cost(std::int64_t n, int k, std::int64_t group,
+                          std::int64_t inter_radix,
+                          std::int64_t block_bytes) {
+  check_hier(n, k, group, block_bytes);
+  HierCost h;
+  h.group = std::min(group, n);
+  h.groups = ceil_div(n, h.group);
+  h.up = gather_binomial_cost(h.group, n * block_bytes);
+  // Splicing member payloads into the inter-stage accumulator ⊕-combines
+  // (g−1) full member contributions at the leader.
+  h.local_combine_bytes = (h.group - 1) * n * block_bytes;
+  if (h.groups > 1) {
+    h.inter =
+        reduce_bruck_cost(h.groups, inter_radix, k, h.group * block_bytes);
+  }
+  h.down = scatter_binomial_cost(h.group, block_bytes);
+  return h;
+}
+
 }  // namespace bruck::model

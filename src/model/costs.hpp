@@ -114,6 +114,50 @@ enum class ConcatLastRound {
                                                 std::int64_t block_bytes);
 
 // ---------------------------------------------------------------------------
+// Two-level (hierarchical leader-model) cost formulas.  n ranks split into
+// G = ⌈n/g⌉ contiguous groups of nominal size g; each collective runs as
+// intra-group gather to the leader → inter-leader exchange among the G
+// leaders (padded to uniform g-sized super-blocks) → intra-group
+// scatter/broadcast.  The three stage measures are kept separate so a
+// TwoLevelModel can price the intra stages and the inter stage under
+// different β/τ; the critical path of each intra stage is the largest
+// (= nominal-size) group.
+
+struct HierCost {
+  std::int64_t group = 1;   ///< nominal group size g (clamped to [1, n])
+  std::int64_t groups = 1;  ///< G = ⌈n/g⌉
+  CostMetrics up;           ///< intra gather-to-leader stage
+  CostMetrics inter;        ///< inter-leader stage among the G leaders
+  CostMetrics down;         ///< intra scatter/broadcast stage
+  /// Bytes ⊕-combined locally at the leader while splicing member payloads
+  /// into the inter-stage send buffer (reduce only; 0 else).
+  std::int64_t local_combine_bytes = 0;
+};
+
+/// Hierarchical alltoall: gather (block n·b) → inter-leader index Bruck of
+/// radix `inter_radix` over super-blocks of g²·b → scatter (block n·b).
+[[nodiscard]] HierCost hier_index_cost(std::int64_t n, int k,
+                                       std::int64_t group,
+                                       std::int64_t inter_radix,
+                                       std::int64_t block_bytes);
+
+/// Hierarchical allgather: gather (block b) → inter-leader concat over
+/// super-blocks of g·b (strategy resolved against that super-block size) →
+/// circulant broadcast of the full n·b result.
+[[nodiscard]] HierCost hier_concat_cost(std::int64_t n, int k,
+                                        std::int64_t group,
+                                        std::int64_t block_bytes,
+                                        ConcatLastRound strategy);
+
+/// Hierarchical reduce-scatter: gather (block n·b) → leader-local combine
+/// of member contributions → inter-leader reduce Bruck over super-blocks of
+/// g·b → scatter (block b).
+[[nodiscard]] HierCost hier_reduce_cost(std::int64_t n, int k,
+                                        std::int64_t group,
+                                        std::int64_t inter_radix,
+                                        std::int64_t block_bytes);
+
+// ---------------------------------------------------------------------------
 // Local pack/unpack term.  The C1/C2 measures above are pure wire measures;
 // local memory movement (strided-layout gather/scatter, fusion staging) is
 // priced separately because it never touches the fabric.

@@ -34,4 +34,12 @@ LinearModel bandwidth_dominated() {
   return {"bandwidth-dominated", 0.5, 0.25, 0.02};
 }
 
+TwoLevelModel uniform_two_level(const LinearModel& m) { return {m, m}; }
+
+TwoLevelModel shm_socket_two_level() {
+  // Intra: shm-ring-like — negligible startup, memory-speed bytes.
+  // Inter: TCP-like — heavy per-message syscall/startup cost.
+  return {{"shm-like", 0.3, 0.002, 0.01}, {"socket-like", 80.0, 0.05, 0.01}};
+}
+
 }  // namespace bruck::model

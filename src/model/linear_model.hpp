@@ -44,4 +44,24 @@ struct LinearModel {
 /// by tuner benches to show the radix moving toward n.
 [[nodiscard]] LinearModel bandwidth_dominated();
 
+/// The two-level machine of the hierarchical (leader-model) collectives:
+/// messages within a group (shm-like) and messages between group leaders
+/// (socket-like) are priced under separate linear models.  The flat
+/// algorithms send across group boundaries, so a flat plan on a two-level
+/// machine is priced under `inter` — the conservative leader-model reading
+/// that makes the flat-vs-hierarchical comparison meaningful.
+struct TwoLevelModel {
+  LinearModel intra;
+  LinearModel inter;
+};
+
+/// A degenerate two-level machine with the same model at both levels; on it
+/// the hierarchy can only add volume, so the tuner must pick flat.
+[[nodiscard]] TwoLevelModel uniform_two_level(const LinearModel& m);
+
+/// A skewed profile shaped like the PR 8 fabrics: cheap bandwidth-dominated
+/// intra-group links (shm rings), expensive startup-dominated inter-leader
+/// links (TCP).  The regime where the hierarchy wins.
+[[nodiscard]] TwoLevelModel shm_socket_two_level();
+
 }  // namespace bruck::model

@@ -333,6 +333,206 @@ ReduceScatterChoice pick_reduce_scatter_cached(std::int64_t n, int k,
   });
 }
 
+double predict_hier_us(const TwoLevelModel& machine, const HierCost& h) {
+  return machine.intra.predict_us(h.up) + machine.inter.predict_us(h.inter) +
+         machine.intra.predict_us(h.down);
+}
+
+double predict_hier_reduce_us(const TwoLevelModel& machine,
+                              const HierCost& h) {
+  // The up-stage gather ships raw contributions (no combining on the wire);
+  // all intra combining happens in the leader's splice pass, priced at the
+  // intra γ.  Only the leader exchange is a reducing wire pattern.
+  return machine.intra.predict_us(h.up) +
+         machine.intra.gamma_us_per_byte *
+             static_cast<double>(h.local_combine_bytes) +
+         machine.inter.predict_reduce_us(h.inter) +
+         machine.intra.predict_us(h.down);
+}
+
+namespace {
+
+std::vector<std::int64_t> hier_group_candidates(std::int64_t n,
+                                                std::int64_t forced_group) {
+  std::vector<std::int64_t> out;
+  if (forced_group > 0) {
+    out.push_back(std::min(forced_group, n));
+    return out;
+  }
+  // g = 1 is flat-with-extra-steps (every rank its own leader) and g = n a
+  // single group; both stay valid shapes for a forced knob but neither can
+  // beat its flat/degenerate twin, so the auto sweep starts at 2.
+  for (std::int64_t g = 2; g <= n; ++g) out.push_back(g);
+  return out;
+}
+
+/// Sweep (g, inter radix) and keep the strict minimizer.  `cost` maps
+/// (g, r) → HierCost, `predict` prices it; ascending loop order plus strict
+/// < breaks ties toward the smaller group, then the smaller radix.
+template <typename CostFn, typename PredictFn>
+void sweep_hier(std::int64_t n, int k, RadixSet set, std::int64_t forced_group,
+                bool radixed, const CostFn& cost, const PredictFn& predict,
+                HierChoice& out) {
+  bool first = true;
+  for (const std::int64_t g : hier_group_candidates(n, forced_group)) {
+    const std::int64_t groups =
+        ceil_div(n, std::min<std::int64_t>(std::max<std::int64_t>(g, 1), n));
+    const std::vector<std::int64_t> radices =
+        radixed && groups > 1 ? candidate_radices(groups, set, k)
+                              : std::vector<std::int64_t>{2};
+    for (const std::int64_t r : radices) {
+      const HierCost h = cost(g, r);
+      const double t = predict(h);
+      if (first || t < out.hier_us) {
+        out.group = g;
+        out.inter_radix = r;
+        out.hier_cost = h;
+        out.hier_us = t;
+        first = false;
+      }
+    }
+  }
+  out.hier = !first && out.hier_us < out.flat_us;
+}
+
+// (collective, n, k, b, set-or-strategy, forced_group, intra β/τ/γ bits,
+// inter β/τ/γ bits) → choice.  One cache serves all three hierarchical
+// families; the leading discriminator keeps their keys disjoint.
+using HierTunerKey =
+    std::tuple<int, std::int64_t, int, std::int64_t, int, std::int64_t,
+               std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+               std::uint64_t, std::uint64_t>;
+
+MemoCache<HierTunerKey, HierChoice>& hier_tuner_cache() {
+  static MemoCache<HierTunerKey, HierChoice> cache;
+  return cache;
+}
+
+HierTunerKey hier_key(int collective, std::int64_t n, int k,
+                      std::int64_t block_bytes, int discriminant,
+                      std::int64_t forced_group, const TwoLevelModel& m) {
+  return {collective,
+          n,
+          k,
+          block_bytes,
+          discriminant,
+          forced_group,
+          double_bits(m.intra.beta_us),
+          double_bits(m.intra.tau_us_per_byte),
+          double_bits(m.intra.gamma_us_per_byte),
+          double_bits(m.inter.beta_us),
+          double_bits(m.inter.tau_us_per_byte),
+          double_bits(m.inter.gamma_us_per_byte)};
+}
+
+}  // namespace
+
+HierChoice pick_index_plan(std::int64_t n, int k, std::int64_t block_bytes,
+                           const TwoLevelModel& machine, RadixSet set,
+                           std::int64_t forced_group) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  HierChoice out;
+  const RadixChoice flat =
+      pick_index_radix(n, k, block_bytes, machine.inter, set);
+  out.flat_radix = flat.radix;
+  out.flat_us = flat.predicted_us;
+  out.hier_us = flat.predicted_us;
+  if (n == 1) return out;
+  sweep_hier(
+      n, k, set, forced_group, /*radixed=*/true,
+      [&](std::int64_t g, std::int64_t r) {
+        return hier_index_cost(n, k, g, r, block_bytes);
+      },
+      [&](const HierCost& h) { return predict_hier_us(machine, h); }, out);
+  return out;
+}
+
+HierChoice pick_index_plan_cached(std::int64_t n, int k,
+                                  std::int64_t block_bytes,
+                                  const TwoLevelModel& machine, RadixSet set,
+                                  std::int64_t forced_group) {
+  const HierTunerKey key = hier_key(0, n, k, block_bytes,
+                                    static_cast<int>(set), forced_group,
+                                    machine);
+  return hier_tuner_cache().get_or_compute(key, [&] {
+    return pick_index_plan(n, k, block_bytes, machine, set, forced_group);
+  });
+}
+
+HierChoice pick_concat_plan(std::int64_t n, int k, std::int64_t block_bytes,
+                            const TwoLevelModel& machine,
+                            ConcatLastRound strategy,
+                            std::int64_t forced_group) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  HierChoice out;
+  const CostMetrics flat = concat_bruck_cost(
+      n, k, block_bytes,
+      resolve_concat_last_round(n, k, block_bytes, strategy));
+  out.flat_us = machine.inter.predict_us(flat);
+  out.hier_us = out.flat_us;
+  if (n == 1) return out;
+  sweep_hier(
+      n, k, RadixSet::kAll, forced_group, /*radixed=*/false,
+      [&](std::int64_t g, std::int64_t) {
+        return hier_concat_cost(n, k, g, block_bytes, strategy);
+      },
+      [&](const HierCost& h) { return predict_hier_us(machine, h); }, out);
+  return out;
+}
+
+HierChoice pick_concat_plan_cached(std::int64_t n, int k,
+                                   std::int64_t block_bytes,
+                                   const TwoLevelModel& machine,
+                                   ConcatLastRound strategy,
+                                   std::int64_t forced_group) {
+  const HierTunerKey key = hier_key(1, n, k, block_bytes,
+                                    static_cast<int>(strategy), forced_group,
+                                    machine);
+  return hier_tuner_cache().get_or_compute(key, [&] {
+    return pick_concat_plan(n, k, block_bytes, machine, strategy,
+                            forced_group);
+  });
+}
+
+HierChoice pick_reduce_plan(std::int64_t n, int k, std::int64_t block_bytes,
+                            const TwoLevelModel& machine, RadixSet set,
+                            std::int64_t forced_group) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(k >= 1);
+  BRUCK_REQUIRE(block_bytes >= 0);
+  HierChoice out;
+  const RadixChoice flat =
+      pick_reduce_radix(n, k, block_bytes, machine.inter, set);
+  out.flat_radix = flat.radix;
+  out.flat_us = flat.predicted_us;
+  out.hier_us = flat.predicted_us;
+  if (n == 1) return out;
+  sweep_hier(
+      n, k, set, forced_group, /*radixed=*/true,
+      [&](std::int64_t g, std::int64_t r) {
+        return hier_reduce_cost(n, k, g, r, block_bytes);
+      },
+      [&](const HierCost& h) { return predict_hier_reduce_us(machine, h); },
+      out);
+  return out;
+}
+
+HierChoice pick_reduce_plan_cached(std::int64_t n, int k,
+                                   std::int64_t block_bytes,
+                                   const TwoLevelModel& machine, RadixSet set,
+                                   std::int64_t forced_group) {
+  const HierTunerKey key = hier_key(2, n, k, block_bytes,
+                                    static_cast<int>(set), forced_group,
+                                    machine);
+  return hier_tuner_cache().get_or_compute(key, [&] {
+    return pick_reduce_plan(n, k, block_bytes, machine, set, forced_group);
+  });
+}
+
 TunerCacheStats tuner_cache_stats() {
   TunerCacheStats out;
   std::lock_guard<std::mutex> lock(memo_registry_mu());

@@ -153,6 +153,89 @@ struct ReduceScatterChoice {
                                                  std::int64_t limit = 1 << 20);
 
 // ---------------------------------------------------------------------------
+// Hierarchical (two-level leader-model) tuning.  A flat algorithm sends
+// across group boundaries, so on a TwoLevelModel it is priced entirely under
+// `inter`; a hierarchical candidate prices its gather/scatter stages under
+// `intra` and only the leader exchange under `inter`.  The tuner sweeps the
+// group size g (and the inter-leader radix where one applies) and reports
+// whether the best hierarchy beats the best flat algorithm.
+
+struct HierChoice {
+  /// True: the best hierarchical shape is strictly cheaper than flat.
+  bool hier = false;
+  /// Nominal group size of the best hierarchical candidate (1 when n == 1).
+  std::int64_t group = 1;
+  /// Inter-leader radix of the best hierarchical candidate (index/reduce
+  /// only; 2 for concat, whose inter stage has no radix).
+  std::int64_t inter_radix = 2;
+  /// Radix of the best *flat* algorithm (index/reduce only; 2 for concat).
+  std::int64_t flat_radix = 2;
+  double flat_us = 0.0;
+  double hier_us = 0.0;
+  /// Stage measures of the best hierarchical candidate.
+  HierCost hier_cost;
+};
+
+/// Predicted time (µs) of a hierarchical non-reducing collective: intra
+/// stages under machine.intra, the leader exchange under machine.inter.
+[[nodiscard]] double predict_hier_us(const TwoLevelModel& machine,
+                                     const HierCost& h);
+
+/// Reducing variant: the leader exchange is priced with the γ-extended
+/// predict_reduce_us, and the leader-local splice combines add
+/// intra.γ · local_combine_bytes (they run at memory speed on the leader).
+[[nodiscard]] double predict_hier_reduce_us(const TwoLevelModel& machine,
+                                            const HierCost& h);
+
+/// Flat-vs-hierarchical pick for the index operation (alltoall).  Sweeps
+/// g ∈ [2, n] (or only `forced_group` when > 0) and, per g, the inter
+/// radices candidate_radices(G, set, k).  `group`/`inter_radix` always name
+/// the best hierarchical candidate even when flat wins, so a forced-on knob
+/// can still run the best shape.  Ties break toward flat, then smaller g.
+[[nodiscard]] HierChoice pick_index_plan(std::int64_t n, int k,
+                                         std::int64_t block_bytes,
+                                         const TwoLevelModel& machine,
+                                         RadixSet set = RadixSet::kAll,
+                                         std::int64_t forced_group = 0);
+
+/// Memoized pick_index_plan, keyed on (n, k, b, set, forced_group, both
+/// models' β/τ/γ bits).  Thread-safe; shares the tuner cache counters.
+[[nodiscard]] HierChoice pick_index_plan_cached(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const TwoLevelModel& machine, RadixSet set = RadixSet::kAll,
+    std::int64_t forced_group = 0);
+
+/// Flat-vs-hierarchical pick for concatenation (allgather).  The inter
+/// stage has no radix; `strategy` resolves against the super-block size
+/// inside the cost formula.
+[[nodiscard]] HierChoice pick_concat_plan(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const TwoLevelModel& machine,
+    ConcatLastRound strategy = ConcatLastRound::kAuto,
+    std::int64_t forced_group = 0);
+
+/// Memoized pick_concat_plan.  Thread-safe; shares the tuner counters.
+[[nodiscard]] HierChoice pick_concat_plan_cached(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const TwoLevelModel& machine,
+    ConcatLastRound strategy = ConcatLastRound::kAuto,
+    std::int64_t forced_group = 0);
+
+/// Flat-vs-hierarchical pick for reduce-scatter (γ-extended model on the
+/// reducing stages).
+[[nodiscard]] HierChoice pick_reduce_plan(std::int64_t n, int k,
+                                          std::int64_t block_bytes,
+                                          const TwoLevelModel& machine,
+                                          RadixSet set = RadixSet::kAll,
+                                          std::int64_t forced_group = 0);
+
+/// Memoized pick_reduce_plan.  Thread-safe; shares the tuner counters.
+[[nodiscard]] HierChoice pick_reduce_plan_cached(
+    std::int64_t n, int k, std::int64_t block_bytes,
+    const TwoLevelModel& machine, RadixSet set = RadixSet::kAll,
+    std::int64_t forced_group = 0);
+
+// ---------------------------------------------------------------------------
 // Wire segmentation (the pipelined executor's per-message pipelining knob).
 
 struct SegmentChoice {

@@ -172,4 +172,56 @@ TablePartition column_granular_partition(std::int64_t n1, std::int64_t n2,
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// GroupGeometry
+
+GroupGeometry::GroupGeometry(std::int64_t n, std::int64_t group) : n_(n) {
+  BRUCK_REQUIRE(n >= 1);
+  BRUCK_REQUIRE(group >= 1);
+  group_ = std::min(group, n);
+  groups_ = ceil_div(n_, group_);
+}
+
+std::int64_t GroupGeometry::group_of(std::int64_t rank) const {
+  BRUCK_REQUIRE(rank >= 0 && rank < n_);
+  return rank / group_;
+}
+
+std::int64_t GroupGeometry::first(std::int64_t q) const {
+  BRUCK_REQUIRE(q >= 0 && q < groups_);
+  return q * group_;
+}
+
+std::int64_t GroupGeometry::size_of(std::int64_t q) const {
+  return std::min(n_, first(q) + group_) - first(q);
+}
+
+std::int64_t GroupGeometry::leader_of(std::int64_t rank) const {
+  return first(group_of(rank));
+}
+
+bool GroupGeometry::is_leader(std::int64_t rank) const {
+  return leader_of(rank) == rank;
+}
+
+std::int64_t GroupGeometry::local_of(std::int64_t rank) const {
+  return rank - leader_of(rank);
+}
+
+std::vector<std::int64_t> GroupGeometry::members(std::int64_t q) const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(size_of(q)));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = first(q) + static_cast<std::int64_t>(i);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> GroupGeometry::leaders() const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(groups_));
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    out[q] = first(static_cast<std::int64_t>(q));
+  }
+  return out;
+}
+
 }  // namespace bruck::topo

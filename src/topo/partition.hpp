@@ -91,4 +91,48 @@ struct TablePartition {
                                                        std::int64_t n2,
                                                        std::int64_t b, int k);
 
+/// Contiguous leader-model processor partition: n ranks split into
+/// ⌈n/group⌉ groups of nominal size `group` (the last group takes the
+/// remainder).  Group q spans global ranks [q·group, min(n, (q+1)·group));
+/// its leader is the group's first rank.  Leaders are therefore
+/// {0, group, 2·group, …} — the rank set of the inter-leader exchange of
+/// the hierarchical two-level collectives.
+///
+/// Degenerates are first-class: group = 1 makes every rank its own leader
+/// (the inter stage is the flat collective), group ≥ n makes one group of
+/// n (the inter stage is trivial).
+struct GroupGeometry {
+  GroupGeometry(std::int64_t n, std::int64_t group);
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  /// Nominal group size (clamped to [1, n] at construction).
+  [[nodiscard]] std::int64_t group() const { return group_; }
+  /// Number of groups G = ⌈n / group⌉.
+  [[nodiscard]] std::int64_t groups() const { return groups_; }
+  /// Group index of a global rank.
+  [[nodiscard]] std::int64_t group_of(std::int64_t rank) const;
+  /// First global rank (= the leader) of group q.
+  [[nodiscard]] std::int64_t first(std::int64_t q) const;
+  /// Size of group q (= group(), except possibly the last group).
+  [[nodiscard]] std::int64_t size_of(std::int64_t q) const;
+  /// Largest group size — the nominal size, i.e. group().
+  [[nodiscard]] std::int64_t max_size() const { return group_; }
+  /// Leader (first rank) of the group containing `rank`.
+  [[nodiscard]] std::int64_t leader_of(std::int64_t rank) const;
+  [[nodiscard]] bool is_leader(std::int64_t rank) const;
+  /// Intra-group rank: rank − first(group_of(rank)).
+  [[nodiscard]] std::int64_t local_of(std::int64_t rank) const;
+  /// Global ranks of group q, ascending.
+  [[nodiscard]] std::vector<std::int64_t> members(std::int64_t q) const;
+  /// Global ranks of all leaders, ascending (one per group).
+  [[nodiscard]] std::vector<std::int64_t> leaders() const;
+
+  friend bool operator==(const GroupGeometry&, const GroupGeometry&) = default;
+
+ private:
+  std::int64_t n_ = 1;
+  std::int64_t group_ = 1;
+  std::int64_t groups_ = 1;
+};
+
 }  // namespace bruck::topo

@@ -151,6 +151,68 @@ TEST(FabricEnvParsing, InvalidRingBytesFallsBackToDefault) {
 }
 
 // ---------------------------------------------------------------------------
+// 1c. Strict BRUCK_HIER / BRUCK_HIER_GROUP_SIZE parsing (the hierarchical
+// collectives' knobs ride the same seam: whole-string match or rejection +
+// warn-once fallback, never a half-parsed value).
+
+TEST(HierEnvParsing, ModeAcceptsExactNamesOnly) {
+  EXPECT_EQ(coll::parse_hier_mode("off"), coll::HierMode::kOff);
+  EXPECT_EQ(coll::parse_hier_mode("on"), coll::HierMode::kOn);
+  EXPECT_EQ(coll::parse_hier_mode("auto"), coll::HierMode::kAuto);
+  EXPECT_FALSE(coll::parse_hier_mode(nullptr));
+  EXPECT_FALSE(coll::parse_hier_mode(""));
+  EXPECT_FALSE(coll::parse_hier_mode("On"));      // no case folding
+  EXPECT_FALSE(coll::parse_hier_mode("auto "));   // trailing junk
+  EXPECT_FALSE(coll::parse_hier_mode("hier"));
+  EXPECT_FALSE(coll::parse_hier_mode("1"));
+}
+
+TEST(HierEnvParsing, GroupSizeRejectsOverflowJunkAndOutOfRange) {
+  // Same strtol-saturation hazard as the timeout knob.
+  EXPECT_FALSE(coll::parse_hier_group("99999999999999999999999"));
+  EXPECT_FALSE(coll::parse_hier_group("-99999999999999999999999"));
+  EXPECT_FALSE(coll::parse_hier_group(nullptr));
+  EXPECT_FALSE(coll::parse_hier_group(""));
+  EXPECT_FALSE(coll::parse_hier_group("abc"));
+  EXPECT_FALSE(coll::parse_hier_group("8x"));
+  EXPECT_FALSE(coll::parse_hier_group("1e3"));
+  EXPECT_FALSE(coll::parse_hier_group("-1"));
+  EXPECT_FALSE(coll::parse_hier_group("1048577"));  // above the sanity cap
+  ASSERT_TRUE(coll::parse_hier_group("0"));         // 0 = tune
+  EXPECT_EQ(*coll::parse_hier_group("0"), 0);
+  EXPECT_EQ(*coll::parse_hier_group("8"), 8);
+  EXPECT_EQ(*coll::parse_hier_group("1048576"), 1048576);
+}
+
+TEST(HierEnvParsing, InvalidEnvFallsBackToDefaults) {
+  const char* prior_mode_raw = std::getenv("BRUCK_HIER");
+  const std::string prior_mode = prior_mode_raw ? prior_mode_raw : "";
+  const char* prior_group_raw = std::getenv("BRUCK_HIER_GROUP_SIZE");
+  const std::string prior_group = prior_group_raw ? prior_group_raw : "";
+
+  ASSERT_EQ(setenv("BRUCK_HIER", "sometimes", 1), 0);
+  EXPECT_EQ(coll::default_hier_mode(), coll::HierMode::kOff);
+  ASSERT_EQ(setenv("BRUCK_HIER", "auto", 1), 0);
+  EXPECT_EQ(coll::default_hier_mode(), coll::HierMode::kAuto);
+  ASSERT_EQ(unsetenv("BRUCK_HIER"), 0);
+  EXPECT_EQ(coll::default_hier_mode(), coll::HierMode::kOff);
+
+  ASSERT_EQ(setenv("BRUCK_HIER_GROUP_SIZE", "lots", 1), 0);
+  EXPECT_EQ(coll::default_hier_group(), 0);
+  ASSERT_EQ(setenv("BRUCK_HIER_GROUP_SIZE", "4", 1), 0);
+  EXPECT_EQ(coll::default_hier_group(), 4);
+  ASSERT_EQ(unsetenv("BRUCK_HIER_GROUP_SIZE"), 0);
+  EXPECT_EQ(coll::default_hier_group(), 0);
+
+  if (prior_mode_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_HIER", prior_mode.c_str(), 1), 0);
+  }
+  if (prior_group_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_HIER_GROUP_SIZE", prior_group.c_str(), 1), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // 2. The shape-digest sentinel reservation.
 
 TEST(ShapeDigestSentinel, ZeroHashIsRemappedToOne) {

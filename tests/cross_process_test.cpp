@@ -256,6 +256,97 @@ TEST(CrossProcess, LargerFabricSingleConfig) {
   expect_backend_matches_oracle(cfg, oracle, mps::FabricBackend::kSocket);
 }
 
+/// The hierarchical leg: all three leader-model composites chained on one
+/// communicator with a forced non-dividing group size, so the GroupComm
+/// gather/scatter stages and the inter-leader exchange all run over the
+/// real fabric under test.
+std::vector<std::byte> hier_body(mps::Communicator& comm,
+                                 const SweepConfig& cfg, std::int64_t group) {
+  const std::int64_t n = comm.size();
+  const std::int64_t rank = comm.rank();
+  const std::int64_t b = cfg.b;
+  std::vector<std::byte> blob;
+  const auto append = [&](std::span<const std::byte> bytes) {
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+  };
+
+  coll::AlltoallOptions ao;
+  ao.hier = coll::HierMode::kOn;
+  ao.hier_group = group;
+  std::vector<std::byte> isend(static_cast<std::size_t>(n * b));
+  std::vector<std::byte> irecv(isend.size(), std::byte{0xEE});
+  coll::fill_index_send(isend, n, rank, b, cfg.seed);
+  int round = coll::alltoall(comm, isend, irecv, b, ao);
+  append(irecv);
+
+  coll::AllgatherOptions go;
+  go.hier = coll::HierMode::kOn;
+  go.hier_group = group;
+  go.start_round = round;
+  std::vector<std::byte> csend(static_cast<std::size_t>(b));
+  std::vector<std::byte> crecv(static_cast<std::size_t>(n * b),
+                               std::byte{0xEE});
+  coll::fill_concat_send(csend, rank, b, cfg.seed + 1);
+  round = coll::allgather(comm, csend, crecv, b, go);
+  append(crecv);
+
+  const std::int64_t rbytes = 16;
+  std::vector<std::byte> rsend(static_cast<std::size_t>(n * rbytes));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t e = 0; e < 2; ++e) {
+      const std::int64_t v = rank * 1000 + j * 10 + e;
+      std::memcpy(rsend.data() + j * rbytes + e * 8, &v, 8);
+    }
+  }
+  std::vector<std::byte> rrecv(static_cast<std::size_t>(rbytes),
+                               std::byte{0xEE});
+  coll::ReduceScatterOptions ro;
+  ro.hier = coll::HierMode::kOn;
+  ro.hier_group = group;
+  ro.start_round = round;
+  coll::reduce_scatter(comm, rsend, rrecv, rbytes,
+                       coll::ReduceOp::sum(coll::ReduceElem::kI64), ro);
+  append(rrecv);
+
+  return blob;
+}
+
+TEST(CrossProcess, HierarchicalLeaderModelMatchesOracleBitwise) {
+  // n = 7 with groups of 3: a smaller last group, idle non-leaders during
+  // the inter stage, and sub-communicator stages — on real processes.
+  SweepConfig cfg;
+  cfg.n = 7;
+  cfg.k = 2;
+  cfg.b = 12;
+  cfg.seed = 0x41E7;
+  const std::int64_t group = 3;
+  const auto body = [cfg, group](mps::Communicator& comm) {
+    return hier_body(comm, cfg, group);
+  };
+  mps::SpawnOptions so;
+  so.n = cfg.n;
+  so.k = cfg.k;
+  so.record_trace = true;
+  so.recv_timeout = std::chrono::milliseconds(20000);
+
+  so.backend = mps::FabricBackend::kThread;
+  const mps::SpawnResult oracle = mps::spawn_local(so, body);
+  for (const mps::FabricBackend backend :
+       {mps::FabricBackend::kShm, mps::FabricBackend::kSocket}) {
+    so.backend = backend;
+    const mps::SpawnResult got = mps::spawn_local(so, body);
+    for (std::int64_t r = 0; r < cfg.n; ++r) {
+      const auto& want = oracle.rank_payloads[static_cast<std::size_t>(r)];
+      const auto& have = got.rank_payloads[static_cast<std::size_t>(r)];
+      ASSERT_FALSE(want.empty());
+      ASSERT_EQ(have, want) << "rank " << r << " hierarchical payload "
+                            << "diverged on " << mps::to_string(backend);
+    }
+    ASSERT_TRUE(got.trace->to_schedule() == oracle.trace->to_schedule())
+        << "hierarchical schedule diverged on " << mps::to_string(backend);
+  }
+}
+
 TEST(CrossProcess, ShmBackpressureTinyRing) {
   // Force constant ring wraparound and push backpressure: a ring barely
   // bigger than the minimum must still complete a payload-heavy sweep

@@ -7,6 +7,7 @@
 //   bruckcl_plan compile <n> <k> <counts_file> [radix]
 //   bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]
 //   bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]
+//   bruckcl_plan compile --hier <n> <k> <block_bytes> [group]
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
@@ -28,6 +29,13 @@
 // ride the zero-copy contiguous-run fast path — and keys the lowered plans
 // with the digest, exactly like the facade.
 //
+// With `--hier`, `compile` prints the two-level leader-model lowering: the
+// tuner's flat-vs-hierarchical decision under a skewed intra/inter machine
+// (shm-like groups over socket-like links), then the per-stage anatomy of
+// each family's composite — gather to the leaders, the inter-leader
+// exchange, the scatter/broadcast back — for the chosen (or forced) group
+// size.
+//
 // When `compile`'s third argument is a file instead of a number, it is read
 // as a whitespace-separated irregular shape: n*n integers make an alltoallv
 // count matrix (counts[i*n+j] = bytes rank i sends to rank j), n integers an
@@ -43,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/composite.hpp"
 #include "coll/layout.hpp"
 #include "coll/plan.hpp"
 #include "coll/plan_cache.hpp"
@@ -65,6 +74,7 @@ int usage() {
             << "  bruckcl_plan compile <n> <k> <counts_file> [radix]\n"
             << "  bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]\n"
             << "  bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]\n"
+            << "  bruckcl_plan compile --hier <n> <k> <block_bytes> [group]\n"
             << "    counts_file: n*n whitespace-separated integers (alltoallv\n"
             << "    matrix) or n integers (allgatherv per-rank counts)\n"
             << "    --layout: strided user-buffer datatype; count*blocklen\n"
@@ -270,6 +280,57 @@ int cmd_compile_nonblocking(std::int64_t n, int k, std::int64_t b,
   return 0;
 }
 
+int cmd_compile_hier(std::int64_t n, int k, std::int64_t b,
+                     std::int64_t group) {
+  namespace coll = bruck::coll;
+  namespace model = bruck::model;
+  const model::TwoLevelModel machine = model::shm_socket_two_level();
+  std::cout << "hierarchical (two-level leader-model) lowering: n = " << n
+            << ", k = " << k << ", b = " << b << " bytes\n"
+            << "machine: intra \"" << machine.intra.name << "\" (beta "
+            << machine.intra.beta_us << " us, tau "
+            << machine.intra.tau_us_per_byte << " us/B), inter \""
+            << machine.inter.name << "\" (beta " << machine.inter.beta_us
+            << " us, tau " << machine.inter.tau_us_per_byte << " us/B)\n\n";
+
+  const auto show = [&](const std::string& family,
+                        const model::HierChoice& choice,
+                        const coll::CompositePlan& cp) {
+    std::cout << family << ": flat ~" << choice.flat_us << " us vs hier ~"
+              << choice.hier_us << " us -> "
+              << (choice.hier ? "hierarchical wins" : "flat wins")
+              << " (g = " << choice.group << ", inter r = "
+              << choice.inter_radix << ")\n"
+              << cp.describe() << '\n';
+  };
+
+  const model::HierChoice ci =
+      model::pick_index_plan(n, k, b, machine, model::RadixSet::kAll, group);
+  coll::HierShape si;
+  si.group = ci.group;
+  si.inter_radix = ci.inter_radix;
+  show("index (alltoall)", ci,
+       coll::CompositePlan::lower_index_hier(n, k, /*rank=*/0, b, si));
+
+  const model::HierChoice cc = model::pick_concat_plan(
+      n, k, b, machine, model::ConcatLastRound::kAuto, group);
+  coll::HierShape sc;
+  sc.group = cc.group;
+  show("concat (allgather)", cc,
+       coll::CompositePlan::lower_concat_hier(n, k, /*rank=*/0, b, sc));
+
+  const model::HierChoice cr =
+      model::pick_reduce_plan(n, k, b, machine, model::RadixSet::kAll, group);
+  coll::HierShape sr;
+  sr.group = cr.group;
+  sr.inter_radix = cr.inter_radix;
+  show("reduce (reduce-scatter)", cr,
+       coll::CompositePlan::lower_reduce_hier(
+           n, k, /*rank=*/0, b,
+           coll::ReduceOp::sum(coll::ReduceElem::kF64), sr));
+  return 0;
+}
+
 int cmd_compile_counts(std::int64_t n, int k, const std::string& path,
                        std::int64_t radix) {
   namespace coll = bruck::coll;
@@ -351,6 +412,13 @@ int main(int argc, char** argv) {
     for (int i = 2; i + 1 < argc; ++i) argv[i] = argv[i + 1];
     --argc;
   }
+  // `compile --hier ...`: note the flag and parse the rest as usual.
+  bool hier = false;
+  if (argc >= 3 && std::string(argv[2]) == "--hier") {
+    hier = true;
+    for (int i = 2; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+  }
   // `compile --layout c,b,s ...`: parse the datatype, strip both tokens.
   bool has_layout = false;
   bruck::coll::Layout layout;
@@ -374,8 +442,8 @@ int main(int argc, char** argv) {
   }
   if (argc < 5) return usage();
   const std::string cmd = argv[1];
-  if ((nonblocking || has_layout) && cmd != "compile") return usage();
-  if (nonblocking && has_layout) return usage();
+  if ((nonblocking || has_layout || hier) && cmd != "compile") return usage();
+  if (nonblocking + has_layout + hier > 1) return usage();
   const std::int64_t n = std::atoll(argv[2]);
   const int k = std::atoi(argv[3]);
   const std::string arg4 = argv[4];
@@ -398,6 +466,10 @@ int main(int argc, char** argv) {
       if (nonblocking) {
         if (!arg4_numeric) return usage();
         return cmd_compile_nonblocking(n, k, b, radix);
+      }
+      if (hier) {
+        if (!arg4_numeric) return usage();
+        return cmd_compile_hier(n, k, b, /*group=*/radix);
       }
       if (!arg4_numeric) {
         if (has_layout) return usage();
