@@ -12,17 +12,23 @@
 //   bench_fabric [--smoke] [--csv <path>]
 //
 // CSV columns: backend, collective, n, k, block_bytes, reps, wall_seconds,
-// mb_per_s (aggregate payload through one rank per second).
+// mb_per_s (aggregate payload through one rank per second), default_radix,
+// calibrated_radix — the last two compare the index-radix pick under the
+// compiled-in machine vs this fabric's measured β/τ (tune:: ladder, run
+// once per backend; equal when calibration is unavailable).
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_args.hpp"
 #include "coll/api.hpp"
+#include "model/tuner.hpp"
 #include "mps/bootstrap.hpp"
+#include "tune/calibrate.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -90,6 +96,42 @@ double run_workload(bruck::mps::FabricBackend backend, const Workload& w) {
   return r.wall_seconds;
 }
 
+/// One tune::calibrate launch on `backend`; nullopt when the fabric can't
+/// be measured (single rank / non-native engine).
+std::optional<bruck::model::LinearModel> calibrate_backend(
+    bruck::mps::FabricBackend backend, std::int64_t n, int k) {
+  bruck::mps::SpawnOptions so;
+  so.n = n;
+  so.k = k;
+  so.backend = backend;
+  so.record_trace = false;
+  const std::string fabric = bruck::mps::to_string(backend);
+  const bruck::mps::SpawnResult run = bruck::mps::spawn_local(
+      so, [&fabric](bruck::mps::Communicator& comm) -> std::vector<std::byte> {
+        const bruck::tune::Calibration cal =
+            bruck::tune::calibrate(comm, fabric);
+        std::vector<std::byte> payload(1 + 3 * sizeof(double));
+        payload[0] = cal.measured ? std::byte{1} : std::byte{0};
+        const double vals[3] = {cal.machine.beta_us,
+                                cal.machine.tau_us_per_byte,
+                                cal.machine.gamma_us_per_byte};
+        std::memcpy(payload.data() + 1, vals, sizeof(vals));
+        return payload;
+      });
+  const std::vector<std::byte>& p0 = run.rank_payloads.at(0);
+  if (p0.size() != 1 + 3 * sizeof(double) || p0[0] != std::byte{1}) {
+    return std::nullopt;
+  }
+  double vals[3] = {};
+  std::memcpy(vals, p0.data() + 1, sizeof(vals));
+  bruck::model::LinearModel m;
+  m.name = fabric;
+  m.beta_us = vals[0];
+  m.tau_us_per_byte = vals[1];
+  m.gamma_us_per_byte = vals[2];
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,7 +143,8 @@ int main(int argc, char** argv) {
         csv_file,
         std::vector<std::string>{"backend", "collective", "n", "k",
                                  "block_bytes", "reps", "group",
-                                 "wall_seconds", "mb_per_s"});
+                                 "wall_seconds", "mb_per_s", "default_radix",
+                                 "calibrated_radix"});
   }
 
   const std::int64_t n = args.smoke ? 4 : 8;
@@ -131,6 +174,21 @@ int main(int argc, char** argv) {
       bruck::mps::FabricBackend::kThread, bruck::mps::FabricBackend::kShm,
       bruck::mps::FabricBackend::kSocket};
 
+  // Measure β/τ/γ once per fabric up front; the CSV's calibrated_radix
+  // column shows where the measured constants move the index-radix pick
+  // away from the compiled-in ibm_sp1 model on that fabric.
+  std::optional<bruck::model::LinearModel> measured[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    measured[i] = calibrate_backend(backends[i], n, 2);
+    if (measured[i]) {
+      std::cout << "calibrated " << bruck::mps::to_string(backends[i])
+                << ": beta = " << measured[i]->beta_us
+                << " us, tau = " << measured[i]->tau_us_per_byte
+                << " us/B\n";
+    }
+  }
+  std::cout << "\n";
+
   std::cout << "transport backends, wall clock (n = " << n << ", k = 2, "
             << reps << " reps per cell)\n\n";
   bruck::TextTable t({"collective", "b bytes", "thread s", "shm s",
@@ -141,17 +199,30 @@ int main(int argc, char** argv) {
             ? std::string(w.collective) + " g=" + std::to_string(w.hier_group)
             : std::string(w.collective);
     std::vector<std::string> row{name, std::to_string(w.block_bytes)};
-    for (const auto backend : backends) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto backend = backends[i];
       const double secs = run_workload(backend, w);
       row.push_back(std::to_string(secs));
       if (csv) {
         const double payload_mb =
             static_cast<double>(w.n * w.block_bytes) * w.reps / 1.0e6;
+        const std::int64_t default_radix =
+            bruck::model::pick_index_radix(w.n, w.k, w.block_bytes,
+                                           bruck::model::ibm_sp1())
+                .radix;
+        const std::int64_t calibrated_radix =
+            measured[i] ? bruck::model::pick_index_radix(w.n, w.k,
+                                                         w.block_bytes,
+                                                         *measured[i])
+                              .radix
+                        : default_radix;
         csv->row({bruck::mps::to_string(backend), w.collective,
                   std::to_string(w.n), std::to_string(w.k),
                   std::to_string(w.block_bytes), std::to_string(w.reps),
                   std::to_string(w.hier_group), std::to_string(secs),
-                  std::to_string(secs > 0 ? payload_mb / secs : 0.0)});
+                  std::to_string(secs > 0 ? payload_mb / secs : 0.0),
+                  std::to_string(default_radix),
+                  std::to_string(calibrated_radix)});
       }
     }
     t.add_row(std::move(row));

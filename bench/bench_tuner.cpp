@@ -5,15 +5,29 @@
 //   * the extended model T = g1·C1·ts + g2·C2·tc + g3 (Section 3.5) fitted
 //     against this machine's wall-clock measurements of the threaded
 //     substrate, with R².
+//
+// With --calibrated the bench instead measures β/τ/γ on the live thread
+// fabric (the tune:: micro-exchange ladder), re-runs the Fig 5/6 pick
+// sweeps under the *measured* constants, validates the paper's crossover
+// shape (small blocks → high radix, large blocks → radix 2; the reduce
+// family flips from Bruck to direct), and publishes the series as CSV
+// (default bench_tuner_calibrated.csv; override with --csv).
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "bench_common.hpp"
 #include "model/extended_model.hpp"
 #include "model/linear_model.hpp"
 #include "model/tuner.hpp"
+#include "mps/bootstrap.hpp"
+#include "tune/calibrate.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -41,9 +55,147 @@ double wall_us(std::int64_t n, int k, std::int64_t b, std::int64_t r) {
   return best;
 }
 
+/// Measure β/τ/γ on the live thread fabric: three tune:: ladders in one
+/// launch, per-constant median (one noisy ladder — a τ slope fit collapsed
+/// by scheduler jitter — must not derail the sweep below).
+bruck::model::LinearModel calibrate_thread_fabric(std::int64_t n, int k) {
+  bruck::mps::SpawnOptions so;
+  so.n = n;
+  so.k = k;
+  so.backend = bruck::mps::FabricBackend::kThread;
+  so.record_trace = false;
+  constexpr int kLadders = 3;
+  const bruck::mps::SpawnResult run = bruck::mps::spawn_local(
+      so, [](bruck::mps::Communicator& comm) -> std::vector<std::byte> {
+        std::vector<std::byte> payload(kLadders * 3 * sizeof(double));
+        for (int rep = 0; rep < kLadders; ++rep) {
+          const bruck::tune::Calibration cal =
+              bruck::tune::calibrate(comm, "thread");
+          const double vals[3] = {cal.machine.beta_us,
+                                  cal.machine.tau_us_per_byte,
+                                  cal.machine.gamma_us_per_byte};
+          std::memcpy(payload.data() + rep * sizeof(vals), vals,
+                      sizeof(vals));
+        }
+        return payload;
+      });
+  double vals[kLadders][3] = {};
+  std::memcpy(vals, run.rank_payloads.at(0).data(), sizeof(vals));
+  bruck::model::LinearModel m;
+  m.name = "thread-measured";
+  double* out[3] = {&m.beta_us, &m.tau_us_per_byte, &m.gamma_us_per_byte};
+  for (int c = 0; c < 3; ++c) {
+    double series[kLadders];
+    for (int rep = 0; rep < kLadders; ++rep) series[rep] = vals[rep][c];
+    std::sort(series, series + kLadders);
+    *out[c] = series[kLadders / 2];
+  }
+  return m;
+}
+
+/// Fig 5/6 pick sweeps under measured constants: the paper's crossover
+/// shape must reproduce from the live machine alone.
+int run_calibrated(const bruck::bench::BenchArgs& args) {
+  namespace model = bruck::model;
+  const std::int64_t n = 64;
+  const int k = 1;
+  const model::LinearModel measured =
+      calibrate_thread_fabric(/*ranks=*/8, /*ports=*/1);
+  std::cout << "measured thread-fabric constants: beta = " << measured.beta_us
+            << " us, tau = " << measured.tau_us_per_byte
+            << " us/B, gamma = " << measured.gamma_us_per_byte << " us/B\n\n";
+
+  std::ofstream csv_file;
+  csv_file.open(args.csv_path.empty() ? "bench_tuner_calibrated.csv"
+                                      : args.csv_path);
+  if (!csv_file) {
+    std::cerr << "cannot open csv output\n";
+    return 2;
+  }
+  bruck::CsvWriter csv(csv_file, {"family", "block_bytes", "pick",
+                                  "predicted_us"});
+
+  // Fig 5: index-radix picks over the block-size sweep.  The shape the
+  // paper predicts: startup-dominated small blocks take the minimum-round
+  // radix 2, bandwidth-dominated large blocks climb toward the
+  // volume-optimal radix ≈ n — with a crossover in between.
+  std::cout << "index-radix picks under measured constants (n = " << n
+            << ", k = " << k << "):\n";
+  bruck::TextTable t({"block bytes", "radix", "modeled us"});
+  std::int64_t first_radix = 0;
+  std::int64_t last_radix = 0;
+  std::int64_t index_crossover = 0;
+  // The sweep is purely modeled (no wire traffic), so it can run far past
+  // any plausible crossover: with a startup-heavy measured β/τ ratio the
+  // flip can sit well beyond the 64 KiB of the compiled-in profiles.
+  for (std::int64_t b = 1; b <= (std::int64_t{1} << 24); b *= 4) {
+    const model::RadixChoice c = model::pick_index_radix(n, k, b, measured);
+    t.add(b, c.radix, c.predicted_us);
+    csv.row({"index", std::to_string(b), std::to_string(c.radix),
+             std::to_string(c.predicted_us)});
+    if (first_radix == 0) first_radix = c.radix;
+    if (index_crossover == 0 && c.radix > first_radix) index_crossover = b;
+    last_radix = c.radix;
+  }
+  t.print(std::cout);
+
+  // Fig 6: the reduce family's direct-vs-Bruck flip under the γ-extended
+  // measured model.
+  std::cout << "\nreduce-scatter picks under measured constants:\n";
+  bruck::TextTable rt({"block bytes", "pick", "modeled us"});
+  bool saw_bruck = false;
+  std::int64_t reduce_crossover = 0;
+  for (std::int64_t b = 8; b <= (std::int64_t{1} << 24); b *= 4) {
+    const model::ReduceScatterChoice c =
+        model::pick_reduce_scatter_cached(n, k, b, measured);
+    const std::string pick =
+        c.direct ? "direct" : "bruck r=" + std::to_string(c.radix);
+    rt.add(b, pick, c.predicted_us);
+    csv.row({"reduce", std::to_string(b), pick,
+             std::to_string(c.predicted_us)});
+    if (!c.direct) saw_bruck = true;
+    if (saw_bruck && c.direct && reduce_crossover == 0) reduce_crossover = b;
+  }
+  rt.print(std::cout);
+
+  // The crossover validation CI greps for: measured constants alone must
+  // reproduce the paper's qualitative shape.
+  std::cout << "\ncrossover index " << index_crossover << "\n"
+            << "crossover shape "
+            << (last_radix > first_radix && index_crossover > 0 ? "ok"
+                                                                : "DEGENERATE")
+            << " (radix " << first_radix << " at b=1 -> " << last_radix
+            << " at b=16Mi)\n";
+  if (reduce_crossover > 0) {
+    std::cout << "crossover reduce " << reduce_crossover << "\n";
+  }
+  if (!(last_radix > first_radix && index_crossover > 0)) {
+    std::cerr << "error: measured constants did not reproduce the Fig 5 "
+                 "radix crossover\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --calibrated switches to the measured-constants sweep; the remaining
+  // flags are the standard bench set.
+  bool calibrated = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--calibrated") {
+      calibrated = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bruck::bench::BenchArgs args = bruck::bench::parse_bench_args(
+      static_cast<int>(rest.size()), rest.data());
+  if (calibrated) return run_calibrated(args);
+
   std::cout << "tuner choice vs exhaustive best radix (n = 64, k = 1)\n\n";
   bruck::TextTable t({"machine", "block bytes", "tuned r", "modeled us",
                       "worst r", "worst us", "speedup"});

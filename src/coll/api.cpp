@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -144,23 +145,39 @@ bool hier_eligible(HierMode resolved, std::int64_t n, std::int64_t block_bytes,
          bruck_family;
 }
 
+/// Microseconds since `start` on the wall clock (the adaptive tuner's
+/// feedback signal).
+double wall_since_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 /// The shared compiled tail of both collectives: fetch (or lower once) the
 /// plan for `key`, execute it through the requested executor, and report
-/// the cache/round/byte statistics.
+/// the cache/round/byte statistics.  `wall_out`, when given, receives the
+/// measured execution wall time in microseconds (also carried on the
+/// PlanEvent).
 int run_compiled(mps::Communicator& comm, const PlanKey& key,
                  std::span<const std::byte> send, std::span<std::byte> recv,
                  std::int64_t block_bytes, int start_round, bool pipelined,
-                 const LayoutPair& layouts = {}) {
+                 const LayoutPair& layouts = {},
+                 double* wall_out = nullptr) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const auto start = std::chrono::steady_clock::now();
   const PlanExecution ex =
       pipelined
           ? lookup.plan->run_pipelined(comm, send, recv, block_bytes,
                                        start_round, layouts)
           : lookup.plan->run(comm, send, recv, block_bytes, start_round,
                              layouts);
-  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
-                                        lookup.plan->round_count(),
-                                        ex.bytes_sent});
+  const double wall_us = wall_since_us(start);
+  mps::PlanEvent event{lookup.cache_hit, lookup.plan->round_count(),
+                       ex.bytes_sent};
+  event.wall_us = wall_us;
+  comm.record_plan_event(event);
+  if (wall_out != nullptr) *wall_out = wall_us;
   return ex.next_round;
 }
 
@@ -171,14 +188,16 @@ int run_compiled_v(mps::Communicator& comm, const PlanKey& key,
                    const VectorView& view, int start_round, bool pipelined,
                    const LayoutPair& layouts = {}) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const auto start = std::chrono::steady_clock::now();
   const PlanExecution ex =
       pipelined
           ? lookup.plan->run_pipelined(comm, send, recv, view, start_round,
                                        layouts)
           : lookup.plan->run(comm, send, recv, view, start_round, layouts);
-  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
-                                        lookup.plan->round_count(),
-                                        ex.bytes_sent});
+  mps::PlanEvent event{lookup.cache_hit, lookup.plan->round_count(),
+                       ex.bytes_sent};
+  event.wall_us = wall_since_us(start);
+  comm.record_plan_event(event);
   return ex.next_round;
 }
 
@@ -249,9 +268,9 @@ ConcatRecipe resolve_concat_recipe(std::int64_t n, int k,
         break;
     }
   }
-  recipe.segments = model::resolve_segment_knob(options.segments, pipelined,
-                                                options.machine,
-                                                recipe.predicted);
+  recipe.segments = model::resolve_segment_knob(
+      options.segments, pipelined, model::effective_machine(options.machine),
+      recipe.predicted);
   return recipe;
 }
 
@@ -268,6 +287,7 @@ IndexvRecipe resolve_indexv_recipe(std::int64_t n, int k, std::int64_t total,
                                    const AlltoallvOptions& options) {
   const std::int64_t mean =
       std::max<std::int64_t>(1, (total + n * n - 1) / (n * n));
+  const model::LinearModel machine = model::effective_machine(options.machine);
   IndexvRecipe recipe;
   recipe.algorithm = options.algorithm;
   recipe.radix = std::max<std::int64_t>(2, n);
@@ -282,13 +302,13 @@ IndexvRecipe resolve_indexv_recipe(std::int64_t n, int k, std::int64_t total,
       recipe.radix = options.radix != 0
                          ? options.radix
                          : model::pick_index_radix_cached(
-                               n, k, mean, options.machine, options.radix_set)
+                               n, k, mean, machine, options.radix_set)
                                .radix;
       recipe.predicted = model::index_bruck_cost(n, recipe.radix, k, mean);
       break;
     case IndexAlgorithm::kAuto: {
       const model::VectorIndexChoice choice = model::pick_indexv_cached(
-          n, k, total, max_pair, options.machine, options.radix_set);
+          n, k, total, max_pair, machine, options.radix_set);
       recipe.algorithm = choice.direct ? IndexAlgorithm::kDirect
                                        : IndexAlgorithm::kBruck;
       recipe.radix = choice.radix;
@@ -305,6 +325,9 @@ AlltoallPlan plan_alltoall(std::int64_t n, int k, std::int64_t block_bytes,
                            const AlltoallOptions& options) {
   BRUCK_REQUIRE(n >= 1);
   BRUCK_REQUIRE(k >= 1);
+  // A default-machine caller gets the calibrated constants when a fabric
+  // bootstrap published them (see model::effective_machine).
+  const model::LinearModel machine = model::effective_machine(options.machine);
   AlltoallPlan plan;
   switch (options.algorithm) {
     case IndexAlgorithm::kDirect:
@@ -327,14 +350,15 @@ AlltoallPlan plan_alltoall(std::int64_t n, int k, std::int64_t block_bytes,
       } else {
         // Memoized: repeated kAuto calls on one geometry skip the sweep.
         const model::RadixChoice choice = model::pick_index_radix_cached(
-            n, k, block_bytes, options.machine, options.radix_set);
+            n, k, block_bytes, machine, options.radix_set);
         plan.radix = choice.radix;
         plan.predicted = choice.metrics;
+        plan.segments_hint = choice.segments_hint;
       }
       break;
     }
   }
-  plan.predicted_us = options.machine.predict_us(plan.predicted);
+  plan.predicted_us = machine.predict_us(plan.predicted);
   return plan;
 }
 
@@ -371,8 +395,9 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
                     options.algorithm == IndexAlgorithm::kAuto ||
                         options.algorithm == IndexAlgorithm::kBruck)) {
     const model::HierChoice choice = model::pick_index_plan_cached(
-        comm.size(), comm.ports(), block_bytes, options.hier_machine,
-        options.radix_set, resolve_hier_group(options.hier_group));
+        comm.size(), comm.ports(), block_bytes,
+        model::effective_two_level(options.hier_machine), options.radix_set,
+        resolve_hier_group(options.hier_group));
     if (hmode == HierMode::kOn || choice.hier) {
       HierShape shape;
       shape.group = choice.group;
@@ -387,13 +412,53 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
   }
 
   // Compiled hot path: the tuner's radix and segment choices are part of
-  // the key.
-  const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, plan.predicted);
-  return run_compiled(comm,
-                      index_plan_key(plan.algorithm, comm.size(), comm.ports(),
-                                     plan.radix, segments),
-                      send, recv, block_bytes, options.start_round, pipelined);
+  // the key.  A learned segment force rides the plan as a hint and goes
+  // through the same clamp as a user-requested count.
+  const model::LinearModel machine = model::effective_machine(options.machine);
+  std::int64_t radix = plan.radix;
+  int segments = model::resolve_segment_knob(
+      options.segments == 0 && plan.segments_hint > 0 ? plan.segments_hint
+                                                      : options.segments,
+      pipelined, machine, plan.predicted);
+
+  // Live adaptive exploration: only for fully tuner-driven calls (no forced
+  // radix or segment count), and only when a tuner installed the hook.  The
+  // decided config — not its clamped resolution — is echoed back with the
+  // measured wall time so the learner can match the arm it scheduled.
+  const bool tuner_driven = plan.algorithm == IndexAlgorithm::kBruck &&
+                            options.radix == 0 && options.segments == 0;
+  model::TunerQuery query{};
+  model::TunerConfig decided{};
+  bool adaptive = false;
+  if (tuner_driven && model::adaptive_hook_installed()) {
+    query = model::make_tuner_query(model::TunedFamily::kIndexRadix,
+                                    comm.size(), comm.ports(), block_bytes,
+                                    machine);
+    model::TunerConfig base;
+    base.radix = radix;
+    base.segments = segments;
+    decided = model::adaptive_decision(query, base);
+    adaptive = true;
+    if (decided.radix > 0) radix = decided.radix;
+    if (decided.segments > 0) segments = decided.segments;
+  }
+
+  double wall_us = 0.0;
+  const int next = run_compiled(
+      comm,
+      index_plan_key(plan.algorithm, comm.size(), comm.ports(), radix,
+                     segments),
+      send, recv, block_bytes, options.start_round, pipelined, {},
+      adaptive ? &wall_us : nullptr);
+  if (adaptive) {
+    model::ExecutionSample sample;
+    sample.query = query;
+    sample.config = decided;
+    sample.wall_us = wall_us;
+    sample.predicted_us = machine.predict_us(plan.predicted);
+    model::notify_execution(sample);
+  }
+  return next;
 }
 
 int alltoall_staged(mps::Communicator& comm, std::span<const std::byte> send,
@@ -440,7 +505,9 @@ int alltoall(mps::Communicator& comm, std::span<const std::byte> send,
   const AlltoallPlan plan = plan_alltoall(n, comm.ports(), b, options);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(
-      options.segments, pipelined, options.machine, plan.predicted);
+      options.segments == 0 && plan.segments_hint > 0 ? plan.segments_hint
+                                                      : options.segments,
+      pipelined, model::effective_machine(options.machine), plan.predicted);
   return run_compiled(
       comm,
       index_plan_key(plan.algorithm, n, comm.ports(), plan.radix, segments,
@@ -482,8 +549,9 @@ int allgather(mps::Communicator& comm, std::span<const std::byte> send,
                     options.algorithm == ConcatAlgorithm::kAuto ||
                         options.algorithm == ConcatAlgorithm::kBruck)) {
     const model::HierChoice choice = model::pick_concat_plan_cached(
-        comm.size(), comm.ports(), block_bytes, options.hier_machine,
-        options.last_round, resolve_hier_group(options.hier_group));
+        comm.size(), comm.ports(), block_bytes,
+        model::effective_two_level(options.hier_machine), options.last_round,
+        resolve_hier_group(options.hier_group));
     if (hmode == HierMode::kOn || choice.hier) {
       HierShape shape;
       shape.group = choice.group;
@@ -596,8 +664,9 @@ int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
   const IndexvRecipe recipe =
       resolve_indexv_recipe(n, k, total, max_pair, options);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
-  const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, recipe.predicted);
+  const int segments = model::resolve_segment_knob(
+      options.segments, pipelined, model::effective_machine(options.machine),
+      recipe.predicted);
   const VectorView view{counts, send_displs, recv_displs, max_pair};
   return run_compiled_v(comm,
                         indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
@@ -697,7 +766,8 @@ int alltoallv(mps::Communicator& comm, std::span<const std::byte> send,
       resolve_indexv_recipe(n, k, total, max_pair, options);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(
-      options.segments, pipelined, options.machine, recipe.predicted);
+      options.segments, pipelined, model::effective_machine(options.machine),
+      recipe.predicted);
   const VectorView view{counts, send_displs, recv_displs, max_pair};
   return run_compiled_v(comm,
                         indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
@@ -764,8 +834,9 @@ int allgatherv(mps::Communicator& comm, std::span<const std::byte> send,
         break;
     }
   }
-  const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, predicted);
+  const int segments = model::resolve_segment_knob(
+      options.segments, pipelined, model::effective_machine(options.machine),
+      predicted);
   const VectorView view{counts, {}, recv_displs, max_block};
   return run_compiled_v(
       comm, concatv_plan_key(algorithm, n, k, shape_digest(counts), segments),
@@ -780,6 +851,7 @@ ReducePlanChoice resolve_reduce_algorithm(std::int64_t n, int k,
                                           std::int64_t radix,
                                           const model::LinearModel& machine,
                                           model::RadixSet set) {
+  const model::LinearModel m = model::effective_machine(machine);
   ReducePlanChoice out;
   switch (algorithm) {
     case ReduceAlgorithm::kDirect:
@@ -796,18 +868,18 @@ ReducePlanChoice resolve_reduce_algorithm(std::int64_t n, int k,
       out.algorithm = ReduceAlgorithm::kBruck;
       out.radix = radix != 0
                       ? radix
-                      : model::pick_reduce_radix(n, k, block_bytes, machine,
-                                                 set)
+                      : model::pick_reduce_radix(n, k, block_bytes, m, set)
                             .radix;
       out.predicted = model::reduce_bruck_cost(n, out.radix, k, block_bytes);
       break;
     case ReduceAlgorithm::kAuto: {
       const model::ReduceScatterChoice choice =
-          model::pick_reduce_scatter_cached(n, k, block_bytes, machine, set);
+          model::pick_reduce_scatter_cached(n, k, block_bytes, m, set);
       out.algorithm = choice.direct ? ReduceAlgorithm::kDirect
                                     : ReduceAlgorithm::kBruck;
       out.radix = choice.radix;
       out.predicted = choice.predicted;
+      out.segments_hint = choice.segments_hint;
       break;
     }
   }
@@ -825,17 +897,22 @@ int run_compiled_reduce(mps::Communicator& comm, const PlanKey& key,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv, std::int64_t block_bytes,
                         const ReduceOp& op, int start_round, bool pipelined,
-                        const LayoutPair& layouts = {}) {
+                        const LayoutPair& layouts = {},
+                        double* wall_out = nullptr) {
   const PlanCache::Lookup lookup = PlanCache::global().get_or_lower(key);
+  const auto start = std::chrono::steady_clock::now();
   const PlanExecution ex =
       pipelined
           ? lookup.plan->run_pipelined(comm, send, recv, block_bytes, op,
                                        start_round, layouts)
           : lookup.plan->run(comm, send, recv, block_bytes, op, start_round,
                              layouts);
-  comm.record_plan_event(mps::PlanEvent{lookup.cache_hit,
-                                        lookup.plan->round_count(),
-                                        ex.bytes_sent, ex.bytes_reduced});
+  const double wall_us = wall_since_us(start);
+  mps::PlanEvent event{lookup.cache_hit, lookup.plan->round_count(),
+                       ex.bytes_sent, ex.bytes_reduced};
+  event.wall_us = wall_us;
+  comm.record_plan_event(event);
+  if (wall_out != nullptr) *wall_out = wall_us;
   return ex.next_round;
 }
 
@@ -865,8 +942,8 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
                     options.algorithm == ReduceAlgorithm::kAuto ||
                         options.algorithm == ReduceAlgorithm::kBruck)) {
     const model::HierChoice hier_choice = model::pick_reduce_plan_cached(
-        n, k, block_bytes, options.hier_machine, options.radix_set,
-        resolve_hier_group(options.hier_group));
+        n, k, block_bytes, model::effective_two_level(options.hier_machine),
+        options.radix_set, resolve_hier_group(options.hier_group));
     if (hmode == HierMode::kOn || hier_choice.hier) {
       HierShape shape;
       shape.group = hier_choice.group;
@@ -881,12 +958,47 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
   const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, block_bytes, options.algorithm, options.radix, options.machine,
       options.radix_set);
-  const int segments = model::resolve_segment_knob(options.segments, pipelined,
-                                        options.machine, choice.predicted);
-  return run_compiled_reduce(
-      comm,
-      reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments),
-      send, recv, block_bytes, op, options.start_round, pipelined);
+  const model::LinearModel machine = model::effective_machine(options.machine);
+  std::int64_t radix = choice.radix;
+  int segments = model::resolve_segment_knob(
+      options.segments == 0 && choice.segments_hint > 0 ? choice.segments_hint
+                                                        : options.segments,
+      pipelined, machine, choice.predicted);
+
+  // Live adaptive exploration (see alltoall): tuner-driven Bruck calls only.
+  const bool tuner_driven = choice.algorithm == ReduceAlgorithm::kBruck &&
+                            (options.algorithm == ReduceAlgorithm::kAuto ||
+                             options.algorithm == ReduceAlgorithm::kBruck) &&
+                            options.radix == 0 && options.segments == 0;
+  model::TunerQuery query{};
+  model::TunerConfig decided{};
+  bool adaptive = false;
+  if (tuner_driven && model::adaptive_hook_installed()) {
+    query = model::make_tuner_query(model::TunedFamily::kReduceScatter, n, k,
+                                    block_bytes, machine);
+    model::TunerConfig base;
+    base.radix = radix;
+    base.segments = segments;
+    decided = model::adaptive_decision(query, base);
+    adaptive = true;
+    if (decided.radix > 0) radix = decided.radix;
+    if (decided.segments > 0) segments = decided.segments;
+  }
+
+  double wall_us = 0.0;
+  const int next = run_compiled_reduce(
+      comm, reduce_plan_key(choice.algorithm, n, k, radix, op, segments),
+      send, recv, block_bytes, op, options.start_round, pipelined, {},
+      adaptive ? &wall_us : nullptr);
+  if (adaptive) {
+    model::ExecutionSample sample;
+    sample.query = query;
+    sample.config = decided;
+    sample.wall_us = wall_us;
+    sample.predicted_us = machine.predict_reduce_us(choice.predicted);
+    model::notify_execution(sample);
+  }
+  return next;
 }
 
 int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
@@ -923,7 +1035,9 @@ int reduce_scatter(mps::Communicator& comm, std::span<const std::byte> send,
       options.radix_set);
   const bool pipelined = options.path == ExecutionPath::kPipelined;
   const int segments = model::resolve_segment_knob(
-      options.segments, pipelined, options.machine, choice.predicted);
+      options.segments == 0 && choice.segments_hint > 0 ? choice.segments_hint
+                                                        : options.segments,
+      pipelined, model::effective_machine(options.machine), choice.predicted);
   return run_compiled_reduce(
       comm,
       reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments,
@@ -1073,8 +1187,11 @@ Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
                   const AlltoallOptions& options) {
   const AlltoallPlan plan =
       plan_alltoall(comm.size(), comm.ports(), block_bytes, options);
+  const model::LinearModel machine = model::effective_machine(options.machine);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, plan.predicted);
+      options.segments == 0 && plan.segments_hint > 0 ? plan.segments_hint
+                                                      : options.segments,
+      /*pipelined=*/true, machine, plan.predicted);
   OpSpec spec;
   spec.family = OpSpec::Family::kAlltoall;
   spec.send = send;
@@ -1083,7 +1200,7 @@ Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
   spec.key = index_plan_key(plan.algorithm, comm.size(), comm.ports(),
                             plan.radix, segments);
   spec.predicted = plan.predicted;
-  spec.machine = options.machine;
+  spec.machine = machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
@@ -1107,8 +1224,11 @@ Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
                      recv.first(static_cast<std::size_t>(n * b)), b, options);
   }
   const AlltoallPlan plan = plan_alltoall(n, comm.ports(), b, options);
+  const model::LinearModel machine = model::effective_machine(options.machine);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, plan.predicted);
+      options.segments == 0 && plan.segments_hint > 0 ? plan.segments_hint
+                                                      : options.segments,
+      /*pipelined=*/true, machine, plan.predicted);
   OpSpec spec;
   spec.family = OpSpec::Family::kAlltoall;
   spec.send = send;
@@ -1118,7 +1238,7 @@ Request ialltoall(mps::Communicator& comm, std::span<const std::byte> send,
                             segments,
                             layout_digest(&send_layout, &recv_layout));
   spec.predicted = plan.predicted;
-  spec.machine = options.machine;
+  spec.machine = machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.send_layout = send_layout;
@@ -1142,7 +1262,7 @@ Request iallgather(mps::Communicator& comm, std::span<const std::byte> send,
   spec.key = concat_plan_key(recipe.algorithm, n, k, recipe.strategy,
                              block_bytes, recipe.segments);
   spec.predicted = recipe.predicted;
-  spec.machine = options.machine;
+  spec.machine = model::effective_machine(options.machine);
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   return ProgressEngine::for_comm(comm).submit(std::move(spec));
@@ -1177,7 +1297,7 @@ Request iallgather(mps::Communicator& comm, std::span<const std::byte> send,
                              recipe.strategy, b, recipe.segments,
                              layout_digest(&send_layout, &recv_layout));
   spec.predicted = recipe.predicted;
-  spec.machine = options.machine;
+  spec.machine = model::effective_machine(options.machine);
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.send_layout = send_layout;
@@ -1233,15 +1353,15 @@ Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
   const IndexvRecipe recipe =
       resolve_indexv_recipe(n, k, total, max_pair, options);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine,
-      recipe.predicted);
+      options.segments, /*pipelined=*/true,
+      model::effective_machine(options.machine), recipe.predicted);
   spec.family = OpSpec::Family::kAlltoallv;
   spec.send = send;
   spec.recv = recv;
   spec.key = indexv_plan_key(recipe.algorithm, n, k, recipe.radix,
                              shape_digest(counts), segments);
   spec.predicted = recipe.predicted;
-  spec.machine = options.machine;
+  spec.machine = model::effective_machine(options.machine);
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.pad_bytes = max_pair;
@@ -1302,8 +1422,8 @@ Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
   const IndexvRecipe recipe =
       resolve_indexv_recipe(n, k, total, max_pair, options);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine,
-      recipe.predicted);
+      options.segments, /*pipelined=*/true,
+      model::effective_machine(options.machine), recipe.predicted);
   spec.family = OpSpec::Family::kAlltoallv;
   spec.send = send;
   spec.recv = recv;
@@ -1311,7 +1431,7 @@ Request ialltoallv(mps::Communicator& comm, std::span<const std::byte> send,
                              shape_digest(counts), segments,
                              layout_digest(&send_layout, &recv_layout));
   spec.predicted = recipe.predicted;
-  spec.machine = options.machine;
+  spec.machine = model::effective_machine(options.machine);
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.pad_bytes = max_pair;
@@ -1334,8 +1454,11 @@ Request ireduce_scatter(mps::Communicator& comm,
   const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, block_bytes, options.algorithm, options.radix, options.machine,
       options.radix_set);
+  const model::LinearModel machine = model::effective_machine(options.machine);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+      options.segments == 0 && choice.segments_hint > 0 ? choice.segments_hint
+                                                        : options.segments,
+      /*pipelined=*/true, machine, choice.predicted);
   OpSpec spec;
   spec.family = OpSpec::Family::kReduceScatter;
   spec.send = send;
@@ -1344,7 +1467,7 @@ Request ireduce_scatter(mps::Communicator& comm,
   spec.key =
       reduce_plan_key(choice.algorithm, n, k, choice.radix, op, segments);
   spec.predicted = choice.predicted;
-  spec.machine = options.machine;
+  spec.machine = machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.op = op;
@@ -1376,8 +1499,11 @@ Request ireduce_scatter(mps::Communicator& comm,
   const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, b, options.algorithm, options.radix, options.machine,
       options.radix_set);
+  const model::LinearModel machine = model::effective_machine(options.machine);
   const int segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+      options.segments == 0 && choice.segments_hint > 0 ? choice.segments_hint
+                                                        : options.segments,
+      /*pipelined=*/true, machine, choice.predicted);
   OpSpec spec;
   spec.family = OpSpec::Family::kReduceScatter;
   spec.send = send;
@@ -1387,7 +1513,7 @@ Request ireduce_scatter(mps::Communicator& comm,
                              segments,
                              layout_digest(&send_layout, &recv_layout));
   spec.predicted = choice.predicted;
-  spec.machine = options.machine;
+  spec.machine = machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.op = op;
@@ -1423,8 +1549,11 @@ Request submit_iallreduce(mps::Communicator& comm,
   const detail::ReducePlanChoice choice = detail::resolve_reduce_algorithm(
       n, k, b, options.algorithm, options.radix, options.machine,
       options.radix_set);
+  const model::LinearModel machine = model::effective_machine(options.machine);
   const int rs_segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, choice.predicted);
+      options.segments == 0 && choice.segments_hint > 0 ? choice.segments_hint
+                                                        : options.segments,
+      /*pipelined=*/true, machine, choice.predicted);
 
   const ConcatAlgorithm concat =
       options.concat == ConcatAlgorithm::kAuto ? ConcatAlgorithm::kBruck
@@ -1448,7 +1577,7 @@ Request submit_iallreduce(mps::Communicator& comm,
       break;
   }
   const int ag_segments = model::resolve_segment_knob(
-      options.segments, /*pipelined=*/true, options.machine, concat_predicted);
+      options.segments, /*pipelined=*/true, machine, concat_predicted);
 
   OpSpec spec;
   spec.family = OpSpec::Family::kAllreduce;
@@ -1459,7 +1588,7 @@ Request submit_iallreduce(mps::Communicator& comm,
       reduce_plan_key(choice.algorithm, n, k, choice.radix, op, rs_segments);
   spec.concat_key = concat_plan_key(concat, n, k, strategy, b, ag_segments);
   spec.predicted = choice.predicted;
-  spec.machine = options.machine;
+  spec.machine = machine;
   spec.requested_segments = options.segments;
   spec.start_round = options.start_round;
   spec.op = op;

@@ -130,6 +130,9 @@ struct AlltoallPlan {
   std::int64_t radix = 2;
   model::CostMetrics predicted;
   double predicted_us = 0.0;
+  /// Learned wire-segment force carried by a tuner override (0 = none);
+  /// resolved through the segment knob like a user-requested count.
+  int segments_hint = 0;
 };
 
 [[nodiscard]] AlltoallPlan plan_alltoall(std::int64_t n, int k,
@@ -523,6 +526,8 @@ struct ReducePlanChoice {
   ReduceAlgorithm algorithm = ReduceAlgorithm::kBruck;
   std::int64_t radix = 2;
   model::CostMetrics predicted;
+  /// Learned wire-segment force carried by a tuner override (0 = none).
+  int segments_hint = 0;
 };
 
 [[nodiscard]] ReducePlanChoice resolve_reduce_algorithm(

@@ -1,11 +1,13 @@
 #include "model/tuner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <tuple>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -69,13 +71,15 @@ RadixChoice pick_index_radix(std::int64_t n, int k, std::int64_t block_bytes,
   return *best;
 }
 
-namespace {
-
-std::uint64_t double_bits(double v) {
+std::uint64_t model_bits(double v) {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   return bits;
 }
+
+namespace {
+
+std::uint64_t double_bits(double v) { return model_bits(v); }
 
 /// One tuner memo family, registered so tuner_cache_stats() and
 /// clear_tuner_cache() see every cache without per-family wiring (adding a
@@ -159,20 +163,97 @@ MemoCache<TunerKey, RadixChoice>& tuner_cache() {
   return cache;
 }
 
+// ---------------------------------------------------------------------------
+// Learned-override registry.  The hot-path guard is a relaxed atomic count:
+// with no overrides installed (the common case) a pick_*_cached call pays
+// one relaxed load and never touches a lock.
+
+std::atomic<std::size_t> g_override_count{0};
+std::atomic<std::uint64_t> g_override_hits{0};
+
+std::mutex& override_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<TunerQuery, TunerConfig>& override_map() {
+  static std::map<TunerQuery, TunerConfig> overrides;
+  return overrides;
+}
+
+/// Override lookup for one decision point; counts a hit when found.
+std::optional<TunerConfig> find_override(const TunerQuery& query) {
+  if (g_override_count.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(override_mu());
+  const auto it = override_map().find(query);
+  if (it == override_map().end()) return std::nullopt;
+  g_override_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::int64_t clamp_radix(std::int64_t radix, std::int64_t n) {
+  return std::clamp<std::int64_t>(radix, 2, std::max<std::int64_t>(2, n));
+}
+
+std::mutex& hook_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Hooks and the published (calibrated) machine live together behind one
+/// mutex: none of them is hot (the facade copies the hook out once per
+/// collective, not per round).
+struct HookState {
+  AdaptiveHook adaptive;
+  ObservationHook observation;
+  std::function<void()> reload;
+  std::optional<LinearModel> active;
+  std::optional<TwoLevelModel> active_two_level;
+};
+
+HookState& hook_state() {
+  static HookState state;
+  return state;
+}
+
+std::atomic<bool> g_adaptive_installed{false};
+std::atomic<bool> g_observation_installed{false};
+
+bool same_constants(const LinearModel& a, const LinearModel& b) {
+  return model_bits(a.beta_us) == model_bits(b.beta_us) &&
+         model_bits(a.tau_us_per_byte) == model_bits(b.tau_us_per_byte) &&
+         model_bits(a.gamma_us_per_byte) == model_bits(b.gamma_us_per_byte);
+}
+
 }  // namespace
 
 RadixChoice pick_index_radix_cached(std::int64_t n, int k,
                                     std::int64_t block_bytes,
                                     const LinearModel& machine, RadixSet set) {
+  const std::optional<TunerConfig> learned = find_override(
+      make_tuner_query(TunedFamily::kIndexRadix, n, k, block_bytes, machine));
+  if (learned && learned->radix > 0) {
+    RadixChoice c;
+    c.radix = clamp_radix(learned->radix, n);
+    c.metrics = index_bruck_cost(n, c.radix, k, block_bytes);
+    c.predicted_us = machine.predict_us(c.metrics);
+    c.segments_hint = learned->segments;
+    return c;
+  }
   const TunerKey key{n,
                      k,
                      block_bytes,
                      static_cast<int>(set),
                      double_bits(machine.beta_us),
                      double_bits(machine.tau_us_per_byte)};
-  return tuner_cache().get_or_compute(key, [&] {
+  RadixChoice c = tuner_cache().get_or_compute(key, [&] {
     return pick_index_radix(n, k, block_bytes, machine, set);
   });
+  // Segments-only override: keep the model's radix, carry the learned force.
+  if (learned) c.segments_hint = learned->segments;
+  return c;
 }
 
 VectorIndexChoice pick_indexv(std::int64_t n, int k, std::int64_t total_bytes,
@@ -243,6 +324,31 @@ VectorIndexChoice pick_indexv_cached(std::int64_t n, int k,
                                      RadixSet set) {
   const int total_bucket = log2_bucket(total_bytes);
   const int max_bucket = log2_bucket(max_pair_bytes);
+  // Override key: the log2-bucketed total stands in for block_bytes (the
+  // same granularity the memo cache keys on, so a learned entry covers the
+  // whole bucket).
+  if (const std::optional<TunerConfig> learned = find_override(
+          make_tuner_query(TunedFamily::kIndexVector, n, k,
+                           bucket_ceiling(total_bucket), machine));
+      learned && (learned->direct || learned->radix > 0)) {
+    VectorIndexChoice out;
+    if (learned->direct) {
+      out.direct = true;
+      out.radix = std::max<std::int64_t>(2, n);
+      out.predicted = index_direct_cost(n, k, bucket_ceiling(max_bucket));
+      out.predicted_us = machine.predict_us(out.predicted);
+    } else {
+      out.direct = false;
+      out.radix = clamp_radix(learned->radix, n);
+      const std::int64_t total_rep =
+          std::max(bucket_ceiling(total_bucket), bucket_ceiling(max_bucket));
+      const std::int64_t mean =
+          std::max<std::int64_t>(1, (total_rep + n * n - 1) / (n * n));
+      out.predicted = index_bruck_cost(n, out.radix, k, mean);
+      out.predicted_us = machine.predict_us(out.predicted);
+    }
+    return out;
+  }
   const VectorTunerKey key{n,
                            k,
                            total_bucket,
@@ -321,6 +427,23 @@ ReduceScatterChoice pick_reduce_scatter_cached(std::int64_t n, int k,
                                                std::int64_t block_bytes,
                                                const LinearModel& machine,
                                                RadixSet set) {
+  const std::optional<TunerConfig> learned = find_override(make_tuner_query(
+      TunedFamily::kReduceScatter, n, k, block_bytes, machine));
+  if (learned && (learned->direct || learned->radix > 0)) {
+    ReduceScatterChoice out;
+    if (learned->direct) {
+      out.direct = true;
+      out.radix = std::max<std::int64_t>(2, n);
+      out.predicted = reduce_direct_cost(n, k, block_bytes);
+    } else {
+      out.direct = false;
+      out.radix = clamp_radix(learned->radix, n);
+      out.predicted = reduce_bruck_cost(n, out.radix, k, block_bytes);
+    }
+    out.predicted_us = machine.predict_reduce_us(out.predicted);
+    out.segments_hint = learned->segments;
+    return out;
+  }
   const ReduceTunerKey key{n,
                            k,
                            block_bytes,
@@ -328,9 +451,11 @@ ReduceScatterChoice pick_reduce_scatter_cached(std::int64_t n, int k,
                            double_bits(machine.beta_us),
                            double_bits(machine.tau_us_per_byte),
                            double_bits(machine.gamma_us_per_byte)};
-  return reduce_tuner_cache().get_or_compute(key, [&] {
+  ReduceScatterChoice out = reduce_tuner_cache().get_or_compute(key, [&] {
     return pick_reduce_scatter(n, k, block_bytes, machine, set);
   });
+  if (learned) out.segments_hint = learned->segments;
+  return out;
 }
 
 double predict_hier_us(const TwoLevelModel& machine, const HierCost& h) {
@@ -453,6 +578,22 @@ HierChoice pick_index_plan_cached(std::int64_t n, int k,
                                   std::int64_t block_bytes,
                                   const TwoLevelModel& machine, RadixSet set,
                                   std::int64_t forced_group) {
+  // Overrides for the hierarchical families key on the *inter* model (the
+  // level that dominates the flat-vs-hier comparison).  A learned shape
+  // re-sweeps with the learned group forced, then pins hier/radix; the cost
+  // fields stay informational (the sweep's, not the pinned radix's).
+  if (const std::optional<TunerConfig> learned = find_override(
+          make_tuner_query(TunedFamily::kHierIndex, n, k, block_bytes,
+                           machine.inter))) {
+    HierChoice out = pick_index_plan(
+        n, k, block_bytes, machine, set,
+        learned->group > 0 ? learned->group : forced_group);
+    if (learned->hier >= 0) out.hier = learned->hier == 1 && n > 1;
+    if (learned->radix > 0) {
+      (out.hier ? out.inter_radix : out.flat_radix) = learned->radix;
+    }
+    return out;
+  }
   const HierTunerKey key = hier_key(0, n, k, block_bytes,
                                     static_cast<int>(set), forced_group,
                                     machine);
@@ -489,6 +630,15 @@ HierChoice pick_concat_plan_cached(std::int64_t n, int k,
                                    const TwoLevelModel& machine,
                                    ConcatLastRound strategy,
                                    std::int64_t forced_group) {
+  if (const std::optional<TunerConfig> learned = find_override(
+          make_tuner_query(TunedFamily::kHierConcat, n, k, block_bytes,
+                           machine.inter))) {
+    HierChoice out = pick_concat_plan(
+        n, k, block_bytes, machine, strategy,
+        learned->group > 0 ? learned->group : forced_group);
+    if (learned->hier >= 0) out.hier = learned->hier == 1 && n > 1;
+    return out;
+  }
   const HierTunerKey key = hier_key(1, n, k, block_bytes,
                                     static_cast<int>(strategy), forced_group,
                                     machine);
@@ -525,6 +675,18 @@ HierChoice pick_reduce_plan_cached(std::int64_t n, int k,
                                    std::int64_t block_bytes,
                                    const TwoLevelModel& machine, RadixSet set,
                                    std::int64_t forced_group) {
+  if (const std::optional<TunerConfig> learned = find_override(
+          make_tuner_query(TunedFamily::kHierReduce, n, k, block_bytes,
+                           machine.inter))) {
+    HierChoice out = pick_reduce_plan(
+        n, k, block_bytes, machine, set,
+        learned->group > 0 ? learned->group : forced_group);
+    if (learned->hier >= 0) out.hier = learned->hier == 1 && n > 1;
+    if (learned->radix > 0) {
+      (out.hier ? out.inter_radix : out.flat_radix) = learned->radix;
+    }
+    return out;
+  }
   const HierTunerKey key = hier_key(2, n, k, block_bytes,
                                     static_cast<int>(set), forced_group,
                                     machine);
@@ -535,18 +697,200 @@ HierChoice pick_reduce_plan_cached(std::int64_t n, int k,
 
 TunerCacheStats tuner_cache_stats() {
   TunerCacheStats out;
-  std::lock_guard<std::mutex> lock(memo_registry_mu());
-  for (MemoCacheBase* cache : memo_registry()) {
-    cache->add_stats(out);
+  {
+    std::lock_guard<std::mutex> lock(memo_registry_mu());
+    for (MemoCacheBase* cache : memo_registry()) {
+      cache->add_stats(out);
+    }
   }
+  out.overrides = g_override_count.load(std::memory_order_relaxed);
+  out.override_hits = g_override_hits.load(std::memory_order_relaxed);
   return out;
 }
 
 void clear_tuner_cache() {
-  std::lock_guard<std::mutex> lock(memo_registry_mu());
-  for (MemoCacheBase* cache : memo_registry()) {
-    cache->clear();
+  {
+    std::lock_guard<std::mutex> lock(memo_registry_mu());
+    for (MemoCacheBase* cache : memo_registry()) {
+      cache->clear();
+    }
   }
+  clear_tuner_overrides();
+  g_override_hits.store(0, std::memory_order_relaxed);
+  // Reload outside every registry lock: a file-backed tune table reinstalls
+  // its overrides here (set_tuner_override takes the override lock itself),
+  // which is what makes file-backed learned picks survive a clear while
+  // purely in-memory ones do not.
+  std::function<void()> reload;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu());
+    reload = hook_state().reload;
+  }
+  if (reload) reload();
+}
+
+const char* to_string(TunedFamily family) {
+  switch (family) {
+    case TunedFamily::kIndexRadix:
+      return "index";
+    case TunedFamily::kIndexVector:
+      return "indexv";
+    case TunedFamily::kReduceScatter:
+      return "reduce_scatter";
+    case TunedFamily::kHierIndex:
+      return "hier_index";
+    case TunedFamily::kHierConcat:
+      return "hier_concat";
+    case TunedFamily::kHierReduce:
+      return "hier_reduce";
+  }
+  return "?";
+}
+
+std::optional<TunedFamily> parse_tuned_family(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  for (const TunedFamily f :
+       {TunedFamily::kIndexRadix, TunedFamily::kIndexVector,
+        TunedFamily::kReduceScatter, TunedFamily::kHierIndex,
+        TunedFamily::kHierConcat, TunedFamily::kHierReduce}) {
+    if (std::strcmp(text, to_string(f)) == 0) return f;
+  }
+  return std::nullopt;
+}
+
+TunerQuery make_tuner_query(TunedFamily family, std::int64_t n, int k,
+                            std::int64_t block_bytes,
+                            const LinearModel& machine) {
+  TunerQuery q;
+  q.family = family;
+  q.n = n;
+  q.k = k;
+  q.block_bytes = block_bytes;
+  q.beta_bits = model_bits(machine.beta_us);
+  q.tau_bits = model_bits(machine.tau_us_per_byte);
+  q.gamma_bits = model_bits(machine.gamma_us_per_byte);
+  return q;
+}
+
+void set_tuner_override(const TunerQuery& query, const TunerConfig& config) {
+  std::lock_guard<std::mutex> lock(override_mu());
+  override_map()[query] = config;
+  g_override_count.store(override_map().size(), std::memory_order_relaxed);
+}
+
+std::optional<TunerConfig> tuner_override(const TunerQuery& query) {
+  if (g_override_count.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(override_mu());
+  const auto it = override_map().find(query);
+  if (it == override_map().end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t tuner_override_count() {
+  return g_override_count.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<TunerQuery, TunerConfig>> tuner_overrides() {
+  std::lock_guard<std::mutex> lock(override_mu());
+  return {override_map().begin(), override_map().end()};
+}
+
+void clear_tuner_overrides() {
+  std::lock_guard<std::mutex> lock(override_mu());
+  override_map().clear();
+  g_override_count.store(0, std::memory_order_relaxed);
+}
+
+void set_adaptive_hook(AdaptiveHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  hook_state().adaptive = std::move(hook);
+  g_adaptive_installed.store(static_cast<bool>(hook_state().adaptive),
+                             std::memory_order_relaxed);
+}
+
+bool adaptive_hook_installed() {
+  return g_adaptive_installed.load(std::memory_order_relaxed);
+}
+
+TunerConfig adaptive_decision(const TunerQuery& query,
+                              const TunerConfig& model_choice) {
+  if (!adaptive_hook_installed()) return model_choice;
+  AdaptiveHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu());
+    hook = hook_state().adaptive;
+  }
+  if (!hook) return model_choice;
+  const std::optional<TunerConfig> rerouted = hook(query, model_choice);
+  return rerouted ? *rerouted : model_choice;
+}
+
+void set_observation_hook(ObservationHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  hook_state().observation = std::move(hook);
+  g_observation_installed.store(static_cast<bool>(hook_state().observation),
+                                std::memory_order_relaxed);
+}
+
+bool observation_hook_installed() {
+  return g_observation_installed.load(std::memory_order_relaxed);
+}
+
+void notify_execution(const ExecutionSample& sample) {
+  if (!observation_hook_installed()) return;
+  ObservationHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu());
+    hook = hook_state().observation;
+  }
+  if (hook) hook(sample);
+}
+
+void set_tuner_reload_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  hook_state().reload = std::move(hook);
+}
+
+void set_active_machine(const std::optional<LinearModel>& machine) {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  hook_state().active = machine;
+}
+
+std::optional<LinearModel> active_machine() {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  return hook_state().active;
+}
+
+LinearModel effective_machine(const LinearModel& requested) {
+  if (!same_constants(requested, ibm_sp1())) return requested;
+  std::lock_guard<std::mutex> lock(hook_mu());
+  return hook_state().active ? *hook_state().active : requested;
+}
+
+void set_active_two_level(const std::optional<TwoLevelModel>& machine) {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  hook_state().active_two_level = machine;
+}
+
+std::optional<TwoLevelModel> active_two_level() {
+  std::lock_guard<std::mutex> lock(hook_mu());
+  return hook_state().active_two_level;
+}
+
+TwoLevelModel effective_two_level(const TwoLevelModel& requested) {
+  const TwoLevelModel sentinel = uniform_two_level(ibm_sp1());
+  if (!same_constants(requested.intra, sentinel.intra) ||
+      !same_constants(requested.inter, sentinel.inter)) {
+    return requested;
+  }
+  std::lock_guard<std::mutex> lock(hook_mu());
+  if (hook_state().active_two_level) return *hook_state().active_two_level;
+  // A calibrated flat model with no measured hierarchy: apply it uniformly
+  // (the same default shape uniform_two_level gives the compiled-in model).
+  if (hook_state().active) return uniform_two_level(*hook_state().active);
+  return requested;
 }
 
 double pipelined_round_us(const LinearModel& machine,

@@ -8,7 +8,12 @@
 // tuner simply enumerates rather than relying on a closed-form crossover.
 #pragma once
 
+#include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "model/costs.hpp"
@@ -20,6 +25,9 @@ struct RadixChoice {
   std::int64_t radix = 2;
   CostMetrics metrics;
   double predicted_us = 0.0;
+  /// Learned wire-segment force carried by an adaptive override (0 = none;
+  /// the facade resolves it through resolve_segment_knob like a user count).
+  int segments_hint = 0;
 };
 
 /// Candidate filter for the radix sweep.
@@ -52,10 +60,21 @@ enum class RadixSet {
 struct TunerCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Live entries in the adaptive-override table (tune::AdaptiveTuner's
+  /// learned picks; see set_tuner_override below).
+  std::uint64_t overrides = 0;
+  /// pick_*_cached calls answered by an override instead of the model.
+  std::uint64_t override_hits = 0;
 };
 
-/// Counters of pick_index_radix_cached since process start (or last clear).
+/// Counters of the pick_*_cached family since process start (or last
+/// clear).  `overrides`/`override_hits` cover the learned-override table,
+/// so tests can assert a clean slate includes the adaptive state.
 [[nodiscard]] TunerCacheStats tuner_cache_stats();
+/// Clear every memo cache AND the learned-override table, then invoke the
+/// reload hook (set_tuner_reload_hook) so a file-backed table can restore
+/// its overrides — learned-in-memory state does not survive a clear, but
+/// state whose source of truth is a table file does.
 void clear_tuner_cache();
 
 // ---------------------------------------------------------------------------
@@ -115,6 +134,8 @@ struct ReduceScatterChoice {
   std::int64_t radix = 2;
   CostMetrics predicted;
   double predicted_us = 0.0;
+  /// Learned wire-segment force (see RadixChoice::segments_hint).
+  int segments_hint = 0;
 };
 
 /// The radix minimizing predict_reduce_us over reduce_bruck_cost (ties
@@ -314,5 +335,135 @@ struct FusionChoice {
                                        const CostMetrics& per_op,
                                        const CostMetrics& fused,
                                        std::int64_t user_bytes);
+
+// ---------------------------------------------------------------------------
+// Learned-override seam.  The src/tune adaptive autotuner (and a loaded
+// BRUCK_TUNE_TABLE) speaks to the pick_*_cached family through this
+// registry: a TunerQuery names one tuned decision point (family, geometry,
+// machine-constant bits — the same key material the memo caches use), a
+// TunerConfig names one concrete runnable configuration.  Overrides are
+// consulted *before* the memo caches, so a learned pick wins over the
+// model's for exactly the keyed geometry and machine.  The model layer owns
+// only the registry; all measurement, hysteresis, and persistence policy
+// lives in src/tune (which depends on model, never the reverse).
+
+enum class TunedFamily : int {
+  kIndexRadix = 0,     ///< pick_index_radix_cached (alltoall radix)
+  kIndexVector = 1,    ///< pick_indexv_cached (alltoallv direct-vs-Bruck)
+  kReduceScatter = 2,  ///< pick_reduce_scatter_cached
+  kHierIndex = 3,      ///< pick_index_plan_cached (flat vs hierarchical)
+  kHierConcat = 4,     ///< pick_concat_plan_cached
+  kHierReduce = 5,     ///< pick_reduce_plan_cached
+};
+
+[[nodiscard]] const char* to_string(TunedFamily family);
+/// Strict parse of a to_string(TunedFamily) name; anything else ⇒ nullopt.
+[[nodiscard]] std::optional<TunedFamily> parse_tuned_family(const char* text);
+
+/// One concrete configuration a tuned decision point can run.  Zero-valued
+/// fields mean "no opinion — keep the model's choice / resolve normally".
+struct TunerConfig {
+  /// Index-vector / reduce-scatter families: run the direct exchange.
+  bool direct = false;
+  /// Bruck radix (flat families) or inter-leader radix (hier families).
+  std::int64_t radix = 0;
+  /// Forced wire-segment count (resolved through resolve_segment_knob, so
+  /// the kMinSegmentBytes floor still clamps it).
+  int segments = 0;
+  /// Hier families only: 1 forces the hierarchical shape, 0 forces flat,
+  /// -1 means not applicable.
+  int hier = -1;
+  /// Hier families only: nominal group size (0 = the tuner's sweep).
+  std::int64_t group = 0;
+
+  friend bool operator==(const TunerConfig&, const TunerConfig&) = default;
+};
+
+/// One tuned decision point.  The machine constants enter as bit patterns
+/// (model_bits) — the memo caches' keying idiom — so a learned entry never
+/// leaks across machines.  For hier families the bits are the *inter*
+/// model's (the level that dominates the flat-vs-hier comparison).
+struct TunerQuery {
+  TunedFamily family = TunedFamily::kIndexRadix;
+  std::int64_t n = 0;
+  int k = 0;
+  std::int64_t block_bytes = 0;
+  std::uint64_t beta_bits = 0;
+  std::uint64_t tau_bits = 0;
+  std::uint64_t gamma_bits = 0;
+
+  friend auto operator<=>(const TunerQuery&, const TunerQuery&) = default;
+};
+
+/// The bit pattern of a double — the exact-round-trip currency of tuner
+/// keys and the persisted table (two models predicting identical times are
+/// the same key; NaN never reaches the tuner).
+[[nodiscard]] std::uint64_t model_bits(double v);
+
+[[nodiscard]] TunerQuery make_tuner_query(TunedFamily family, std::int64_t n,
+                                          int k, std::int64_t block_bytes,
+                                          const LinearModel& machine);
+
+/// Install (or replace) the learned configuration for one decision point.
+void set_tuner_override(const TunerQuery& query, const TunerConfig& config);
+/// The learned configuration for a decision point, if any.
+[[nodiscard]] std::optional<TunerConfig> tuner_override(
+    const TunerQuery& query);
+[[nodiscard]] std::size_t tuner_override_count();
+/// Every live override, in key order (the persistence serializer's input).
+[[nodiscard]] std::vector<std::pair<TunerQuery, TunerConfig>>
+tuner_overrides();
+void clear_tuner_overrides();
+
+/// Live-exploration hook: consulted by the facade (coll::alltoall /
+/// reduce_scatter) after the model's choice is fully resolved (radix AND
+/// wire segments).  Returning a config reroutes this one execution;
+/// std::nullopt keeps the model's.  Deterministic across SPMD ranks by
+/// contract — every rank must be handed the identical schedule or plans
+/// diverge and the exchange deadlocks (tune::AdaptiveTuner guarantees this
+/// with a per-key call-ordinal schedule).
+using AdaptiveHook = std::function<std::optional<TunerConfig>(
+    const TunerQuery&, const TunerConfig&)>;
+void set_adaptive_hook(AdaptiveHook hook);
+[[nodiscard]] bool adaptive_hook_installed();
+/// model_choice routed through the installed hook (identity when none).
+[[nodiscard]] TunerConfig adaptive_decision(const TunerQuery& query,
+                                            const TunerConfig& model_choice);
+
+/// One executed collective as fed back to the learner: what ran, how long
+/// it took on the wall, and what the model had predicted.
+struct ExecutionSample {
+  TunerQuery query;
+  TunerConfig config;
+  double wall_us = 0.0;
+  double predicted_us = 0.0;
+};
+using ObservationHook = std::function<void(const ExecutionSample&)>;
+void set_observation_hook(ObservationHook hook);
+[[nodiscard]] bool observation_hook_installed();
+void notify_execution(const ExecutionSample& sample);
+
+/// Invoked at the end of clear_tuner_cache (outside the registry locks):
+/// a file-backed tune table re-installs its overrides here, which is what
+/// makes "survives a clear only when the table file is the source" true.
+void set_tuner_reload_hook(std::function<void()> hook);
+
+// ---------------------------------------------------------------------------
+// Calibrated-machine substitution.  tune::calibrate publishes the measured
+// per-fabric model here; the coll:: facade swaps it in wherever the caller
+// left the option struct's machine at its compiled-in default.  The
+// substitution is sentinel-based: a machine whose β/τ/γ bits equal
+// ibm_sp1()'s (the default of every options struct) is replaced by the
+// active model — an explicitly passed ibm_sp1() is indistinguishable from
+// the default and is substituted too (documented behavior; pass a model
+// with any different bit to opt out).
+
+void set_active_machine(const std::optional<LinearModel>& machine);
+[[nodiscard]] std::optional<LinearModel> active_machine();
+[[nodiscard]] LinearModel effective_machine(const LinearModel& requested);
+
+void set_active_two_level(const std::optional<TwoLevelModel>& machine);
+[[nodiscard]] std::optional<TwoLevelModel> active_two_level();
+[[nodiscard]] TwoLevelModel effective_two_level(const TwoLevelModel& requested);
 
 }  // namespace bruck::model

@@ -17,6 +17,7 @@
 #include "mps/shm_comm.hpp"
 #include "mps/socket_comm.hpp"
 #include "mps/thread_comm.hpp"
+#include "tune/runtime.hpp"
 #include "util/assert.hpp"
 
 namespace bruck::mps {
@@ -214,6 +215,21 @@ SpawnResult spawn_local(
                                                 ? options.recv_timeout
                                                 : default_recv_timeout();
 
+  // Tuning bootstrap wraps the body: every rank calibrates/loads the tune
+  // table before user work.  Live adaptive exploration needs all ranks in
+  // one process (shared sample pool) — thread fabric only.
+  const tune::TuneMode tune_mode = tune::resolve_tune_mode(options.tune);
+  const std::string fabric_name = to_string(options.backend);
+  const bool allow_exploration = options.backend == FabricBackend::kThread;
+  const std::function<std::vector<std::byte>(Communicator&)> tuned_body =
+      [&body, tune_mode, fabric_name,
+       allow_exploration](Communicator& comm) -> std::vector<std::byte> {
+    if (tune_mode != tune::TuneMode::kOff) {
+      tune::bootstrap_rank(comm, fabric_name, tune_mode, allow_exploration);
+    }
+    return body(comm);
+  };
+
   if (options.backend == FabricBackend::kThread) {
     FabricOptions fo;
     fo.n = n;
@@ -224,7 +240,8 @@ SpawnResult spawn_local(
     out.rank_payloads.resize(static_cast<std::size_t>(n));
     const RunResult run = run_spmd(fo, [&](Communicator& comm) {
       // Each rank writes only its own slot: no synchronization needed.
-      out.rank_payloads[static_cast<std::size_t>(comm.rank())] = body(comm);
+      out.rank_payloads[static_cast<std::size_t>(comm.rank())] =
+          tuned_body(comm);
     });
     out.trace = run.trace;
     out.wall_seconds = run.wall_seconds;
@@ -283,7 +300,8 @@ SpawnResult spawn_local(
         so.recv_timeout = timeout;
         return std::make_unique<SocketComm>(std::move(so));
       };
-      run_child_rank(pipes[static_cast<std::size_t>(r)][1], factory, body);
+      run_child_rank(pipes[static_cast<std::size_t>(r)][1], factory,
+                     tuned_body);
     }
     pids[static_cast<std::size_t>(r)] = pid;
   }

@@ -12,6 +12,9 @@
 //   BRUCK_SHM_RING_BYTES         per-rank inbound ring capacity (shm fabric)
 //   BRUCK_SOCKET_MAX_WRITE_BYTES per-::send byte cap (socket fabric; a test
 //                                knob forcing the partial-write paths)
+//   BRUCK_TUNE_MODE              off | calibrate | adaptive (tune::, applied
+//                                when SpawnOptions::tune is kDefault)
+//   BRUCK_TUNE_TABLE             path of the persisted tune table (tune::)
 //
 // spawn_local() is the process-spanning counterpart of run_spmd(): fork n
 // rank processes over the chosen backend, run the same body in each, ship
@@ -31,6 +34,7 @@
 
 #include "mps/communicator.hpp"
 #include "mps/trace.hpp"
+#include "tune/env.hpp"
 
 namespace bruck::mps {
 
@@ -74,6 +78,12 @@ struct SpawnOptions {
   std::size_t shm_ring_bytes = 0;
   /// Receive/deadlock timeout; 0 ⇒ default_recv_timeout().
   std::chrono::milliseconds recv_timeout{0};
+  /// Tuning bootstrap run on every rank before the body (kDefault defers
+  /// to BRUCK_TUNE_MODE): calibrate measures β/τ/γ on this fabric and
+  /// publishes the model; adaptive additionally installs the learning
+  /// hooks (live exploration on the thread fabric only — forked ranks
+  /// cannot share a sample pool; they still consume table overrides).
+  tune::TuneMode tune = tune::TuneMode::kDefault;
 };
 
 /// What came back from one multi-process run: the reassembled trace, the

@@ -1,0 +1,226 @@
+#include "tune/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bruck::tune {
+
+namespace {
+
+/// The explored neighborhood of a fully resolved model choice.  Live
+/// exploration is scoped to the flat alltoall and reduce-scatter families
+/// (one collective per decide call, config fully described by radix +
+/// segments); the hierarchical and vector families take overrides only
+/// from a loaded table.
+std::vector<model::TunerConfig> neighbor_configs(
+    const model::TunerQuery& query, const model::TunerConfig& base) {
+  std::vector<model::TunerConfig> out;
+  if (query.family != model::TunedFamily::kIndexRadix &&
+      query.family != model::TunedFamily::kReduceScatter) {
+    return out;
+  }
+  if (base.direct) return out;  // a direct exchange has no radix to nudge
+  const std::int64_t max_radix = std::max<std::int64_t>(2, query.n);
+  auto push_unique = [&](model::TunerConfig c) {
+    if (c == base) return;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  };
+  if (base.radix - 1 >= 2) {
+    model::TunerConfig c = base;
+    c.radix = base.radix - 1;
+    push_unique(c);
+  }
+  if (base.radix + 1 <= max_radix) {
+    model::TunerConfig c = base;
+    c.radix = base.radix + 1;
+    push_unique(c);
+  }
+  if (base.segments >= 1) {
+    model::TunerConfig c = base;
+    c.segments = base.segments * 2;
+    push_unique(c);
+  }
+  if (base.segments >= 2) {
+    model::TunerConfig c = base;
+    c.segments = base.segments / 2;
+    push_unique(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+AdaptiveTuner::AdaptiveTuner(AdaptiveOptions options) : options_(options) {
+  BRUCK_REQUIRE(options_.min_observations >= 1);
+  BRUCK_REQUIRE(options_.min_margin >= 0.0);
+}
+
+namespace {
+
+thread_local int tl_ordinal_domain = -1;
+
+}  // namespace
+
+void set_adaptive_ordinal_domain(int domain) { tl_ordinal_domain = domain; }
+
+int adaptive_ordinal_domain() { return tl_ordinal_domain; }
+
+std::optional<model::TunerConfig> AdaptiveTuner::decide(
+    const model::TunerQuery& query, const model::TunerConfig& base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The schedule key: a per-rank per-query call ordinal.  SPMD ranks call
+  // decide() in lockstep, so every rank of one collective holds the same
+  // ordinal and maps to the same arm — shared state (sample counts) is
+  // deliberately NOT consulted while exploring.
+  const std::uint64_t ord = ordinals_[{tl_ordinal_domain, query}]++;
+
+  KeyState& st = keys_[query];
+  if (st.arms.empty()) {
+    st.arms.push_back(Arm{base});
+    for (const model::TunerConfig& c : neighbor_configs(query, base)) {
+      st.arms.push_back(Arm{c});
+    }
+  }
+  if (st.locked) return st.winner;
+
+  const auto per_arm = static_cast<std::uint64_t>(options_.min_observations);
+  const std::uint64_t horizon = st.arms.size() * per_arm;
+  if (ord < horizon) {
+    return st.arms[static_cast<std::size_t>(ord / per_arm)].config;
+  }
+
+  // Exploration budget spent: the first rank to get here decides, everyone
+  // after (same or later ordinal) reuses the locked winner verbatim.
+  const Arm& incumbent = st.arms[0];
+  const double incumbent_mean =
+      incumbent.count > 0 ? incumbent.total_us / incumbent.count : 0.0;
+  st.winner = incumbent.config;
+  const Arm* best = nullptr;
+  for (std::size_t i = 1; i < st.arms.size(); ++i) {
+    const Arm& a = st.arms[i];
+    if (a.count < options_.min_observations) continue;
+    const double mean = a.total_us / a.count;
+    if (best == nullptr || mean < best->total_us / best->count) best = &a;
+  }
+  // The hysteresis rule: switch only with full evidence on both sides and
+  // a mean at least min_margin better than the incumbent's.
+  if (best != nullptr && incumbent.count >= options_.min_observations) {
+    const double best_mean = best->total_us / best->count;
+    if (best_mean < incumbent_mean * (1.0 - options_.min_margin)) {
+      st.winner = best->config;
+    }
+  }
+  st.locked = true;
+  if (!(st.winner == incumbent.config)) {
+    // Remember: pick_*_cached now returns the winner directly, and the
+    // table on disk (if configured) records it for the next process.
+    model::set_tuner_override(query, st.winner);
+    persist_locked(query, st);
+  }
+  return st.winner;
+}
+
+void AdaptiveTuner::observe(const model::ExecutionSample& sample) {
+  if (!(sample.wall_us > 0.0)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(sample.query);
+  if (it == keys_.end()) return;
+  for (Arm& arm : it->second.arms) {
+    if (arm.config == sample.config) {
+      ++arm.count;
+      arm.total_us += sample.wall_us;
+      return;
+    }
+  }
+}
+
+std::vector<LearnedEntry> AdaptiveTuner::learned() const {
+  std::vector<LearnedEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [query, st] : keys_) {
+    if (!st.locked || st.arms.empty() || st.winner == st.arms[0].config) {
+      continue;
+    }
+    LearnedEntry e;
+    e.query = query;
+    e.config = st.winner;
+    for (const Arm& arm : st.arms) {
+      if (arm.config == st.winner && arm.count > 0) {
+        e.observations = arm.count;
+        e.mean_wall_us = arm.total_us / arm.count;
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t AdaptiveTuner::locked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [query, st] : keys_) {
+    (void)query;
+    if (st.locked) ++n;
+  }
+  return n;
+}
+
+void AdaptiveTuner::install() {
+  model::set_adaptive_hook(
+      [this](const model::TunerQuery& q, const model::TunerConfig& base) {
+        return decide(q, base);
+      });
+  model::set_observation_hook(
+      [this](const model::ExecutionSample& s) { observe(s); });
+}
+
+void AdaptiveTuner::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_.clear();
+  ordinals_.clear();
+}
+
+void AdaptiveTuner::set_persist_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  persist_path_ = std::move(path);
+}
+
+std::string AdaptiveTuner::persist_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persist_path_;
+}
+
+void AdaptiveTuner::persist_locked(const model::TunerQuery& query,
+                                   const KeyState& state) const {
+  // Caller holds mu_.  Merge into whatever table is on disk (preserving
+  // its models and other entries), last writer wins across rank processes.
+  if (persist_path_.empty()) return;
+  TuneTable table =
+      load_tune_table(persist_path_).value_or(TuneTable{});
+  LearnedEntry entry;
+  entry.query = query;
+  entry.config = state.winner;
+  for (const Arm& arm : state.arms) {
+    if (arm.config == state.winner && arm.count > 0) {
+      entry.observations = arm.count;
+      entry.mean_wall_us = arm.total_us / arm.count;
+    }
+  }
+  bool replaced = false;
+  for (LearnedEntry& e : table.learned) {
+    if (e.query == query) {
+      e = entry;
+      replaced = true;
+    }
+  }
+  if (!replaced) table.learned.push_back(entry);
+  save_tune_table(table, persist_path_);
+}
+
+AdaptiveTuner& global_adaptive() {
+  static AdaptiveTuner tuner;
+  return tuner;
+}
+
+}  // namespace bruck::tune

@@ -1,0 +1,113 @@
+// The adaptive autotuner: learn from executed plans.
+//
+// Per tuned decision point (model::TunerQuery) the tuner explores a small
+// fixed neighborhood of the model's fully resolved choice — radix ±1 and
+// wire segments ×2 / ÷2 — by rerouting a deterministic schedule of
+// executions through each arm, accumulating measured wall times, and then
+// *locking in* a winner: the incumbent (the model's choice) unless some
+// neighbor has ≥ min_observations samples and beats the incumbent's mean
+// by ≥ min_margin (the hysteresis rule).  Once locked a key never changes
+// again in this process (no oscillation); a non-incumbent winner is also
+// installed as a model::set_tuner_override (so pick_*_cached returns it
+// directly) and, when a persist path is set, appended to the tune table on
+// disk.
+//
+// SPMD determinism: decide() must return the SAME config on every rank of
+// a collective or ranks lower mismatched plans and deadlock.  The schedule
+// is therefore a pure function of a per-rank (thread_local) per-key call
+// ordinal — SPMD ranks call decide() in lockstep, so equal ordinals ⇒
+// equal arms — and the winner is computed once (first arrival, under the
+// mutex) at a fixed ordinal boundary, then reused verbatim by every rank.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/tuner.hpp"
+#include "tune/table.hpp"
+
+namespace bruck::tune {
+
+struct AdaptiveOptions {
+  /// Samples required of every arm before a switch may fire.
+  int min_observations = 4;
+  /// Relative margin a neighbor must win by (0.05 = 5% faster mean).
+  double min_margin = 0.05;
+};
+
+class AdaptiveTuner {
+ public:
+  explicit AdaptiveTuner(AdaptiveOptions options = {});
+
+  /// The model::AdaptiveHook entry point (see file comment for the
+  /// determinism contract).  `base` must be the model's fully resolved
+  /// choice — radix AND wire segments — so neighbors are real plans.
+  [[nodiscard]] std::optional<model::TunerConfig> decide(
+      const model::TunerQuery& query, const model::TunerConfig& base);
+
+  /// The model::ObservationHook entry point: credit `sample.wall_us` to
+  /// the arm whose config matches `sample.config`.
+  void observe(const model::ExecutionSample& sample);
+
+  /// Locked keys whose winner differs from the model's choice.
+  [[nodiscard]] std::vector<LearnedEntry> learned() const;
+
+  /// Number of keys that have locked in (winner decided), regardless of
+  /// whether the winner differs from the model's choice.
+  [[nodiscard]] std::size_t locked_count() const;
+
+  /// Register this tuner as the process's model-layer hooks.
+  void install();
+
+  /// Forget all per-key state (arms, samples, locks).  Does NOT clear
+  /// model-layer overrides — model::clear_tuner_cache owns those.
+  void reset();
+
+  /// When set, a locked-in non-incumbent winner rewrites `path` (merged
+  /// with the table already there, atomic replace).
+  void set_persist_path(std::string path);
+  [[nodiscard]] std::string persist_path() const;
+
+  [[nodiscard]] const AdaptiveOptions& options() const { return options_; }
+
+ private:
+  struct Arm {
+    model::TunerConfig config;
+    std::int64_t count = 0;
+    double total_us = 0.0;
+  };
+  struct KeyState {
+    std::vector<Arm> arms;  ///< arms[0] is the incumbent (model's choice)
+    bool locked = false;
+    model::TunerConfig winner;
+  };
+
+  void persist_locked(const model::TunerQuery& query,
+                      const KeyState& state) const;
+
+  AdaptiveOptions options_;
+  mutable std::mutex mu_;
+  std::map<model::TunerQuery, KeyState> keys_;
+  /// (ordinal domain, query) → next call ordinal: the deterministic
+  /// exploration schedule, one independent stream per rank.
+  std::map<std::pair<int, model::TunerQuery>, std::uint64_t> ordinals_;
+  std::string persist_path_;
+};
+
+/// Bind the calling thread to an ordinal domain (its SPMD rank) for every
+/// subsequent AdaptiveTuner::decide.  Rank identity must come from the
+/// communicator, not the thread (thread ids are recycled across spawns,
+/// which would desynchronize the per-rank schedules); bootstrap_rank sets
+/// this, and -1 (the default) is the no-rank-context stream.
+void set_adaptive_ordinal_domain(int domain);
+[[nodiscard]] int adaptive_ordinal_domain();
+
+/// The process-global tuner bootstrap_rank installs in adaptive mode.
+[[nodiscard]] AdaptiveTuner& global_adaptive();
+
+}  // namespace bruck::tune

@@ -1,0 +1,77 @@
+#include "tune/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+namespace bruck::tune {
+
+const char* to_string(TuneMode mode) {
+  switch (mode) {
+    case TuneMode::kDefault:
+      return "default";
+    case TuneMode::kOff:
+      return "off";
+    case TuneMode::kCalibrate:
+      return "calibrate";
+    case TuneMode::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<TuneMode> parse_tune_mode(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  const std::string_view s(text);
+  if (s == "off") return TuneMode::kOff;
+  if (s == "calibrate") return TuneMode::kCalibrate;
+  if (s == "adaptive") return TuneMode::kAdaptive;
+  return std::nullopt;
+}
+
+TuneMode default_tune_mode() {
+  const char* env = std::getenv("BRUCK_TUNE_MODE");
+  if (env == nullptr) return TuneMode::kOff;
+  if (const auto parsed = parse_tune_mode(env)) return *parsed;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_TUNE_MODE=\"%s\" "
+                 "(want off|calibrate|adaptive); using off\n",
+                 env);
+  });
+  return TuneMode::kOff;
+}
+
+std::optional<std::string> parse_tune_table_path(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  const std::string_view s(text);
+  if (s.size() > 4096) return std::nullopt;
+  if (s.find('\n') != std::string_view::npos ||
+      s.find('\r') != std::string_view::npos) {
+    return std::nullopt;
+  }
+  return std::string(s);
+}
+
+std::optional<std::string> default_tune_table_path() {
+  const char* env = std::getenv("BRUCK_TUNE_TABLE");
+  if (env == nullptr) return std::nullopt;
+  if (auto parsed = parse_tune_table_path(env)) return parsed;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "bruck: ignoring invalid BRUCK_TUNE_TABLE=\"%.64s\" "
+                 "(want a non-empty single-line path <= 4096 bytes); "
+                 "tuning table disabled\n",
+                 env);
+  });
+  return std::nullopt;
+}
+
+TuneMode resolve_tune_mode(TuneMode requested) {
+  return requested == TuneMode::kDefault ? default_tune_mode() : requested;
+}
+
+}  // namespace bruck::tune

@@ -1,0 +1,50 @@
+// Tuning-mode environment knobs, following the repo's strict-parse
+// discipline (pure parse_* seams over the raw text; default_* warns once
+// per process and falls back rather than silently misconfiguring):
+//
+//   BRUCK_TUNE_MODE    off | calibrate | adaptive
+//       off        — compiled-in machine constants, no measurement
+//       calibrate  — measure β/τ/γ per fabric at bootstrap and price plans
+//                    with the measured model
+//       adaptive   — calibrate + learn from executed plans (wall-clock
+//                    feedback, hysteresis-gated switch-and-remember)
+//   BRUCK_TUNE_TABLE   path of the persisted learned table (loaded at
+//                      bootstrap, rewritten when a learned pick locks in)
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace bruck::tune {
+
+enum class TuneMode {
+  /// SpawnOptions sentinel: follow BRUCK_TUNE_MODE (resolve_tune_mode).
+  kDefault,
+  kOff,
+  kCalibrate,
+  kAdaptive,
+};
+
+[[nodiscard]] const char* to_string(TuneMode mode);
+
+/// Strict parse of a BRUCK_TUNE_MODE value ("off" | "calibrate" |
+/// "adaptive", exact); anything else — including "default", prefixes, or
+/// case variants — ⇒ nullopt.
+[[nodiscard]] std::optional<TuneMode> parse_tune_mode(const char* text);
+
+/// BRUCK_TUNE_MODE with warn-once fallback to kOff.
+[[nodiscard]] TuneMode default_tune_mode();
+
+/// Strict parse of a BRUCK_TUNE_TABLE value: non-empty, at most 4096
+/// bytes, no newline/carriage-return (the table format is line-oriented and
+/// a path containing one could never round-trip through it).
+[[nodiscard]] std::optional<std::string> parse_tune_table_path(
+    const char* text);
+
+/// BRUCK_TUNE_TABLE with warn-once fallback to "no table" (nullopt).
+[[nodiscard]] std::optional<std::string> default_tune_table_path();
+
+/// kDefault ⇒ default_tune_mode(); anything else passes through.
+[[nodiscard]] TuneMode resolve_tune_mode(TuneMode requested);
+
+}  // namespace bruck::tune

@@ -1,0 +1,105 @@
+#include "tune/runtime.hpp"
+
+#include <mutex>
+
+#include "tune/adaptive.hpp"
+
+namespace bruck::tune {
+
+namespace {
+
+struct TableSource {
+  std::mutex mu;
+  std::string path;
+  std::string fabric;
+};
+
+TableSource& table_source() {
+  static TableSource source;
+  return source;
+}
+
+/// Re-read the source file and reinstall what it holds.  Runs at
+/// set_tune_table_source time and again from the model layer's reload hook
+/// after every clear_tuner_cache().
+void apply_table_source() {
+  std::string path;
+  std::string fabric;
+  {
+    TableSource& src = table_source();
+    std::lock_guard<std::mutex> lock(src.mu);
+    path = src.path;
+    fabric = src.fabric;
+  }
+  if (path.empty()) return;
+  const std::optional<TuneTable> table = load_tune_table(path);
+  if (!table) return;
+  // A live measured model outranks the file's recorded one (it is
+  // fresher); the file's model covers fabrics calibration skipped.
+  if (!model::active_machine().has_value()) {
+    const auto it = table->models.find(fabric);
+    if (it != table->models.end()) model::set_active_machine(it->second);
+  }
+  for (const LearnedEntry& e : table->learned) {
+    model::set_tuner_override(e.query, e.config);
+  }
+}
+
+}  // namespace
+
+void set_tune_table_source(const std::string& path,
+                           const std::string& fabric) {
+  {
+    TableSource& src = table_source();
+    std::lock_guard<std::mutex> lock(src.mu);
+    src.path = path;
+    src.fabric = fabric;
+  }
+  if (path.empty()) {
+    model::set_tuner_reload_hook({});
+    return;
+  }
+  model::set_tuner_reload_hook([] { apply_table_source(); });
+  apply_table_source();
+}
+
+bool record_machine(const std::string& path, const std::string& fabric,
+                    const model::LinearModel& machine) {
+  TuneTable table = load_tune_table(path).value_or(TuneTable{});
+  table.models[fabric] = machine;
+  return save_tune_table(table, path);
+}
+
+RankBootstrap bootstrap_rank(mps::Communicator& comm,
+                             const std::string& fabric, TuneMode mode,
+                             bool allow_exploration) {
+  RankBootstrap out;
+  out.mode = resolve_tune_mode(mode);
+  if (out.mode == TuneMode::kOff) return out;
+
+  const Calibration cal = calibrate(comm, fabric);
+  if (cal.measured) {
+    model::set_active_machine(cal.machine);
+    model::set_active_two_level(std::nullopt);  // uniform over the measured
+    out.calibrated = true;
+    out.machine = cal.machine;
+  }
+
+  const std::optional<std::string> path = default_tune_table_path();
+  if (path) {
+    set_tune_table_source(*path, fabric);
+    if (cal.measured && comm.rank() == 0) {
+      record_machine(*path, fabric, cal.machine);
+    }
+  }
+
+  if (out.mode == TuneMode::kAdaptive && allow_exploration) {
+    AdaptiveTuner& tuner = global_adaptive();
+    if (path) tuner.set_persist_path(*path);
+    tuner.install();
+    set_adaptive_ordinal_domain(static_cast<int>(comm.rank()));
+  }
+  return out;
+}
+
+}  // namespace bruck::tune

@@ -1,0 +1,55 @@
+// Process-level glue of the tuning subsystem: resolve the tuning mode,
+// run calibration at fabric bootstrap, publish the measured model to the
+// model layer, load/apply the persisted table, and (adaptive mode) install
+// the global AdaptiveTuner's hooks.
+//
+// spawn_local calls bootstrap_rank() on every rank before the user body;
+// bruckcl_plan's `calibrate` subcommand and tests call it (or calibrate())
+// directly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/linear_model.hpp"
+#include "mps/communicator.hpp"
+#include "tune/calibrate.hpp"
+#include "tune/env.hpp"
+#include "tune/table.hpp"
+
+namespace bruck::tune {
+
+/// What bootstrap_rank did on this rank.
+struct RankBootstrap {
+  TuneMode mode = TuneMode::kOff;  ///< resolved (never kDefault)
+  bool calibrated = false;         ///< a measured model was published
+  model::LinearModel machine;      ///< the published model when calibrated
+};
+
+/// Tuning bootstrap for one rank of a fabric.  Collective when the mode
+/// calibrates (every rank must call it at the same point).
+///
+/// `allow_exploration` gates adaptive *live* exploration: it requires all
+/// ranks to share one process (the thread fabric) so the per-key sample
+/// pool and the locked winner are common to every rank — forked fabrics
+/// (one process per rank) would lock divergent winners from divergent
+/// local samples and deadlock on mismatched plans.  With exploration off,
+/// adaptive mode still calibrates and applies table-learned overrides.
+RankBootstrap bootstrap_rank(mps::Communicator& comm,
+                             const std::string& fabric, TuneMode mode,
+                             bool allow_exploration);
+
+/// Point the reload seam at `path`: loads the table now (installing its
+/// models for `fabric` — unless a measured model is already active — and
+/// its learned overrides), and registers the model-layer reload hook so a
+/// clear_tuner_cache() re-reads the FILE and reinstalls what it holds.
+/// That file is then the overrides' source of truth: entries it no longer
+/// contains do not survive a clear.  An empty path unregisters the seam.
+void set_tune_table_source(const std::string& path, const std::string& fabric);
+
+/// Merge `machine` into the table at `path` as fabric `fabric`'s measured
+/// model (creating the table if absent; atomic replace).
+bool record_machine(const std::string& path, const std::string& fabric,
+                    const model::LinearModel& machine);
+
+}  // namespace bruck::tune

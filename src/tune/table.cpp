@@ -1,0 +1,231 @@
+#include "tune/table.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace bruck::tune {
+
+namespace {
+
+constexpr std::string_view kHeader = "bruck-tune-table v1";
+
+std::string hex_bits(double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(model::model_bits(v)));
+  return buf;
+}
+
+/// Exact inverse of hex_bits: 1..16 lowercase hex digits, nothing else.
+std::optional<double> parse_hex_double(std::string_view tok) {
+  if (tok.empty() || tok.size() > 16) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (const char c : tok) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return std::bit_cast<double>(bits);
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const std::string s(tok);
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::optional<LearnedEntry> parse_learned(
+    const std::vector<std::string_view>& tok) {
+  // learned family n k b β τ γ direct radix segments hier group count mean
+  if (tok.size() != 15) return std::nullopt;
+  LearnedEntry e;
+  const auto family = model::parse_tuned_family(std::string(tok[1]).c_str());
+  const auto n = parse_i64(tok[2]);
+  const auto k = parse_i64(tok[3]);
+  const auto b = parse_i64(tok[4]);
+  const auto beta = parse_hex_double(tok[5]);
+  const auto tau = parse_hex_double(tok[6]);
+  const auto gamma = parse_hex_double(tok[7]);
+  const auto direct = parse_i64(tok[8]);
+  const auto radix = parse_i64(tok[9]);
+  const auto segments = parse_i64(tok[10]);
+  const auto hier = parse_i64(tok[11]);
+  const auto group = parse_i64(tok[12]);
+  const auto count = parse_i64(tok[13]);
+  const auto mean = parse_hex_double(tok[14]);
+  if (!family || !n || !k || !b || !beta || !tau || !gamma || !direct ||
+      !radix || !segments || !hier || !group || !count || !mean) {
+    return std::nullopt;
+  }
+  if (*direct != 0 && *direct != 1) return std::nullopt;
+  if (*hier < -1 || *hier > 1) return std::nullopt;
+  if (*n < 1 || *k < 1 || *b < 0 || *count < 0) return std::nullopt;
+  e.query.family = *family;
+  e.query.n = *n;
+  e.query.k = static_cast<int>(*k);
+  e.query.block_bytes = *b;
+  e.query.beta_bits = model::model_bits(*beta);
+  e.query.tau_bits = model::model_bits(*tau);
+  e.query.gamma_bits = model::model_bits(*gamma);
+  e.config.direct = *direct == 1;
+  e.config.radix = *radix;
+  e.config.segments = static_cast<int>(*segments);
+  e.config.hier = static_cast<int>(*hier);
+  e.config.group = *group;
+  e.observations = *count;
+  e.mean_wall_us = *mean;
+  return e;
+}
+
+}  // namespace
+
+std::string serialize_tune_table(const TuneTable& table) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const auto& [fabric, m] : table.models) {
+    out << "model " << fabric << ' ' << hex_bits(m.beta_us) << ' '
+        << hex_bits(m.tau_us_per_byte) << ' ' << hex_bits(m.gamma_us_per_byte)
+        << '\n';
+  }
+  std::vector<LearnedEntry> learned = table.learned;
+  std::sort(learned.begin(), learned.end(),
+            [](const LearnedEntry& a, const LearnedEntry& b) {
+              return a.query < b.query;
+            });
+  for (const LearnedEntry& e : learned) {
+    out << "learned " << model::to_string(e.query.family) << ' ' << e.query.n
+        << ' ' << e.query.k << ' ' << e.query.block_bytes << ' '
+        << hex_bits(std::bit_cast<double>(e.query.beta_bits)) << ' '
+        << hex_bits(std::bit_cast<double>(e.query.tau_bits)) << ' '
+        << hex_bits(std::bit_cast<double>(e.query.gamma_bits)) << ' '
+        << (e.config.direct ? 1 : 0) << ' ' << e.config.radix << ' '
+        << e.config.segments << ' ' << e.config.hier << ' ' << e.config.group
+        << ' ' << e.observations << ' ' << hex_bits(e.mean_wall_us) << '\n';
+  }
+  return std::move(out).str();
+}
+
+std::optional<TuneTable> parse_tune_table(std::string_view text) {
+  TuneTable table;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  std::set<model::TunerQuery> seen;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!saw_header) {
+      if (line != kHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string_view> tok = split_ws(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "model") {
+      if (tok.size() != 5) return std::nullopt;
+      const auto beta = parse_hex_double(tok[2]);
+      const auto tau = parse_hex_double(tok[3]);
+      const auto gamma = parse_hex_double(tok[4]);
+      if (!beta || !tau || !gamma) return std::nullopt;
+      const std::string fabric(tok[1]);
+      if (table.models.count(fabric) != 0) return std::nullopt;
+      model::LinearModel m;
+      m.name = fabric;
+      m.beta_us = *beta;
+      m.tau_us_per_byte = *tau;
+      m.gamma_us_per_byte = *gamma;
+      table.models.emplace(fabric, m);
+    } else if (tok[0] == "learned") {
+      const std::optional<LearnedEntry> e = parse_learned(tok);
+      if (!e) return std::nullopt;
+      if (!seen.insert(e->query).second) return std::nullopt;
+      table.learned.push_back(*e);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return table;
+}
+
+std::optional<TuneTable> load_tune_table(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;  // first run: no table yet
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = std::move(buf).str();
+  std::optional<TuneTable> table = parse_tune_table(text);
+  if (!table) {
+    // One line per process per path: a corrupt table degrades to the
+    // compiled-in constants, never to a crash or a half-applied load.
+    static std::mutex mu;
+    static std::set<std::string>* warned = nullptr;
+    std::lock_guard<std::mutex> lock(mu);
+    if (warned == nullptr) warned = new std::set<std::string>();
+    if (warned->insert(path).second) {
+      std::fprintf(stderr,
+                   "bruck: ignoring corrupt or mis-versioned tune table "
+                   "\"%s\" (want a \"%s\" file); using defaults\n",
+                   path.c_str(), std::string(kHeader).c_str());
+    }
+  }
+  return table;
+}
+
+bool save_tune_table(const TuneTable& table, const std::string& path) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out << serialize_tune_table(table);
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bruck::tune

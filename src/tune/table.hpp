@@ -1,0 +1,60 @@
+// The persisted tuning table: measured per-fabric machine models plus the
+// learned per-(geometry, machine) pick overrides, serialized to a
+// versioned line-oriented text file.
+//
+//   bruck-tune-table v1
+//   model <fabric> <beta_hex> <tau_hex> <gamma_hex>
+//   learned <family> <n> <k> <block_bytes> <beta_hex> <tau_hex> <gamma_hex>
+//           <direct> <radix> <segments> <hier> <group> <count> <mean_hex>
+//
+// Every double travels as the 16-digit hex of its bit pattern
+// (model::model_bits), so a table round-trips *bitwise*: the reloaded
+// overrides key on exactly the machine constants that produced them.
+// Serialization is deterministic (models sorted by fabric name, learned
+// entries by query), so save → load → save is byte-identical.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/linear_model.hpp"
+#include "model/tuner.hpp"
+
+namespace bruck::tune {
+
+/// One learned pick with its evidence (observation count and mean measured
+/// wall time of the winning configuration).
+struct LearnedEntry {
+  model::TunerQuery query;
+  model::TunerConfig config;
+  std::int64_t observations = 0;
+  double mean_wall_us = 0.0;
+};
+
+struct TuneTable {
+  /// Fabric name ("thread" | "shm" | "socket" | ...) → measured model.
+  std::map<std::string, model::LinearModel> models;
+  std::vector<LearnedEntry> learned;
+};
+
+[[nodiscard]] std::string serialize_tune_table(const TuneTable& table);
+
+/// Strict parse of a full table text.  Any malformed line, unknown record
+/// kind, or version mismatch rejects the whole table (nullopt): a partially
+/// applied table would silently mix stale and fresh picks.
+[[nodiscard]] std::optional<TuneTable> parse_tune_table(std::string_view text);
+
+/// Read + parse `path`.  A missing file is a clean nullopt (first run); a
+/// present-but-corrupt or mis-versioned file is nullopt plus a one-line
+/// warning (once per process per path).
+[[nodiscard]] std::optional<TuneTable> load_tune_table(const std::string& path);
+
+/// Atomically replace `path` with the serialized table (write a sibling
+/// temp file, then rename) so concurrent rank processes can only ever
+/// observe a complete table.  Returns false on I/O failure.
+bool save_tune_table(const TuneTable& table, const std::string& path);
+
+}  // namespace bruck::tune

@@ -213,6 +213,74 @@ TEST(HierEnvParsing, InvalidEnvFallsBackToDefaults) {
 }
 
 // ---------------------------------------------------------------------------
+// 1d. Strict BRUCK_TUNE_MODE / BRUCK_TUNE_TABLE parsing (the tuning
+// subsystem's knobs ride the same seam: whole-string match or rejection +
+// warn-once fallback — a typo'd mode must never silently enable adaptive
+// exploration, and a mangled table path must never be written to).
+
+TEST(TuneEnvParsing, ModeAcceptsExactNamesOnly) {
+  EXPECT_EQ(tune::parse_tune_mode("off"), tune::TuneMode::kOff);
+  EXPECT_EQ(tune::parse_tune_mode("calibrate"), tune::TuneMode::kCalibrate);
+  EXPECT_EQ(tune::parse_tune_mode("adaptive"), tune::TuneMode::kAdaptive);
+  EXPECT_FALSE(tune::parse_tune_mode(nullptr));
+  EXPECT_FALSE(tune::parse_tune_mode(""));
+  EXPECT_FALSE(tune::parse_tune_mode("default"));  // the sentinel is not env
+  EXPECT_FALSE(tune::parse_tune_mode("Adaptive"));  // no case folding
+  EXPECT_FALSE(tune::parse_tune_mode("calibrate "));  // trailing junk
+  EXPECT_FALSE(tune::parse_tune_mode("cal"));  // no prefixes
+  EXPECT_FALSE(tune::parse_tune_mode("off,adaptive"));
+}
+
+TEST(TuneEnvParsing, TablePathRejectsEmptyOversizedAndMultiline) {
+  ASSERT_TRUE(tune::parse_tune_table_path("/tmp/t.table"));
+  EXPECT_EQ(*tune::parse_tune_table_path("/tmp/t.table"), "/tmp/t.table");
+  EXPECT_FALSE(tune::parse_tune_table_path(nullptr));
+  EXPECT_FALSE(tune::parse_tune_table_path(""));
+  // A path with an embedded newline could never round-trip through the
+  // line-oriented table format.
+  EXPECT_FALSE(tune::parse_tune_table_path("/tmp/a\nb"));
+  EXPECT_FALSE(tune::parse_tune_table_path("/tmp/a\rb"));
+  const std::string oversized(4097, 'x');
+  EXPECT_FALSE(tune::parse_tune_table_path(oversized.c_str()));
+}
+
+TEST(TuneEnvParsing, InvalidEnvFallsBackToDefaults) {
+  const char* prior_mode_raw = std::getenv("BRUCK_TUNE_MODE");
+  const std::string prior_mode = prior_mode_raw ? prior_mode_raw : "";
+  const char* prior_table_raw = std::getenv("BRUCK_TUNE_TABLE");
+  const std::string prior_table = prior_table_raw ? prior_table_raw : "";
+
+  ASSERT_EQ(setenv("BRUCK_TUNE_MODE", "adaptve", 1), 0);  // typo'd value
+  EXPECT_EQ(tune::default_tune_mode(), tune::TuneMode::kOff);
+  ASSERT_EQ(setenv("BRUCK_TUNE_MODE", "calibrate", 1), 0);
+  EXPECT_EQ(tune::default_tune_mode(), tune::TuneMode::kCalibrate);
+  ASSERT_EQ(unsetenv("BRUCK_TUNE_MODE"), 0);
+  EXPECT_EQ(tune::default_tune_mode(), tune::TuneMode::kOff);
+
+  ASSERT_EQ(setenv("BRUCK_TUNE_TABLE", "", 1), 0);
+  EXPECT_FALSE(tune::default_tune_table_path().has_value());
+  ASSERT_EQ(setenv("BRUCK_TUNE_TABLE", "/tmp/bruck.table", 1), 0);
+  ASSERT_TRUE(tune::default_tune_table_path().has_value());
+  EXPECT_EQ(*tune::default_tune_table_path(), "/tmp/bruck.table");
+  ASSERT_EQ(unsetenv("BRUCK_TUNE_TABLE"), 0);
+  EXPECT_FALSE(tune::default_tune_table_path().has_value());
+
+  // SpawnOptions' kDefault sentinel resolves through the env; an explicit
+  // mode passes through untouched.
+  EXPECT_EQ(tune::resolve_tune_mode(tune::TuneMode::kDefault),
+            tune::TuneMode::kOff);
+  EXPECT_EQ(tune::resolve_tune_mode(tune::TuneMode::kAdaptive),
+            tune::TuneMode::kAdaptive);
+
+  if (prior_mode_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_TUNE_MODE", prior_mode.c_str(), 1), 0);
+  }
+  if (prior_table_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_TUNE_TABLE", prior_table.c_str(), 1), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // 2. The shape-digest sentinel reservation.
 
 TEST(ShapeDigestSentinel, ZeroHashIsRemappedToOne) {

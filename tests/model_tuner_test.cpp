@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "util/assert.hpp"
 
@@ -97,6 +99,101 @@ TEST(Tuner, KPortCurveUsesAlignedRadices) {
     EXPECT_TRUE((c.radix - 1) % 3 == 0 || c.radix == 2 || c.radix == 64)
         << c.radix;
   }
+}
+
+// ---------------------------------------------------------------------------
+// The learned-override seam: a tune::-installed override answers
+// pick_*_cached before the memo caches, keyed on exactly the (family,
+// geometry, machine-bits) that produced it.
+
+TEST(TunerOverrides, OverrideShortCircuitsThePickForItsExactKey) {
+  clear_tuner_cache();
+  const TunerQuery query =
+      make_tuner_query(TunedFamily::kIndexRadix, 32, 1, 8, ibm_sp1());
+  TunerConfig cfg;
+  cfg.radix = 9;  // a radix the model would never pick at 8-byte blocks
+  cfg.segments = 4;
+  set_tuner_override(query, cfg);
+
+  const RadixChoice got = pick_index_radix_cached(32, 1, 8, ibm_sp1());
+  EXPECT_EQ(got.radix, 9);
+  EXPECT_EQ(got.segments_hint, 4);
+
+  // A different geometry misses the override and gets the model's pick.
+  const RadixChoice other = pick_index_radix_cached(32, 1, 16, ibm_sp1());
+  EXPECT_EQ(other.radix, pick_index_radix(32, 1, 16, ibm_sp1()).radix);
+  // A different machine misses it too (the bits are part of the key).
+  const RadixChoice other_machine =
+      pick_index_radix_cached(32, 1, 8, startup_dominated());
+  EXPECT_EQ(other_machine.radix,
+            pick_index_radix(32, 1, 8, startup_dominated()).radix);
+  clear_tuner_cache();
+}
+
+TEST(TunerOverrides, ReduceScatterOverrideCanForceDirect) {
+  clear_tuner_cache();
+  const TunerQuery query =
+      make_tuner_query(TunedFamily::kReduceScatter, 16, 1, 4, ibm_sp1());
+  TunerConfig cfg;
+  cfg.direct = true;  // tiny blocks: the model would pick Bruck
+  set_tuner_override(query, cfg);
+  const ReduceScatterChoice got =
+      pick_reduce_scatter_cached(16, 1, 4, ibm_sp1());
+  EXPECT_TRUE(got.direct);
+  clear_tuner_cache();
+  EXPECT_FALSE(pick_reduce_scatter_cached(16, 1, 4, ibm_sp1()).direct);
+}
+
+// ---------------------------------------------------------------------------
+// The calibrated-machine substitution seam: a machine left at the
+// compiled-in ibm_sp1 default is replaced by the active measured model;
+// any other machine passes through untouched.
+
+TEST(ActiveMachine, SentinelSubstitutionAndOptOut) {
+  set_active_machine(std::nullopt);
+  // No active model: everything passes through.
+  EXPECT_EQ(effective_machine(ibm_sp1()).beta_us, ibm_sp1().beta_us);
+
+  LinearModel measured{"measured", 7.5, 0.03125};
+  measured.gamma_us_per_byte = 0.001;
+  set_active_machine(measured);
+  // The options-struct default is the sentinel: substituted.
+  const LinearModel got = effective_machine(ibm_sp1());
+  EXPECT_EQ(model_bits(got.beta_us), model_bits(7.5));
+  EXPECT_EQ(model_bits(got.tau_us_per_byte), model_bits(0.03125));
+  // An explicitly different machine opts out bit-for-bit.
+  const LinearModel kept = effective_machine(startup_dominated());
+  EXPECT_EQ(model_bits(kept.beta_us),
+            model_bits(startup_dominated().beta_us));
+  // Even a one-bit perturbation of the default opts out.
+  LinearModel nudged = ibm_sp1();
+  nudged.beta_us = std::nextafter(nudged.beta_us, 1e9);
+  EXPECT_EQ(model_bits(effective_machine(nudged).beta_us),
+            model_bits(nudged.beta_us));
+
+  ASSERT_TRUE(active_machine().has_value());
+  EXPECT_EQ(active_machine()->name, "measured");
+  set_active_machine(std::nullopt);
+  EXPECT_FALSE(active_machine().has_value());
+}
+
+TEST(ActiveMachine, TwoLevelSentinelFollowsTheSameRule) {
+  set_active_machine(std::nullopt);
+  set_active_two_level(std::nullopt);
+  const TwoLevelModel sentinel = uniform_two_level(ibm_sp1());
+  EXPECT_EQ(model_bits(effective_two_level(sentinel).inter.beta_us),
+            model_bits(sentinel.inter.beta_us));
+
+  LinearModel measured{"measured", 3.25, 0.0625};
+  set_active_machine(measured);
+  const TwoLevelModel swapped = effective_two_level(sentinel);
+  EXPECT_EQ(model_bits(swapped.inter.beta_us), model_bits(3.25));
+  // A non-default two-level model passes through.
+  const TwoLevelModel custom = shm_socket_two_level();
+  EXPECT_EQ(model_bits(effective_two_level(custom).inter.beta_us),
+            model_bits(custom.inter.beta_us));
+  set_active_machine(std::nullopt);
+  set_active_two_level(std::nullopt);
 }
 
 }  // namespace

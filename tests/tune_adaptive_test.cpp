@@ -1,0 +1,331 @@
+// The adaptive autotuner, driven entirely by injected deterministic
+// "wall times" (a fake clock — no real timing, no flakiness):
+//
+//   * exploration walks the fixed arm schedule, then locks;
+//   * a neighbor wins only past the hysteresis gate (full evidence on both
+//     sides AND a ≥ min_margin better mean);
+//   * once locked a key never changes again (no oscillation), and a
+//     non-incumbent winner is remembered as a model-layer override;
+//   * a locked winner persists to the tune table and reloads bitwise;
+//   * clear_tuner_cache() wipes learned-in-memory overrides but a
+//     file-backed table (set_tune_table_source) restores its entries —
+//     the file is the source of truth.
+#include "tune/adaptive.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/api.hpp"
+#include "gtest/gtest.h"
+#include "model/linear_model.hpp"
+#include "model/tuner.hpp"
+#include "mps/bootstrap.hpp"
+#include "tune/runtime.hpp"
+#include "tune/table.hpp"
+
+#include <unistd.h>
+
+namespace bruck {
+namespace {
+
+/// One tuned decision point: flat alltoall, n = 8 where the incumbent
+/// radix 4 has neighbors 3 and 5 plus the segment arms.
+model::TunerQuery make_query(std::int64_t block_bytes) {
+  return model::make_tuner_query(model::TunedFamily::kIndexRadix, 8, 1,
+                                 block_bytes, model::ibm_sp1());
+}
+
+model::TunerConfig incumbent_config() {
+  model::TunerConfig base;
+  base.radix = 4;
+  base.segments = 1;
+  return base;
+}
+
+/// Drive decide/observe through the whole exploration horizon with a fake
+/// clock: `fake_us(config)` is the deterministic "measured" wall time of
+/// one execution of that arm.  Returns the post-lock decision.
+template <typename FakeClock>
+model::TunerConfig run_to_lock(tune::AdaptiveTuner& tuner,
+                               const model::TunerQuery& query,
+                               const model::TunerConfig& base,
+                               FakeClock fake_us) {
+  // 4 arms (incumbent r4, r3, r5, segments 2) × min_observations.
+  const int arms = 4;
+  const int horizon = arms * tuner.options().min_observations;
+  for (int i = 0; i < horizon; ++i) {
+    const auto decided = tuner.decide(query, base);
+    EXPECT_TRUE(decided.has_value()) << "call " << i;
+    if (!decided) return base;
+    model::ExecutionSample sample;
+    sample.query = query;
+    sample.config = *decided;
+    sample.wall_us = fake_us(*decided);
+    tuner.observe(sample);
+  }
+  const auto locked = tuner.decide(query, base);
+  EXPECT_TRUE(locked.has_value());
+  return locked.value_or(base);
+}
+
+TEST(AdaptiveTuner, ExploresEveryArmThenLocksOnTheFastest) {
+  model::clear_tuner_cache();
+  tune::AdaptiveTuner tuner(tune::AdaptiveOptions{2, 0.05});
+  const model::TunerQuery query = make_query(1024);
+  const model::TunerConfig base = incumbent_config();
+
+  // Fake clock: radix 5 is 40% faster than the incumbent; everything else
+  // slower.
+  std::vector<model::TunerConfig> schedule;
+  const model::TunerConfig winner = run_to_lock(
+      tuner, query, base, [&schedule](const model::TunerConfig& c) {
+        schedule.push_back(c);
+        if (c.radix == 5) return 60.0;
+        if (c.radix == 4) return 100.0;
+        return 110.0;
+      });
+  // The schedule visited each arm min_observations times, incumbent first.
+  ASSERT_EQ(schedule.size(), 8u);
+  EXPECT_EQ(schedule[0].radix, 4);
+  EXPECT_EQ(schedule[1].radix, 4);
+  int saw_r5 = 0;
+  for (const auto& c : schedule) saw_r5 += c.radix == 5 ? 1 : 0;
+  EXPECT_EQ(saw_r5, 2);
+
+  EXPECT_EQ(winner.radix, 5);
+  EXPECT_EQ(tuner.locked_count(), 1u);
+  // Switch-and-remember: the winner is now a model-layer override, so
+  // pick_*_cached short-circuits to it for exactly this key.
+  const auto override_cfg = model::tuner_override(query);
+  ASSERT_TRUE(override_cfg.has_value());
+  EXPECT_EQ(override_cfg->radix, 5);
+  ASSERT_EQ(tuner.learned().size(), 1u);
+  EXPECT_EQ(tuner.learned()[0].config.radix, 5);
+  model::clear_tuner_cache();
+}
+
+TEST(AdaptiveTuner, HysteresisKeepsTheIncumbentOnThinMargins) {
+  model::clear_tuner_cache();
+  tune::AdaptiveTuner tuner(tune::AdaptiveOptions{2, 0.05});
+  const model::TunerQuery query = make_query(2048);
+  const model::TunerConfig base = incumbent_config();
+
+  // Radix 5 is only 3% faster — under the 5% margin, so no switch.
+  const model::TunerConfig winner =
+      run_to_lock(tuner, query, base, [](const model::TunerConfig& c) {
+        return c.radix == 5 ? 97.0 : 100.0;
+      });
+  EXPECT_EQ(winner.radix, 4);
+  EXPECT_TRUE(tuner.learned().empty());
+  EXPECT_FALSE(model::tuner_override(query).has_value());
+  model::clear_tuner_cache();
+}
+
+TEST(AdaptiveTuner, LockedWinnerNeverOscillates) {
+  model::clear_tuner_cache();
+  tune::AdaptiveTuner tuner(tune::AdaptiveOptions{2, 0.05});
+  const model::TunerQuery query = make_query(4096);
+  const model::TunerConfig base = incumbent_config();
+
+  const model::TunerConfig winner =
+      run_to_lock(tuner, query, base, [](const model::TunerConfig& c) {
+        return c.radix == 5 ? 50.0 : 100.0;
+      });
+  EXPECT_EQ(winner.radix, 5);
+
+  // Adversarial post-lock feedback: the incumbent suddenly looks 100×
+  // faster.  A locked key must not flip back.
+  for (int i = 0; i < 32; ++i) {
+    model::ExecutionSample sample;
+    sample.query = query;
+    sample.config = base;
+    sample.wall_us = 1.0;
+    tuner.observe(sample);
+    const auto decided = tuner.decide(query, base);
+    ASSERT_TRUE(decided.has_value());
+    EXPECT_EQ(decided->radix, 5) << "call " << i;
+  }
+  model::clear_tuner_cache();
+}
+
+TEST(AdaptiveTuner, SamplesWithoutPositiveWallTimeAreIgnored) {
+  model::clear_tuner_cache();
+  tune::AdaptiveTuner tuner(tune::AdaptiveOptions{2, 0.05});
+  const model::TunerQuery query = make_query(512);
+  const model::TunerConfig base = incumbent_config();
+  // All observations carry wall_us = 0 (a clock that never ran): no arm
+  // accumulates evidence, so the lock keeps the incumbent.
+  const model::TunerConfig winner = run_to_lock(
+      tuner, query, base, [](const model::TunerConfig&) { return 0.0; });
+  EXPECT_EQ(winner.radix, 4);
+  EXPECT_TRUE(tuner.learned().empty());
+  model::clear_tuner_cache();
+}
+
+TEST(AdaptiveTuner, LockedWinnerPersistsAndReloadsBitwise) {
+  model::clear_tuner_cache();
+  const std::string path = "/tmp/bruck_tune_adaptive_" +
+                           std::to_string(::getpid()) + ".table";
+  std::remove(path.c_str());
+
+  tune::AdaptiveTuner tuner(tune::AdaptiveOptions{2, 0.05});
+  tuner.set_persist_path(path);
+  const model::TunerQuery query = make_query(8192);
+  const model::TunerConfig base = incumbent_config();
+  // Means with no finite decimal representation: 100/3 vs 200/3.
+  const model::TunerConfig winner =
+      run_to_lock(tuner, query, base, [](const model::TunerConfig& c) {
+        return c.radix == 5 ? 100.0 / 3.0 : 200.0 / 3.0;
+      });
+  ASSERT_EQ(winner.radix, 5);
+
+  const auto loaded = tune::load_tune_table(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->learned.size(), 1u);
+  EXPECT_EQ(loaded->learned[0].query, query);
+  EXPECT_TRUE(loaded->learned[0].config == winner);
+  EXPECT_EQ(loaded->learned[0].observations, 2);
+  // Bitwise: the persisted mean is exactly the accumulated total/count.
+  EXPECT_EQ(model::model_bits(loaded->learned[0].mean_wall_us),
+            model::model_bits((100.0 / 3.0 + 100.0 / 3.0) / 2.0));
+  // And the file itself round-trips byte-identically.
+  EXPECT_EQ(serialize_tune_table(*loaded),
+            serialize_tune_table(*tune::load_tune_table(path)));
+  std::remove(path.c_str());
+  model::clear_tuner_cache();
+}
+
+// ---------------------------------------------------------------------------
+// clear_tuner_cache vs the adaptive override table (the PR's bugfix): stats
+// must report overrides, a clear must wipe learned-in-memory state, and a
+// file-backed table must survive the clear by reload.
+
+TEST(TunerCacheClear, StatsReportAndClearWipeInMemoryOverrides) {
+  model::clear_tuner_cache();
+  const model::TunerQuery query = make_query(1 << 14);
+  // A 16 KiB block is bandwidth-dominated — the model would never pick
+  // radix 3 here, so the override's effect is observable.
+  model::TunerConfig cfg;
+  cfg.radix = 3;
+  model::set_tuner_override(query, cfg);
+  EXPECT_EQ(model::tuner_cache_stats().overrides, 1u);
+
+  // An override answers the pick directly and counts as an override hit.
+  const model::RadixChoice pick =
+      model::pick_index_radix_cached(8, 1, 1 << 14, model::ibm_sp1());
+  EXPECT_EQ(pick.radix, 3);
+  EXPECT_GE(model::tuner_cache_stats().override_hits, 1u);
+
+  // No table file backs this override: a clear wipes it for good.
+  model::clear_tuner_cache();
+  EXPECT_EQ(model::tuner_cache_stats().overrides, 0u);
+  EXPECT_FALSE(model::tuner_override(query).has_value());
+  const model::RadixChoice fresh =
+      model::pick_index_radix_cached(8, 1, 1 << 14, model::ibm_sp1());
+  EXPECT_EQ(fresh.radix,
+            model::pick_index_radix(8, 1, 1 << 14, model::ibm_sp1()).radix);
+}
+
+TEST(TunerCacheClear, FileBackedOverridesSurviveTheClear) {
+  model::clear_tuner_cache();
+  const std::string path = "/tmp/bruck_tune_source_" +
+                           std::to_string(::getpid()) + ".table";
+  const model::TunerQuery query = make_query(1 << 15);
+  tune::TuneTable table;
+  tune::LearnedEntry e;
+  e.query = query;
+  e.config.radix = 6;
+  e.observations = 4;
+  e.mean_wall_us = 12.5;
+  table.learned.push_back(e);
+  ASSERT_TRUE(tune::save_tune_table(table, path));
+
+  // Point the reload seam at the file: its entries install now...
+  tune::set_tune_table_source(path, "no-such-fabric");
+  ASSERT_TRUE(model::tuner_override(query).has_value());
+  EXPECT_EQ(model::tuner_override(query)->radix, 6);
+
+  // ...and survive a clear, because the clear re-reads the FILE.
+  model::clear_tuner_cache();
+  ASSERT_TRUE(model::tuner_override(query).has_value());
+  EXPECT_EQ(model::tuner_override(query)->radix, 6);
+  EXPECT_EQ(model::tuner_cache_stats().overrides, 1u);
+
+  // Unregister the seam: the next clear has no source to reload from, so
+  // the override does NOT survive — the file was the only source of truth.
+  tune::set_tune_table_source("", "");
+  model::clear_tuner_cache();
+  EXPECT_FALSE(model::tuner_override(query).has_value());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End to end on a real fabric: adaptive mode bootstraps through
+// spawn_local, the facade's hot path feeds wall times back, and the global
+// tuner locks a winner (which winner is host-dependent; that a lock lands
+// and the table records the calibrated machine is not).
+
+TEST(AdaptiveEndToEnd, ThreadFabricExploresLocksAndRecordsTheTable) {
+  const char* prior_raw = std::getenv("BRUCK_TUNE_TABLE");
+  const std::string prior = prior_raw ? prior_raw : "";
+  const std::string path = "/tmp/bruck_tune_e2e_" +
+                           std::to_string(::getpid()) + ".table";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("BRUCK_TUNE_TABLE", path.c_str(), 1), 0);
+
+  tune::global_adaptive().reset();
+  model::clear_tuner_cache();
+
+  mps::SpawnOptions so;
+  so.n = 8;
+  so.k = 1;
+  so.backend = mps::FabricBackend::kThread;
+  so.record_trace = false;
+  so.tune = tune::TuneMode::kAdaptive;
+  const std::int64_t b = 4096;
+  mps::spawn_local(so, [b](mps::Communicator& comm) -> std::vector<std::byte> {
+    const std::int64_t n = comm.size();
+    std::vector<std::byte> send(static_cast<std::size_t>(n * b),
+                                std::byte{0x42});
+    std::vector<std::byte> recv(send.size());
+    int round = 0;
+    // Far past any exploration horizon (≤ 5 arms × 4 observations + 1).
+    for (int rep = 0; rep < 48; ++rep) {
+      coll::AlltoallOptions o;
+      o.start_round = round;
+      round = coll::alltoall(comm, send, recv, b, o);
+    }
+    return {};
+  });
+
+  // The tuner locked at least the alltoall geometry's key.
+  EXPECT_GE(tune::global_adaptive().locked_count(), 1u);
+  // Calibration ran and was published...
+  ASSERT_TRUE(model::active_machine().has_value());
+  EXPECT_GT(model::active_machine()->beta_us, 0.0);
+  // ...and rank 0 recorded the measured thread model in the table.
+  const auto table = tune::load_tune_table(path);
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->models.count("thread"), 1u);
+
+  // Uninstall everything the bootstrap wired up so later tests (and other
+  // suites in this process) see a clean slate.
+  tune::set_tune_table_source("", "");
+  model::set_adaptive_hook({});
+  model::set_observation_hook({});
+  model::set_active_machine(std::nullopt);
+  model::set_active_two_level(std::nullopt);
+  tune::global_adaptive().reset();
+  model::clear_tuner_cache();
+  std::remove(path.c_str());
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("BRUCK_TUNE_TABLE", prior.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("BRUCK_TUNE_TABLE"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace bruck

@@ -8,6 +8,7 @@
 //   bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]
 //   bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]
 //   bruckcl_plan compile --hier <n> <k> <block_bytes> [group]
+//   bruckcl_plan calibrate <n> <k>
 //
 // `index` prints the full radix trade-off curve under the given machine and
 // the tuner's pick; `concat` prints the strategy comparison vs the lower
@@ -36,6 +37,11 @@
 // exchange, the scatter/broadcast back — for the chosen (or forced) group
 // size.
 //
+// `calibrate` spins up an n-rank fabric of the BRUCK_FABRIC backend, runs
+// the tune:: micro-exchange ladder on it, and prints the measured β/τ/γ
+// next to the compiled-in machines — then sweeps a sample geometry range
+// showing where the measured constants change the tuner's radix pick.
+//
 // When `compile`'s third argument is a file instead of a number, it is read
 // as a whitespace-separated irregular shape: n*n integers make an alltoallv
 // count matrix (counts[i*n+j] = bytes rank i sends to rank j), n integers an
@@ -46,6 +52,7 @@
 // Defaults for (beta, tau) are the paper's SP-1 measurements.
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -59,8 +66,10 @@
 #include "model/linear_model.hpp"
 #include "model/lower_bounds.hpp"
 #include "model/tuner.hpp"
+#include "mps/bootstrap.hpp"
 #include "sched/builders_index.hpp"
 #include "sched/render.hpp"
+#include "tune/calibrate.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -75,6 +84,7 @@ int usage() {
             << "  bruckcl_plan compile --nonblocking <n> <k> <block_bytes> [radix]\n"
             << "  bruckcl_plan compile --layout <count,blocklen,stride> <n> <k> <block_bytes> [radix]\n"
             << "  bruckcl_plan compile --hier <n> <k> <block_bytes> [group]\n"
+            << "  bruckcl_plan calibrate <n> <k>\n"
             << "    counts_file: n*n whitespace-separated integers (alltoallv\n"
             << "    matrix) or n integers (allgatherv per-rank counts)\n"
             << "    --layout: strided user-buffer datatype; count*blocklen\n"
@@ -402,9 +412,95 @@ int cmd_compile_counts(std::int64_t n, int k, const std::string& path,
   return 0;
 }
 
+int cmd_calibrate(std::int64_t n, int k) {
+  namespace mps = bruck::mps;
+  namespace tune = bruck::tune;
+  namespace model = bruck::model;
+  const mps::FabricBackend backend = mps::default_fabric_backend();
+  const std::string fabric = mps::to_string(backend);
+  std::cout << "calibrating fabric \"" << fabric << "\": n = " << n
+            << ", k = " << k << " (micro-exchange ladder, 4 sizes)\n\n";
+
+  mps::SpawnOptions so;
+  so.n = n;
+  so.k = k;
+  so.backend = backend;
+  so.tune = tune::TuneMode::kOff;  // this command drives calibration itself
+  const mps::SpawnResult run =
+      mps::spawn_local(so, [&fabric](mps::Communicator& comm) {
+        const tune::Calibration cal = tune::calibrate(comm, fabric);
+        // Payload: measured flag + the three constants, bit-exact.
+        std::vector<std::byte> payload(1 + 3 * sizeof(double));
+        payload[0] = cal.measured ? std::byte{1} : std::byte{0};
+        const double vals[3] = {cal.machine.beta_us,
+                                cal.machine.tau_us_per_byte,
+                                cal.machine.gamma_us_per_byte};
+        std::memcpy(payload.data() + 1, vals, sizeof(vals));
+        return payload;
+      });
+
+  const std::vector<std::byte>& p0 = run.rank_payloads.at(0);
+  if (p0.size() != 1 + 3 * sizeof(double) || p0[0] != std::byte{1}) {
+    std::cout << "calibration skipped (single rank or non-native port "
+                 "engine); nothing to report\n";
+    return 0;
+  }
+  double vals[3] = {};
+  std::memcpy(vals, p0.data() + 1, sizeof(vals));
+  model::LinearModel measured;
+  measured.name = fabric;
+  measured.beta_us = vals[0];
+  measured.tau_us_per_byte = vals[1];
+  measured.gamma_us_per_byte = vals[2];
+
+  bruck::TextTable t(
+      {"machine", "beta (us)", "tau (us/B)", "gamma (us/B)"});
+  const auto add = [&t](const model::LinearModel& m) {
+    t.add(m.name, m.beta_us, m.tau_us_per_byte, m.gamma_us_per_byte);
+  };
+  add(measured);
+  add(model::ibm_sp1());
+  add(model::startup_dominated());
+  add(model::bandwidth_dominated());
+  t.print(std::cout);
+
+  // Where the measured constants move the pick: sweep block sizes at this
+  // geometry and compare against the compiled-in default machine.
+  std::cout << "\nindex-radix picks, measured vs default (n = " << n
+            << ", k = " << k << "):\n";
+  bruck::TextTable sweep({"block bytes", "default r", "measured r", ""});
+  int changes = 0;
+  for (std::int64_t b = 16; b <= (1 << 20); b *= 8) {
+    const std::int64_t r_default =
+        model::pick_index_radix(n, k, b, model::ibm_sp1()).radix;
+    const std::int64_t r_measured =
+        model::pick_index_radix(n, k, b, measured).radix;
+    if (r_measured != r_default) ++changes;
+    sweep.add(b, r_default, r_measured,
+              r_measured != r_default ? "<- changed" : "");
+  }
+  sweep.print(std::cout);
+  std::cout << "\n" << changes << " pick change(s) across the sweep; wall "
+            << run.wall_seconds << " s\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `calibrate <n> <k>`: needs a live fabric, not a machine argument —
+  // dispatched before the generic argc checks.
+  if (argc == 4 && std::string(argv[1]) == "calibrate") {
+    const std::int64_t n = std::atoll(argv[2]);
+    const int k = std::atoi(argv[3]);
+    if (n < 1 || k < 1) return usage();
+    try {
+      return cmd_calibrate(n, k);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
   // `compile --nonblocking ...`: note the flag and parse the rest as usual.
   bool nonblocking = false;
   if (argc >= 3 && std::string(argv[2]) == "--nonblocking") {
